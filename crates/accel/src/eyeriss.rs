@@ -1,0 +1,201 @@
+//! Eyeriss-V2 performance model (sparse CNN accelerator).
+
+use serde::{Deserialize, Serialize};
+
+use dysta_models::Layer;
+use dysta_sparsity::SparsityPattern;
+
+use crate::{Accelerator, EffectiveWork, SparseContext};
+
+/// Configuration of the Eyeriss-V2 model.
+///
+/// Defaults follow the FPGA deployment the paper evaluates against (a
+/// third-party Eyeriss-V2 on a Zynq ZU7EV at 200 MHz, smaller than the
+/// 192-PE ASIC design) with mobile-class DRAM, calibrated so the
+/// multi-CNN mix saturates near the paper's 3–6 samples/s operating
+/// range. Utilization factors capture how well each weight pattern maps
+/// onto the row-stationary dataflow with zero-skipping: the paper's
+/// Section 2.3.2 observes that pattern/hardware affinity — not just the
+/// sparsity ratio — determines delivered performance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EyerissV2Config {
+    /// Number of processing elements.
+    pub pes: u32,
+    /// Clock frequency in hertz.
+    pub clock_hz: f64,
+    /// Off-chip bandwidth in bytes per second.
+    pub dram_bytes_per_sec: f64,
+    /// PE utilization on dense layers.
+    pub util_dense: f64,
+    /// PE utilization under random point-wise sparsity (irregular).
+    pub util_random: f64,
+    /// PE utilization under N:M block sparsity.
+    pub util_block_nm: f64,
+    /// PE utilization under channel-wise sparsity (regular).
+    pub util_channel: f64,
+    /// Utilization penalty multiplier for depthwise convolutions (low
+    /// reuse on a row-stationary array).
+    pub depthwise_penalty: f64,
+    /// Fixed per-layer dispatch/configuration overhead in nanoseconds.
+    pub layer_overhead_ns: f64,
+}
+
+impl Default for EyerissV2Config {
+    fn default() -> Self {
+        EyerissV2Config {
+            pes: 136,
+            clock_hz: 200e6,
+            dram_bytes_per_sec: 1.2e9,
+            util_dense: 0.75,
+            util_random: 0.30,
+            util_block_nm: 0.55,
+            util_channel: 0.68,
+            depthwise_penalty: 0.35,
+            layer_overhead_ns: 50_000.0,
+        }
+    }
+}
+
+/// The Eyeriss-V2 analytic performance model.
+///
+/// Latency per layer = `max(compute roofline, memory roofline) + overhead`
+/// where the compute roofline counts only *effective* MACs (weight and
+/// activation zeros are skipped, per the accelerator's sparse dataflow).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EyerissV2 {
+    config: EyerissV2Config,
+}
+
+impl EyerissV2 {
+    /// Creates a model with the given configuration.
+    pub fn new(config: EyerissV2Config) -> Self {
+        EyerissV2 { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EyerissV2Config {
+        &self.config
+    }
+
+    fn utilization(&self, layer: &Layer, ctx: &SparseContext) -> f64 {
+        let base = match ctx.pattern {
+            SparsityPattern::Dense => self.config.util_dense,
+            SparsityPattern::RandomPointwise => self.config.util_random,
+            SparsityPattern::BlockNm { .. } => self.config.util_block_nm,
+            SparsityPattern::ChannelWise => self.config.util_channel,
+        };
+        let depthwise = match layer.kind() {
+            dysta_models::LayerKind::Conv2d(c) if c.is_depthwise() => {
+                self.config.depthwise_penalty
+            }
+            _ => 1.0,
+        };
+        base * depthwise
+    }
+}
+
+impl Accelerator for EyerissV2 {
+    fn name(&self) -> &str {
+        "eyeriss-v2"
+    }
+
+    fn clock_hz(&self) -> f64 {
+        self.config.clock_hz
+    }
+
+    fn layer_latency_ns(&self, layer: &Layer, ctx: &SparseContext) -> f64 {
+        let work = EffectiveWork::compute(layer, ctx);
+        let throughput =
+            self.config.pes as f64 * self.config.clock_hz * self.utilization(layer, ctx);
+        let compute_ns = work.effective_macs / throughput * 1e9;
+        let memory_ns = work.bytes_moved / self.config.dram_bytes_per_sec * 1e9;
+        compute_ns.max(memory_ns) + self.config.layer_overhead_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysta_models::zoo;
+
+    fn model_latency_ms(model: &dysta_models::ModelGraph, ctx: &SparseContext) -> f64 {
+        let accel = EyerissV2::default();
+        model
+            .layers()
+            .iter()
+            .map(|l| accel.layer_latency_ns(l, ctx))
+            .sum::<f64>()
+            / 1e6
+    }
+
+    fn typical_ctx() -> SparseContext {
+        SparseContext {
+            pattern: SparsityPattern::RandomPointwise,
+            weight_rate: 0.8,
+            input_activation_sparsity: 0.4,
+            layer_sparsity: 0.4,
+            seq_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn isolated_latency_ordering_matches_model_size() {
+        let ctx = typical_ctx();
+        let mobilenet = model_latency_ms(&zoo::mobilenet(), &ctx);
+        let resnet = model_latency_ms(&zoo::resnet50(), &ctx);
+        let vgg = model_latency_ms(&zoo::vgg16(), &ctx);
+        let ssd = model_latency_ms(&zoo::ssd300(), &ctx);
+        assert!(mobilenet < resnet && resnet < vgg && vgg < ssd);
+        // Plausible magnitudes for a 200 MHz mobile accelerator: MobileNet
+        // in single-digit ms, SSD in hundreds of ms.
+        assert!((1.0..20.0).contains(&mobilenet), "{mobilenet} ms");
+        assert!((100.0..600.0).contains(&ssd), "{ssd} ms");
+    }
+
+    #[test]
+    fn sparsity_reduces_latency() {
+        let dense = model_latency_ms(&zoo::resnet50(), &SparseContext::dense());
+        let sparse = model_latency_ms(&zoo::resnet50(), &typical_ctx());
+        assert!(sparse < dense, "sparse {sparse} dense {dense}");
+    }
+
+    #[test]
+    fn random_pattern_slower_than_channel_at_same_rate() {
+        // Same sparsity ratio, different delivered performance (Fig. 4):
+        // channel-wise maps better on the PE array AND keeps denser
+        // surviving activations, but random skips more MACs; the
+        // utilization gap dominates on Eyeriss-V2.
+        let mut random = typical_ctx();
+        random.pattern = SparsityPattern::RandomPointwise;
+        let mut channel = random;
+        channel.pattern = SparsityPattern::ChannelWise;
+        let r = model_latency_ms(&zoo::resnet50(), &random);
+        let c = model_latency_ms(&zoo::resnet50(), &channel);
+        assert!((r / c - 1.0).abs() > 0.05, "patterns should differ: {r} vs {c}");
+    }
+
+    #[test]
+    fn higher_activation_sparsity_is_faster() {
+        let mut dark = typical_ctx();
+        dark.input_activation_sparsity = 0.7;
+        let bright = typical_ctx();
+        let d = model_latency_ms(&zoo::vgg16(), &dark);
+        let b = model_latency_ms(&zoo::vgg16(), &bright);
+        assert!(d < b);
+    }
+
+    #[test]
+    fn overhead_floors_tiny_layers() {
+        let accel = EyerissV2::default();
+        let tiny = dysta_models::Layer::new(
+            "t",
+            dysta_models::LayerKind::Linear(dysta_models::Linear {
+                in_features: 8,
+                out_features: 8,
+                tokens: 1,
+            }),
+        );
+        let ns = accel.layer_latency_ns(&tiny, &SparseContext::dense());
+        assert!(ns >= accel.config().layer_overhead_ns);
+    }
+}

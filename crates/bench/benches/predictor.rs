@@ -1,0 +1,89 @@
+//! Sparse latency predictor throughput per coefficient strategy,
+//! including the FP16 hardware datapath.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dysta::core::{
+    CoeffStrategy, ModelInfoLut, MonitoredLayer, SparseLatencyPredictor, TaskState,
+};
+use dysta::hw::{ComputeUnit, F16};
+use dysta::models::ModelId;
+use dysta::sparsity::SparsityPattern;
+use dysta::trace::{SparseModelSpec, TraceGenerator, TraceStore};
+
+fn task_midway() -> (TaskState, ModelInfoLut, SparseModelSpec) {
+    let spec = SparseModelSpec::new(ModelId::Bert, SparsityPattern::Dense, 0.0);
+    let traces = TraceGenerator::default().generate(&spec, 8, 0);
+    let mut store = TraceStore::new();
+    store.insert(traces.clone());
+    let lut = ModelInfoLut::from_store(&store);
+    let trace = traces.sample(0);
+    let mid = trace.num_layers() / 2;
+    let task = TaskState {
+        id: 0,
+        spec,
+        arrival_ns: 0,
+        slo_ns: u64::MAX / 2,
+        next_layer: mid,
+        num_layers: trace.num_layers(),
+        executed_ns: 0,
+        monitored: trace.layers()[..mid]
+            .iter()
+            .map(|l| MonitoredLayer {
+                sparsity: l.sparsity,
+                latency_ns: l.latency_ns,
+            })
+            .collect(),
+        true_remaining_ns: trace.remaining_ns(mid),
+    };
+    (task, lut, spec)
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let (task, lut, spec) = task_midway();
+    let info = lut.expect(&spec);
+    let mut group = c.benchmark_group("predictor");
+    for (name, strategy) in [
+        ("average_all", CoeffStrategy::AverageAll),
+        ("last_3", CoeffStrategy::LastN(3)),
+        ("last_one", CoeffStrategy::LastOne),
+    ] {
+        let p = SparseLatencyPredictor::new(strategy, 1.0);
+        group.bench_with_input(BenchmarkId::new("remaining_ns", name), &p, |b, p| {
+            b.iter(|| p.remaining_ns(std::hint::black_box(&task), info))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fp16_datapath(c: &mut Criterion) {
+    c.bench_function("fp16_coefficient_and_score", |b| {
+        let mut cu = ComputeUnit::new();
+        b.iter(|| {
+            let gamma = cu.coefficient(
+                std::hint::black_box(256),
+                1024,
+                F16::from_f64(1.0 / 0.25),
+            );
+            cu.score(
+                gamma,
+                F16::from_f64(30.0),
+                F16::from_f64(400.0),
+                F16::ZERO,
+                F16::from_f64(12.0),
+                F16::from_f64(0.25),
+                F16::from_f64(0.03),
+            )
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20);
+    targets = bench_strategies, bench_fp16_datapath
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Discrete-event engine throughput: layer events simulated per second.
+//!
+//! Keeps the full-scale experiments (1000 requests × ~100 layers × 5
+//! seeds × dozens of configurations) tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dysta::core::Policy;
+use dysta::sim::{simulate, EngineConfig};
+use dysta::workload::{Scenario, WorkloadBuilder};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for (name, scenario) in [
+        ("multi_attnn", Scenario::MultiAttNn),
+        ("multi_cnn", Scenario::MultiCnn),
+    ] {
+        let workload = WorkloadBuilder::new(scenario)
+            .num_requests(100)
+            .samples_per_variant(16)
+            .seed(0)
+            .build();
+        let total_layers: u64 = workload
+            .requests()
+            .iter()
+            .map(|r| workload.trace_for(r).num_layers() as u64)
+            .sum();
+        group.throughput(Throughput::Elements(total_layers));
+        for policy in [Policy::Fcfs, Policy::Dysta] {
+            group.bench_with_input(
+                BenchmarkId::new(name, policy.name()),
+                &workload,
+                |b, w| {
+                    b.iter(|| {
+                        simulate(
+                            std::hint::black_box(w),
+                            policy.build().as_mut(),
+                            &EngineConfig::default(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20);
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation: hardware FIFO depth — scheduling quality vs resource cost.
+//!
+//! The FIFO depth bounds how many outstanding requests the hardware
+//! scheduler can see. This ablation connects Figure 16's resource axis to
+//! the scheduling-quality axis the paper leaves implicit.
+
+use dysta::core::DystaConfig;
+use dysta::hw::resources::DesignPoint;
+use dysta::hw::HardwareDystaScheduler;
+use dysta::sim::{simulate, EngineConfig};
+use dysta::workload::{Scenario, WorkloadBuilder};
+use dysta_bench::{banner, Scale};
+
+fn main() {
+    banner("Ablation", "hardware FIFO depth: quality vs cost");
+    let scale = Scale::from_env();
+    println!(
+        "{:<8} {:>8} {:>10} {:>8} {:>10}",
+        "depth", "ANTT", "viol [%]", "LUTs", "RAM [KB]"
+    );
+    for depth in [2usize, 4, 8, 16, 64, 512] {
+        let mut antt = 0.0;
+        let mut viol = 0.0;
+        for seed in 0..scale.seeds {
+            let w = WorkloadBuilder::new(Scenario::MultiAttNn)
+                .arrival_rate(30.0)
+                .slo_multiplier(10.0)
+                .num_requests(scale.requests)
+                .samples_per_variant(scale.samples_per_variant)
+                .seed(seed)
+                .build();
+            let mut sched = HardwareDystaScheduler::new(DystaConfig::default(), depth);
+            let m = simulate(&w, &mut sched, &EngineConfig::default()).metrics();
+            antt += m.antt;
+            viol += m.violation_rate;
+        }
+        let n = scale.seeds as f64;
+        let usage = DesignPoint::opt_fp16(depth as u32).usage();
+        println!(
+            "{:<8} {:>8.2} {:>9.1}% {:>8} {:>10.2}",
+            depth,
+            antt / n,
+            viol / n * 100.0,
+            usage.luts,
+            usage.ram_kb
+        );
+    }
+    println!();
+    println!("expectation: quality saturates once the FIFO covers the queue");
+    println!("the operating point actually builds (depth ~16-64 here); the");
+    println!("paper's depth-64 deployment reaches full software-Dysta quality");
+    println!("at 0.44 KB of FIFO RAM, and depth 512 buys nothing more");
+}

@@ -1,0 +1,56 @@
+//! Ablation: sparse-storage format crossovers per sparsity pattern.
+//!
+//! Prices the compressed footprint of ResNet-50's weights under each
+//! storage format, pattern and rate — the "efficient sparse-storage
+//! schemes" dimension of the paper's Section 2.2 substrate.
+
+use dysta::accel::storage::StorageFormat;
+use dysta::models::zoo;
+use dysta::sparsity::SparsityPattern;
+use dysta_bench::banner;
+
+fn main() {
+    banner("Ablation", "sparse-storage format comparison (ResNet-50 weights)");
+    let model = zoo::resnet50();
+    let params = model.total_params();
+    let formats = [
+        StorageFormat::Dense,
+        StorageFormat::Bitmap,
+        StorageFormat::Csr { index_bits: 16 },
+        StorageFormat::RunLength { run_bits: 16 },
+    ];
+    println!("compressed size [MB] at pattern-typical zero clustering:");
+    print!("{:<22}", "pattern @ rate");
+    for f in &formats {
+        print!("{:>12}", format!("{f:?}").split(['{', ' ']).next().unwrap());
+    }
+    println!();
+    for (pattern, rate) in [
+        (SparsityPattern::RandomPointwise, 0.5),
+        (SparsityPattern::RandomPointwise, 0.8),
+        (SparsityPattern::RandomPointwise, 0.95),
+        (SparsityPattern::BlockNm { n: 2, m: 4 }, 0.5),
+        (SparsityPattern::ChannelWise, 0.5),
+        (SparsityPattern::ChannelWise, 0.8),
+    ] {
+        let run = StorageFormat::typical_zero_run(pattern, rate, 576);
+        print!("{:<22}", format!("{pattern} @ {:.0}%", rate * 100.0));
+        for f in &formats {
+            print!("{:>12.2}", f.bytes(params, rate, run) / 1e6);
+        }
+        println!();
+    }
+    println!();
+    println!("preferred format per pattern:");
+    for pattern in SparsityPattern::ALL {
+        println!(
+            "  {:<10} -> {:?}",
+            pattern.short_name(),
+            StorageFormat::preferred_for(pattern)
+        );
+    }
+    println!();
+    println!("expectation: bitmap wins for scattered point-wise zeros at");
+    println!("moderate rates, CSR at extreme sparsity, run-length once");
+    println!("zeros cluster into whole pruned filters");
+}

@@ -1,0 +1,55 @@
+//! Figure 9: Pearson correlation of per-layer attention sparsity in BERT
+//! and GPT-2 — the observation motivating the linear latency predictor.
+
+use dysta::models::{zoo, ModelGraph};
+use dysta::sparsity::stats::correlation_matrix;
+use dysta::sparsity::{DatasetProfile, SampleSparsityGenerator};
+use dysta_bench::{banner, Scale};
+
+fn correlation(model: &ModelGraph, profile: DatasetProfile, samples: u64) {
+    println!("--- {} ({:?}) ---", model.id(), profile);
+    let generator = SampleSparsityGenerator::new(model, profile, 0);
+    let draws = generator.samples(samples);
+    // One observation column per transformer block: the block's
+    // attention-score layer sparsity.
+    let score_layers: Vec<usize> = model
+        .iter()
+        .filter(|(_, l)| {
+            matches!(l.kind(), dysta::models::LayerKind::AttentionScore(_))
+                && !l.name().contains("_x_")
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let rows: Vec<Vec<f64>> = draws
+        .iter()
+        .map(|s| score_layers.iter().map(|&i| s.layer(i)).collect())
+        .collect();
+    let matrix = correlation_matrix(&rows);
+    print!("     ");
+    for j in 0..matrix.len() {
+        print!("{j:>5}");
+    }
+    println!();
+    let mut min_off = 1.0f64;
+    for (i, row) in matrix.iter().enumerate() {
+        print!("{i:>4} ");
+        for (j, v) in row.iter().enumerate() {
+            print!("{v:>5.2}");
+            if i != j {
+                min_off = min_off.min(*v);
+            }
+        }
+        println!();
+    }
+    println!("minimum off-diagonal correlation: {min_off:.2}\n");
+}
+
+fn main() {
+    banner("Figure 9", "per-layer sparsity correlation (BERT / GPT-2)");
+    let scale = Scale::from_env();
+    let samples = (scale.samples_per_variant * 8).max(256);
+    correlation(&zoo::bert(384), DatasetProfile::Squad, samples);
+    correlation(&zoo::gpt2(128), DatasetProfile::Glue, samples);
+    println!("paper reports: layer sparsities are highly linearly correlated,");
+    println!("justifying the linear (last-one) sparse latency predictor");
+}

@@ -1,0 +1,41 @@
+//! Figure 13: optimization breakdown — PREMA (state of the art) vs
+//! Dysta-w/o-sparse (static level only) vs full Dysta.
+//!
+//! The static score already improves on PREMA; adding the dynamic
+//! sparsity-aware level mainly improves ANTT (violations are governed by
+//! the SLO looseness, as the paper notes).
+
+use dysta::core::{DystaConfig, Policy};
+use dysta::workload::Scenario;
+use dysta_bench::{banner, compare_policies, Scale};
+
+fn main() {
+    banner("Figure 13", "optimization breakdown (PREMA -> +static -> +dynamic)");
+    let scale = Scale::from_env();
+    let set = [Policy::Prema, Policy::DystaStatic, Policy::Dysta];
+    for (title, scenario, rate) in [
+        ("Multi-AttNNs @ 30 samples/s", Scenario::MultiAttNn, 30.0),
+        ("Multi-CNNs @ 3 samples/s", Scenario::MultiCnn, 3.0),
+    ] {
+        println!("--- {title} (SLO x10) ---");
+        println!("{:<14} {:>10} {:>8}", "variant", "viol [%]", "ANTT");
+        let rows = compare_policies(scenario, rate, 10.0, scale, &set, DystaConfig::default());
+        for row in &rows {
+            println!(
+                "{:<14} {:>9.1}% {:>8.2}",
+                row.policy.name(),
+                row.metrics.violation_rate * 100.0,
+                row.metrics.antt
+            );
+        }
+        let prema = rows[0].metrics;
+        let full = rows[2].metrics;
+        println!(
+            "total gain vs PREMA: viol {:+.1} pp, ANTT {:.2}x\n",
+            (full.violation_rate - prema.violation_rate) * 100.0,
+            prema.antt / full.antt
+        );
+    }
+    println!("shape to preserve: static level improves over PREMA; the dynamic");
+    println!("sparsity-aware level adds a further ANTT drop");
+}

@@ -1,0 +1,73 @@
+//! Figure 15: robustness across arrival rates (violation rate, system
+//! throughput and ANTT), at SLO multiplier 10.
+
+use dysta::core::{DystaConfig, Policy};
+use dysta::workload::Scenario;
+use dysta_bench::{banner, compare_policies, Scale};
+
+const POLICIES: [Policy; 7] = [
+    Policy::Fcfs,
+    Policy::Sjf,
+    Policy::Prema,
+    Policy::Planaria,
+    Policy::Sdrm3,
+    Policy::Oracle,
+    Policy::Dysta,
+];
+
+fn sweep(title: &str, scenario: Scenario, rates: &[f64], scale: Scale) {
+    println!("--- {title} (SLO x10) ---");
+    let mut results = Vec::new();
+    for &rate in rates {
+        results.push(compare_policies(
+            scenario,
+            rate,
+            10.0,
+            scale,
+            &POLICIES,
+            DystaConfig::default(),
+        ));
+    }
+    for (metric, get) in [
+        ("SLO violation rate [%]", 0usize),
+        ("throughput [inf/s]", 1),
+        ("ANTT", 2),
+    ] {
+        println!("{metric}:");
+        print!("{:<14}", "policy");
+        for &rate in rates {
+            print!("{rate:>8}");
+        }
+        println!();
+        for (i, policy) in POLICIES.iter().enumerate() {
+            print!("{:<14}", policy.name());
+            for row in &results {
+                let m = row[i].metrics;
+                let v = match get {
+                    0 => m.violation_rate * 100.0,
+                    1 => m.throughput_inf_s,
+                    _ => m.antt,
+                };
+                print!("{v:>8.2}");
+            }
+            println!();
+        }
+    }
+    println!();
+}
+
+fn main() {
+    banner("Figure 15", "violation rate, throughput and ANTT across arrival rates");
+    let scale = Scale::from_env();
+    sweep(
+        "Multi-AttNNs",
+        Scenario::MultiAttNn,
+        &[10.0, 20.0, 30.0, 35.0, 40.0],
+        scale,
+    );
+    sweep("Multi-CNNs", Scenario::MultiCnn, &[2.0, 3.0, 4.0, 5.0, 6.0], scale);
+    println!("shape to preserve: all metrics rise with the arrival rate;");
+    println!("throughput is scheduler-independent (capacity-bound); Dysta");
+    println!("stays lowest on violations and ANTT, tracking the Oracle, with");
+    println!("gains growing under heavier traffic");
+}

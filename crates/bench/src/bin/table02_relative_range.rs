@@ -1,0 +1,40 @@
+//! Table 2: relative range of network sparsity across input samples.
+//!
+//! Network sparsity = average of per-layer activation sparsities;
+//! relative range = (max − min) / mean over the dataset.
+
+use dysta::models::{zoo, ModelId};
+use dysta::sparsity::stats::relative_range;
+use dysta::sparsity::{DatasetProfile, SampleSparsityGenerator};
+use dysta_bench::{banner, Scale};
+
+fn main() {
+    banner("Table 2", "relative range of network sparsity");
+    let scale = Scale::from_env();
+    let samples = (scale.samples_per_variant * 16).max(512);
+    let paper: [(ModelId, f64); 4] = [
+        (ModelId::GoogLeNet, 28.3),
+        (ModelId::Vgg16, 21.8),
+        (ModelId::InceptionV3, 23.0),
+        (ModelId::ResNet50, 15.1),
+    ];
+    println!(
+        "{:<12} {:>16} {:>14}",
+        "model", "measured [%]", "paper [%]"
+    );
+    for (id, paper_pct) in paper {
+        let model = zoo::build(id);
+        let generator = SampleSparsityGenerator::new(&model, DatasetProfile::VisionMixture, 0);
+        let nets: Vec<f64> = generator
+            .samples(samples)
+            .iter()
+            .map(|s| s.network_sparsity())
+            .collect();
+        println!(
+            "{:<12} {:>16.1} {:>14.1}",
+            id.to_string(),
+            relative_range(&nets) * 100.0,
+            paper_pct
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Table 5: end-to-end ANTT and SLO violation rate of all scheduling
+//! approaches on the multi-AttNN (30 samples/s) and multi-CNN
+//! (3 samples/s) workloads at SLO multiplier 10.
+
+use dysta::core::{DystaConfig, Policy};
+use dysta::workload::Scenario;
+use dysta_bench::{banner, compare_policies, Scale};
+
+fn main() {
+    banner("Table 5", "comparison of scheduling approaches");
+    let scale = Scale::from_env();
+    // Paper reference rows (ANTT, violation %) for orientation.
+    let paper_attnn = [
+        ("fcfs", 18.9, 55.1),
+        ("sjf", 5.0, 15.2),
+        ("sdrm3", 18.9, 63.3),
+        ("prema", 5.4, 15.3),
+        ("planaria", 16.0, 6.8),
+        ("dysta", 4.7, 5.1),
+    ];
+    let paper_cnn = [
+        ("fcfs", 11.4, 23.1),
+        ("sjf", 2.6, 3.4),
+        ("sdrm3", 9.3, 33.7),
+        ("prema", 3.0, 3.2),
+        ("planaria", 4.2, 2.1),
+        ("dysta", 2.5, 2.0),
+    ];
+    for (title, scenario, rate, paper) in [
+        ("Multi-AttNNs @ 30 samples/s", Scenario::MultiAttNn, 30.0, &paper_attnn),
+        ("Multi-CNNs @ 3 samples/s", Scenario::MultiCnn, 3.0, &paper_cnn),
+    ] {
+        println!("--- {title} (SLO x10, {} reqs, {} seeds) ---", scale.requests, scale.seeds);
+        println!(
+            "{:<14} {:>8} {:>10} | {:>10} {:>12}",
+            "policy", "ANTT", "viol [%]", "paper ANTT", "paper viol"
+        );
+        let rows = compare_policies(
+            scenario,
+            rate,
+            10.0,
+            scale,
+            &Policy::TABLE5,
+            DystaConfig::default(),
+        );
+        for row in rows {
+            let reference = paper
+                .iter()
+                .find(|(name, _, _)| *name == row.policy.name());
+            let (pa, pv) = reference.map(|&(_, a, v)| (a, v)).unwrap_or((f64::NAN, f64::NAN));
+            println!(
+                "{:<14} {:>8.2} {:>9.1}% | {:>10.1} {:>11.1}%",
+                row.policy.name(),
+                row.metrics.antt,
+                row.metrics.violation_rate * 100.0,
+                pa,
+                pv
+            );
+        }
+        println!();
+    }
+    println!("shape to preserve: Dysta best (or tied best) on BOTH metrics;");
+    println!("FCFS/SDRM3 far worse on both; SJF/PREMA ANTT-leaning; Planaria");
+    println!("violation-leaning with weak ANTT");
+}

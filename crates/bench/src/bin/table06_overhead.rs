@@ -1,0 +1,34 @@
+//! Table 6: resource overhead of the Dysta hardware scheduler relative
+//! to the Eyeriss-V2 accelerator (FIFO depth 64, Opt_FP16).
+
+use dysta::hw::resources::{eyeriss_v2_baseline, overhead_percent, DesignPoint};
+use dysta_bench::banner;
+
+fn main() {
+    banner("Table 6", "resource overhead of the Dysta scheduler");
+    let eyeriss = eyeriss_v2_baseline();
+    let sched = DesignPoint::opt_fp16(64).usage();
+    let combined = eyeriss.plus(sched);
+    println!(
+        "{:<18} {:>8} {:>6} {:>14}",
+        "module", "LUTs", "DSPs", "On-chip RAM"
+    );
+    for (name, u) in [
+        ("Eyeriss-V2", eyeriss),
+        ("Scheduler", sched),
+        ("Dysta-Eyeriss-V2", combined),
+    ] {
+        println!(
+            "{:<18} {:>8} {:>6} {:>11.2} KB",
+            name, u.luts, u.dsps, u.ram_kb
+        );
+    }
+    let (lut, dsp, ram) = overhead_percent(sched, eyeriss);
+    println!(
+        "{:<18} {:>7.2}% {:>5.1}% {:>12.2}%",
+        "Total Overhead", lut, dsp, ram
+    );
+    println!();
+    println!("paper reports: scheduler 553 LUTs / 3 DSPs / 0.5 KB;");
+    println!("overhead 0.55% LUTs, 1.5% DSPs, 0.35% RAM");
+}

@@ -1,0 +1,78 @@
+//! First-Come First-Served.
+
+use crate::scheduler::Scheduler;
+use crate::{ModelInfoLut, TaskState};
+
+/// Non-preemptive-in-spirit FCFS: always runs the earliest-arrived active
+/// request to completion (a later arrival never overtakes, because the
+/// earliest arrival stays the minimum until it finishes).
+///
+/// # Examples
+///
+/// ```
+/// use dysta_core::{Fcfs, Scheduler};
+/// assert_eq!(Fcfs::new().name(), "fcfs");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fcfs;
+
+impl Fcfs {
+    /// Creates an FCFS scheduler.
+    pub fn new() -> Self {
+        Fcfs
+    }
+}
+
+impl Scheduler for Fcfs {
+    fn name(&self) -> &str {
+        "fcfs"
+    }
+
+    fn pick_next(&mut self, queue: &[&TaskState], _lut: &ModelInfoLut, _now_ns: u64) -> usize {
+        queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| (t.arrival_ns, t.id))
+            .map(|(i, _)| i)
+            .expect("engine never passes an empty queue")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelInfoLut;
+    use dysta_models::ModelId;
+    use dysta_sparsity::SparsityPattern;
+    use dysta_trace::SparseModelSpec;
+
+    fn task(id: u64, arrival: u64) -> TaskState {
+        TaskState {
+            id,
+            spec: SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::Dense, 0.0),
+            arrival_ns: arrival,
+            slo_ns: 1_000_000,
+            next_layer: 0,
+            num_layers: 3,
+            executed_ns: 0,
+            monitored: Vec::new(),
+            true_remaining_ns: 100,
+        }
+    }
+
+    #[test]
+    fn picks_earliest_arrival() {
+        let (a, b, c) = (task(0, 30), task(1, 10), task(2, 20));
+        let queue = [&a, &b, &c];
+        let mut s = Fcfs::new();
+        assert_eq!(s.pick_next(&queue, &ModelInfoLut::default(), 100), 1);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let (a, b) = (task(7, 10), task(3, 10));
+        let queue = [&a, &b];
+        let mut s = Fcfs::new();
+        assert_eq!(s.pick_next(&queue, &ModelInfoLut::default(), 100), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Baseline multi-DNN schedulers (the Table 5 comparison set).
+
+mod fcfs;
+mod planaria;
+mod prema;
+mod sdrm3;
+mod sjf;
+
+pub use fcfs::Fcfs;
+pub use planaria::Planaria;
+pub use prema::Prema;
+pub use sdrm3::Sdrm3;
+pub use sjf::Sjf;

@@ -1,0 +1,141 @@
+//! SDRM3's MapScore scheduler (Kim et al., ASPLOS 2024).
+
+use crate::scheduler::{lut_isolated_ns, lut_remaining_ns, Scheduler};
+use crate::{ModelInfoLut, TaskState};
+
+/// SDRM3 scores every (task, accelerator) mapping and dispatches the
+/// highest score. Following the paper's setup: `Pref = 1` (single
+/// accelerator), so `MapScore = α·Urgency + (1−α)·Fairness` with `α`
+/// tuned per SDRM3's own methodology.
+///
+/// * **Urgency** — how close the task is to missing its deadline:
+///   `est_remaining / max(slack, ε)`, saturating once slack is exhausted.
+/// * **Fairness** — the task's projected slowdown
+///   `(wait + executed + est_remaining) / T_isol`, so chronically
+///   under-served requests rise.
+///
+/// Both terms favour long-waiting tasks over short fresh ones, which is
+/// why SDRM3 lands on the poor-ANTT side of the paper's Table 5 in a
+/// purely time-shared setting.
+///
+/// # Examples
+///
+/// ```
+/// use dysta_core::{Scheduler, Sdrm3};
+/// assert_eq!(Sdrm3::default().name(), "sdrm3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sdrm3 {
+    alpha: f64,
+}
+
+impl Default for Sdrm3 {
+    fn default() -> Self {
+        Sdrm3::new(0.5)
+    }
+}
+
+impl Sdrm3 {
+    /// Creates an SDRM3 scheduler with urgency weight `alpha ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        Sdrm3 { alpha }
+    }
+
+    fn map_score(&self, task: &TaskState, lut: &ModelInfoLut, now_ns: u64) -> f64 {
+        let remaining = lut_remaining_ns(task, lut);
+        let isolated = lut_isolated_ns(task, lut).max(1.0);
+        let slack = task.deadline_ns() as f64 - now_ns as f64 - remaining;
+        // Saturate urgency when the deadline is unreachable (cap keeps the
+        // fairness term relevant, per SDRM3's bounded-score design).
+        let urgency = if slack <= 0.0 {
+            10.0
+        } else {
+            (remaining / slack).min(10.0)
+        };
+        let turnaround =
+            (now_ns.saturating_sub(task.arrival_ns)) as f64 + remaining;
+        let fairness = turnaround / isolated;
+        self.alpha * urgency + (1.0 - self.alpha) * fairness
+    }
+}
+
+impl Scheduler for Sdrm3 {
+    fn name(&self) -> &str {
+        "sdrm3"
+    }
+
+    fn pick_next(&mut self, queue: &[&TaskState], lut: &ModelInfoLut, now_ns: u64) -> usize {
+        queue
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                self.map_score(a, lut, now_ns)
+                    .total_cmp(&self.map_score(b, lut, now_ns))
+                    .then(b.id.cmp(&a.id))
+            })
+            .map(|(i, _)| i)
+            .expect("engine never passes an empty queue")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysta_models::ModelId;
+    use dysta_sparsity::SparsityPattern;
+    use dysta_trace::{SparseModelSpec, TraceGenerator, TraceStore};
+
+    fn lut() -> (SparseModelSpec, ModelInfoLut) {
+        let spec = SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::Dense, 0.0);
+        let mut store = TraceStore::new();
+        store.insert(TraceGenerator::default().generate(&spec, 2, 0));
+        (spec, ModelInfoLut::from_store(&store))
+    }
+
+    fn mk(id: u64, spec: SparseModelSpec, arrival: u64, slo: u64) -> TaskState {
+        TaskState {
+            id,
+            spec,
+            arrival_ns: arrival,
+            slo_ns: slo,
+            next_layer: 0,
+            num_layers: 3,
+            executed_ns: 0,
+            monitored: Vec::new(),
+            true_remaining_ns: 0,
+        }
+    }
+
+    #[test]
+    fn urgent_task_wins() {
+        let (spec, lut) = lut();
+        let relaxed = mk(0, spec, 0, 1_000_000_000);
+        let urgent = mk(1, spec, 0, 1_000);
+        let queue = [&relaxed, &urgent];
+        assert_eq!(Sdrm3::default().pick_next(&queue, &lut, 500), 1);
+    }
+
+    #[test]
+    fn long_waiting_task_wins_on_fairness() {
+        let (spec, lut) = lut();
+        let old = mk(0, spec, 0, u64::MAX / 2);
+        let fresh = mk(1, spec, 900_000_000, u64::MAX / 2);
+        let queue = [&old, &fresh];
+        assert_eq!(
+            Sdrm3::new(0.0).pick_next(&queue, &lut, 1_000_000_000),
+            0,
+            "pure fairness favours the older task"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0, 1]")]
+    fn rejects_bad_alpha() {
+        let _ = Sdrm3::new(1.5);
+    }
+}

@@ -1,0 +1,79 @@
+//! Shortest-Job First (shortest-remaining-time variant).
+
+use crate::scheduler::{lut_remaining_ns, Scheduler};
+use crate::{ModelInfoLut, TaskState};
+
+/// Preemptive shortest-job-first using the *sparsity-unaware* LUT
+/// estimate of remaining time — the paper's traditional heuristic
+/// baseline (its Figure 5 shows exactly this scheduler making a wrong
+/// preemption call for lack of sparsity information).
+///
+/// # Examples
+///
+/// ```
+/// use dysta_core::{Scheduler, Sjf};
+/// assert_eq!(Sjf::new().name(), "sjf");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sjf;
+
+impl Sjf {
+    /// Creates an SJF scheduler.
+    pub fn new() -> Self {
+        Sjf
+    }
+}
+
+impl Scheduler for Sjf {
+    fn name(&self) -> &str {
+        "sjf"
+    }
+
+    fn pick_next(&mut self, queue: &[&TaskState], lut: &ModelInfoLut, _now_ns: u64) -> usize {
+        queue
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                lut_remaining_ns(a, lut)
+                    .total_cmp(&lut_remaining_ns(b, lut))
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|(i, _)| i)
+            .expect("engine never passes an empty queue")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysta_models::ModelId;
+    use dysta_sparsity::SparsityPattern;
+    use dysta_trace::{SparseModelSpec, TraceGenerator, TraceStore};
+
+    #[test]
+    fn prefers_shorter_model() {
+        let small = SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::Dense, 0.0);
+        let big = SparseModelSpec::new(ModelId::Vgg16, SparsityPattern::Dense, 0.0);
+        let mut store = TraceStore::new();
+        let g = TraceGenerator::default();
+        store.insert(g.generate(&small, 2, 0));
+        store.insert(g.generate(&big, 2, 0));
+        let lut = ModelInfoLut::from_store(&store);
+
+        let mk = |id, spec: SparseModelSpec, layers| TaskState {
+            id,
+            spec,
+            arrival_ns: 0,
+            slo_ns: u64::MAX / 2,
+            next_layer: 0,
+            num_layers: layers,
+            executed_ns: 0,
+            monitored: Vec::new(),
+            true_remaining_ns: 0,
+        };
+        let a = mk(0, big, 21);
+        let b = mk(1, small, 29);
+        let queue = [&a, &b];
+        assert_eq!(Sjf::new().pick_next(&queue, &lut, 0), 1);
+    }
+}

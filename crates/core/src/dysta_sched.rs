@@ -1,0 +1,359 @@
+//! The Dysta bi-level scheduler (Algorithms 1 and 2) plus its ablation
+//! and the Oracle reference.
+
+use std::collections::HashMap;
+
+use crate::scheduler::{lut_isolated_ns, Scheduler};
+use crate::{ModelInfoLut, SparseLatencyPredictor, TaskState};
+
+/// Hyperparameters of the Dysta scoring functions.
+///
+/// * `beta` weights slack against estimated latency in the static score
+///   (Algorithm 1, line 7): larger `beta` biases towards SLO compliance,
+///   smaller towards ANTT.
+/// * `eta` weights `(T_slack + T_penalty)` against remaining time in the
+///   dynamic score (Algorithm 2, line 11) — the tunable ANTT/violation
+///   trade-off knob.
+///
+/// Scores are computed in milliseconds, the unit the FP16 hardware
+/// scheduler operates in; the paper's dimensionless waiting-time penalty
+/// `(T_wait/T_isol)/|Q|` is multiplied through by `T_isol` so every term
+/// shares units (equivalently, `T_wait/|Q|`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DystaConfig {
+    /// Static-score slack weight `β`.
+    pub beta: f64,
+    /// Dynamic-score slack/penalty weight `η`.
+    pub eta: f64,
+}
+
+impl Default for DystaConfig {
+    fn default() -> Self {
+        DystaConfig {
+            beta: 0.5,
+            eta: 0.03,
+        }
+    }
+}
+
+impl DystaConfig {
+    /// The Algorithm 1 static score, in milliseconds.
+    pub fn static_score_ms(&self, predicted_latency_ns: f64, slo_ns: u64) -> f64 {
+        let lat_ms = predicted_latency_ns / 1e6;
+        let slack_ms = slo_ns as f64 / 1e6 - lat_ms;
+        lat_ms + self.beta * slack_ms
+    }
+
+    /// The Algorithm 2 dynamic score, in milliseconds.
+    ///
+    /// Requests whose predicted slack is already negative cannot meet
+    /// their SLO under any schedule; they are demoted to best-effort
+    /// (a large score offset) so the slack term cannot starve feasible
+    /// requests chasing a lost cause. This matches the admission
+    /// behaviour of deadline-aware accelerator schedulers (Planaria drops
+    /// or demotes infeasible tasks) and only engages under overload.
+    pub fn dynamic_score_ms(
+        &self,
+        remain_ns: f64,
+        deadline_ns: u64,
+        wait_ns: u64,
+        queue_len: usize,
+        now_ns: u64,
+    ) -> f64 {
+        /// Score offset pushing deadline-infeasible requests behind every
+        /// feasible one while preserving their relative order.
+        const BEST_EFFORT_OFFSET_MS: f64 = 1.0e7;
+        let remain_ms = remain_ns / 1e6;
+        let slack_ms = (deadline_ns as f64 - now_ns as f64) / 1e6 - remain_ms;
+        let penalty_ms = wait_ns as f64 / 1e6 / queue_len.max(1) as f64;
+        if slack_ms < 0.0 {
+            BEST_EFFORT_OFFSET_MS + remain_ms + self.eta * penalty_ms
+        } else {
+            remain_ms + self.eta * (slack_ms + penalty_ms)
+        }
+    }
+}
+
+/// The full Dysta scheduler: software static level + hardware dynamic
+/// level with the sparse latency predictor.
+///
+/// # Examples
+///
+/// ```
+/// use dysta_core::{DystaScheduler, Scheduler};
+/// assert_eq!(DystaScheduler::default().name(), "dysta");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DystaScheduler {
+    config: DystaConfig,
+    predictor: SparseLatencyPredictor,
+    static_scores: HashMap<u64, f64>,
+}
+
+impl DystaScheduler {
+    /// Creates the scheduler with explicit hyperparameters and predictor.
+    pub fn new(config: DystaConfig, predictor: SparseLatencyPredictor) -> Self {
+        DystaScheduler {
+            config,
+            predictor,
+            static_scores: HashMap::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DystaConfig {
+        &self.config
+    }
+
+    /// The static score assigned at arrival, if the task has arrived.
+    pub fn static_score(&self, task_id: u64) -> Option<f64> {
+        self.static_scores.get(&task_id).copied()
+    }
+}
+
+impl Scheduler for DystaScheduler {
+    fn name(&self) -> &str {
+        "dysta"
+    }
+
+    fn on_arrival(&mut self, task: &TaskState, lut: &ModelInfoLut, _now_ns: u64) {
+        // Algorithm 1: LUT lookup, pattern-aware latency estimate, score.
+        let lat = lut_isolated_ns(task, lut);
+        self.static_scores
+            .insert(task.id, self.config.static_score_ms(lat, task.slo_ns));
+    }
+
+    fn on_task_complete(&mut self, task: &TaskState, _now_ns: u64) {
+        self.static_scores.remove(&task.id);
+    }
+
+    fn pick_next(&mut self, queue: &[&TaskState], lut: &ModelInfoLut, now_ns: u64) -> usize {
+        // Algorithm 2 lines 7-13: refresh every score with the sparse
+        // latency predictor and dispatch the minimum.
+        let score = |t: &TaskState| {
+            let info = lut.expect(&t.spec);
+            let remain = self.predictor.remaining_ns(t, info);
+            self.config.dynamic_score_ms(
+                remain,
+                t.deadline_ns(),
+                t.waiting_ns(now_ns),
+                queue.len(),
+                now_ns,
+            )
+        };
+        queue
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| score(a).total_cmp(&score(b)).then(a.id.cmp(&b.id)))
+            .map(|(i, _)| i)
+            .expect("engine never passes an empty queue")
+    }
+}
+
+/// `Dysta-w/o-sparse`: the paper's ablation (its Figure 13) with the
+/// dynamic hardware level and sparsity awareness disabled — tasks run in
+/// the order of their frozen static scores.
+#[derive(Debug, Clone, Default)]
+pub struct DystaStaticScheduler {
+    config: DystaConfig,
+    static_scores: HashMap<u64, f64>,
+}
+
+impl DystaStaticScheduler {
+    /// Creates the ablated scheduler.
+    pub fn new(config: DystaConfig) -> Self {
+        DystaStaticScheduler {
+            config,
+            static_scores: HashMap::new(),
+        }
+    }
+}
+
+impl Scheduler for DystaStaticScheduler {
+    fn name(&self) -> &str {
+        "dysta-static"
+    }
+
+    fn on_arrival(&mut self, task: &TaskState, lut: &ModelInfoLut, _now_ns: u64) {
+        let lat = lut_isolated_ns(task, lut);
+        self.static_scores
+            .insert(task.id, self.config.static_score_ms(lat, task.slo_ns));
+    }
+
+    fn on_task_complete(&mut self, task: &TaskState, _now_ns: u64) {
+        self.static_scores.remove(&task.id);
+    }
+
+    fn pick_next(&mut self, queue: &[&TaskState], _lut: &ModelInfoLut, _now_ns: u64) -> usize {
+        queue
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let sa = self.static_scores.get(&a.id).copied().unwrap_or(f64::MAX);
+                let sb = self.static_scores.get(&b.id).copied().unwrap_or(f64::MAX);
+                sa.total_cmp(&sb).then(a.id.cmp(&b.id))
+            })
+            .map(|(i, _)| i)
+            .expect("engine never passes an empty queue")
+    }
+}
+
+/// The Oracle reference scheduler: Dysta's dynamic scoring with *perfect*
+/// remaining-time knowledge (reads the trace ground truth instead of the
+/// predictor). Upper-bounds what any latency predictor can achieve.
+#[derive(Debug, Clone, Default)]
+pub struct OracleScheduler {
+    config: DystaConfig,
+}
+
+impl OracleScheduler {
+    /// Creates the oracle with the same scoring hyperparameters as Dysta.
+    pub fn new(config: DystaConfig) -> Self {
+        OracleScheduler { config }
+    }
+}
+
+impl Scheduler for OracleScheduler {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn pick_next(&mut self, queue: &[&TaskState], _lut: &ModelInfoLut, now_ns: u64) -> usize {
+        let score = |t: &TaskState| {
+            self.config.dynamic_score_ms(
+                t.true_remaining_ns as f64,
+                t.deadline_ns(),
+                t.waiting_ns(now_ns),
+                queue.len(),
+                now_ns,
+            )
+        };
+        queue
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| score(a).total_cmp(&score(b)).then(a.id.cmp(&b.id)))
+            .map(|(i, _)| i)
+            .expect("engine never passes an empty queue")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MonitoredLayer;
+    use dysta_models::ModelId;
+    use dysta_sparsity::SparsityPattern;
+    use dysta_trace::{SparseModelSpec, TraceGenerator, TraceStore};
+
+    fn setup() -> (SparseModelSpec, ModelInfoLut) {
+        let spec = SparseModelSpec::new(ModelId::Bert, SparsityPattern::Dense, 0.0);
+        let mut store = TraceStore::new();
+        store.insert(TraceGenerator::default().generate(&spec, 16, 21));
+        (spec, ModelInfoLut::from_store(&store))
+    }
+
+    fn mk(id: u64, spec: SparseModelSpec, arrival: u64, slo: u64) -> TaskState {
+        TaskState {
+            id,
+            spec,
+            arrival_ns: arrival,
+            slo_ns: slo,
+            next_layer: 0,
+            num_layers: 109,
+            executed_ns: 0,
+            monitored: Vec::new(),
+            true_remaining_ns: 30_000_000,
+        }
+    }
+
+    #[test]
+    fn static_score_balances_latency_and_slack() {
+        let cfg = DystaConfig { beta: 0.5, eta: 0.4 };
+        // lat 10ms, slo 100ms -> slack 90ms -> score 10 + 45 = 55.
+        let s = cfg.static_score_ms(10e6, 100_000_000);
+        assert!((s - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_zero_reduces_static_score_to_latency() {
+        let cfg = DystaConfig { beta: 0.0, eta: 0.4 };
+        assert!((cfg.static_score_ms(10e6, 100_000_000) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_score_prefers_tight_slack() {
+        let cfg = DystaConfig::default();
+        let tight = cfg.dynamic_score_ms(10e6, 20_000_000, 0, 2, 0);
+        let loose = cfg.dynamic_score_ms(10e6, 500_000_000, 0, 2, 0);
+        assert!(tight < loose);
+    }
+
+    #[test]
+    fn arrival_registers_static_score() {
+        let (spec, lut) = setup();
+        let mut sched = DystaScheduler::default();
+        let t = mk(0, spec, 0, 400_000_000);
+        sched.on_arrival(&t, &lut, 0);
+        assert!(sched.static_score(0).is_some());
+        sched.on_task_complete(&t, 100);
+        assert!(sched.static_score(0).is_none());
+    }
+
+    #[test]
+    fn sparsity_info_changes_dispatch() {
+        // Two identical-looking tasks; one monitored to be much denser
+        // than average. Dysta should prefer the sparser (shorter) one.
+        let (spec, lut) = setup();
+        let info = lut.expect(&spec);
+        let dyn_layer = info
+            .avg_layer_sparsity()
+            .iter()
+            .position(|&s| s > 0.1)
+            .unwrap();
+        let avg_s = info.avg_layer_sparsity()[dyn_layer];
+
+        let mut dense_task = mk(0, spec, 0, u64::MAX / 4);
+        dense_task.next_layer = dyn_layer + 1;
+        dense_task.monitored = vec![
+            MonitoredLayer { sparsity: 0.0, latency_ns: 1 };
+            dyn_layer
+        ];
+        dense_task.monitored.push(MonitoredLayer {
+            sparsity: (avg_s - 0.15).max(0.0), // denser than average
+            latency_ns: 1,
+        });
+
+        let mut sparse_task = dense_task.clone();
+        sparse_task.id = 1;
+        sparse_task.monitored.last_mut().unwrap().sparsity = (avg_s + 0.15).min(0.99);
+
+        let queue = [&dense_task, &sparse_task];
+        let mut sched = DystaScheduler::default();
+        assert_eq!(sched.pick_next(&queue, &lut, 0), 1);
+    }
+
+    #[test]
+    fn oracle_uses_ground_truth() {
+        let (spec, lut) = setup();
+        let mut short = mk(0, spec, 0, u64::MAX / 4);
+        short.true_remaining_ns = 1_000_000;
+        let mut long = mk(1, spec, 0, u64::MAX / 4);
+        long.true_remaining_ns = 50_000_000;
+        let queue = [&long, &short];
+        let mut oracle = OracleScheduler::default();
+        assert_eq!(oracle.pick_next(&queue, &lut, 0), 1);
+    }
+
+    #[test]
+    fn static_ablation_freezes_order() {
+        let (spec, lut) = setup();
+        let mut sched = DystaStaticScheduler::default();
+        let a = mk(0, spec, 0, 200_000_000);
+        let b = mk(1, spec, 0, 800_000_000);
+        sched.on_arrival(&a, &lut, 0);
+        sched.on_arrival(&b, &lut, 0);
+        let queue = [&a, &b];
+        // Tighter SLO -> smaller slack -> smaller static score -> first.
+        assert_eq!(sched.pick_next(&queue, &lut, 0), 0);
+    }
+}

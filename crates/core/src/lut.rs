@@ -1,0 +1,213 @@
+//! Model-information lookup tables (the paper's latency / sparsity / shape
+//! LUTs, Figure 8 and Algorithm 3).
+
+use std::collections::HashMap;
+
+use dysta_trace::{ModelTraces, SparseModelSpec, TraceStore};
+
+/// Offline-profiled statistics of one sparse-model variant: the content of
+/// the Dysta LUT entry for a model-pattern pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelInfo {
+    avg_latency_ns: f64,
+    avg_layer_latency_ns: Vec<f64>,
+    avg_layer_sparsity: Vec<f64>,
+    /// `suffix_latency_ns[j]` = average latency of layers `j..`.
+    suffix_latency_ns: Vec<f64>,
+    gamma_exponent: f64,
+}
+
+impl ModelInfo {
+    /// Derives LUT statistics from Phase-1 traces.
+    pub fn from_traces(traces: &ModelTraces) -> Self {
+        let avg_layer_latency_ns = traces.avg_layer_latency_ns();
+        let n = avg_layer_latency_ns.len();
+        let mut suffix = vec![0.0; n + 1];
+        for j in (0..n).rev() {
+            suffix[j] = suffix[j + 1] + avg_layer_latency_ns[j];
+        }
+        let avg_layer_sparsity: Vec<f64> =
+            (0..n).map(|j| traces.avg_layer_sparsity(j)).collect();
+        let gamma_exponent = fit_gamma_exponent(traces, &avg_layer_sparsity);
+        ModelInfo {
+            avg_latency_ns: traces.avg_latency_ns(),
+            avg_layer_sparsity,
+            avg_layer_latency_ns,
+            suffix_latency_ns: suffix,
+            gamma_exponent,
+        }
+    }
+
+    /// The profiled hardware-effectiveness exponent `κ`: how strongly the
+    /// monitored density ratio translates into latency on this variant
+    /// (the generalisation of the paper's per-pattern `α` calibration —
+    /// fitted offline from the same Phase-1 traces that fill the LUTs).
+    /// The predictor computes `γ = ratio^κ`.
+    pub fn gamma_exponent(&self) -> f64 {
+        self.gamma_exponent
+    }
+
+    /// Average end-to-end isolated latency (the latency-LUT entry used by
+    /// Algorithm 1, line 5).
+    pub fn avg_latency_ns(&self) -> f64 {
+        self.avg_latency_ns
+    }
+
+    /// Average per-layer latency profile.
+    pub fn avg_layer_latency_ns(&self) -> &[f64] {
+        &self.avg_layer_latency_ns
+    }
+
+    /// Average monitored sparsity per layer (the sparsity-LUT entry used
+    /// by Algorithm 3, line 4).
+    pub fn avg_layer_sparsity(&self) -> &[f64] {
+        &self.avg_layer_sparsity
+    }
+
+    /// Average remaining latency when the next layer to run is
+    /// `next_layer` (clamped to 0 past the end).
+    pub fn avg_remaining_ns(&self, next_layer: usize) -> f64 {
+        let idx = next_layer.min(self.suffix_latency_ns.len() - 1);
+        self.suffix_latency_ns[idx]
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.avg_layer_latency_ns.len()
+    }
+}
+
+/// Least-squares fit (through the origin, in log space) of the isolated
+/// latency ratio against the first dynamic layer's monitored density
+/// ratio: `ln(latency/avg) ≈ κ · ln(density/avg_density)`.
+fn fit_gamma_exponent(traces: &ModelTraces, avg_layer_sparsity: &[f64]) -> f64 {
+    let Some(first_dynamic) = avg_layer_sparsity.iter().position(|&s| s > 1e-6) else {
+        return 1.0;
+    };
+    let avg_density = (1.0 - avg_layer_sparsity[first_dynamic]).max(1e-3);
+    let avg_latency = traces.avg_latency_ns().max(1.0);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for sample in traces.samples() {
+        let density = (1.0 - sample.layers()[first_dynamic].sparsity).max(1e-3);
+        let lr = (density / avg_density).ln();
+        let lt = (sample.isolated_latency_ns() as f64 / avg_latency).ln();
+        num += lr * lt;
+        den += lr * lr;
+    }
+    if den < 1e-9 {
+        1.0
+    } else {
+        (num / den).clamp(0.0, 2.0)
+    }
+}
+
+/// The LUT collection: one [`ModelInfo`] per sparse-model variant, keyed
+/// like the paper's "model-pattern pair".
+///
+/// # Examples
+///
+/// ```
+/// use dysta_core::ModelInfoLut;
+/// use dysta_trace::{SparseModelSpec, TraceGenerator, TraceStore};
+/// use dysta_models::ModelId;
+/// use dysta_sparsity::SparsityPattern;
+///
+/// let spec = SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::Dense, 0.0);
+/// let mut store = TraceStore::new();
+/// store.insert(TraceGenerator::default().generate(&spec, 4, 0));
+/// let lut = ModelInfoLut::from_store(&store);
+/// assert!(lut.get(&spec).is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ModelInfoLut {
+    entries: HashMap<String, ModelInfo>,
+}
+
+impl ModelInfoLut {
+    /// Builds the LUTs from a Phase-1 trace store.
+    pub fn from_store(store: &TraceStore) -> Self {
+        ModelInfoLut {
+            entries: store
+                .iter()
+                .map(|t| (t.spec().key(), ModelInfo::from_traces(t)))
+                .collect(),
+        }
+    }
+
+    /// Looks up the entry for a variant.
+    pub fn get(&self, spec: &SparseModelSpec) -> Option<&ModelInfo> {
+        self.entries.get(&spec.key())
+    }
+
+    /// Looks up the entry for a variant, panicking when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variant was never profiled. The engine guarantees
+    /// every request's variant is in the store, so schedulers use this.
+    pub fn expect(&self, spec: &SparseModelSpec) -> &ModelInfo {
+        self.entries
+            .get(&spec.key())
+            .unwrap_or_else(|| panic!("no LUT entry for {spec}"))
+    }
+
+    /// Number of profiled variants.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no variants are profiled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysta_models::ModelId;
+    use dysta_sparsity::SparsityPattern;
+    use dysta_trace::TraceGenerator;
+
+    fn lut_for(model: ModelId) -> (SparseModelSpec, ModelInfoLut) {
+        let spec = SparseModelSpec::new(model, SparsityPattern::Dense, 0.0);
+        let mut store = TraceStore::new();
+        store.insert(TraceGenerator::default().generate(&spec, 8, 3));
+        (spec, ModelInfoLut::from_store(&store))
+    }
+
+    #[test]
+    fn suffix_sums_telescope() {
+        let (spec, lut) = lut_for(ModelId::MobileNet);
+        let info = lut.expect(&spec);
+        assert!((info.avg_remaining_ns(0) - info.avg_latency_ns()).abs() < 1.0);
+        assert_eq!(info.avg_remaining_ns(info.num_layers()), 0.0);
+        // Remaining decreases monotonically.
+        for j in 0..info.num_layers() {
+            assert!(info.avg_remaining_ns(j) >= info.avg_remaining_ns(j + 1));
+        }
+    }
+
+    #[test]
+    fn remaining_clamps_past_end() {
+        let (spec, lut) = lut_for(ModelId::MobileNet);
+        let info = lut.expect(&spec);
+        assert_eq!(info.avg_remaining_ns(9999), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no LUT entry")]
+    fn expect_panics_on_missing() {
+        let (_, lut) = lut_for(ModelId::MobileNet);
+        let other = SparseModelSpec::new(ModelId::Vgg16, SparsityPattern::Dense, 0.0);
+        let _ = lut.expect(&other);
+    }
+
+    #[test]
+    fn sparsity_lut_tracks_dynamic_layers() {
+        let (spec, lut) = lut_for(ModelId::Bert);
+        let info = lut.expect(&spec);
+        assert!(info.avg_layer_sparsity().iter().any(|&s| s > 0.5));
+    }
+}

@@ -1,0 +1,267 @@
+//! The sparse latency predictor (the paper's Algorithm 3 and Table 4).
+//!
+//! The paper profiles per-layer sparsity of BERT and GPT-2 (its Figure 9)
+//! and finds the layers strongly linearly correlated, motivating a linear
+//! predictor: monitor the sparsity of executed layers, form a *sparsity
+//! coefficient* `γ` against the LUT averages, and scale the LUT remaining
+//! latency: `Lat_sparse = α · γ · Lat_avg`.
+//!
+//! Because accelerator latency scales with surviving (non-zero) work, `γ`
+//! is computed as a ratio of *densities*: `(1 − S_monitor)/(1 − S_avg)`.
+//! A sample sparser than average yields `γ < 1` (it will finish sooner).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ModelInfo, TaskState};
+
+/// How the sparsity coefficient aggregates monitored layers (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoeffStrategy {
+    /// Average the density ratio over every executed dynamic layer.
+    AverageAll,
+    /// Average over the last `N` executed dynamic layers.
+    LastN(usize),
+    /// Use only the most recent dynamic layer — the paper's choice, as it
+    /// matches average-all accuracy at lower hardware cost.
+    LastOne,
+    /// Ignore monitored sparsity entirely (`γ = 1`, pure LUT averages):
+    /// the sparsity-unaware ablation.
+    Disabled,
+}
+
+/// The hardware sparse latency predictor.
+///
+/// # Examples
+///
+/// ```
+/// use dysta_core::{CoeffStrategy, SparseLatencyPredictor};
+///
+/// let p = SparseLatencyPredictor::new(CoeffStrategy::LastOne, 1.0);
+/// assert_eq!(p.strategy(), CoeffStrategy::LastOne);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseLatencyPredictor {
+    strategy: CoeffStrategy,
+    alpha: f64,
+}
+
+impl Default for SparseLatencyPredictor {
+    /// The paper's configuration: last-one strategy, `α = 1` (the target
+    /// accelerators exploit both weight and activation sparsity).
+    fn default() -> Self {
+        SparseLatencyPredictor::new(CoeffStrategy::LastOne, 1.0)
+    }
+}
+
+impl SparseLatencyPredictor {
+    /// Creates a predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive or `LastN(0)` is requested.
+    pub fn new(strategy: CoeffStrategy, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        if let CoeffStrategy::LastN(n) = strategy {
+            assert!(n > 0, "last-N window must be non-empty");
+        }
+        SparseLatencyPredictor { strategy, alpha }
+    }
+
+    /// The configured aggregation strategy.
+    pub fn strategy(&self) -> CoeffStrategy {
+        self.strategy
+    }
+
+    /// The hardware-effectiveness factor `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The sparsity coefficient `γ` for `task` (Algorithm 3, line 6).
+    ///
+    /// Only layers with a dynamic-sparsity source (non-zero LUT average
+    /// sparsity) participate; before any such layer has executed, `γ = 1`
+    /// (fall back to the LUT average).
+    pub fn coefficient(&self, task: &TaskState, info: &ModelInfo) -> f64 {
+        if self.strategy == CoeffStrategy::Disabled {
+            return 1.0;
+        }
+        let avg = info.avg_layer_sparsity();
+        let ratios: Vec<f64> = task
+            .monitored
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| avg.get(j).copied().unwrap_or(0.0) > 1e-6)
+            .map(|(j, m)| {
+                let avg_density = (1.0 - avg[j]).max(1e-3);
+                let mon_density = (1.0 - m.sparsity).max(1e-3);
+                mon_density / avg_density
+            })
+            .collect();
+        if ratios.is_empty() {
+            return 1.0;
+        }
+        let window: &[f64] = match self.strategy {
+            CoeffStrategy::AverageAll => &ratios,
+            CoeffStrategy::LastN(n) => &ratios[ratios.len().saturating_sub(n)..],
+            CoeffStrategy::LastOne => &ratios[ratios.len() - 1..],
+            CoeffStrategy::Disabled => unreachable!("handled above"),
+        };
+        let ratio = window.iter().sum::<f64>() / window.len() as f64;
+        // The profiled hardware-effectiveness exponent maps the monitored
+        // density ratio onto a latency ratio for this variant.
+        ratio.powf(info.gamma_exponent())
+    }
+
+    /// Predicted remaining latency of `task` in nanoseconds
+    /// (`α · γ · Lat_avg_remaining`, Algorithm 3 line 7 applied to the
+    /// remaining-layer suffix).
+    pub fn remaining_ns(&self, task: &TaskState, info: &ModelInfo) -> f64 {
+        self.alpha * self.coefficient(task, info) * info.avg_remaining_ns(task.next_layer)
+    }
+
+    /// Predicted total isolated latency of `task` in nanoseconds.
+    pub fn total_ns(&self, task: &TaskState, info: &ModelInfo) -> f64 {
+        self.alpha * self.coefficient(task, info) * info.avg_latency_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelInfoLut, MonitoredLayer};
+    use dysta_models::ModelId;
+    use dysta_sparsity::SparsityPattern;
+    use dysta_trace::{SparseModelSpec, TraceGenerator, TraceStore};
+
+    fn bert_setup() -> (SparseModelSpec, ModelInfoLut, dysta_trace::ModelTraces) {
+        let spec = SparseModelSpec::new(ModelId::Bert, SparsityPattern::Dense, 0.0);
+        let traces = TraceGenerator::default().generate(&spec, 32, 11);
+        let mut store = TraceStore::new();
+        store.insert(traces.clone());
+        (spec, ModelInfoLut::from_store(&store), traces)
+    }
+
+    fn task_with_monitored(
+        spec: SparseModelSpec,
+        trace: &dysta_trace::SampleTrace,
+        upto: usize,
+    ) -> TaskState {
+        TaskState {
+            id: 0,
+            spec,
+            arrival_ns: 0,
+            slo_ns: u64::MAX / 2,
+            next_layer: upto,
+            num_layers: trace.num_layers(),
+            executed_ns: trace.layers()[..upto].iter().map(|l| l.latency_ns).sum(),
+            monitored: trace.layers()[..upto]
+                .iter()
+                .map(|l| MonitoredLayer {
+                    sparsity: l.sparsity,
+                    latency_ns: l.latency_ns,
+                })
+                .collect(),
+            true_remaining_ns: trace.remaining_ns(upto),
+        }
+    }
+
+    #[test]
+    fn coefficient_is_one_before_dynamic_layers() {
+        let (spec, lut, traces) = bert_setup();
+        let t = task_with_monitored(spec, traces.sample(0), 0);
+        let p = SparseLatencyPredictor::default();
+        assert_eq!(p.coefficient(&t, lut.expect(&spec)), 1.0);
+    }
+
+    #[test]
+    fn denser_than_average_sample_has_gamma_above_one() {
+        let (spec, lut, traces) = bert_setup();
+        let info = lut.expect(&spec);
+        // Find the sample with the highest isolated latency (densest).
+        let dense_idx = (0..traces.num_samples() as u64)
+            .max_by_key(|&i| traces.sample(i).isolated_latency_ns())
+            .unwrap();
+        let trace = traces.sample(dense_idx);
+        let t = task_with_monitored(spec, trace, trace.num_layers() / 2);
+        let p = SparseLatencyPredictor::default();
+        assert!(p.coefficient(&t, info) > 1.0);
+    }
+
+    #[test]
+    fn prediction_tracks_true_remaining_better_than_lut() {
+        let (spec, lut, traces) = bert_setup();
+        let info = lut.expect(&spec);
+        let p = SparseLatencyPredictor::default();
+        let mut pred_err = 0.0;
+        let mut lut_err = 0.0;
+        for i in 0..traces.num_samples() as u64 {
+            let trace = traces.sample(i);
+            let mid = trace.num_layers() / 2;
+            let t = task_with_monitored(spec, trace, mid);
+            let truth = trace.remaining_ns(mid) as f64;
+            pred_err += (p.remaining_ns(&t, info) - truth).powi(2);
+            lut_err += (info.avg_remaining_ns(mid) - truth).powi(2);
+        }
+        assert!(
+            pred_err < lut_err,
+            "sparsity-aware prediction must beat the static LUT: {pred_err} vs {lut_err}"
+        );
+    }
+
+    #[test]
+    fn strategies_agree_on_single_observation() {
+        let (spec, lut, traces) = bert_setup();
+        let info = lut.expect(&spec);
+        let trace = traces.sample(1);
+        // Execute exactly up to (and including) the first dynamic layer.
+        let first_dyn = trace.layers().iter().position(|l| l.sparsity > 0.0).unwrap();
+        let t = task_with_monitored(spec, trace, first_dyn + 1);
+        let g_all = SparseLatencyPredictor::new(CoeffStrategy::AverageAll, 1.0)
+            .coefficient(&t, info);
+        let g_n = SparseLatencyPredictor::new(CoeffStrategy::LastN(3), 1.0)
+            .coefficient(&t, info);
+        let g_one =
+            SparseLatencyPredictor::new(CoeffStrategy::LastOne, 1.0).coefficient(&t, info);
+        assert!((g_all - g_one).abs() < 1e-12);
+        assert!((g_n - g_one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_strategy_is_always_one() {
+        let (spec, lut, traces) = bert_setup();
+        let info = lut.expect(&spec);
+        let trace = traces.sample(3);
+        let t = task_with_monitored(spec, trace, trace.num_layers() / 2);
+        let p = SparseLatencyPredictor::new(CoeffStrategy::Disabled, 1.0);
+        assert_eq!(p.coefficient(&t, info), 1.0);
+        assert!(
+            (p.remaining_ns(&t, info) - info.avg_remaining_ns(t.next_layer)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn alpha_scales_linearly() {
+        let (spec, lut, traces) = bert_setup();
+        let info = lut.expect(&spec);
+        let trace = traces.sample(2);
+        let t = task_with_monitored(spec, trace, trace.num_layers() / 2);
+        let p1 = SparseLatencyPredictor::new(CoeffStrategy::LastOne, 1.0);
+        let p2 = SparseLatencyPredictor::new(CoeffStrategy::LastOne, 2.0);
+        assert!(
+            (2.0 * p1.remaining_ns(&t, info) - p2.remaining_ns(&t, info)).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_non_positive_alpha() {
+        let _ = SparseLatencyPredictor::new(CoeffStrategy::LastOne, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "last-N window")]
+    fn rejects_empty_window() {
+        let _ = SparseLatencyPredictor::new(CoeffStrategy::LastN(0), 1.0);
+    }
+}

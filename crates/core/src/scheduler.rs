@@ -1,0 +1,61 @@
+//! The scheduler interface the discrete-event engine drives.
+
+use crate::{ModelInfoLut, TaskState};
+
+/// A multi-DNN scheduling policy.
+///
+/// The engine invokes the scheduler at every scheduling point — request
+/// arrival while idle, and each layer(-block) completion — exactly the
+/// preemptive layer-granularity model of the paper's Algorithm 2. The
+/// engine owns task state; schedulers keep whatever per-task bookkeeping
+/// they need internally (keyed by `TaskState::id`).
+///
+/// # Examples
+///
+/// ```
+/// use dysta_core::{Fcfs, Scheduler};
+///
+/// let sched = Fcfs::new();
+/// assert_eq!(sched.name(), "fcfs");
+/// ```
+pub trait Scheduler {
+    /// Stable lower-case policy name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Notification that `task` has entered the system.
+    fn on_arrival(&mut self, task: &TaskState, lut: &ModelInfoLut, now_ns: u64) {
+        let _ = (task, lut, now_ns);
+    }
+
+    /// Notification that one layer of `task` finished executing (its
+    /// `monitored` stream includes the new record).
+    fn on_layer_complete(&mut self, task: &TaskState, lut: &ModelInfoLut, now_ns: u64) {
+        let _ = (task, lut, now_ns);
+    }
+
+    /// Notification that `task` completed all layers and left the system.
+    fn on_task_complete(&mut self, task: &TaskState, now_ns: u64) {
+        let _ = (task, now_ns);
+    }
+
+    /// Chooses which queued task runs its next layer. Returns an index
+    /// into `queue`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `queue` is empty; the engine never
+    /// calls with an empty queue.
+    fn pick_next(&mut self, queue: &[&TaskState], lut: &ModelInfoLut, now_ns: u64) -> usize;
+}
+
+/// Shared helper: sparsity-unaware estimate of remaining time from the
+/// latency LUT (what SJF/PREMA/Planaria/SDRM3 use — profiled averages
+/// under the static-workload assumption the paper critiques).
+pub(crate) fn lut_remaining_ns(task: &TaskState, lut: &ModelInfoLut) -> f64 {
+    lut.expect(&task.spec).avg_remaining_ns(task.next_layer)
+}
+
+/// Shared helper: sparsity-unaware isolated-latency estimate.
+pub(crate) fn lut_isolated_ns(task: &TaskState, lut: &ModelInfoLut) -> f64 {
+    lut.expect(&task.spec).avg_latency_ns()
+}

@@ -1,0 +1,123 @@
+//! Scheduler-visible task state.
+
+use dysta_trace::SparseModelSpec;
+
+/// What the hardware monitor reports for one executed layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitoredLayer {
+    /// Monitored layer sparsity (zero-counting circuit output).
+    pub sparsity: f64,
+    /// Observed layer latency in nanoseconds.
+    pub latency_ns: u64,
+}
+
+/// The state of one in-flight request as seen at a scheduling point.
+///
+/// The discrete-event engine owns these and exposes them to schedulers.
+/// Fields are grouped by information source:
+///
+/// * request metadata (`id`, `spec`, `arrival_ns`, `slo_ns`) — known to
+///   every scheduler;
+/// * progress (`next_layer`, `num_layers`, `executed_ns`) — known to every
+///   scheduler (layer boundaries are architecturally visible);
+/// * `monitored` — the runtime sparsity/latency stream only
+///   sparsity-aware schedulers exploit;
+/// * `true_remaining_ns` — ground truth reserved for the Oracle and for
+///   metric computation. Fair schedulers must not read it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskState {
+    /// Request id.
+    pub id: u64,
+    /// Sparse-model variant of the request.
+    pub spec: SparseModelSpec,
+    /// Arrival time (ns since workload start).
+    pub arrival_ns: u64,
+    /// Relative latency SLO (ns).
+    pub slo_ns: u64,
+    /// Index of the next layer to execute (0 = not started).
+    pub next_layer: usize,
+    /// Total layer count of the model.
+    pub num_layers: usize,
+    /// Accumulated service time (ns).
+    pub executed_ns: u64,
+    /// Monitored records of executed layers, in execution order.
+    pub monitored: Vec<MonitoredLayer>,
+    /// Ground-truth remaining execution time (ns). Oracle-only.
+    pub true_remaining_ns: u64,
+}
+
+impl TaskState {
+    /// Absolute deadline (arrival + SLO).
+    pub fn deadline_ns(&self) -> u64 {
+        self.arrival_ns.saturating_add(self.slo_ns)
+    }
+
+    /// Time spent waiting (neither arriving nor being served) up to `now`.
+    pub fn waiting_ns(&self, now_ns: u64) -> u64 {
+        now_ns
+            .saturating_sub(self.arrival_ns)
+            .saturating_sub(self.executed_ns)
+    }
+
+    /// True once at least one layer has executed.
+    pub fn started(&self) -> bool {
+        self.next_layer > 0
+    }
+
+    /// True once every layer has executed.
+    pub fn finished(&self) -> bool {
+        self.next_layer >= self.num_layers
+    }
+
+    /// Fraction of layers completed.
+    pub fn progress(&self) -> f64 {
+        if self.num_layers == 0 {
+            1.0
+        } else {
+            self.next_layer as f64 / self.num_layers as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysta_models::ModelId;
+    use dysta_sparsity::SparsityPattern;
+
+    pub(crate) fn dummy_task(id: u64) -> TaskState {
+        TaskState {
+            id,
+            spec: SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::Dense, 0.0),
+            arrival_ns: 1_000,
+            slo_ns: 10_000,
+            next_layer: 0,
+            num_layers: 4,
+            executed_ns: 0,
+            monitored: Vec::new(),
+            true_remaining_ns: 5_000,
+        }
+    }
+
+    #[test]
+    fn deadline_and_waiting() {
+        let mut t = dummy_task(0);
+        assert_eq!(t.deadline_ns(), 11_000);
+        assert_eq!(t.waiting_ns(3_000), 2_000);
+        t.executed_ns = 1_500;
+        assert_eq!(t.waiting_ns(3_000), 500);
+        // Waiting never goes negative.
+        assert_eq!(t.waiting_ns(0), 0);
+    }
+
+    #[test]
+    fn lifecycle_flags() {
+        let mut t = dummy_task(0);
+        assert!(!t.started() && !t.finished());
+        t.next_layer = 2;
+        assert!(t.started() && !t.finished());
+        assert!((t.progress() - 0.5).abs() < 1e-12);
+        t.next_layer = 4;
+        assert!(t.finished());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based contract tests every scheduler implementation must
+//! satisfy, over randomized queues.
+
+use proptest::prelude::*;
+
+use dysta_core::{ModelInfoLut, MonitoredLayer, Policy, TaskState};
+use dysta_models::ModelId;
+use dysta_sparsity::SparsityPattern;
+use dysta_trace::{SparseModelSpec, TraceGenerator, TraceStore};
+
+fn build_lut() -> (Vec<SparseModelSpec>, ModelInfoLut) {
+    let specs = vec![
+        SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::RandomPointwise, 0.7),
+        SparseModelSpec::new(ModelId::ResNet50, SparsityPattern::ChannelWise, 0.6),
+        SparseModelSpec::new(ModelId::Bert, SparsityPattern::Dense, 0.0),
+    ];
+    let mut store = TraceStore::new();
+    for s in &specs {
+        store.insert(TraceGenerator::default().generate(s, 4, 0));
+    }
+    (specs.clone(), ModelInfoLut::from_store(&store))
+}
+
+#[derive(Debug, Clone)]
+struct TaskParams {
+    spec_idx: usize,
+    arrival_ns: u64,
+    slo_ns: u64,
+    progress_frac: f64,
+    sparsity: f64,
+}
+
+fn task_strategy() -> impl Strategy<Value = TaskParams> {
+    (
+        0usize..3,
+        0u64..1_000_000_000,
+        1_000_000u64..10_000_000_000,
+        0.0f64..1.0,
+        0.0f64..0.95,
+    )
+        .prop_map(|(spec_idx, arrival_ns, slo_ns, progress_frac, sparsity)| TaskParams {
+            spec_idx,
+            arrival_ns,
+            slo_ns,
+            progress_frac,
+            sparsity,
+        })
+}
+
+fn materialize(
+    params: &[TaskParams],
+    specs: &[SparseModelSpec],
+    lut: &ModelInfoLut,
+) -> Vec<TaskState> {
+    params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let spec = specs[p.spec_idx];
+            let info = lut.expect(&spec);
+            let num_layers = info.num_layers();
+            let next_layer = ((num_layers as f64 * p.progress_frac) as usize)
+                .min(num_layers - 1);
+            TaskState {
+                id: i as u64,
+                spec,
+                arrival_ns: p.arrival_ns,
+                slo_ns: p.slo_ns,
+                next_layer,
+                num_layers,
+                executed_ns: (info.avg_remaining_ns(0) - info.avg_remaining_ns(next_layer))
+                    .max(0.0) as u64,
+                monitored: (0..next_layer)
+                    .map(|_| MonitoredLayer {
+                        sparsity: p.sparsity,
+                        latency_ns: 1000,
+                    })
+                    .collect(),
+                true_remaining_ns: info.avg_remaining_ns(next_layer) as u64,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every policy returns an in-range index, for any queue, and is a
+    /// pure function of (queue, now) for stateless inspection.
+    #[test]
+    fn pick_next_is_in_range_and_stable(
+        params in prop::collection::vec(task_strategy(), 1..12),
+        now in 0u64..2_000_000_000,
+    ) {
+        let (specs, lut) = build_lut();
+        let tasks = materialize(&params, &specs, &lut);
+        let queue: Vec<&TaskState> = tasks.iter().collect();
+        for policy in Policy::ALL {
+            let mut sched = policy.build();
+            for t in &tasks {
+                sched.on_arrival(t, &lut, t.arrival_ns);
+            }
+            let a = sched.pick_next(&queue, &lut, now);
+            prop_assert!(a < queue.len(), "{policy}: index {a}");
+            // Immediately repeated decision with unchanged state picks
+            // the same task (no hidden nondeterminism).
+            let b = sched.pick_next(&queue, &lut, now);
+            prop_assert_eq!(a, b, "{} unstable", policy);
+        }
+    }
+
+    /// Single-task queues leave no room for choice.
+    #[test]
+    fn singleton_queue_always_picks_zero(
+        params in prop::collection::vec(task_strategy(), 1..2),
+        now in 0u64..2_000_000_000,
+    ) {
+        let (specs, lut) = build_lut();
+        let tasks = materialize(&params, &specs, &lut);
+        let queue: Vec<&TaskState> = tasks.iter().collect();
+        for policy in Policy::ALL {
+            let mut sched = policy.build();
+            sched.on_arrival(&tasks[0], &lut, tasks[0].arrival_ns);
+            prop_assert_eq!(sched.pick_next(&queue, &lut, now), 0);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Bounded FIFO queues (the paper's tag/score/SLO FIFOs, Figure 10).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A bounded FIFO with the paper's configurable depth (its hardware
+/// evaluation instantiates 64 and 512). Depth bounds the number of
+/// outstanding requests the hardware scheduler can track.
+///
+/// # Examples
+///
+/// ```
+/// use dysta_hw::Fifo;
+///
+/// let mut f: Fifo<u32> = Fifo::new(2);
+/// f.push(1)?;
+/// f.push(2)?;
+/// assert!(f.push(3).is_err()); // full
+/// assert_eq!(f.pop(), Some(1));
+/// # Ok::<(), dysta_hw::FifoError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    depth: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO with the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "FIFO depth must be positive");
+        Fifo {
+            items: VecDeque::with_capacity(depth),
+            depth,
+        }
+    }
+
+    /// The configured depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.depth
+    }
+
+    /// Enqueues an item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoError::Full`] when at capacity (hardware
+    /// back-pressure: the host must retry).
+    pub fn push(&mut self, item: T) -> Result<(), FifoError> {
+        if self.is_full() {
+            return Err(FifoError::Full { depth: self.depth });
+        }
+        self.items.push_back(item);
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Iterates over queued items front-to-back.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Removes the first item matching the predicate and returns it
+    /// (models the tag-matching dequeue when a request completes
+    /// out of FIFO order).
+    pub fn remove_where<F: FnMut(&T) -> bool>(&mut self, mut pred: F) -> Option<T> {
+        let idx = self.items.iter().position(&mut pred)?;
+        self.items.remove(idx)
+    }
+}
+
+/// FIFO failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FifoError {
+    /// Push attempted while at capacity.
+    Full {
+        /// The configured depth.
+        depth: usize,
+    },
+}
+
+impl fmt::Display for FifoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FifoError::Full { depth } => write!(f, "fifo full at depth {depth}"),
+        }
+    }
+}
+
+impl std::error::Error for FifoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_preserved() {
+        let mut f = Fifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        assert!(f.is_full());
+        for i in 0..4 {
+            assert_eq!(f.pop(), Some(i));
+        }
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn full_reports_depth() {
+        let mut f = Fifo::new(1);
+        f.push(7u8).unwrap();
+        let err = f.push(8).unwrap_err();
+        assert_eq!(err, FifoError::Full { depth: 1 });
+        assert!(err.to_string().contains('1'));
+    }
+
+    #[test]
+    fn remove_where_extracts_mid_queue() {
+        let mut f = Fifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        assert_eq!(f.remove_where(|&x| x == 2), Some(2));
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.remove_where(|&x| x == 99), None);
+        let rest: Vec<i32> = f.iter().copied().collect();
+        assert_eq!(rest, vec![0, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_rejected() {
+        let _: Fifo<u8> = Fifo::new(0);
+    }
+}

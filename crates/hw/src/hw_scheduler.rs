@@ -1,0 +1,245 @@
+//! The hardware Dysta scheduler: Algorithm 2 executed through the FP16
+//! datapath and bounded FIFOs.
+
+use dysta_core::{DystaConfig, ModelInfoLut, Scheduler, TaskState};
+
+use crate::{ComputeUnit, F16};
+
+/// Fixed-point resolution of the zero-counting monitor interface: the
+/// monitored sparsity is reported as a zero count out of this many
+/// elements (the real circuit counts zeros over the layer's true shape;
+/// the reciprocal-multiply normalisation makes the two equivalent up to
+/// FP16 resolution).
+const MONITOR_SHAPE: u64 = 1024;
+
+/// Slack values are clamped to this many milliseconds before FP16
+/// conversion so very loose deadlines saturate instead of overflowing to
+/// infinity (FP16 tops out at 65504).
+const SLACK_CLAMP_MS: f64 = 60_000.0;
+
+/// A [`Scheduler`] implementation that computes every Dysta dynamic score
+/// in half precision on the shared [`ComputeUnit`], with request capacity
+/// bounded by the tag/score FIFO depth.
+///
+/// When more requests are outstanding than the FIFO depth, only the
+/// `depth` earliest-arrived requests are visible to the hardware (the
+/// host holds the overflow), matching the back-pressure behaviour of the
+/// RTL design.
+///
+/// Used to verify the paper's claim that the `Opt_FP16` design point
+/// preserves scheduling quality: on the benchmark workloads its decisions
+/// track the f64 software scheduler's.
+///
+/// # Examples
+///
+/// ```
+/// use dysta_core::Scheduler;
+/// use dysta_hw::HardwareDystaScheduler;
+///
+/// let hw = HardwareDystaScheduler::new(Default::default(), 64);
+/// assert_eq!(hw.name(), "dysta-hw-fp16");
+/// ```
+#[derive(Debug, Clone)]
+pub struct HardwareDystaScheduler {
+    config: DystaConfig,
+    fifo_depth: usize,
+    compute: ComputeUnit,
+}
+
+impl HardwareDystaScheduler {
+    /// Creates the hardware scheduler with the given scoring
+    /// hyperparameters and FIFO depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fifo_depth` is zero.
+    pub fn new(config: DystaConfig, fifo_depth: usize) -> Self {
+        assert!(fifo_depth > 0, "FIFO depth must be positive");
+        HardwareDystaScheduler {
+            config,
+            fifo_depth,
+            compute: ComputeUnit::new(),
+        }
+    }
+
+    /// Total datapath cycles consumed so far (for the overhead analysis).
+    pub fn compute_cycles(&self) -> u64 {
+        self.compute.cycles()
+    }
+
+    /// The FIFO depth.
+    pub fn fifo_depth(&self) -> usize {
+        self.fifo_depth
+    }
+
+    /// The FP16 sparsity coefficient of a task (last-one strategy through
+    /// the coefficient dataflow).
+    fn gamma(&mut self, task: &TaskState, lut: &ModelInfoLut) -> F16 {
+        let info = lut.expect(&task.spec);
+        let avg = info.avg_layer_sparsity();
+        // Walk back to the most recent dynamic layer the monitor saw.
+        let last_dynamic = task
+            .monitored
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|&(j, _)| avg.get(j).copied().unwrap_or(0.0) > 1e-6);
+        match last_dynamic {
+            None => F16::ONE,
+            Some((j, m)) => {
+                let num_zeros = (m.sparsity.clamp(0.0, 1.0) * MONITOR_SHAPE as f64).round() as u64;
+                let avg_density = (1.0 - avg[j]).max(1e-3);
+                let ratio = self.compute.coefficient(
+                    num_zeros,
+                    MONITOR_SHAPE,
+                    F16::from_f64(1.0 / avg_density),
+                );
+                // The per-variant hardware-effectiveness exponent is
+                // applied through a small ratio->gamma lookup table in the
+                // RTL design; modelled here as an FP16-quantised pow.
+                F16::from_f64(ratio.to_f64().max(1e-3).powf(info.gamma_exponent()))
+            }
+        }
+    }
+}
+
+impl Scheduler for HardwareDystaScheduler {
+    fn name(&self) -> &str {
+        "dysta-hw-fp16"
+    }
+
+    fn pick_next(&mut self, queue: &[&TaskState], lut: &ModelInfoLut, now_ns: u64) -> usize {
+        // Hardware visibility: the `fifo_depth` earliest arrivals.
+        let mut visible: Vec<usize> = (0..queue.len()).collect();
+        if queue.len() > self.fifo_depth {
+            visible.sort_by_key(|&i| (queue[i].arrival_ns, queue[i].id));
+            visible.truncate(self.fifo_depth);
+        }
+
+        let eta = F16::from_f64(self.config.eta);
+        let inv_queue = F16::from_f64(1.0 / visible.len() as f64);
+        // Selection key: (deadline-infeasible flag, FP16 score, id). The
+        // flag is a single comparator bit in the RTL design — requests
+        // whose predicted slack is already negative are served
+        // best-effort behind every feasible one, matching the software
+        // scheduler's lost-cause demotion.
+        let mut best: Option<(usize, (bool, F16))> = None;
+        for &i in &visible {
+            let t = queue[i];
+            let info = lut.expect(&t.spec);
+            let gamma = self.gamma(t, lut);
+            let lat_avg_ms = F16::from_f64(info.avg_remaining_ns(t.next_layer) / 1e6);
+            let ttd_ms = ((t.deadline_ns() as f64 - now_ns as f64) / 1e6)
+                .clamp(-SLACK_CLAMP_MS, SLACK_CLAMP_MS);
+            let wait_ms = (t.waiting_ns(now_ns) as f64 / 1e6).min(SLACK_CLAMP_MS);
+            let ttd = F16::from_f64(ttd_ms);
+            let score = self.compute.score(
+                gamma,
+                lat_avg_ms,
+                ttd,
+                F16::ZERO, // deadline passed in relative to `now`
+                F16::from_f64(wait_ms),
+                inv_queue,
+                eta,
+            );
+            let remain = gamma * lat_avg_ms;
+            let infeasible = (ttd - remain).total_cmp(F16::ZERO) == std::cmp::Ordering::Less;
+            let key = (infeasible, score);
+            let better = match best {
+                None => true,
+                Some((bi, (b_inf, b_score))) => {
+                    (key.0, key.1.to_f32()) < (b_inf, b_score.to_f32())
+                        || (key.0 == b_inf && key.1 == b_score && t.id < queue[bi].id)
+                }
+            };
+            if better {
+                best = Some((i, key));
+            }
+        }
+        best.expect("engine never passes an empty queue").0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysta_core::{DystaScheduler, MonitoredLayer, SparseLatencyPredictor};
+    use dysta_models::ModelId;
+    use dysta_sparsity::SparsityPattern;
+    use dysta_trace::{SparseModelSpec, TraceGenerator, TraceStore};
+
+    fn setup() -> (SparseModelSpec, ModelInfoLut) {
+        let spec = SparseModelSpec::new(ModelId::Bert, SparsityPattern::Dense, 0.0);
+        let mut store = TraceStore::new();
+        store.insert(TraceGenerator::default().generate(&spec, 16, 5));
+        (spec, ModelInfoLut::from_store(&store))
+    }
+
+    fn mk(id: u64, spec: SparseModelSpec, arrival: u64) -> TaskState {
+        TaskState {
+            id,
+            spec,
+            arrival_ns: arrival,
+            slo_ns: 300_000_000,
+            next_layer: 0,
+            num_layers: 109,
+            executed_ns: 0,
+            monitored: Vec::new(),
+            true_remaining_ns: 30_000_000,
+        }
+    }
+
+    #[test]
+    fn agrees_with_software_scheduler_on_clear_cases() {
+        let (spec, lut) = setup();
+        let info_sparsity = lut.expect(&spec).avg_layer_sparsity().to_vec();
+        let dyn_layer = info_sparsity.iter().position(|&s| s > 0.1).unwrap();
+        let avg_s = info_sparsity[dyn_layer];
+
+        let mut sparse = mk(0, spec, 0);
+        sparse.next_layer = dyn_layer + 1;
+        sparse.monitored = vec![MonitoredLayer { sparsity: 0.0, latency_ns: 1 }; dyn_layer];
+        sparse.monitored.push(MonitoredLayer {
+            sparsity: (avg_s + 0.12).min(0.99),
+            latency_ns: 1,
+        });
+        let mut dense = sparse.clone();
+        dense.id = 1;
+        dense.monitored.last_mut().unwrap().sparsity = (avg_s - 0.12).max(0.0);
+
+        let queue = [&dense, &sparse];
+        let mut hw = HardwareDystaScheduler::new(DystaConfig::default(), 64);
+        let mut sw = DystaScheduler::new(DystaConfig::default(), SparseLatencyPredictor::default());
+        assert_eq!(
+            hw.pick_next(&queue, &lut, 0),
+            sw.pick_next(&queue, &lut, 0),
+            "FP16 must preserve the decision"
+        );
+    }
+
+    #[test]
+    fn fifo_depth_limits_visibility() {
+        let (spec, lut) = setup();
+        // Task 9 arrived latest; with depth 2 only tasks 0 and 1 are
+        // visible even if 9 would score best.
+        let tasks: Vec<TaskState> = (0..10).map(|i| mk(i, spec, i * 1000)).collect();
+        let queue: Vec<&TaskState> = tasks.iter().collect();
+        let mut hw = HardwareDystaScheduler::new(DystaConfig::default(), 2);
+        let picked = hw.pick_next(&queue, &lut, 1_000_000);
+        assert!(queue[picked].id < 2, "picked {}", queue[picked].id);
+    }
+
+    #[test]
+    fn cycles_accumulate_across_decisions() {
+        let (spec, lut) = setup();
+        let a = mk(0, spec, 0);
+        let b = mk(1, spec, 10);
+        let queue = [&a, &b];
+        let mut hw = HardwareDystaScheduler::new(DystaConfig::default(), 64);
+        hw.pick_next(&queue, &lut, 100);
+        let after_one = hw.compute_cycles();
+        assert!(after_one > 0);
+        hw.pick_next(&queue, &lut, 200);
+        assert!(hw.compute_cycles() > after_one);
+    }
+}

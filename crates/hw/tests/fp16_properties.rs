@@ -1,0 +1,85 @@
+//! Property-based tests on the FP16 emulation and hardware structures.
+
+use proptest::prelude::*;
+
+use dysta_hw::{fp16::EPSILON_REL, F16, Fifo};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn conversion_error_is_within_half_ulp(x in -60000.0f64..60000.0) {
+        let h = F16::from_f64(x);
+        prop_assert!(!h.is_nan());
+        if x.abs() > 6.2e-5 && !h.is_infinite() {
+            // Normal range: relative error bounded by 2^-11.
+            let rel = ((h.to_f64() - x) / x).abs();
+            prop_assert!(rel <= EPSILON_REL, "x={x} rel={rel}");
+        } else {
+            // Subnormal range: absolute error bounded by half the
+            // smallest subnormal step (2^-25).
+            prop_assert!((h.to_f64() - x).abs() <= 2f64.powi(-25) + 1e-18);
+        }
+    }
+
+    #[test]
+    fn conversion_is_monotone(a in -60000.0f64..60000.0, b in -60000.0f64..60000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(F16::from_f64(lo).to_f64() <= F16::from_f64(hi).to_f64());
+    }
+
+    #[test]
+    fn conversion_is_idempotent(x in -60000.0f64..60000.0) {
+        let once = F16::from_f64(x);
+        let twice = F16::from_f64(once.to_f64());
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn addition_commutes(a in -200.0f64..200.0, b in -200.0f64..200.0) {
+        let (x, y) = (F16::from_f64(a), F16::from_f64(b));
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!(x * y, y * x);
+    }
+
+    #[test]
+    fn multiplication_by_one_is_identity(a in -60000.0f64..60000.0) {
+        let x = F16::from_f64(a);
+        prop_assert_eq!(x * F16::ONE, x);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The bounded FIFO behaves exactly like a capacity-checked VecDeque.
+    #[test]
+    fn fifo_matches_reference_model(
+        depth in 1usize..16,
+        ops in prop::collection::vec(0u8..3, 0..64),
+    ) {
+        let mut fifo: Fifo<u8> = Fifo::new(depth);
+        let mut reference: std::collections::VecDeque<u8> =
+            std::collections::VecDeque::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    let item = i as u8;
+                    let ok = fifo.push(item).is_ok();
+                    if reference.len() < depth {
+                        reference.push_back(item);
+                        prop_assert!(ok);
+                    } else {
+                        prop_assert!(!ok);
+                    }
+                }
+                1 => prop_assert_eq!(fifo.pop(), reference.pop_front()),
+                _ => {
+                    prop_assert_eq!(fifo.len(), reference.len());
+                    prop_assert_eq!(fifo.is_empty(), reference.is_empty());
+                    prop_assert_eq!(fifo.is_full(), reference.len() == depth);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! DNN layer-graph model zoo for the Sparse-DySta benchmark.
+//!
+//! The Sparse-DySta paper (MICRO 2023) evaluates multi-DNN scheduling on a
+//! benchmark of nine architectures (Table 3 and Table 2 of the paper):
+//! four vision CNNs (SSD, ResNet-50, VGG-16, MobileNet), two profiling-only
+//! CNNs (GoogLeNet, Inception-V3), and three attention NNs (BERT, GPT-2,
+//! BART). Scheduling decisions depend only on per-layer *work* — tensor
+//! shapes, multiply-accumulate (MAC) counts, parameter counts — together
+//! with sparsity information, never on trained weights. This crate therefore
+//! describes each model as a [`ModelGraph`]: an ordered list of [`Layer`]s
+//! with exact shapes and arithmetic-cost accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use dysta_models::{zoo, ModelFamily};
+//!
+//! let resnet = zoo::resnet50();
+//! assert_eq!(resnet.family(), ModelFamily::Cnn);
+//! // ~4.1 GMACs for a 224x224 input, matching the published figure.
+//! let gmacs = resnet.total_macs() as f64 / 1e9;
+//! assert!((3.8..4.4).contains(&gmacs));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod id;
+mod layer;
+pub mod zoo;
+
+pub use graph::{GraphValidationError, ModelGraph};
+pub use id::{ModelFamily, ModelId, ParseModelIdError};
+pub use layer::{Attention, Conv2d, Layer, LayerKind, Linear, Pool, PoolKind};

@@ -1,0 +1,102 @@
+//! Shared helpers for building CNN layer graphs.
+
+use crate::{Conv2d, Layer, LayerKind, Pool, PoolKind};
+
+/// A square conv + ReLU layer.
+pub(crate) fn conv_relu(
+    name: &str,
+    in_ch: u32,
+    out_ch: u32,
+    kernel: u32,
+    stride: u32,
+    padding: u32,
+    in_size: u32,
+) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Conv2d(Conv2d::square(in_ch, out_ch, kernel, stride, padding, in_size)),
+    )
+    .with_relu()
+}
+
+/// A square conv without activation (e.g. projection shortcuts).
+pub(crate) fn conv_plain(
+    name: &str,
+    in_ch: u32,
+    out_ch: u32,
+    kernel: u32,
+    stride: u32,
+    padding: u32,
+    in_size: u32,
+) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Conv2d(Conv2d::square(in_ch, out_ch, kernel, stride, padding, in_size)),
+    )
+}
+
+/// An asymmetric conv + ReLU (`kh × kw` kernel with size-preserving padding).
+pub(crate) fn conv_asym_relu(
+    name: &str,
+    in_ch: u32,
+    out_ch: u32,
+    kh: u32,
+    kw: u32,
+    in_size: u32,
+) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Conv2d(Conv2d {
+            in_channels: in_ch,
+            out_channels: out_ch,
+            kernel_h: kh,
+            kernel_w: kw,
+            stride: 1,
+            padding_h: kh / 2,
+            padding_w: kw / 2,
+            groups: 1,
+            in_size,
+        }),
+    )
+    .with_relu()
+}
+
+/// A depthwise conv + ReLU.
+pub(crate) fn depthwise_relu(name: &str, channels: u32, stride: u32, in_size: u32) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Conv2d(Conv2d {
+            groups: channels,
+            ..Conv2d::square(channels, channels, 3, stride, 1, in_size)
+        }),
+    )
+    .with_relu()
+}
+
+/// A max-pooling layer.
+pub(crate) fn max_pool(name: &str, channels: u32, kernel: u32, stride: u32, in_size: u32) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Pool(Pool {
+            kind: PoolKind::Max,
+            channels,
+            kernel,
+            stride,
+            in_size,
+        }),
+    )
+}
+
+/// A global average-pooling layer (collapses the spatial dimensions).
+pub(crate) fn global_avg_pool(name: &str, channels: u32, in_size: u32) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Pool(Pool {
+            kind: PoolKind::Avg,
+            channels,
+            kernel: in_size,
+            stride: 1,
+            in_size,
+        }),
+    )
+}

@@ -1,0 +1,101 @@
+//! GoogLeNet / Inception-V1 (Szegedy et al., CVPR 2015) for 224×224 inputs.
+
+use super::cnn_util::{conv_relu, global_avg_pool, max_pool};
+use crate::{Layer, LayerKind, Linear, ModelGraph, ModelId};
+
+/// Filter configuration of one inception module:
+/// `(n1x1, n3x3_reduce, n3x3, n5x5_reduce, n5x5, pool_proj)`.
+type InceptionCfg = (u32, u32, u32, u32, u32, u32);
+
+fn inception(layers: &mut Vec<Layer>, name: &str, in_ch: u32, cfg: InceptionCfg, size: u32) -> u32 {
+    let (n1, r3, n3, r5, n5, pp) = cfg;
+    layers.push(conv_relu(&format!("{name}_1x1"), in_ch, n1, 1, 1, 0, size));
+    layers.push(conv_relu(&format!("{name}_3x3r"), in_ch, r3, 1, 1, 0, size));
+    layers.push(conv_relu(&format!("{name}_3x3"), r3, n3, 3, 1, 1, size));
+    layers.push(conv_relu(&format!("{name}_5x5r"), in_ch, r5, 1, 1, 0, size));
+    layers.push(conv_relu(&format!("{name}_5x5"), r5, n5, 5, 1, 2, size));
+    layers.push(conv_relu(&format!("{name}_pp"), in_ch, pp, 1, 1, 0, size));
+    n1 + n3 + n5 + pp
+}
+
+/// Builds GoogLeNet: stem + 9 inception modules + classifier
+/// (~1.5 GMACs, ~6.6 M conv/FC parameters).
+///
+/// Used for the Table 2 network-sparsity profiling.
+///
+/// # Examples
+///
+/// ```
+/// let g = dysta_models::zoo::googlenet();
+/// assert!(g.num_layers() > 50);
+/// ```
+#[allow(clippy::vec_init_then_push)]
+pub fn googlenet() -> ModelGraph {
+    let mut layers = Vec::new();
+    layers.push(conv_relu("conv1", 3, 64, 7, 2, 3, 224));
+    layers.push(max_pool("pool1", 64, 3, 2, 112));
+    layers.push(conv_relu("conv2r", 64, 64, 1, 1, 0, 56));
+    layers.push(conv_relu("conv2", 64, 192, 3, 1, 1, 56));
+    layers.push(max_pool("pool2", 192, 3, 2, 56));
+
+    let mut ch = 192;
+    ch = inception(&mut layers, "i3a", ch, (64, 96, 128, 16, 32, 32), 28);
+    ch = inception(&mut layers, "i3b", ch, (128, 128, 192, 32, 96, 64), 28);
+    layers.push(max_pool("pool3", ch, 3, 2, 28));
+    ch = inception(&mut layers, "i4a", ch, (192, 96, 208, 16, 48, 64), 14);
+    ch = inception(&mut layers, "i4b", ch, (160, 112, 224, 24, 64, 64), 14);
+    ch = inception(&mut layers, "i4c", ch, (128, 128, 256, 24, 64, 64), 14);
+    ch = inception(&mut layers, "i4d", ch, (112, 144, 288, 32, 64, 64), 14);
+    ch = inception(&mut layers, "i4e", ch, (256, 160, 320, 32, 128, 128), 14);
+    layers.push(max_pool("pool4", ch, 3, 2, 14));
+    ch = inception(&mut layers, "i5a", ch, (256, 160, 320, 32, 128, 128), 7);
+    ch = inception(&mut layers, "i5b", ch, (384, 192, 384, 48, 128, 128), 7);
+    debug_assert_eq!(ch, 1024);
+
+    layers.push(global_avg_pool("avgpool", 1024, 7));
+    layers.push(Layer::new(
+        "fc",
+        LayerKind::Linear(Linear {
+            in_features: 1024,
+            out_features: 1000,
+            tokens: 1,
+        }),
+    ));
+    ModelGraph::new(ModelId::GoogLeNet, layers).expect("googlenet graph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_accounting_reaches_1024() {
+        // Covered by the debug_assert; re-check the final pointwise output.
+        let g = googlenet();
+        let i5b_pp = g.layers().iter().find(|l| l.name() == "i5b_pp").unwrap();
+        assert_eq!(i5b_pp.output_elements(), 7 * 7 * 128);
+    }
+
+    #[test]
+    fn nine_inception_modules() {
+        let g = googlenet();
+        let modules: std::collections::HashSet<&str> = g
+            .layers()
+            .iter()
+            .filter(|l| l.name().starts_with('i'))
+            .map(|l| l.name().split('_').next().unwrap())
+            .collect();
+        assert_eq!(modules.len(), 9);
+    }
+
+    #[test]
+    fn i3a_output_channels() {
+        // 64 + 128 + 32 + 32 = 256 feeds i3b's 256-in branches.
+        let g = googlenet();
+        let i3b_1x1 = g.layers().iter().find(|l| l.name() == "i3b_1x1").unwrap();
+        match i3b_1x1.kind() {
+            crate::LayerKind::Conv2d(c) => assert_eq!(c.in_channels, 256),
+            _ => panic!("expected conv"),
+        }
+    }
+}

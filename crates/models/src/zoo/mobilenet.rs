@@ -1,0 +1,92 @@
+//! MobileNet-V1 (Howard et al., 2017) for 224×224 inputs.
+
+use super::cnn_util::{conv_relu, depthwise_relu, global_avg_pool};
+use crate::{Layer, LayerKind, Linear, ModelGraph, ModelId};
+
+/// Builds MobileNet-V1 (width multiplier 1.0): a 3×3 stem followed by 13
+/// depthwise-separable blocks (~0.57 GMACs, 4.2 M parameters).
+///
+/// # Examples
+///
+/// ```
+/// let g = dysta_models::zoo::mobilenet();
+/// // 1 stem + 13 * (depthwise + pointwise) + pool + fc
+/// assert_eq!(g.num_layers(), 1 + 26 + 2);
+/// ```
+pub fn mobilenet() -> ModelGraph {
+    let mut layers = Vec::new();
+    layers.push(conv_relu("conv0", 3, 32, 3, 2, 1, 224));
+
+    // (in_ch, out_ch, stride) for the 13 separable blocks.
+    let blocks: [(u32, u32, u32); 13] = [
+        (32, 64, 1),
+        (64, 128, 2),
+        (128, 128, 1),
+        (128, 256, 2),
+        (256, 256, 1),
+        (256, 512, 2),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 1024, 2),
+        (1024, 1024, 1),
+    ];
+    let mut size = 112;
+    for (i, (in_ch, out_ch, stride)) in blocks.into_iter().enumerate() {
+        layers.push(depthwise_relu(&format!("dw{}", i + 1), in_ch, stride, size));
+        size /= stride;
+        layers.push(conv_relu(&format!("pw{}", i + 1), in_ch, out_ch, 1, 1, 0, size));
+    }
+    debug_assert_eq!(size, 7);
+
+    layers.push(global_avg_pool("avgpool", 1024, 7));
+    layers.push(Layer::new(
+        "fc",
+        LayerKind::Linear(Linear {
+            in_features: 1024,
+            out_features: 1000,
+            tokens: 1,
+        }),
+    ));
+    ModelGraph::new(ModelId::MobileNet, layers).expect("mobilenet graph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerKind;
+
+    #[test]
+    fn depthwise_layers_are_grouped() {
+        let g = mobilenet();
+        for l in g.layers().iter().filter(|l| l.name().starts_with("dw")) {
+            match l.kind() {
+                LayerKind::Conv2d(c) => assert!(c.is_depthwise(), "{}", l.name()),
+                _ => panic!("expected conv"),
+            }
+        }
+    }
+
+    #[test]
+    fn pointwise_macs_dominate() {
+        // The published breakdown: ~95% of MACs in 1x1 convs.
+        let g = mobilenet();
+        let pw: u64 = g
+            .layers()
+            .iter()
+            .filter(|l| l.name().starts_with("pw") || l.name() == "fc")
+            .map(|l| l.macs())
+            .sum();
+        let total = g.total_macs();
+        assert!(pw as f64 / total as f64 > 0.9);
+    }
+
+    #[test]
+    fn final_feature_map_is_7x7x1024() {
+        let g = mobilenet();
+        let pw13 = g.layers().iter().find(|l| l.name() == "pw13").unwrap();
+        assert_eq!(pw13.output_elements(), 7 * 7 * 1024);
+    }
+}

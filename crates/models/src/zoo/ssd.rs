@@ -1,0 +1,132 @@
+//! SSD300 with VGG-16 backbone (Liu et al., ECCV 2016), 300×300 inputs.
+
+use super::cnn_util::{conv_plain, conv_relu, max_pool};
+use crate::{ModelGraph, ModelId};
+
+/// Number of object classes (COCO: 80 + background), as used by the paper's
+/// object-detection and hand-detection tasks.
+const NUM_CLASSES: u32 = 81;
+
+/// Builds SSD300: truncated VGG-16 backbone, fc6/fc7 converted to
+/// convolutions, four extra feature stages, and per-scale localisation +
+/// classification heads (~31 GMACs dense).
+///
+/// # Examples
+///
+/// ```
+/// let g = dysta_models::zoo::ssd300();
+/// assert!(g.layers().iter().any(|l| l.name() == "conv6"));
+/// assert!(g.layers().iter().any(|l| l.name() == "head_conf_0"));
+/// ```
+pub fn ssd300() -> ModelGraph {
+    let mut layers = Vec::new();
+
+    // VGG-16 backbone on a 300x300 input; spatial sizes 300→150→75→38→19.
+    let mut size = 300;
+    let blocks: [(u32, u32, u32, u32); 4] = [
+        (1, 2, 3, 64),
+        (2, 2, 64, 128),
+        (3, 3, 128, 256),
+        (4, 3, 256, 512),
+    ];
+    for (block, convs, in_ch, out_ch) in blocks {
+        let mut ch = in_ch;
+        for i in 1..=convs {
+            layers.push(conv_relu(
+                &format!("conv{block}_{i}"),
+                ch,
+                out_ch,
+                3,
+                1,
+                1,
+                size,
+            ));
+            ch = out_ch;
+        }
+        // SSD uses ceil-mode pooling on block 3 (75 -> 38).
+        layers.push(max_pool(&format!("pool{block}"), out_ch, 2, 2, size + size % 2));
+        size = size.div_ceil(2);
+    }
+    debug_assert_eq!(size, 19);
+    for i in 1..=3 {
+        layers.push(conv_relu(&format!("conv5_{i}"), 512, 512, 3, 1, 1, 19));
+    }
+
+    // conv4_3 is a detection source at 38x38; pool5 is 3x3 stride 1.
+    layers.push(max_pool("pool5", 512, 3, 1, 21)); // stays 19x19
+    // fc6 converted to dilated 3x3 conv (modelled as same-size 3x3).
+    layers.push(conv_relu("conv6", 512, 1024, 3, 1, 1, 19));
+    layers.push(conv_relu("conv7", 1024, 1024, 1, 1, 0, 19));
+
+    // Extra feature layers: 19→10→5→3→1.
+    layers.push(conv_relu("conv8_1", 1024, 256, 1, 1, 0, 19));
+    layers.push(conv_relu("conv8_2", 256, 512, 3, 2, 1, 19)); // 10
+    layers.push(conv_relu("conv9_1", 512, 128, 1, 1, 0, 10));
+    layers.push(conv_relu("conv9_2", 128, 256, 3, 2, 1, 10)); // 5
+    layers.push(conv_relu("conv10_1", 256, 128, 1, 1, 0, 5));
+    layers.push(conv_relu("conv10_2", 128, 256, 3, 1, 0, 5)); // 3
+    layers.push(conv_relu("conv11_1", 256, 128, 1, 1, 0, 3));
+    layers.push(conv_relu("conv11_2", 128, 256, 3, 1, 0, 3)); // 1
+
+    // Multibox heads: (source size, channels, default boxes per location).
+    let sources: [(u32, u32, u32); 6] = [
+        (38, 512, 4),
+        (19, 1024, 6),
+        (10, 512, 6),
+        (5, 256, 6),
+        (3, 256, 4),
+        (1, 256, 4),
+    ];
+    for (i, (fm, ch, boxes)) in sources.into_iter().enumerate() {
+        layers.push(conv_plain(&format!("head_loc_{i}"), ch, boxes * 4, 3, 1, 1, fm));
+        layers.push(conv_plain(
+            &format!("head_conf_{i}"),
+            ch,
+            boxes * NUM_CLASSES,
+            3,
+            1,
+            1,
+            fm,
+        ));
+    }
+
+    ModelGraph::new(ModelId::Ssd, layers).expect("ssd300 graph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backbone_reaches_19x19() {
+        let g = ssd300();
+        let conv7 = g.layers().iter().find(|l| l.name() == "conv7").unwrap();
+        assert_eq!(conv7.output_elements(), 19 * 19 * 1024);
+    }
+
+    #[test]
+    fn extras_shrink_to_1x1() {
+        let g = ssd300();
+        let conv11_2 = g.layers().iter().find(|l| l.name() == "conv11_2").unwrap();
+        assert_eq!(conv11_2.output_elements(), 256);
+    }
+
+    #[test]
+    fn six_detection_scales() {
+        let g = ssd300();
+        let heads = g
+            .layers()
+            .iter()
+            .filter(|l| l.name().starts_with("head_loc"))
+            .count();
+        assert_eq!(heads, 6);
+    }
+
+    #[test]
+    fn heads_have_no_relu() {
+        let g = ssd300();
+        for l in g.layers().iter().filter(|l| l.name().starts_with("head_")) {
+            assert!(!l.relu(), "{}", l.name());
+        }
+    }
+}

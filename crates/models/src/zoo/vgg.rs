@@ -1,0 +1,98 @@
+//! VGG-16 (Simonyan & Zisserman, ICLR 2015) for 224×224 inputs.
+
+use super::cnn_util::{conv_relu, max_pool};
+use crate::{Layer, LayerKind, Linear, ModelGraph, ModelId};
+
+/// Builds VGG-16 with the standard 13-conv + 3-FC configuration
+/// (~15.5 GMACs, 138 M parameters).
+///
+/// # Examples
+///
+/// ```
+/// let g = dysta_models::zoo::vgg16();
+/// assert_eq!(g.num_layers(), 21); // 13 convs + 5 pools + 3 FCs
+/// ```
+pub fn vgg16() -> ModelGraph {
+    let mut layers = Vec::new();
+    let mut size = 224;
+    // (block, convs, in_ch, out_ch)
+    let blocks: [(u32, u32, u32, u32); 5] = [
+        (1, 2, 3, 64),
+        (2, 2, 64, 128),
+        (3, 3, 128, 256),
+        (4, 3, 256, 512),
+        (5, 3, 512, 512),
+    ];
+    for (block, convs, in_ch, out_ch) in blocks {
+        let mut ch = in_ch;
+        for i in 1..=convs {
+            layers.push(conv_relu(
+                &format!("conv{block}_{i}"),
+                ch,
+                out_ch,
+                3,
+                1,
+                1,
+                size,
+            ));
+            ch = out_ch;
+        }
+        layers.push(max_pool(&format!("pool{block}"), out_ch, 2, 2, size));
+        size /= 2;
+    }
+    debug_assert_eq!(size, 7);
+    let fc = |name: &str, in_f: u32, out_f: u32, relu: bool| {
+        let l = Layer::new(
+            name,
+            LayerKind::Linear(Linear {
+                in_features: in_f,
+                out_features: out_f,
+                tokens: 1,
+            }),
+        );
+        if relu {
+            l.with_relu()
+        } else {
+            l
+        }
+    };
+    layers.push(fc("fc6", 512 * 7 * 7, 4096, true));
+    layers.push(fc("fc7", 4096, 4096, true));
+    layers.push(fc("fc8", 4096, 1000, false));
+    ModelGraph::new(ModelId::Vgg16, layers).expect("vgg16 graph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_macs_dominated_by_conv5_under_conv4() {
+        // Sanity-check the published per-layer structure: conv4_2 on 28x28
+        // with 512 channels is one of the most expensive layers.
+        let g = vgg16();
+        let conv4_2 = g
+            .layers()
+            .iter()
+            .find(|l| l.name() == "conv4_2")
+            .expect("layer exists");
+        assert_eq!(conv4_2.macs(), 28 * 28 * 512 * 512 * 9);
+    }
+
+    #[test]
+    fn fc6_has_expected_fan_in() {
+        let g = vgg16();
+        let fc6 = g.layers().iter().find(|l| l.name() == "fc6").unwrap();
+        assert_eq!(fc6.params(), 25088 * 4096);
+        assert!(fc6.relu());
+    }
+
+    #[test]
+    fn last_layer_is_classifier_without_relu() {
+        let g = vgg16();
+        let last = g.layers().last().unwrap();
+        assert_eq!(last.name(), "fc8");
+        assert!(!last.relu());
+        assert_eq!(last.output_elements(), 1000);
+    }
+}

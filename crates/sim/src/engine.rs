@@ -1,0 +1,349 @@
+//! The event loop.
+
+use dysta_core::{ModelInfoLut, MonitoredLayer, Scheduler, TaskState};
+use dysta_workload::Workload;
+
+use crate::report::{CompletedRequest, SimReport};
+
+/// Engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Cost of switching the accelerator to a *different* request than
+    /// the one that ran last (weight/activation refetch across the
+    /// off-chip boundary). The paper's penalty term exists to bound how
+    /// often this is paid.
+    pub preemption_overhead_ns: u64,
+    /// Record the execution timeline (maximal contiguous service
+    /// segments) in the report. Off by default: large workloads produce
+    /// many segments.
+    pub record_timeline: bool,
+    /// Scheduling granularity: how many consecutive layers of the chosen
+    /// request execute before the scheduler is consulted again. The
+    /// paper's execution model is "per-layer or per-layer-block"
+    /// (Algorithm 2); 1 = per-layer, larger values model fused blocks
+    /// with cheaper scheduling but coarser preemption.
+    pub layers_per_block: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            preemption_overhead_ns: 20_000,
+            record_timeline: false,
+            layers_per_block: 1,
+        }
+    }
+}
+
+/// Replays `workload` under `scheduler` and returns the completion record.
+///
+/// Deterministic: identical inputs produce identical reports.
+///
+/// # Panics
+///
+/// Panics if the workload is empty.
+pub fn simulate(
+    workload: &Workload,
+    scheduler: &mut dyn Scheduler,
+    config: &EngineConfig,
+) -> SimReport {
+    let requests = workload.requests();
+    assert!(!requests.is_empty(), "workload must contain requests");
+    assert!(config.layers_per_block > 0, "block must contain layers");
+    let lut = ModelInfoLut::from_store(workload.store());
+
+    let mut tasks: Vec<TaskState> = Vec::with_capacity(requests.len());
+    // Trace backing each task, parallel to `tasks` (ids need not index
+    // `requests`).
+    let mut traces: Vec<&dysta_trace::SampleTrace> = Vec::with_capacity(requests.len());
+    let mut active: Vec<usize> = Vec::new();
+    let mut completed: Vec<CompletedRequest> = Vec::with_capacity(requests.len());
+    let mut next_arrival = 0usize;
+    let mut now_ns = 0u64;
+    let mut last_ran: Option<u64> = None;
+    let mut preemptions = 0u64;
+    let mut invocations = 0u64;
+    let mut timeline: Vec<crate::report::TimelineSegment> = Vec::new();
+
+    loop {
+        // Admit everything that has arrived by `now`.
+        while next_arrival < requests.len() && requests[next_arrival].arrival_ns <= now_ns {
+            let req = &requests[next_arrival];
+            let trace = workload.trace_for(req);
+            let task = TaskState {
+                id: req.id,
+                spec: req.spec,
+                arrival_ns: req.arrival_ns,
+                slo_ns: req.slo_ns,
+                next_layer: 0,
+                num_layers: trace.num_layers(),
+                executed_ns: 0,
+                monitored: Vec::new(),
+                true_remaining_ns: trace.isolated_latency_ns(),
+            };
+            scheduler.on_arrival(&task, &lut, req.arrival_ns);
+            tasks.push(task);
+            traces.push(trace);
+            active.push(tasks.len() - 1);
+            next_arrival += 1;
+        }
+
+        if active.is_empty() {
+            if next_arrival >= requests.len() {
+                break;
+            }
+            // Idle: jump to the next arrival.
+            now_ns = now_ns.max(requests[next_arrival].arrival_ns);
+            continue;
+        }
+
+        // Consult the scheduler.
+        let queue: Vec<&TaskState> = active.iter().map(|&i| &tasks[i]).collect();
+        invocations += 1;
+        let pick = scheduler.pick_next(&queue, &lut, now_ns);
+        assert!(pick < queue.len(), "scheduler returned out-of-range index");
+        let task_idx = active[pick];
+
+        // Pay the context switch when execution moves between requests.
+        let switching = last_ran.is_some() && last_ran != Some(tasks[task_idx].id);
+        if switching {
+            preemptions += 1;
+            now_ns += config.preemption_overhead_ns;
+        }
+        last_ran = Some(tasks[task_idx].id);
+
+        // Execute one scheduling quantum: up to `layers_per_block`
+        // consecutive layers of the chosen request.
+        let trace = traces[task_idx];
+        for _ in 0..config.layers_per_block {
+            if tasks[task_idx].finished() {
+                break;
+            }
+            let layer = trace.layers()[tasks[task_idx].next_layer];
+            if config.record_timeline {
+                let start = now_ns;
+                let end = now_ns + layer.latency_ns;
+                // Extend the previous segment when the same task
+                // continues back-to-back.
+                match timeline.last_mut() {
+                    Some(seg)
+                        if seg.task_id == tasks[task_idx].id && seg.end_ns == start =>
+                    {
+                        seg.end_ns = end;
+                    }
+                    _ => timeline.push(crate::report::TimelineSegment {
+                        task_id: tasks[task_idx].id,
+                        start_ns: start,
+                        end_ns: end,
+                    }),
+                }
+            }
+            now_ns += layer.latency_ns;
+            let task = &mut tasks[task_idx];
+            task.next_layer += 1;
+            task.executed_ns += layer.latency_ns;
+            task.monitored.push(MonitoredLayer {
+                sparsity: layer.sparsity,
+                latency_ns: layer.latency_ns,
+            });
+            task.true_remaining_ns = trace.remaining_ns(task.next_layer);
+        }
+        scheduler.on_layer_complete(&tasks[task_idx], &lut, now_ns);
+
+        if tasks[task_idx].finished() {
+            let task = &tasks[task_idx];
+            scheduler.on_task_complete(task, now_ns);
+            completed.push(CompletedRequest {
+                id: task.id,
+                spec: task.spec,
+                arrival_ns: task.arrival_ns,
+                completion_ns: now_ns,
+                isolated_ns: trace.isolated_latency_ns(),
+                slo_ns: task.slo_ns,
+            });
+            active.remove(
+                active
+                    .iter()
+                    .position(|&i| i == task_idx)
+                    .expect("task was active"),
+            );
+        }
+    }
+
+    completed.sort_by_key(|c| c.id);
+    SimReport::with_timeline(completed, preemptions, invocations, timeline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysta_core::Policy;
+    use dysta_workload::{Scenario, WorkloadBuilder};
+
+    fn tiny_workload(seed: u64) -> Workload {
+        WorkloadBuilder::new(Scenario::MultiCnn)
+            .num_requests(40)
+            .samples_per_variant(8)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn every_request_completes_exactly_once() {
+        let w = tiny_workload(1);
+        for policy in Policy::ALL {
+            let r = simulate(&w, policy.build().as_mut(), &EngineConfig::default());
+            assert_eq!(r.completed().len(), 40, "{policy}");
+            let mut ids: Vec<u64> = r.completed().iter().map(|c| c.id).collect();
+            ids.dedup();
+            assert_eq!(ids.len(), 40, "{policy}: duplicate completions");
+        }
+    }
+
+    #[test]
+    fn completions_after_arrivals() {
+        let w = tiny_workload(2);
+        let r = simulate(&w, Policy::Sjf.build().as_mut(), &EngineConfig::default());
+        for c in r.completed() {
+            assert!(c.completion_ns >= c.arrival_ns + c.isolated_ns);
+        }
+    }
+
+    #[test]
+    fn fcfs_completes_in_arrival_order() {
+        let w = tiny_workload(3);
+        let r = simulate(&w, Policy::Fcfs.build().as_mut(), &EngineConfig::default());
+        let mut by_completion: Vec<&CompletedRequest> = r.completed().iter().collect();
+        by_completion.sort_by_key(|c| c.completion_ns);
+        let arrivals: Vec<u64> = by_completion.iter().map(|c| c.arrival_ns).collect();
+        assert!(
+            arrivals.windows(2).all(|p| p[0] <= p[1]),
+            "FCFS must finish in arrival order"
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let w = tiny_workload(4);
+        let a = simulate(&w, Policy::Dysta.build().as_mut(), &EngineConfig::default());
+        let b = simulate(&w, Policy::Dysta.build().as_mut(), &EngineConfig::default());
+        assert_eq!(a.completed(), b.completed());
+    }
+
+    #[test]
+    fn preemption_overhead_lengthens_makespan() {
+        let w = tiny_workload(5);
+        let cheap = simulate(
+            &w,
+            Policy::Dysta.build().as_mut(),
+            &EngineConfig {
+                preemption_overhead_ns: 0,
+                ..EngineConfig::default()
+            },
+        );
+        let costly = simulate(
+            &w,
+            Policy::Dysta.build().as_mut(),
+            &EngineConfig {
+                preemption_overhead_ns: 5_000_000,
+                ..EngineConfig::default()
+            },
+        );
+        let makespan = |r: &SimReport| r.completed().iter().map(|c| c.completion_ns).max();
+        assert!(makespan(&costly) >= makespan(&cheap));
+    }
+
+    #[test]
+    fn fcfs_never_preempts() {
+        let w = tiny_workload(6);
+        let r = simulate(&w, Policy::Fcfs.build().as_mut(), &EngineConfig::default());
+        // FCFS runs each task to completion: switches = completions - 1
+        // at most (one switch per task boundary), never mid-task.
+        assert!(r.preemptions() <= 39, "{}", r.preemptions());
+    }
+
+    #[test]
+    fn timeline_is_ordered_disjoint_and_covers_all_work() {
+        let w = tiny_workload(8);
+        let config = EngineConfig {
+            record_timeline: true,
+            ..EngineConfig::default()
+        };
+        for policy in [Policy::Fcfs, Policy::Dysta] {
+            let r = simulate(&w, policy.build().as_mut(), &config);
+            let timeline = r.timeline();
+            assert!(!timeline.is_empty(), "{policy}");
+            for pair in timeline.windows(2) {
+                assert!(pair[0].end_ns <= pair[1].start_ns, "{policy}: overlap");
+            }
+            // Total service equals the sum of isolated latencies.
+            let served: u64 = timeline.iter().map(|s| s.duration_ns()).sum();
+            let total: u64 = w.requests().iter().map(|r| w.isolated_ns(r)).sum();
+            assert_eq!(served, total, "{policy}");
+            // Per-task service matches each request's isolated latency.
+            for req in w.requests() {
+                let per_task: u64 = timeline
+                    .iter()
+                    .filter(|s| s.task_id == req.id)
+                    .map(|s| s.duration_ns())
+                    .sum();
+                assert_eq!(per_task, w.isolated_ns(req), "{policy}: task {}", req.id);
+            }
+        }
+    }
+
+    #[test]
+    fn coarser_blocks_reduce_scheduler_invocations() {
+        let w = tiny_workload(10);
+        let total_layers: u64 = w
+            .requests()
+            .iter()
+            .map(|r| w.trace_for(r).num_layers() as u64)
+            .sum();
+        let mut prev_invocations = u64::MAX;
+        for block in [1usize, 4, 16] {
+            let config = EngineConfig {
+                layers_per_block: block,
+                ..EngineConfig::default()
+            };
+            let r = simulate(&w, Policy::Dysta.build().as_mut(), &config);
+            assert_eq!(r.completed().len(), 40, "block {block}");
+            assert!(
+                r.scheduler_invocations() < prev_invocations,
+                "block {block}"
+            );
+            assert!(r.scheduler_invocations() >= total_layers / block as u64);
+            prev_invocations = r.scheduler_invocations();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block must contain layers")]
+    fn zero_block_rejected() {
+        let w = tiny_workload(11);
+        let config = EngineConfig {
+            layers_per_block: 0,
+            ..EngineConfig::default()
+        };
+        let _ = simulate(&w, Policy::Fcfs.build().as_mut(), &config);
+    }
+
+    #[test]
+    fn timeline_off_by_default() {
+        let w = tiny_workload(9);
+        let r = simulate(&w, Policy::Fcfs.build().as_mut(), &EngineConfig::default());
+        assert!(r.timeline().is_empty());
+    }
+
+    #[test]
+    fn scheduler_invoked_once_per_layer() {
+        let w = tiny_workload(7);
+        let total_layers: u64 = w
+            .requests()
+            .iter()
+            .map(|r| w.trace_for(r).num_layers() as u64)
+            .sum();
+        let r = simulate(&w, Policy::Sjf.build().as_mut(), &EngineConfig::default());
+        assert_eq!(r.scheduler_invocations(), total_layers);
+    }
+}

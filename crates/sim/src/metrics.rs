@@ -1,0 +1,91 @@
+//! Multi-seed experiment helpers: the paper evaluates every metric with
+//! five random seeds and reports the average.
+
+use dysta_core::{DystaConfig, Policy};
+use dysta_workload::WorkloadBuilder;
+
+use crate::{simulate, EngineConfig, Metrics};
+
+/// The paper's seed count.
+pub const PAPER_SEEDS: u64 = 5;
+
+/// Runs `policy` over `seeds` workload replications and averages the
+/// metrics, mirroring the paper's evaluation protocol.
+///
+/// The builder's own seed is combined with each replication index so the
+/// replications differ in arrivals, model draws and trace sampling.
+///
+/// # Panics
+///
+/// Panics if `seeds` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use dysta_core::Policy;
+/// use dysta_sim::metrics::average_over_seeds;
+/// use dysta_workload::{Scenario, WorkloadBuilder};
+///
+/// let builder = WorkloadBuilder::new(Scenario::MultiCnn)
+///     .num_requests(20)
+///     .samples_per_variant(4);
+/// let m = average_over_seeds(&builder, Policy::Sjf, 2);
+/// assert!(m.antt >= 1.0);
+/// ```
+pub fn average_over_seeds(builder: &WorkloadBuilder, policy: Policy, seeds: u64) -> Metrics {
+    average_over_seeds_with(builder, policy, seeds, DystaConfig::default())
+}
+
+/// [`average_over_seeds`] with explicit Dysta hyperparameters.
+///
+/// # Panics
+///
+/// Panics if `seeds` is zero.
+pub fn average_over_seeds_with(
+    builder: &WorkloadBuilder,
+    policy: Policy,
+    seeds: u64,
+    config: DystaConfig,
+) -> Metrics {
+    assert!(seeds > 0, "need at least one seed");
+    let mut antt = 0.0;
+    let mut viol = 0.0;
+    let mut stp = 0.0;
+    for seed in 0..seeds {
+        let workload = builder.clone().seed(seed.wrapping_mul(0x9E37) ^ seed).build();
+        let mut sched = policy.build_with(config);
+        let m = simulate(&workload, sched.as_mut(), &EngineConfig::default()).metrics();
+        antt += m.antt;
+        viol += m.violation_rate;
+        stp += m.throughput_inf_s;
+    }
+    let n = seeds as f64;
+    Metrics {
+        antt: antt / n,
+        violation_rate: viol / n,
+        throughput_inf_s: stp / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysta_workload::Scenario;
+
+    #[test]
+    fn averaging_is_deterministic() {
+        let builder = WorkloadBuilder::new(Scenario::MultiCnn)
+            .num_requests(15)
+            .samples_per_variant(4);
+        let a = average_over_seeds(&builder, Policy::Fcfs, 2);
+        let b = average_over_seeds(&builder, Policy::Fcfs, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn zero_seeds_rejected() {
+        let builder = WorkloadBuilder::new(Scenario::MultiCnn).num_requests(5);
+        let _ = average_over_seeds(&builder, Policy::Fcfs, 0);
+    }
+}

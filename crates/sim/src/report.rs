@@ -1,0 +1,273 @@
+//! Simulation results and summary metrics.
+
+use serde::{Deserialize, Serialize};
+
+use dysta_trace::SparseModelSpec;
+
+/// The lifecycle record of one completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompletedRequest {
+    /// Request id.
+    pub id: u64,
+    /// Sparse-model variant.
+    pub spec: SparseModelSpec,
+    /// Arrival time (ns).
+    pub arrival_ns: u64,
+    /// Completion time (ns).
+    pub completion_ns: u64,
+    /// Isolated execution time `T_isol` (ns).
+    pub isolated_ns: u64,
+    /// Relative latency SLO (ns).
+    pub slo_ns: u64,
+}
+
+impl CompletedRequest {
+    /// Turnaround time under multi-tenancy `T_multi` (ns).
+    pub fn turnaround_ns(&self) -> u64 {
+        self.completion_ns - self.arrival_ns
+    }
+
+    /// Normalized turnaround `T_multi / T_isol` (≥ 1).
+    pub fn normalized_turnaround(&self) -> f64 {
+        self.turnaround_ns() as f64 / self.isolated_ns.max(1) as f64
+    }
+
+    /// True if the request missed its latency SLO.
+    pub fn violated(&self) -> bool {
+        self.turnaround_ns() > self.slo_ns
+    }
+}
+
+/// Aggregate metrics of one run — the paper's evaluation triple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Average normalized turnaround time (Eyerman & Eeckhout).
+    pub antt: f64,
+    /// Fraction of requests that missed their SLO, in `[0, 1]`.
+    pub violation_rate: f64,
+    /// System throughput in completed inferences per second.
+    pub throughput_inf_s: f64,
+}
+
+/// One contiguous stretch of accelerator time given to one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineSegment {
+    /// Request id being served.
+    pub task_id: u64,
+    /// Segment start (ns).
+    pub start_ns: u64,
+    /// Segment end (ns, exclusive).
+    pub end_ns: u64,
+}
+
+impl TimelineSegment {
+    /// Segment duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// The full outcome of one simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    completed: Vec<CompletedRequest>,
+    preemptions: u64,
+    scheduler_invocations: u64,
+    timeline: Vec<TimelineSegment>,
+}
+
+impl SimReport {
+    /// Assembles a report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `completed` is empty.
+    pub fn new(
+        completed: Vec<CompletedRequest>,
+        preemptions: u64,
+        scheduler_invocations: u64,
+    ) -> Self {
+        SimReport::with_timeline(completed, preemptions, scheduler_invocations, Vec::new())
+    }
+
+    /// Assembles a report including the execution timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `completed` is empty.
+    pub fn with_timeline(
+        completed: Vec<CompletedRequest>,
+        preemptions: u64,
+        scheduler_invocations: u64,
+        timeline: Vec<TimelineSegment>,
+    ) -> Self {
+        assert!(!completed.is_empty(), "report needs completions");
+        SimReport {
+            completed,
+            preemptions,
+            scheduler_invocations,
+            timeline,
+        }
+    }
+
+    /// The execution timeline: maximal contiguous service segments in
+    /// time order (empty unless the engine was asked to record it).
+    pub fn timeline(&self) -> &[TimelineSegment] {
+        &self.timeline
+    }
+
+    /// All completed requests, sorted by id.
+    pub fn completed(&self) -> &[CompletedRequest] {
+        &self.completed
+    }
+
+    /// Number of times execution switched between different requests.
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Number of scheduling decisions taken (one per executed layer).
+    pub fn scheduler_invocations(&self) -> u64 {
+        self.scheduler_invocations
+    }
+
+    /// Average normalized turnaround time.
+    pub fn antt(&self) -> f64 {
+        self.completed
+            .iter()
+            .map(CompletedRequest::normalized_turnaround)
+            .sum::<f64>()
+            / self.completed.len() as f64
+    }
+
+    /// SLO violation rate in `[0, 1]`.
+    pub fn violation_rate(&self) -> f64 {
+        self.completed.iter().filter(|c| c.violated()).count() as f64
+            / self.completed.len() as f64
+    }
+
+    /// System throughput: completions per second of wall-clock span
+    /// (first arrival to last completion).
+    pub fn throughput_inf_s(&self) -> f64 {
+        let first = self.completed.iter().map(|c| c.arrival_ns).min().unwrap_or(0);
+        let last = self
+            .completed
+            .iter()
+            .map(|c| c.completion_ns)
+            .max()
+            .unwrap_or(1);
+        let span_s = (last.saturating_sub(first)) as f64 / 1e9;
+        if span_s <= 0.0 {
+            0.0
+        } else {
+            self.completed.len() as f64 / span_s
+        }
+    }
+
+    /// The three paper metrics as one value.
+    pub fn metrics(&self) -> Metrics {
+        Metrics {
+            antt: self.antt(),
+            violation_rate: self.violation_rate(),
+            throughput_inf_s: self.throughput_inf_s(),
+        }
+    }
+
+    /// Per-model breakdown: `(model, request count, ANTT, violation
+    /// rate)`, sorted by model id. Shows *which* tenants a scheduler
+    /// sacrifices (FCFS hurts short models, EDF hurts long ones).
+    pub fn per_model(&self) -> Vec<(dysta_models::ModelId, usize, f64, f64)> {
+        let mut by_model: std::collections::BTreeMap<
+            dysta_models::ModelId,
+            (usize, f64, usize),
+        > = std::collections::BTreeMap::new();
+        for c in &self.completed {
+            let entry = by_model.entry(c.spec.model).or_insert((0, 0.0, 0));
+            entry.0 += 1;
+            entry.1 += c.normalized_turnaround();
+            entry.2 += usize::from(c.violated());
+        }
+        by_model
+            .into_iter()
+            .map(|(model, (n, ntt_sum, viols))| {
+                (model, n, ntt_sum / n as f64, viols as f64 / n as f64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysta_models::ModelId;
+    use dysta_sparsity::SparsityPattern;
+
+    fn req(id: u64, arrival: u64, completion: u64, isolated: u64, slo: u64) -> CompletedRequest {
+        CompletedRequest {
+            id,
+            spec: SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::Dense, 0.0),
+            arrival_ns: arrival,
+            completion_ns: completion,
+            isolated_ns: isolated,
+            slo_ns: slo,
+        }
+    }
+
+    #[test]
+    fn antt_formula() {
+        // NTTs: 2.0 and 4.0 -> ANTT 3.0.
+        let r = SimReport::new(
+            vec![req(0, 0, 20, 10, 100), req(1, 0, 40, 10, 100)],
+            0,
+            0,
+        );
+        assert!((r.antt() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violation_rate_counts_misses() {
+        let r = SimReport::new(
+            vec![
+                req(0, 0, 20, 10, 15),  // violated (turnaround 20 > 15)
+                req(1, 0, 12, 10, 15),  // met
+            ],
+            0,
+            0,
+        );
+        assert!((r.violation_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_spans_first_arrival_to_last_completion() {
+        let r = SimReport::new(
+            vec![req(0, 1_000_000_000, 2_000_000_000, 10, u64::MAX), req(1, 1_500_000_000, 3_000_000_000, 10, u64::MAX)],
+            0,
+            0,
+        );
+        // 2 completions over 2 seconds.
+        assert!((r.throughput_inf_s() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_model_breakdown_partitions_requests() {
+        let mut bert_req = req(0, 0, 20, 10, 15);
+        bert_req.spec =
+            SparseModelSpec::new(ModelId::Bert, SparsityPattern::Dense, 0.0);
+        let r = SimReport::new(vec![bert_req, req(1, 0, 12, 10, 15)], 0, 0);
+        let breakdown = r.per_model();
+        assert_eq!(breakdown.len(), 2);
+        let total: usize = breakdown.iter().map(|(_, n, _, _)| n).sum();
+        assert_eq!(total, 2);
+        let bert = breakdown.iter().find(|(m, ..)| *m == ModelId::Bert).unwrap();
+        assert_eq!(bert.1, 1);
+        assert!((bert.2 - 2.0).abs() < 1e-12); // NTT 20/10
+        assert_eq!(bert.3, 1.0); // violated
+    }
+
+    #[test]
+    fn ntt_is_at_least_one_for_feasible_schedules() {
+        let c = req(0, 0, 10, 10, 100);
+        assert!(c.normalized_turnaround() >= 1.0);
+        assert!(!c.violated());
+    }
+}

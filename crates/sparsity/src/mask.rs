@@ -1,0 +1,384 @@
+//! Explicit weight bitmasks realising each sparsity pattern (Figure 6).
+//!
+//! Masks are used for pattern validation and for the Figure 4 valid-MAC
+//! profiling; the scheduling path uses the cheaper analytic model in
+//! [`crate::dynamicity`].
+
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use dysta_models::{Layer, LayerKind};
+
+use crate::SparsityPattern;
+
+/// A dense bitmask over a layer's flattened weight tensor; a set bit means
+/// the weight is kept.
+///
+/// The flattened layout is `[out_channel][in_channel/groups][kh][kw]` for
+/// convolutions and `[out_feature][in_feature]` for linear layers, so
+/// channel-wise (filter) pruning corresponds to contiguous zero blocks.
+///
+/// # Examples
+///
+/// ```
+/// use dysta_models::{Conv2d, Layer, LayerKind};
+/// use dysta_sparsity::{SparsityPattern, WeightMask};
+/// use rand::SeedableRng;
+///
+/// let layer = Layer::new("c", LayerKind::Conv2d(Conv2d::square(64, 64, 3, 1, 1, 28)));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mask = WeightMask::generate(&layer, SparsityPattern::RandomPointwise, 0.8, &mut rng)?;
+/// assert!((mask.sparsity() - 0.8).abs() < 0.02);
+/// # Ok::<(), dysta_sparsity::MaskGenerationError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl WeightMask {
+    /// An all-ones (dense) mask of the given length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn dense(len: usize) -> Self {
+        assert!(len > 0, "mask length must be positive");
+        let mut mask = WeightMask {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        mask.clear_tail();
+        mask
+    }
+
+    /// Generates a mask for `layer` with the requested `pattern` and
+    /// target sparsity `rate`.
+    ///
+    /// For [`SparsityPattern::BlockNm`] the rate is fixed by the pattern
+    /// and the `rate` argument must match `1 - n/m` within 1e-9 (pass the
+    /// value of [`SparsityPattern::implied_rate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the layer has no weights (pooling, attention
+    /// matmuls), if `rate` is outside `[0, 1)`, or if the rate conflicts
+    /// with an N:M pattern.
+    pub fn generate<R: Rng + ?Sized>(
+        layer: &Layer,
+        pattern: SparsityPattern,
+        rate: f64,
+        rng: &mut R,
+    ) -> Result<Self, MaskGenerationError> {
+        if !(0.0..1.0).contains(&rate) {
+            return Err(MaskGenerationError::InvalidRate { rate });
+        }
+        let len = layer.params() as usize;
+        if len == 0 {
+            return Err(MaskGenerationError::NoWeights {
+                layer: layer.name().to_owned(),
+            });
+        }
+        match pattern {
+            SparsityPattern::Dense => Ok(WeightMask::dense(len)),
+            SparsityPattern::RandomPointwise => {
+                let mut mask = WeightMask::dense(len);
+                for i in 0..len {
+                    if rng.gen::<f64>() < rate {
+                        mask.clear(i);
+                    }
+                }
+                Ok(mask)
+            }
+            SparsityPattern::BlockNm { n, m } => {
+                let implied = 1.0 - n as f64 / m as f64;
+                if (implied - rate).abs() > 1e-9 {
+                    return Err(MaskGenerationError::RateConflictsWithNm {
+                        n,
+                        m,
+                        rate,
+                    });
+                }
+                let mut mask = WeightMask::dense(len);
+                let m = m as usize;
+                let n = n as usize;
+                for block_start in (0..len).step_by(m) {
+                    let block_len = m.min(len - block_start);
+                    // Keep `n` positions per block (proportionally fewer in
+                    // a truncated tail block).
+                    let keep = if block_len == m {
+                        n
+                    } else {
+                        ((n * block_len) as f64 / m as f64).round() as usize
+                    };
+                    let mut idx: Vec<usize> = (0..block_len).collect();
+                    idx.shuffle(rng);
+                    for &j in &idx[keep.min(block_len)..] {
+                        mask.clear(block_start + j);
+                    }
+                }
+                Ok(mask)
+            }
+            SparsityPattern::ChannelWise => {
+                let (channels, channel_size) = filter_geometry(layer)?;
+                let prune = (rate * channels as f64).round() as usize;
+                let prune = prune.min(channels.saturating_sub(1));
+                let mut order: Vec<usize> = (0..channels).collect();
+                order.shuffle(rng);
+                let mut mask = WeightMask::dense(len);
+                for &c in order.iter().take(prune) {
+                    let start = c * channel_size;
+                    for i in start..(start + channel_size).min(len) {
+                        mask.clear(i);
+                    }
+                }
+                Ok(mask)
+            }
+        }
+    }
+
+    /// Number of weights covered by the mask.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the mask covers no weights (never produced by this crate).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of kept (non-zero) weights.
+    pub fn nnz(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Achieved sparsity: fraction of pruned weights.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.nnz() as f64 / self.len as f64
+    }
+
+    /// Whether weight `i` is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn is_set(&self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << tail) - 1;
+        }
+    }
+
+    /// Verifies the N:M invariant: every complete block of `m` consecutive
+    /// weights keeps exactly `n`.
+    pub fn satisfies_nm(&self, n: u8, m: u8) -> bool {
+        let m = m as usize;
+        (0..self.len / m).all(|b| {
+            let kept = (0..m).filter(|&j| self.is_set(b * m + j)).count();
+            kept == n as usize
+        })
+    }
+
+    /// Counts kept weights per channel for a given channel size, used to
+    /// verify the channel-wise invariant (each channel all-kept or
+    /// all-pruned).
+    pub fn channel_occupancy(&self, channel_size: usize) -> Vec<usize> {
+        assert!(channel_size > 0, "channel size must be positive");
+        (0..self.len.div_ceil(channel_size))
+            .map(|c| {
+                let start = c * channel_size;
+                (start..(start + channel_size).min(self.len))
+                    .filter(|&i| self.is_set(i))
+                    .count()
+            })
+            .collect()
+    }
+}
+
+/// Returns `(filters, weights per filter)` for a weighted layer.
+fn filter_geometry(layer: &Layer) -> Result<(usize, usize), MaskGenerationError> {
+    match layer.kind() {
+        LayerKind::Conv2d(c) => {
+            let per_filter =
+                (c.in_channels / c.groups) as usize * c.kernel_h as usize * c.kernel_w as usize;
+            Ok((c.out_channels as usize, per_filter))
+        }
+        LayerKind::Linear(l) => Ok((l.out_features as usize, l.in_features as usize)),
+        _ => Err(MaskGenerationError::NoWeights {
+            layer: layer.name().to_owned(),
+        }),
+    }
+}
+
+/// Error returned by [`WeightMask::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaskGenerationError {
+    /// The layer has no prunable weights.
+    NoWeights {
+        /// Layer name.
+        layer: String,
+    },
+    /// The requested rate is outside `[0, 1)`.
+    InvalidRate {
+        /// The rejected rate.
+        rate: f64,
+    },
+    /// The requested rate is inconsistent with the N:M pattern.
+    RateConflictsWithNm {
+        /// Weights kept per block.
+        n: u8,
+        /// Block size.
+        m: u8,
+        /// The rejected rate.
+        rate: f64,
+    },
+}
+
+impl fmt::Display for MaskGenerationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaskGenerationError::NoWeights { layer } => {
+                write!(f, "layer `{layer}` has no prunable weights")
+            }
+            MaskGenerationError::InvalidRate { rate } => {
+                write!(f, "sparsity rate {rate} outside [0, 1)")
+            }
+            MaskGenerationError::RateConflictsWithNm { n, m, rate } => {
+                write!(f, "rate {rate} conflicts with {n}:{m} pattern (implies {})",
+                    1.0 - *n as f64 / *m as f64)
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaskGenerationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysta_models::{Conv2d, Linear};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn conv_layer() -> Layer {
+        Layer::new(
+            "c",
+            LayerKind::Conv2d(Conv2d::square(64, 128, 3, 1, 1, 28)),
+        )
+    }
+
+    fn linear_layer() -> Layer {
+        Layer::new(
+            "l",
+            LayerKind::Linear(Linear {
+                in_features: 256,
+                out_features: 100,
+                tokens: 1,
+            }),
+        )
+    }
+
+    #[test]
+    fn dense_mask_is_all_ones() {
+        let m = WeightMask::dense(100);
+        assert_eq!(m.nnz(), 100);
+        assert_eq!(m.sparsity(), 0.0);
+    }
+
+    #[test]
+    fn random_hits_target_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = WeightMask::generate(&conv_layer(), SparsityPattern::RandomPointwise, 0.83, &mut rng)
+            .unwrap();
+        assert!((m.sparsity() - 0.83).abs() < 0.01, "{}", m.sparsity());
+    }
+
+    #[test]
+    fn nm_blocks_keep_exactly_n() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = SparsityPattern::BlockNm { n: 2, m: 4 };
+        let m = WeightMask::generate(&conv_layer(), p, p.implied_rate().unwrap(), &mut rng)
+            .unwrap();
+        assert!(m.satisfies_nm(2, 4));
+        assert!((m.sparsity() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nm_rejects_conflicting_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let err = WeightMask::generate(
+            &conv_layer(),
+            SparsityPattern::BlockNm { n: 2, m: 4 },
+            0.9,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, MaskGenerationError::RateConflictsWithNm { .. }));
+    }
+
+    #[test]
+    fn channel_mask_prunes_whole_filters() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = linear_layer();
+        let m =
+            WeightMask::generate(&layer, SparsityPattern::ChannelWise, 0.3, &mut rng).unwrap();
+        let occ = m.channel_occupancy(256);
+        let pruned = occ.iter().filter(|&&o| o == 0).count();
+        let full = occ.iter().filter(|&&o| o == 256).count();
+        assert_eq!(pruned + full, 100, "mixed channels found");
+        assert_eq!(pruned, 30);
+    }
+
+    #[test]
+    fn channel_mask_never_prunes_everything() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = WeightMask::generate(&linear_layer(), SparsityPattern::ChannelWise, 0.999, &mut rng)
+            .unwrap();
+        assert!(m.nnz() >= 256, "at least one channel survives");
+    }
+
+    #[test]
+    fn rejects_rate_one() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let err =
+            WeightMask::generate(&conv_layer(), SparsityPattern::RandomPointwise, 1.0, &mut rng)
+                .unwrap_err();
+        assert!(matches!(err, MaskGenerationError::InvalidRate { .. }));
+    }
+
+    #[test]
+    fn rejects_weightless_layers() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pool = Layer::new(
+            "p",
+            LayerKind::Pool(dysta_models::Pool {
+                kind: dysta_models::PoolKind::Max,
+                channels: 64,
+                kernel: 2,
+                stride: 2,
+                in_size: 28,
+            }),
+        );
+        let err = WeightMask::generate(&pool, SparsityPattern::Dense, 0.0, &mut rng).unwrap_err();
+        assert!(err.to_string().contains("no prunable weights"));
+    }
+
+    #[test]
+    fn tail_bits_are_clear() {
+        let m = WeightMask::dense(70);
+        assert_eq!(m.nnz(), 70);
+    }
+}

@@ -1,0 +1,187 @@
+//! Weight-sparsity pattern taxonomy (the paper's Section 2.3.2, Figure 6).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// The mask structure used when sparsifying a model's weights.
+///
+/// The paper adopts three pruning methods for CNNs — random point-wise
+/// (Han et al.), N:M block-wise (NVIDIA Ampere style) and channel-wise
+/// (He et al.) — plus the dense baseline. Attention models use *dynamic*
+/// sparsity instead, which is a property of the input, not of the weights
+/// (see [`crate::dynamicity`]).
+///
+/// # Examples
+///
+/// ```
+/// use dysta_sparsity::SparsityPattern;
+///
+/// let p: SparsityPattern = "2:4".parse()?;
+/// assert_eq!(p, SparsityPattern::BlockNm { n: 2, m: 4 });
+/// assert!((p.implied_rate().unwrap() - 0.5).abs() < 1e-12);
+/// # Ok::<(), dysta_sparsity::ParsePatternError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SparsityPattern {
+    /// No weight pruning.
+    Dense,
+    /// Unstructured i.i.d. point-wise pruning.
+    RandomPointwise,
+    /// Keep `n` of every `m` consecutive weights (e.g. 2:4 on Ampere
+    /// sparse tensor cores).
+    BlockNm {
+        /// Weights kept per block.
+        n: u8,
+        /// Block size.
+        m: u8,
+    },
+    /// Prune entire input channels / features.
+    ChannelWise,
+}
+
+impl SparsityPattern {
+    /// All pattern archetypes evaluated by the paper (with 2:4 as the
+    /// representative N:M configuration).
+    pub const ALL: [SparsityPattern; 4] = [
+        SparsityPattern::Dense,
+        SparsityPattern::RandomPointwise,
+        SparsityPattern::BlockNm { n: 2, m: 4 },
+        SparsityPattern::ChannelWise,
+    ];
+
+    /// Whether the pattern imposes hardware-friendly structure
+    /// (anything coarser than point-wise).
+    pub fn is_structured(self) -> bool {
+        matches!(
+            self,
+            SparsityPattern::BlockNm { .. } | SparsityPattern::ChannelWise
+        )
+    }
+
+    /// The sparsity rate implied by the pattern itself, if fixed.
+    ///
+    /// Only N:M patterns pin the rate (`1 - n/m`); `Dense` is 0 by
+    /// definition; random and channel-wise take the rate as a free
+    /// parameter and return `None`.
+    pub fn implied_rate(self) -> Option<f64> {
+        match self {
+            SparsityPattern::Dense => Some(0.0),
+            SparsityPattern::BlockNm { n, m } => Some(1.0 - n as f64 / m as f64),
+            SparsityPattern::RandomPointwise | SparsityPattern::ChannelWise => None,
+        }
+    }
+
+    /// Stable short name for table headers and LUT keys.
+    pub fn short_name(self) -> String {
+        match self {
+            SparsityPattern::Dense => "dense".into(),
+            SparsityPattern::RandomPointwise => "random".into(),
+            SparsityPattern::BlockNm { n, m } => format!("{n}:{m}"),
+            SparsityPattern::ChannelWise => "channel".into(),
+        }
+    }
+}
+
+impl fmt::Display for SparsityPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.short_name())
+    }
+}
+
+/// Error returned when parsing a [`SparsityPattern`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePatternError {
+    input: String,
+}
+
+impl ParsePatternError {
+    /// The rejected input.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown sparsity pattern `{}`", self.input)
+    }
+}
+
+impl std::error::Error for ParsePatternError {}
+
+impl FromStr for SparsityPattern {
+    type Err = ParsePatternError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "dense" => return Ok(SparsityPattern::Dense),
+            "random" | "random_pointwise" | "pointwise" => {
+                return Ok(SparsityPattern::RandomPointwise)
+            }
+            "channel" | "channelwise" | "channel_wise" => {
+                return Ok(SparsityPattern::ChannelWise)
+            }
+            _ => {}
+        }
+        if let Some((n, m)) = lower.split_once(':') {
+            let n: u8 = n.trim().parse().map_err(|_| ParsePatternError {
+                input: s.to_owned(),
+            })?;
+            let m: u8 = m.trim().parse().map_err(|_| ParsePatternError {
+                input: s.to_owned(),
+            })?;
+            if n == 0 || m == 0 || n > m {
+                return Err(ParsePatternError {
+                    input: s.to_owned(),
+                });
+            }
+            return Ok(SparsityPattern::BlockNm { n, m });
+        }
+        Err(ParsePatternError {
+            input: s.to_owned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for p in SparsityPattern::ALL {
+            let parsed: SparsityPattern = p.to_string().parse().expect("roundtrip");
+            assert_eq!(parsed, p);
+        }
+    }
+
+    #[test]
+    fn nm_rate() {
+        let p = SparsityPattern::BlockNm { n: 1, m: 4 };
+        assert!((p.implied_rate().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_nm() {
+        assert!("4:2".parse::<SparsityPattern>().is_err());
+        assert!("0:4".parse::<SparsityPattern>().is_err());
+        assert!("a:4".parse::<SparsityPattern>().is_err());
+    }
+
+    #[test]
+    fn structured_taxonomy() {
+        assert!(!SparsityPattern::Dense.is_structured());
+        assert!(!SparsityPattern::RandomPointwise.is_structured());
+        assert!(SparsityPattern::BlockNm { n: 2, m: 4 }.is_structured());
+        assert!(SparsityPattern::ChannelWise.is_structured());
+    }
+
+    #[test]
+    fn error_reports_input() {
+        let err = "blocky".parse::<SparsityPattern>().unwrap_err();
+        assert_eq!(err.input(), "blocky");
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests on the weight-mask generators: every pattern must
+//! honour its structural invariant at any shape and rate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dysta_models::{Conv2d, Layer, LayerKind, Linear};
+use dysta_sparsity::{SparsityPattern, WeightMask};
+
+fn conv_layer(in_ch: u32, out_ch: u32, kernel: u32) -> Layer {
+    Layer::new(
+        "c",
+        LayerKind::Conv2d(Conv2d::square(in_ch, out_ch, kernel, 1, kernel / 2, 16)),
+    )
+}
+
+fn linear_layer(in_f: u32, out_f: u32) -> Layer {
+    Layer::new(
+        "l",
+        LayerKind::Linear(Linear {
+            in_features: in_f,
+            out_features: out_f,
+            tokens: 1,
+        }),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_mask_hits_rate_within_tolerance(
+        in_ch in 4u32..64,
+        out_ch in 4u32..64,
+        kernel in prop::sample::select(vec![1u32, 3, 5]),
+        rate in 0.05f64..0.95,
+        seed in 0u64..1000,
+    ) {
+        let layer = conv_layer(in_ch, out_ch, kernel);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask =
+            WeightMask::generate(&layer, SparsityPattern::RandomPointwise, rate, &mut rng)
+                .unwrap();
+        prop_assert_eq!(mask.len() as u64, layer.params());
+        // Binomial concentration: allow 4 sigma.
+        let n = mask.len() as f64;
+        let sigma = (rate * (1.0 - rate) / n).sqrt();
+        prop_assert!(
+            (mask.sparsity() - rate).abs() < 4.0 * sigma + 1e-9,
+            "sparsity {} target {rate}", mask.sparsity()
+        );
+    }
+
+    #[test]
+    fn nm_mask_structure_holds_everywhere(
+        in_f in 8u32..256,
+        out_f in 2u32..32,
+        nm in prop::sample::select(vec![(1u8, 2u8), (2, 4), (1, 4), (4, 8)]),
+        seed in 0u64..1000,
+    ) {
+        let (n, m) = nm;
+        let layer = linear_layer(in_f, out_f);
+        let pattern = SparsityPattern::BlockNm { n, m };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = WeightMask::generate(
+            &layer,
+            pattern,
+            pattern.implied_rate().unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+        prop_assert!(mask.satisfies_nm(n, m));
+    }
+
+    #[test]
+    fn channel_mask_is_all_or_nothing_per_filter(
+        in_f in 4u32..128,
+        out_f in 2u32..64,
+        rate in 0.0f64..0.99,
+        seed in 0u64..1000,
+    ) {
+        let layer = linear_layer(in_f, out_f);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask =
+            WeightMask::generate(&layer, SparsityPattern::ChannelWise, rate, &mut rng).unwrap();
+        let occ = mask.channel_occupancy(in_f as usize);
+        prop_assert!(occ.iter().all(|&o| o == 0 || o == in_f as usize));
+        // Never prunes everything.
+        prop_assert!(mask.nnz() > 0);
+        // Pruned count equals the rounded target (capped to leave one).
+        let expected = ((rate * out_f as f64).round() as usize).min(out_f as usize - 1);
+        prop_assert_eq!(occ.iter().filter(|&&o| o == 0).count(), expected);
+    }
+
+    #[test]
+    fn dense_pattern_never_prunes(
+        in_f in 1u32..64,
+        out_f in 1u32..64,
+        seed in 0u64..100,
+    ) {
+        let layer = linear_layer(in_f, out_f);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = WeightMask::generate(&layer, SparsityPattern::Dense, 0.0, &mut rng).unwrap();
+        prop_assert_eq!(mask.nnz(), mask.len());
+    }
+
+    #[test]
+    fn masks_are_deterministic_in_the_rng(
+        rate in 0.1f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let layer = linear_layer(32, 32);
+        let gen = |s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            WeightMask::generate(&layer, SparsityPattern::RandomPointwise, rate, &mut rng)
+                .unwrap()
+        };
+        prop_assert_eq!(gen(seed), gen(seed));
+    }
+}

@@ -1,0 +1,229 @@
+//! CSV import/export of trace sets.
+//!
+//! The paper's artifact saves Phase-1 runtime information as CSV files
+//! that the scheduler engine later replays. This module mirrors that
+//! interchange format: one row per (sample, layer) with the monitored
+//! latency and sparsity.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use dysta_models::ModelId;
+use dysta_sparsity::{DatasetProfile, SparsityPattern};
+
+use crate::{LayerRecord, ModelTraces, SampleTrace, SparseModelSpec};
+
+/// Serialises one trace set to the CSV interchange format.
+///
+/// The header line carries the spec
+/// (`# model,pattern,weight_rate,profile`), followed by
+/// `sample,layer,latency_ns,sparsity,seq_scale` rows.
+///
+/// # Examples
+///
+/// ```
+/// use dysta_trace::{csv, SparseModelSpec, TraceGenerator};
+/// use dysta_models::ModelId;
+/// use dysta_sparsity::SparsityPattern;
+///
+/// let spec = SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::Dense, 0.0);
+/// let traces = TraceGenerator::default().generate(&spec, 2, 0);
+/// let text = csv::to_csv(&traces);
+/// let back = csv::from_csv(&text)?;
+/// assert_eq!(traces, back);
+/// # Ok::<(), dysta_trace::csv::CsvError>(())
+/// ```
+pub fn to_csv(traces: &ModelTraces) -> String {
+    let spec = traces.spec();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {},{},{},{:?}",
+        spec.model,
+        spec.pattern.short_name(),
+        spec.weight_rate,
+        spec.profile
+    );
+    out.push_str("sample,layer,latency_ns,sparsity,seq_scale\n");
+    for (i, sample) in traces.samples().iter().enumerate() {
+        for (j, layer) in sample.layers().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{i},{j},{},{},{}",
+                layer.latency_ns,
+                layer.sparsity,
+                sample.seq_scale()
+            );
+        }
+    }
+    out
+}
+
+/// Parses the CSV interchange format back into a trace set.
+///
+/// # Errors
+///
+/// Returns [`CsvError`] on malformed headers, fields, or ragged samples.
+pub fn from_csv(text: &str) -> Result<ModelTraces, CsvError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(CsvError::MissingHeader)?;
+    let spec = parse_spec(header)?;
+    let columns = lines.next().ok_or(CsvError::MissingHeader)?;
+    if columns.trim() != "sample,layer,latency_ns,sparsity,seq_scale" {
+        return Err(CsvError::MissingHeader);
+    }
+
+    let mut samples: Vec<(Vec<LayerRecord>, f64)> = Vec::new();
+    for (line_no, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 {
+            return Err(CsvError::BadRow { line: line_no + 3 });
+        }
+        let sample: usize = parse_field(fields[0], line_no)?;
+        let layer: usize = parse_field(fields[1], line_no)?;
+        let latency_ns: u64 = parse_field(fields[2], line_no)?;
+        let sparsity: f64 = parse_field(fields[3], line_no)?;
+        let seq_scale: f64 = parse_field(fields[4], line_no)?;
+        if sample == samples.len() {
+            samples.push((Vec::new(), seq_scale));
+        }
+        let current = samples
+            .get_mut(sample)
+            .ok_or(CsvError::BadRow { line: line_no + 3 })?;
+        if layer != current.0.len() {
+            return Err(CsvError::BadRow { line: line_no + 3 });
+        }
+        current.0.push(LayerRecord {
+            latency_ns,
+            sparsity,
+        });
+    }
+    if samples.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    let samples = samples
+        .into_iter()
+        .map(|(layers, seq)| SampleTrace::new(layers, seq))
+        .collect();
+    Ok(ModelTraces::new(spec, samples))
+}
+
+fn parse_spec(header: &str) -> Result<SparseModelSpec, CsvError> {
+    let body = header
+        .strip_prefix("# ")
+        .ok_or(CsvError::MissingHeader)?;
+    let parts: Vec<&str> = body.split(',').collect();
+    if parts.len() != 4 {
+        return Err(CsvError::MissingHeader);
+    }
+    let model = ModelId::from_str(parts[0]).map_err(|_| CsvError::BadSpec)?;
+    let pattern = SparsityPattern::from_str(parts[1]).map_err(|_| CsvError::BadSpec)?;
+    let weight_rate: f64 = parts[2].parse().map_err(|_| CsvError::BadSpec)?;
+    let profile = parse_profile(parts[3]).ok_or(CsvError::BadSpec)?;
+    Ok(SparseModelSpec::new(model, pattern, weight_rate).with_profile(profile))
+}
+
+fn parse_profile(s: &str) -> Option<DatasetProfile> {
+    Some(match s {
+        "ImageNet" => DatasetProfile::ImageNet,
+        "ExDark" => DatasetProfile::ExDark,
+        "DarkFace" => DatasetProfile::DarkFace,
+        "Coco" => DatasetProfile::Coco,
+        "VisionMixture" => DatasetProfile::VisionMixture,
+        "Squad" => DatasetProfile::Squad,
+        "Glue" => DatasetProfile::Glue,
+        _ => return None,
+    })
+}
+
+fn parse_field<T: FromStr>(s: &str, line_no: usize) -> Result<T, CsvError> {
+    s.trim().parse().map_err(|_| CsvError::BadRow { line: line_no + 3 })
+}
+
+/// Errors from [`from_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// File does not start with the spec + column headers.
+    MissingHeader,
+    /// The spec header could not be parsed.
+    BadSpec,
+    /// A data row is malformed or out of order.
+    BadRow {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// No data rows.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "missing csv header"),
+            CsvError::BadSpec => write!(f, "unparseable spec header"),
+            CsvError::BadRow { line } => write!(f, "malformed csv row at line {line}"),
+            CsvError::Empty => write!(f, "csv contains no samples"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceGenerator;
+
+    fn traces() -> ModelTraces {
+        let spec = SparseModelSpec::new(
+            ModelId::MobileNet,
+            SparsityPattern::RandomPointwise,
+            0.7,
+        );
+        TraceGenerator::default().generate(&spec, 3, 1)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = traces();
+        let back = from_csv(&to_csv(&t)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn language_roundtrip_keeps_seq_scale() {
+        let spec = SparseModelSpec::new(ModelId::Gpt2, SparsityPattern::Dense, 0.0);
+        let t = TraceGenerator::default().generate(&spec, 2, 5);
+        let back = from_csv(&to_csv(&t)).unwrap();
+        assert_eq!(t, back);
+        assert!(back.sample(0).seq_scale() > 0.0);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(from_csv(""), Err(CsvError::MissingHeader));
+        assert_eq!(from_csv("sample,layer\n"), Err(CsvError::MissingHeader));
+    }
+
+    #[test]
+    fn bad_spec_rejected() {
+        let text = "# alexnet,random,0.5,ImageNet\nsample,layer,latency_ns,sparsity,seq_scale\n0,0,1,0.0,1.0\n";
+        assert_eq!(from_csv(text), Err(CsvError::BadSpec));
+    }
+
+    #[test]
+    fn bad_row_reports_line() {
+        let good = to_csv(&traces());
+        let corrupted = format!("{good}0,999,nope,0.0,1.0\n");
+        assert!(matches!(from_csv(&corrupted), Err(CsvError::BadRow { .. })));
+    }
+
+    #[test]
+    fn out_of_order_layer_rejected() {
+        let text = "# mobilenet,random,0.7,VisionMixture\nsample,layer,latency_ns,sparsity,seq_scale\n0,1,5,0.0,1.0\n";
+        assert!(matches!(from_csv(text), Err(CsvError::BadRow { .. })));
+    }
+}

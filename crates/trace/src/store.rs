@@ -1,0 +1,164 @@
+//! Persistence for trace sets (the paper's "save as files" step).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ModelTraces, SparseModelSpec};
+
+/// A keyed collection of [`ModelTraces`] with JSON save/load.
+///
+/// # Examples
+///
+/// ```
+/// use dysta_trace::{SparseModelSpec, TraceGenerator, TraceStore};
+/// use dysta_models::ModelId;
+/// use dysta_sparsity::SparsityPattern;
+///
+/// let mut store = TraceStore::new();
+/// let spec = SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::Dense, 0.0);
+/// store.insert(TraceGenerator::default().generate(&spec, 4, 1));
+/// assert!(store.get(&spec).is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStore {
+    traces: BTreeMap<String, ModelTraces>,
+}
+
+impl TraceStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        TraceStore::default()
+    }
+
+    /// Inserts a trace set, replacing any existing entry for the same
+    /// spec, and returns the replaced entry if any.
+    pub fn insert(&mut self, traces: ModelTraces) -> Option<ModelTraces> {
+        self.traces.insert(traces.spec().key(), traces)
+    }
+
+    /// Looks up the traces for a spec.
+    pub fn get(&self, spec: &SparseModelSpec) -> Option<&ModelTraces> {
+        self.traces.get(&spec.key())
+    }
+
+    /// Number of stored variants.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True if no traces are stored.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Iterator over stored trace sets.
+    pub fn iter(&self) -> impl Iterator<Item = &ModelTraces> {
+        self.traces.values()
+    }
+
+    /// Serializes the store to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be created or written.
+    pub fn save(&self, path: &Path) -> Result<(), TraceStoreError> {
+        let file = File::create(path).map_err(TraceStoreError::Io)?;
+        serde_json::to_writer(BufWriter::new(file), self).map_err(TraceStoreError::Json)
+    }
+
+    /// Loads a store from a JSON file written by [`TraceStore::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be read or parsed.
+    pub fn load(path: &Path) -> Result<Self, TraceStoreError> {
+        let file = File::open(path).map_err(TraceStoreError::Io)?;
+        serde_json::from_reader(BufReader::new(file)).map_err(TraceStoreError::Json)
+    }
+}
+
+/// Error saving or loading a [`TraceStore`].
+#[derive(Debug)]
+pub enum TraceStoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// Malformed JSON content.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for TraceStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceStoreError::Io(e) => write!(f, "trace store I/O failure: {e}"),
+            TraceStoreError::Json(e) => write!(f, "trace store serialization failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceStoreError::Io(e) => Some(e),
+            TraceStoreError::Json(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceGenerator;
+    use dysta_models::ModelId;
+    use dysta_sparsity::SparsityPattern;
+
+    #[test]
+    fn insert_and_get() {
+        let mut store = TraceStore::new();
+        let spec = SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::Dense, 0.0);
+        let t = TraceGenerator::default().generate(&spec, 2, 1);
+        assert!(store.insert(t.clone()).is_none());
+        assert_eq!(store.get(&spec), Some(&t));
+        assert_eq!(store.len(), 1);
+        // Replacement returns the old value.
+        assert_eq!(store.insert(t.clone()), Some(t));
+    }
+
+    #[test]
+    fn missing_spec_is_none() {
+        let store = TraceStore::new();
+        let spec = SparseModelSpec::new(ModelId::Vgg16, SparsityPattern::Dense, 0.0);
+        assert!(store.get(&spec).is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut store = TraceStore::new();
+        for (model, pattern) in [
+            (ModelId::MobileNet, SparsityPattern::RandomPointwise),
+            (ModelId::Bert, SparsityPattern::Dense),
+        ] {
+            let spec = SparseModelSpec::new(model, pattern, 0.5);
+            store.insert(TraceGenerator::default().generate(&spec, 3, 7));
+        }
+        let dir = std::env::temp_dir().join("dysta-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        store.save(&path).unwrap();
+        let loaded = TraceStore::load(&path).unwrap();
+        assert_eq!(store, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = TraceStore::load(Path::new("/nonexistent/dysta.json")).unwrap_err();
+        assert!(matches!(err, TraceStoreError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+}

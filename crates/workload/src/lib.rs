@@ -1,0 +1,39 @@
+//! Multi-DNN request workload generation (the paper's Section 6.1–6.2).
+//!
+//! A workload is a stream of inference requests: each request names a
+//! sparse-model variant, an input sample (selecting one Phase-1 trace), an
+//! arrival time drawn from a Poisson process (per the MLPerf standard the
+//! paper follows), and a latency SLO equal to the sample's isolated
+//! execution time multiplied by the SLO multiplier `M_slo` (the PREMA
+//! convention the paper adopts).
+//!
+//! [`Scenario`] provides the Table 3 deployment presets: the multi-AttNN
+//! personal-assistant mix (BERT + GPT-2 + BART on Sanger) and the
+//! multi-CNN visual-perception + hand-tracking mix (SSD + ResNet-50 +
+//! VGG-16 + MobileNet on Eyeriss-V2), plus the mobile/AR-VR/datacenter
+//! scenario mixes used by the examples.
+//!
+//! # Examples
+//!
+//! ```
+//! use dysta_workload::{Scenario, WorkloadBuilder};
+//!
+//! let workload = WorkloadBuilder::new(Scenario::MultiCnn)
+//!     .arrival_rate(3.0)
+//!     .slo_multiplier(10.0)
+//!     .num_requests(50)
+//!     .seed(1)
+//!     .build();
+//! assert_eq!(workload.requests().len(), 50);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod request;
+mod scenario;
+
+pub use builder::{Workload, WorkloadBuilder};
+pub use request::Request;
+pub use scenario::Scenario;

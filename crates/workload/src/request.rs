@@ -1,0 +1,59 @@
+//! Inference request type.
+
+use serde::{Deserialize, Serialize};
+
+use dysta_trace::SparseModelSpec;
+
+/// One inference request of a multi-DNN workload — the paper's
+/// `Reqst_n = ⟨Model_n, Pattn_n, input_n, SLO_n⟩` tuple (Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique, monotonically increasing request id.
+    pub id: u64,
+    /// The sparse-model variant (model + pattern + rate + profile).
+    pub spec: SparseModelSpec,
+    /// Which Phase-1 input sample this request carries.
+    pub sample_index: u64,
+    /// Arrival time in nanoseconds since workload start.
+    pub arrival_ns: u64,
+    /// Relative latency SLO in nanoseconds (`T_isol × M_slo`).
+    pub slo_ns: u64,
+}
+
+impl Request {
+    /// Absolute deadline: arrival plus SLO.
+    pub fn deadline_ns(&self) -> u64 {
+        self.arrival_ns.saturating_add(self.slo_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysta_models::ModelId;
+    use dysta_sparsity::SparsityPattern;
+
+    #[test]
+    fn deadline_is_arrival_plus_slo() {
+        let r = Request {
+            id: 0,
+            spec: SparseModelSpec::new(ModelId::Bert, SparsityPattern::Dense, 0.0),
+            sample_index: 0,
+            arrival_ns: 100,
+            slo_ns: 50,
+        };
+        assert_eq!(r.deadline_ns(), 150);
+    }
+
+    #[test]
+    fn deadline_saturates() {
+        let r = Request {
+            id: 0,
+            spec: SparseModelSpec::new(ModelId::Bert, SparsityPattern::Dense, 0.0),
+            sample_index: 0,
+            arrival_ns: u64::MAX,
+            slo_ns: 50,
+        };
+        assert_eq!(r.deadline_ns(), u64::MAX);
+    }
+}

@@ -1,0 +1,115 @@
+//! Deployment scenario presets (the paper's Table 3).
+
+use dysta_models::ModelId;
+use dysta_sparsity::SparsityPattern;
+use dysta_trace::SparseModelSpec;
+
+/// A deployment scenario defining the model mix of a workload.
+///
+/// `MultiAttNn` and `MultiCnn` are the two mixes evaluated throughout the
+/// paper's Section 6; the remaining three are the Table 3 deployment
+/// settings used by the examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Personal assistant on a mobile phone: machine translation
+    /// (BART, GPT-2) + question answering (BERT), on Sanger.
+    MultiAttNn,
+    /// Visual perception + hand tracking: SSD, ResNet-50, VGG-16,
+    /// MobileNet with mixed weight-sparsity patterns, on Eyeriss-V2.
+    MultiCnn,
+    /// Data center visual perception: object detection (SSD) + image
+    /// classification (VGG-16, ResNet-50).
+    DataCenter,
+    /// AR/VR wearable: hand detection (SSD) + gesture recognition
+    /// (MobileNet), latency-critical.
+    ArVrWearable,
+    /// Mobile-phone personal assistant (alias of the multi-AttNN mix).
+    MobileAssistant,
+}
+
+impl Scenario {
+    /// The sparse-model variants this scenario samples from, with their
+    /// mixing weights.
+    ///
+    /// CNN variants carry the Section 3.2 sparsification recipes (random
+    /// point-wise, 2:4 block-wise, channel-wise at representative rates);
+    /// AttNN variants rely on dynamic attention sparsity, so their weights
+    /// stay dense.
+    pub fn mix(self) -> Vec<(SparseModelSpec, f64)> {
+        match self {
+            Scenario::MultiAttNn | Scenario::MobileAssistant => vec![
+                (spec(ModelId::Bert, SparsityPattern::Dense, 0.0), 1.0),
+                (spec(ModelId::Gpt2, SparsityPattern::Dense, 0.0), 1.0),
+                (spec(ModelId::Bart, SparsityPattern::Dense, 0.0), 1.0),
+            ],
+            Scenario::MultiCnn => vec![
+                (spec(ModelId::Ssd, SparsityPattern::RandomPointwise, 0.8), 1.0),
+                (spec(ModelId::ResNet50, SparsityPattern::RandomPointwise, 0.8), 0.5),
+                (spec(ModelId::ResNet50, SparsityPattern::BlockNm { n: 2, m: 4 }, 0.5), 0.5),
+                (spec(ModelId::Vgg16, SparsityPattern::ChannelWise, 0.6), 0.5),
+                (spec(ModelId::Vgg16, SparsityPattern::RandomPointwise, 0.8), 0.5),
+                (spec(ModelId::MobileNet, SparsityPattern::RandomPointwise, 0.7), 1.0),
+            ],
+            Scenario::DataCenter => vec![
+                (spec(ModelId::Ssd, SparsityPattern::RandomPointwise, 0.8), 1.0),
+                (spec(ModelId::Vgg16, SparsityPattern::ChannelWise, 0.6), 1.0),
+                (spec(ModelId::ResNet50, SparsityPattern::BlockNm { n: 2, m: 4 }, 0.5), 1.0),
+            ],
+            Scenario::ArVrWearable => vec![
+                (spec(ModelId::Ssd, SparsityPattern::RandomPointwise, 0.8), 1.0),
+                (spec(ModelId::MobileNet, SparsityPattern::RandomPointwise, 0.7), 1.0),
+            ],
+        }
+    }
+
+    /// The arrival rate (samples/s) the paper uses as this scenario's
+    /// default operating point.
+    pub fn default_arrival_rate(self) -> f64 {
+        match self {
+            Scenario::MultiAttNn | Scenario::MobileAssistant => 30.0,
+            Scenario::MultiCnn | Scenario::DataCenter | Scenario::ArVrWearable => 3.0,
+        }
+    }
+}
+
+fn spec(model: ModelId, pattern: SparsityPattern, rate: f64) -> SparseModelSpec {
+    SparseModelSpec::new(model, pattern, rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysta_models::ModelFamily;
+
+    #[test]
+    fn attnn_mix_is_all_attention_models() {
+        for (s, _) in Scenario::MultiAttNn.mix() {
+            assert_eq!(s.model.family(), ModelFamily::AttNn);
+            assert_eq!(s.pattern, SparsityPattern::Dense);
+        }
+    }
+
+    #[test]
+    fn cnn_mix_is_all_cnns_with_varied_patterns() {
+        let mix = Scenario::MultiCnn.mix();
+        assert!(mix.iter().all(|(s, _)| s.model.family() == ModelFamily::Cnn));
+        let patterns: std::collections::HashSet<String> =
+            mix.iter().map(|(s, _)| s.pattern.short_name()).collect();
+        assert!(patterns.len() >= 3, "need pattern diversity for Dysta");
+    }
+
+    #[test]
+    fn weights_are_positive() {
+        for sc in [
+            Scenario::MultiAttNn,
+            Scenario::MultiCnn,
+            Scenario::DataCenter,
+            Scenario::ArVrWearable,
+            Scenario::MobileAssistant,
+        ] {
+            assert!(!sc.mix().is_empty());
+            assert!(sc.mix().iter().all(|&(_, w)| w > 0.0));
+            assert!(sc.default_arrival_rate() > 0.0);
+        }
+    }
+}

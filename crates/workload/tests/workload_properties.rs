@@ -1,0 +1,85 @@
+//! Property-based tests on workload generation.
+
+use proptest::prelude::*;
+
+use dysta_workload::{Scenario, WorkloadBuilder};
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    prop::sample::select(vec![
+        Scenario::MultiAttNn,
+        Scenario::MultiCnn,
+        Scenario::DataCenter,
+        Scenario::ArVrWearable,
+        Scenario::MobileAssistant,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn workload_invariants(
+        scenario in scenario_strategy(),
+        seed in 0u64..500,
+        rate in 0.5f64..50.0,
+        slo in 1.0f64..100.0,
+        n in 5usize..40,
+    ) {
+        let w = WorkloadBuilder::new(scenario)
+            .arrival_rate(rate)
+            .slo_multiplier(slo)
+            .num_requests(n)
+            .samples_per_variant(4)
+            .seed(seed)
+            .build();
+        let reqs = w.requests();
+        prop_assert_eq!(reqs.len(), n);
+        // Ids are dense and arrivals sorted.
+        for (i, r) in reqs.iter().enumerate() {
+            prop_assert_eq!(r.id, i as u64);
+            if i > 0 {
+                prop_assert!(reqs[i - 1].arrival_ns <= r.arrival_ns);
+            }
+            // SLO formula: profiled average x multiplier.
+            let profiled = w.traces_for(r).avg_latency_ns();
+            prop_assert_eq!(r.slo_ns, (profiled * slo).round() as u64);
+            // The trace library covers the request.
+            prop_assert!(w.trace_for(r).isolated_latency_ns() > 0);
+        }
+    }
+
+    #[test]
+    fn doubling_rate_roughly_halves_the_span(
+        seed in 0u64..200,
+    ) {
+        let span = |rate: f64| {
+            let w = WorkloadBuilder::new(Scenario::MultiCnn)
+                .arrival_rate(rate)
+                .num_requests(60)
+                .samples_per_variant(4)
+                .seed(seed)
+                .build();
+            let reqs = w.requests();
+            (reqs.last().unwrap().arrival_ns - reqs[0].arrival_ns) as f64
+        };
+        let slow = span(2.0);
+        let fast = span(8.0);
+        // 4x the rate: span shrinks to ~1/4; allow generous slack for the
+        // exponential variance at 60 samples.
+        prop_assert!(fast < slow * 0.65, "fast {fast} slow {slow}");
+    }
+
+    #[test]
+    fn offered_load_scales_with_rate(seed in 0u64..200) {
+        let load = |rate: f64| {
+            WorkloadBuilder::new(Scenario::MultiAttNn)
+                .arrival_rate(rate)
+                .num_requests(80)
+                .samples_per_variant(4)
+                .seed(seed)
+                .build()
+                .offered_load()
+        };
+        prop_assert!(load(10.0) < load(40.0));
+    }
+}

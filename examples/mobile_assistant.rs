@@ -1,0 +1,63 @@
+//! Table 3's mobile-phone scenario: a personal assistant multiplexing
+//! machine translation (BART, GPT-2) and question answering (BERT) on a
+//! Sanger-class sparse attention NPU.
+//!
+//! Demonstrates why dynamic attention sparsity matters for scheduling:
+//! simple prompts are short and sparse, complex prompts long and dense,
+//! so profiled-average estimates mislead sparsity-blind schedulers.
+//!
+//! Run with `cargo run --release --example mobile_assistant`.
+
+use dysta::core::Policy;
+use dysta::sim::{simulate, EngineConfig};
+use dysta::workload::{Scenario, WorkloadBuilder};
+
+fn main() {
+    println!("mobile personal assistant: BERT + GPT-2 + BART @ 30 req/s\n");
+    let workload = WorkloadBuilder::new(Scenario::MobileAssistant)
+        .arrival_rate(30.0)
+        .slo_multiplier(10.0)
+        .num_requests(500)
+        .seed(7)
+        .build();
+
+    // Show the per-request latency dynamicity the scheduler has to cope
+    // with (the paper's Figure 1(c)).
+    let mut iso: Vec<f64> = workload
+        .requests()
+        .iter()
+        .map(|r| workload.isolated_ns(r) as f64 / 1e6)
+        .collect();
+    iso.sort_by(f64::total_cmp);
+    println!(
+        "isolated latency: p10 {:.1} ms, median {:.1} ms, p90 {:.1} ms ({:.1}x spread)",
+        iso[iso.len() / 10],
+        iso[iso.len() / 2],
+        iso[iso.len() * 9 / 10],
+        iso[iso.len() * 9 / 10] / iso[iso.len() / 10]
+    );
+    println!();
+
+    println!(
+        "{:<14} {:>8} {:>12} {:>14}",
+        "policy", "ANTT", "viol [%]", "p99 NTT"
+    );
+    for policy in [Policy::Fcfs, Policy::Sjf, Policy::DystaStatic, Policy::Dysta] {
+        let mut scheduler = policy.build();
+        let report = simulate(&workload, scheduler.as_mut(), &EngineConfig::default());
+        let mut ntts: Vec<f64> = report
+            .completed()
+            .iter()
+            .map(|c| c.normalized_turnaround())
+            .collect();
+        ntts.sort_by(f64::total_cmp);
+        let p99 = ntts[(ntts.len() * 99) / 100 - 1];
+        println!(
+            "{:<14} {:>8.2} {:>11.1}% {:>14.1}",
+            policy.name(),
+            report.antt(),
+            report.violation_rate() * 100.0,
+            p99
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! End-to-end integration: workload generation -> engine -> metrics, for
+//! every scheduling policy, across both workload families.
+
+use dysta::core::Policy;
+use dysta::hw::HardwareDystaScheduler;
+use dysta::sim::{simulate, EngineConfig};
+use dysta::workload::{Scenario, WorkloadBuilder};
+
+fn workload(scenario: Scenario, seed: u64) -> dysta::workload::Workload {
+    WorkloadBuilder::new(scenario)
+        .num_requests(80)
+        .samples_per_variant(12)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn every_policy_completes_both_workload_families() {
+    for scenario in [Scenario::MultiAttNn, Scenario::MultiCnn] {
+        let w = workload(scenario, 1);
+        for policy in Policy::ALL {
+            let report = simulate(&w, policy.build().as_mut(), &EngineConfig::default());
+            assert_eq!(report.completed().len(), 80, "{policy} on {scenario:?}");
+            let m = report.metrics();
+            assert!(m.antt >= 1.0, "{policy}: ANTT {}", m.antt);
+            assert!(
+                (0.0..=1.0).contains(&m.violation_rate),
+                "{policy}: violation rate {}",
+                m.violation_rate
+            );
+            assert!(m.throughput_inf_s > 0.0, "{policy}");
+        }
+    }
+}
+
+#[test]
+fn dysta_beats_fcfs_on_antt_under_load() {
+    for scenario in [Scenario::MultiAttNn, Scenario::MultiCnn] {
+        let w = workload(scenario, 2);
+        let fcfs = simulate(&w, Policy::Fcfs.build().as_mut(), &EngineConfig::default());
+        let dysta = simulate(&w, Policy::Dysta.build().as_mut(), &EngineConfig::default());
+        assert!(
+            dysta.antt() < fcfs.antt(),
+            "{scenario:?}: dysta {} vs fcfs {}",
+            dysta.antt(),
+            fcfs.antt()
+        );
+    }
+}
+
+#[test]
+fn oracle_is_at_least_as_good_as_sparsity_blind_dysta_static_on_antt() {
+    // Averaged over seeds: perfect latency knowledge must not lose to a
+    // frozen static ordering.
+    let mut oracle_antt = 0.0;
+    let mut static_antt = 0.0;
+    for seed in 0..3 {
+        let w = workload(Scenario::MultiAttNn, seed);
+        oracle_antt +=
+            simulate(&w, Policy::Oracle.build().as_mut(), &EngineConfig::default()).antt();
+        static_antt += simulate(
+            &w,
+            Policy::DystaStatic.build().as_mut(),
+            &EngineConfig::default(),
+        )
+        .antt();
+    }
+    assert!(
+        oracle_antt <= static_antt,
+        "oracle {oracle_antt} vs static {static_antt}"
+    );
+}
+
+#[test]
+fn dysta_tracks_oracle_within_margin() {
+    // The paper's headline: Dysta closely matches the Oracle.
+    for scenario in [Scenario::MultiAttNn, Scenario::MultiCnn] {
+        let mut dysta_antt = 0.0;
+        let mut oracle_antt = 0.0;
+        for seed in 0..3 {
+            let w = workload(scenario, seed);
+            dysta_antt +=
+                simulate(&w, Policy::Dysta.build().as_mut(), &EngineConfig::default()).antt();
+            oracle_antt +=
+                simulate(&w, Policy::Oracle.build().as_mut(), &EngineConfig::default()).antt();
+        }
+        assert!(
+            dysta_antt <= oracle_antt * 1.5,
+            "{scenario:?}: dysta {dysta_antt} oracle {oracle_antt}"
+        );
+    }
+}
+
+#[test]
+fn fp16_hardware_scheduler_matches_software_dysta_closely() {
+    for scenario in [Scenario::MultiAttNn, Scenario::MultiCnn] {
+        let w = workload(scenario, 4);
+        let sw = simulate(&w, Policy::Dysta.build().as_mut(), &EngineConfig::default());
+        let mut hw = HardwareDystaScheduler::new(Default::default(), 512);
+        let hw_report = simulate(&w, &mut hw, &EngineConfig::default());
+        let rel = (hw_report.antt() - sw.antt()).abs() / sw.antt();
+        assert!(
+            rel < 0.15,
+            "{scenario:?}: FP16 ANTT {} vs f64 ANTT {}",
+            hw_report.antt(),
+            sw.antt()
+        );
+    }
+}
+
+#[test]
+fn tighter_slo_multiplier_cannot_reduce_violations() {
+    for policy in [Policy::Fcfs, Policy::Dysta] {
+        let loose = WorkloadBuilder::new(Scenario::MultiCnn)
+            .slo_multiplier(50.0)
+            .num_requests(80)
+            .samples_per_variant(12)
+            .seed(5)
+            .build();
+        let tight = WorkloadBuilder::new(Scenario::MultiCnn)
+            .slo_multiplier(2.0)
+            .num_requests(80)
+            .samples_per_variant(12)
+            .seed(5)
+            .build();
+        let loose_v = simulate(&loose, policy.build().as_mut(), &EngineConfig::default())
+            .violation_rate();
+        let tight_v = simulate(&tight, policy.build().as_mut(), &EngineConfig::default())
+            .violation_rate();
+        assert!(tight_v >= loose_v, "{policy}: tight {tight_v} loose {loose_v}");
+    }
+}
+
+#[test]
+fn lighter_traffic_improves_antt() {
+    let slow = WorkloadBuilder::new(Scenario::MultiCnn)
+        .arrival_rate(1.0)
+        .num_requests(80)
+        .samples_per_variant(12)
+        .seed(6)
+        .build();
+    let fast = WorkloadBuilder::new(Scenario::MultiCnn)
+        .arrival_rate(5.0)
+        .num_requests(80)
+        .samples_per_variant(12)
+        .seed(6)
+        .build();
+    for policy in [Policy::Sjf, Policy::Dysta] {
+        let a = simulate(&slow, policy.build().as_mut(), &EngineConfig::default()).antt();
+        let b = simulate(&fast, policy.build().as_mut(), &EngineConfig::default()).antt();
+        assert!(a <= b, "{policy}: light {a} heavy {b}");
+    }
+}
