@@ -1,0 +1,278 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment for this repository has no access to a cargo
+//! registry, so this crate provides a small wall-clock benchmark harness
+//! with criterion's calling conventions: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`criterion_group!`] and [`criterion_main!`]. Timing methodology is
+//! deliberately simple — a warm-up phase, then `sample_size` timed
+//! batches whose median/min/max per-iteration times are printed — which
+//! is enough for the relative comparisons the workspace's benches make.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target total measurement time.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets how many timed samples are collected.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let stats = run_bench(self, &mut f);
+        report(&id.into(), &stats, None);
+    }
+}
+
+/// Work-rate annotation for a group's benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a work rate.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let stats = run_bench(self.criterion, &mut |b| f(b, input));
+        report(&format!("{}/{id}", self.name), &stats, self.throughput);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_id: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function_id: function_id.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function_id, self.parameter)
+    }
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    /// Iterations to run in the current timed batch.
+    iters: u64,
+    /// Measured duration of the batch, set by [`Bencher::iter`].
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Stats {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(config: &Criterion, f: &mut F) -> Stats {
+    // Warm-up: find an iteration count whose batch takes roughly one
+    // sample's share of the measurement budget.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_up_end = Instant::now() + config.warm_up_time;
+    let mut per_iter_ns = loop {
+        f(&mut b);
+        let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        if Instant::now() >= warm_up_end {
+            break per_iter.max(1.0);
+        }
+        b.iters = (b.iters * 2).min(1 << 30);
+    };
+    let budget_ns = config.measurement_time.as_nanos() as f64 / config.sample_size as f64;
+    let mut samples = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        b.iters = ((budget_ns / per_iter_ns).round() as u64).clamp(1, 1 << 30);
+        f(&mut b);
+        per_iter_ns = (b.elapsed.as_nanos() as f64 / b.iters as f64).max(1e-3);
+        samples.push(per_iter_ns);
+    }
+    samples.sort_by(f64::total_cmp);
+    Stats {
+        median_ns: samples[samples.len() / 2],
+        min_ns: samples[0],
+        max_ns: samples[samples.len() - 1],
+    }
+}
+
+fn report(name: &str, stats: &Stats, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.2} Melem/s", n as f64 / stats.median_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  {:.2} MiB/s",
+                n as f64 / stats.median_ns * 1e9 / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!(
+        "  {name}: median {} [min {}, max {}]{rate}",
+        fmt_ns(stats.median_ns),
+        fmt_ns(stats.min_ns),
+        fmt_ns(stats.max_ns),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+}

@@ -1,0 +1,425 @@
+//! Derive macros for the offline serde shim.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! item shapes this workspace contains — structs with named fields, and
+//! enums whose variants are unit, single-field tuple, or struct-like —
+//! by walking the raw token stream (the registry-less build environment
+//! has no `syn`/`quote`). Field `#[serde(...)]` attributes are not
+//! supported and the workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the annotated item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    /// Tuple struct with this many unnamed fields (`Name(T, U)`).
+    TupleStruct {
+        name: String,
+        fields: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    /// Tuple variant with this many unnamed fields.
+    Tuple(usize),
+    /// Struct variant with these named fields.
+    Struct(Vec<String>),
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, fields: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, fields } => {
+            let items: String = (0..*fields)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),")
+                        }
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(vec![(\
+                             \"{vn}\".to_string(), ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\
+                                 \"{vn}\".to_string(), ::serde::Value::Array(vec![{items}]))]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                                 \"{vn}\".to_string(), \
+                                 ::serde::Value::Object(vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, fields: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(\
+                         ::serde::Deserialize::from_value(value)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, fields } => {
+            let inits: String = (0..*fields)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Array(items) if items.len() == {fields} => \
+                                 ::std::result::Result::Ok({name}({inits})),\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::new(\
+                                 \"expected {fields}-element array for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let inits: String = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match payload {{\n\
+                                     ::serde::Value::Array(items) if items.len() == {n} => \
+                                         Ok({name}::{vn}({inits})),\n\
+                                     _ => Err(::serde::DeError::new(\
+                                         \"expected {n}-element array for variant {vn}\")),\n\
+                                 }},"
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         payload.field(\"{f}\")?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!("\"{vn}\" => Ok({name}::{vn} {{ {inits} }}),"))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::DeError::new(format!(\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {payload_arms}\n\
+                                     other => Err(::serde::DeError::new(format!(\
+                                         \"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::DeError::new(format!(\
+                                 \"expected {name}, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("generated Deserialize impl must parse")
+}
+
+// --- token-stream parsing ------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes_and_visibility(&mut tokens);
+    let keyword = expect_ident(&mut tokens);
+    let name = expect_ident(&mut tokens);
+    // Reject generics: none of the workspace's serialized types have any,
+    // and supporting them without syn isn't worth the complexity.
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic types (on `{name}`)");
+        }
+    }
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                assert_eq!(
+                    keyword, "struct",
+                    "unexpected parenthesised body on `{name}`"
+                );
+                return Item::TupleStruct {
+                    name,
+                    fields: count_tuple_fields(g.stream()),
+                };
+            }
+            Some(_) => continue,
+            None => panic!("missing braced body on `{name}`"),
+        }
+    };
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body.stream()),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body.stream()),
+        },
+        other => panic!("cannot derive serde shim traits for `{other}` items"),
+    }
+}
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attributes_and_visibility(tokens: &mut TokenIter) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The bracketed attribute body.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                // `pub(crate)` / `pub(super)` scope group.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut TokenIter) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists, returning the field names.
+/// Commas inside angle brackets (`BTreeMap<String, T>`) are not
+/// separators.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes_and_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type, tracking angle-bracket depth.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes_and_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip everything up to the next top-level comma (covers explicit
+        // discriminants, which the workspace doesn't use but cost nothing
+        // to tolerate).
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    variants
+}
+
+/// Counts top-level comma-separated entries of a tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                saw_tokens_since_comma = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                saw_tokens_since_comma = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+            }
+            _ => saw_tokens_since_comma = true,
+        }
+    }
+    if saw_tokens_since_comma {
+        count += 1;
+    }
+    count
+}
