@@ -85,9 +85,7 @@ impl EyerissV2 {
             SparsityPattern::ChannelWise => self.config.util_channel,
         };
         let depthwise = match layer.kind() {
-            dysta_models::LayerKind::Conv2d(c) if c.is_depthwise() => {
-                self.config.depthwise_penalty
-            }
+            dysta_models::LayerKind::Conv2d(c) if c.is_depthwise() => self.config.depthwise_penalty,
             _ => 1.0,
         };
         base * depthwise
@@ -171,7 +169,10 @@ mod tests {
         channel.pattern = SparsityPattern::ChannelWise;
         let r = model_latency_ms(&zoo::resnet50(), &random);
         let c = model_latency_ms(&zoo::resnet50(), &channel);
-        assert!((r / c - 1.0).abs() > 0.05, "patterns should differ: {r} vs {c}");
+        assert!(
+            (r / c - 1.0).abs() > 0.05,
+            "patterns should differ: {r} vs {c}"
+        );
     }
 
     #[test]

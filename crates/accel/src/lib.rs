@@ -39,8 +39,8 @@
 
 mod eyeriss;
 mod sanger;
-mod work;
 pub mod storage;
+mod work;
 
 pub use eyeriss::{EyerissV2, EyerissV2Config};
 pub use sanger::{Sanger, SangerConfig};

@@ -171,11 +171,7 @@ mod tests {
     #[test]
     fn typical_runs_grow_with_structure() {
         let random = StorageFormat::typical_zero_run(SparsityPattern::RandomPointwise, 0.8, 576);
-        let nm = StorageFormat::typical_zero_run(
-            SparsityPattern::BlockNm { n: 2, m: 4 },
-            0.5,
-            576,
-        );
+        let nm = StorageFormat::typical_zero_run(SparsityPattern::BlockNm { n: 2, m: 4 }, 0.5, 576);
         let channel = StorageFormat::typical_zero_run(SparsityPattern::ChannelWise, 0.5, 576);
         assert!(random < channel);
         assert!(nm < channel);

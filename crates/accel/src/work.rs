@@ -144,9 +144,7 @@ fn seq_scaling(layer: &Layer, seq_scale: f64) -> f64 {
 /// Input activation element count feeding this layer.
 fn input_elements(layer: &Layer) -> u64 {
     match layer.kind() {
-        LayerKind::Conv2d(c) => {
-            c.in_size as u64 * c.in_size as u64 * c.in_channels as u64
-        }
+        LayerKind::Conv2d(c) => c.in_size as u64 * c.in_size as u64 * c.in_channels as u64,
         LayerKind::Linear(l) => l.in_features as u64 * l.tokens as u64,
         LayerKind::AttentionScore(a) | LayerKind::AttentionContext(a) => {
             2 * a.heads as u64 * a.q_len as u64 * a.head_dim as u64

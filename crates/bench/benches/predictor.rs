@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use dysta::core::{
-    CoeffStrategy, ModelInfoLut, MonitoredLayer, SparseLatencyPredictor, TaskState,
-};
+use dysta::core::{CoeffStrategy, ModelInfoLut, MonitoredLayer, SparseLatencyPredictor, TaskState};
 use dysta::hw::{ComputeUnit, F16};
 use dysta::models::ModelId;
 use dysta::sparsity::SparsityPattern;
@@ -60,11 +58,7 @@ fn bench_fp16_datapath(c: &mut Criterion) {
     c.bench_function("fp16_coefficient_and_score", |b| {
         let mut cu = ComputeUnit::new();
         b.iter(|| {
-            let gamma = cu.coefficient(
-                std::hint::black_box(256),
-                1024,
-                F16::from_f64(1.0 / 0.25),
-            );
+            let gamma = cu.coefficient(std::hint::black_box(256), 1024, F16::from_f64(1.0 / 0.25));
             cu.score(
                 gamma,
                 F16::from_f64(30.0),
@@ -78,7 +72,7 @@ fn bench_fp16_datapath(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))

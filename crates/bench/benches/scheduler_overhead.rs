@@ -52,7 +52,13 @@ fn bench_pick_next(c: &mut Criterion) {
     for &queue_len in &[4usize, 16, 64] {
         let (tasks, lut) = queue_of(queue_len);
         let queue: Vec<&TaskState> = tasks.iter().collect();
-        for policy in [Policy::Fcfs, Policy::Sjf, Policy::Prema, Policy::Dysta, Policy::Oracle] {
+        for policy in [
+            Policy::Fcfs,
+            Policy::Sjf,
+            Policy::Prema,
+            Policy::Dysta,
+            Policy::Oracle,
+        ] {
             let mut sched = policy.build();
             // Register arrivals for stateful schedulers.
             for t in &tasks {
@@ -61,16 +67,14 @@ fn bench_pick_next(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(policy.name(), queue_len),
                 &queue_len,
-                |b, _| {
-                    b.iter(|| sched.pick_next(std::hint::black_box(&queue), &lut, 1_000_000))
-                },
+                |b, _| b.iter(|| sched.pick_next(std::hint::black_box(&queue), &lut, 1_000_000)),
             );
         }
     }
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))

@@ -27,25 +27,21 @@ fn bench_engine(c: &mut Criterion) {
             .sum();
         group.throughput(Throughput::Elements(total_layers));
         for policy in [Policy::Fcfs, Policy::Dysta] {
-            group.bench_with_input(
-                BenchmarkId::new(name, policy.name()),
-                &workload,
-                |b, w| {
-                    b.iter(|| {
-                        simulate(
-                            std::hint::black_box(w),
-                            policy.build().as_mut(),
-                            &EngineConfig::default(),
-                        )
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, policy.name()), &workload, |b, w| {
+                b.iter(|| {
+                    simulate(
+                        std::hint::black_box(w),
+                        policy.build().as_mut(),
+                        &EngineConfig::default(),
+                    )
+                })
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))

@@ -47,19 +47,13 @@ fn main() {
                     .samples_per_variant(scale.samples_per_variant)
                     .seed(seed)
                     .build();
-                let mut sched =
-                    DystaStaticScheduler::new(DystaConfig { beta, eta: 0.03 });
+                let mut sched = DystaStaticScheduler::new(DystaConfig { beta, eta: 0.03 });
                 let m = simulate(&w, &mut sched, &EngineConfig::default()).metrics();
                 antt += m.antt;
                 viol += m.violation_rate;
             }
             let n = scale.seeds as f64;
-            println!(
-                "{:<8} {:>8.2} {:>9.1}%",
-                beta,
-                antt / n,
-                viol / n * 100.0
-            );
+            println!("{:<8} {:>8.2} {:>9.1}%", beta, antt / n, viol / n * 100.0);
         }
         println!();
     }

@@ -1,15 +1,16 @@
 //! Ablation: end-to-end effect of the sparse-latency-predictor strategy
 //! (extends Table 4's offline RMSE comparison into full scheduling).
 
-use dysta::core::{
-    CoeffStrategy, DystaConfig, DystaScheduler, Policy, SparseLatencyPredictor,
-};
+use dysta::core::{CoeffStrategy, DystaConfig, DystaScheduler, Policy, SparseLatencyPredictor};
 use dysta::sim::{simulate, EngineConfig};
 use dysta::workload::{Scenario, WorkloadBuilder};
 use dysta_bench::{banner, Scale};
 
 fn main() {
-    banner("Ablation", "predictor strategy inside full Dysta scheduling");
+    banner(
+        "Ablation",
+        "predictor strategy inside full Dysta scheduling",
+    );
     let scale = Scale::from_env();
     let strategies: [(&str, CoeffStrategy); 4] = [
         ("disabled (γ=1)", CoeffStrategy::Disabled),
@@ -43,12 +44,7 @@ fn main() {
                 viol += m.violation_rate;
             }
             let n = scale.seeds as f64;
-            println!(
-                "{:<16} {:>8.2} {:>9.1}%",
-                name,
-                antt / n,
-                viol / n * 100.0
-            );
+            println!("{:<16} {:>8.2} {:>9.1}%", name, antt / n, viol / n * 100.0);
         }
         // Oracle reference.
         let mut antt = 0.0;

@@ -10,7 +10,10 @@ use dysta::sparsity::SparsityPattern;
 use dysta_bench::banner;
 
 fn main() {
-    banner("Ablation", "sparse-storage format comparison (ResNet-50 weights)");
+    banner(
+        "Ablation",
+        "sparse-storage format comparison (ResNet-50 weights)",
+    );
     let model = zoo::resnet50();
     let params = model.total_params();
     let formats = [

@@ -1,0 +1,154 @@
+//! Cluster sweep: node count x dispatch policy x scenario, seed-averaged.
+//!
+//! The cluster-scale counterpart of the paper's Table 5: every dispatch
+//! policy serves identical request streams, per-node arrival rates stay
+//! at the paper's single-node operating points (3 samples/s per Eyeriss
+//! node, 30 per Sanger node), and each cell averages the configured seed
+//! count. Reports cluster ANTT, SLO violation rate, throughput, and load
+//! imbalance; `DYSTA_QUICK=1` drops to smoke-test scale.
+
+use dysta::cluster::{
+    balanced_mixed_serving_mix, simulate_cluster, AcceleratorKind, ClusterConfig, DispatchPolicy,
+};
+use dysta::core::Policy;
+use dysta::workload::{Scenario, WorkloadBuilder};
+use dysta_bench::{banner, Scale};
+
+struct Cell {
+    antt: f64,
+    violation: f64,
+    throughput: f64,
+    imbalance: f64,
+}
+
+/// One pool shape of the sweep.
+enum Pool {
+    Homogeneous(AcceleratorKind),
+    /// Half Eyeriss-V2, half Sanger (odd remainders go to Sanger).
+    Mixed,
+}
+
+fn pool_config(pool: &Pool, nodes: usize) -> ClusterConfig {
+    match pool {
+        Pool::Homogeneous(kind) => ClusterConfig::homogeneous(nodes, *kind, Policy::Dysta),
+        Pool::Mixed => ClusterConfig::heterogeneous(nodes / 2, nodes - nodes / 2, Policy::Dysta),
+    }
+}
+
+fn workload_builder(scenario: &SweepScenario, rate: f64) -> WorkloadBuilder {
+    match scenario {
+        SweepScenario::Preset(s) => WorkloadBuilder::new(*s).arrival_rate(rate),
+        SweepScenario::MixedTraffic => {
+            WorkloadBuilder::from_mix(balanced_mixed_serving_mix()).arrival_rate(rate)
+        }
+    }
+}
+
+enum SweepScenario {
+    Preset(Scenario),
+    /// CNN + AttNN traffic blended onto one pool.
+    MixedTraffic,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "cluster_sweep",
+        "node count x dispatch policy x scenario (seed-averaged)",
+    );
+
+    let sweeps: [(&str, SweepScenario, Pool, f64); 3] = [
+        (
+            "multi-cnn / eyeriss pool",
+            SweepScenario::Preset(Scenario::MultiCnn),
+            Pool::Homogeneous(AcceleratorKind::EyerissV2),
+            3.0,
+        ),
+        (
+            "multi-attnn / sanger pool",
+            SweepScenario::Preset(Scenario::MultiAttNn),
+            Pool::Homogeneous(AcceleratorKind::Sanger),
+            30.0,
+        ),
+        (
+            "mixed traffic / eyeriss+sanger pool",
+            SweepScenario::MixedTraffic,
+            Pool::Mixed,
+            10.0,
+        ),
+    ];
+
+    for (title, scenario, pool, per_node_rate) in &sweeps {
+        println!("\n=== {title} (rate {per_node_rate}/s per node) ===");
+        println!(
+            "{:<6} {:<14} {:>8} {:>9} {:>12} {:>10}",
+            "nodes", "dispatch", "ANTT", "viol %", "thr inf/s", "imbalance"
+        );
+        for nodes in [2usize, 4, 8] {
+            let mut rows: Vec<(DispatchPolicy, Cell)> = Vec::new();
+            for dispatch in DispatchPolicy::ALL {
+                let mut cell = Cell {
+                    antt: 0.0,
+                    violation: 0.0,
+                    throughput: 0.0,
+                    imbalance: 0.0,
+                };
+                for seed in 0..scale.seeds {
+                    let workload = workload_builder(scenario, per_node_rate * nodes as f64)
+                        .num_requests(scale.requests)
+                        .samples_per_variant(scale.samples_per_variant)
+                        .seed(seed * 7919 + 13)
+                        .build();
+                    let config = pool_config(pool, nodes);
+                    let report = simulate_cluster(&workload, dispatch.build().as_mut(), &config);
+                    cell.antt += report.antt();
+                    cell.violation += report.violation_rate();
+                    cell.throughput += report.throughput_inf_s();
+                    cell.imbalance += report.load_imbalance();
+                }
+                let n = scale.seeds as f64;
+                cell.antt /= n;
+                cell.violation /= n;
+                cell.throughput /= n;
+                cell.imbalance /= n;
+                rows.push((dispatch, cell));
+            }
+            for (dispatch, cell) in &rows {
+                println!(
+                    "{:<6} {:<14} {:>8.3} {:>8.1}% {:>12.1} {:>10.2}",
+                    nodes,
+                    dispatch.name(),
+                    cell.antt,
+                    cell.violation * 100.0,
+                    cell.throughput,
+                    cell.imbalance,
+                );
+            }
+            let rr = rows
+                .iter()
+                .find(|(d, _)| *d == DispatchPolicy::RoundRobin)
+                .expect("round-robin is in ALL");
+            for informed in [
+                DispatchPolicy::JoinShortestQueue,
+                DispatchPolicy::SparsityAffinity,
+            ] {
+                let row = rows
+                    .iter()
+                    .find(|(d, _)| *d == informed)
+                    .expect("policy is in ALL");
+                println!(
+                    "       -> {} vs round-robin ANTT: {:.3} vs {:.3} ({})",
+                    informed.name(),
+                    row.1.antt,
+                    rr.1.antt,
+                    if row.1.antt < rr.1.antt {
+                        "better"
+                    } else {
+                        "worse"
+                    },
+                );
+            }
+            println!();
+        }
+    }
+}

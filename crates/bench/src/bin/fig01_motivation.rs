@@ -14,7 +14,10 @@ fn main() {
     let generator = TraceGenerator::default();
 
     println!("(b) sparsity pattern at identical 83% rate (ResNet-50):");
-    for pattern in [SparsityPattern::RandomPointwise, SparsityPattern::ChannelWise] {
+    for pattern in [
+        SparsityPattern::RandomPointwise,
+        SparsityPattern::ChannelWise,
+    ] {
         let spec = SparseModelSpec::new(ModelId::ResNet50, pattern, 0.83);
         let traces = generator.generate(&spec, 32, 0);
         println!(

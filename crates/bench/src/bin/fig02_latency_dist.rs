@@ -12,7 +12,10 @@ use dysta::trace::{SparseModelSpec, TraceGenerator};
 use dysta_bench::{banner, print_histogram, Scale};
 
 fn main() {
-    banner("Figure 2", "normalized latency distribution of BERT's last layers");
+    banner(
+        "Figure 2",
+        "normalized latency distribution of BERT's last layers",
+    );
     let scale = Scale::from_env();
     let samples = (scale.samples_per_variant * 16).max(512);
     let spec = SparseModelSpec::new(ModelId::Bert, SparsityPattern::Dense, 0.0);

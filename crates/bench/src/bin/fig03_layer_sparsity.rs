@@ -10,7 +10,10 @@ use dysta::sparsity::{DatasetProfile, SampleSparsityGenerator};
 use dysta_bench::{banner, Scale};
 
 fn main() {
-    banner("Figure 3", "sparsity ratios of ResNet-50 and VGG-16 (last six layers)");
+    banner(
+        "Figure 3",
+        "sparsity ratios of ResNet-50 and VGG-16 (last six layers)",
+    );
     let scale = Scale::from_env();
     let samples = (scale.samples_per_variant * 16).max(512);
     for model in [zoo::resnet50(), zoo::vgg16()] {

@@ -12,7 +12,12 @@ use dysta::sparsity::stats::{mean, Histogram};
 use dysta::sparsity::{DatasetProfile, SampleSparsityGenerator, SparsityPattern};
 use dysta_bench::{banner, print_histogram, Scale};
 
-fn valid_macs(model: &ModelGraph, pattern: SparsityPattern, rate: f64, sample: &dysta::sparsity::SampleSparsity) -> f64 {
+fn valid_macs(
+    model: &ModelGraph,
+    pattern: SparsityPattern,
+    rate: f64,
+    sample: &dysta::sparsity::SampleSparsity,
+) -> f64 {
     let mut prev = 0.0;
     let mut total = 0.0;
     for (i, layer) in model.iter() {
@@ -30,7 +35,10 @@ fn valid_macs(model: &ModelGraph, pattern: SparsityPattern, rate: f64, sample: &
 }
 
 fn main() {
-    banner("Figure 4", "valid MACs: random vs channel pattern at equal rate");
+    banner(
+        "Figure 4",
+        "valid MACs: random vs channel pattern at equal rate",
+    );
     let scale = Scale::from_env();
     let samples = (scale.samples_per_variant * 8).max(256);
     for (model, rate) in [(zoo::resnet50(), 0.95), (zoo::mobilenet(), 0.80)] {
@@ -38,7 +46,10 @@ fn main() {
         let generator = SampleSparsityGenerator::new(&model, DatasetProfile::VisionMixture, 0);
         let draws = generator.samples(samples);
         let mut per_pattern = Vec::new();
-        for pattern in [SparsityPattern::RandomPointwise, SparsityPattern::ChannelWise] {
+        for pattern in [
+            SparsityPattern::RandomPointwise,
+            SparsityPattern::ChannelWise,
+        ] {
             let macs: Vec<f64> = draws
                 .iter()
                 .map(|s| valid_macs(&model, pattern, rate, s))

@@ -10,7 +10,10 @@ use dysta::workload::Scenario;
 use dysta_bench::{banner, compare_policies, Scale};
 
 fn main() {
-    banner("Figure 13", "optimization breakdown (PREMA -> +static -> +dynamic)");
+    banner(
+        "Figure 13",
+        "optimization breakdown (PREMA -> +static -> +dynamic)",
+    );
     let scale = Scale::from_env();
     let set = [Policy::Prema, Policy::DystaStatic, Policy::Dysta];
     for (title, scenario, rate) in [

@@ -16,7 +16,10 @@ const POLICIES: [Policy; 7] = [
 ];
 
 fn main() {
-    banner("Figure 14", "violation rate and ANTT across latency SLO multipliers");
+    banner(
+        "Figure 14",
+        "violation rate and ANTT across latency SLO multipliers",
+    );
     let scale = Scale::from_env();
     let multipliers = [10.0, 25.0, 50.0, 100.0, 150.0];
     for (title, scenario, rates) in [

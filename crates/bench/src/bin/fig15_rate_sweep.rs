@@ -57,7 +57,10 @@ fn sweep(title: &str, scenario: Scenario, rates: &[f64], scale: Scale) {
 }
 
 fn main() {
-    banner("Figure 15", "violation rate, throughput and ANTT across arrival rates");
+    banner(
+        "Figure 15",
+        "violation rate, throughput and ANTT across arrival rates",
+    );
     let scale = Scale::from_env();
     sweep(
         "Multi-AttNNs",
@@ -65,7 +68,12 @@ fn main() {
         &[10.0, 20.0, 30.0, 35.0, 40.0],
         scale,
     );
-    sweep("Multi-CNNs", Scenario::MultiCnn, &[2.0, 3.0, 4.0, 5.0, 6.0], scale);
+    sweep(
+        "Multi-CNNs",
+        Scenario::MultiCnn,
+        &[2.0, 3.0, 4.0, 5.0, 6.0],
+        scale,
+    );
     println!("shape to preserve: all metrics rise with the arrival rate;");
     println!("throughput is scheduler-independent (capacity-bound); Dysta");
     println!("stays lowest on violations and ANTT, tracking the Oracle, with");

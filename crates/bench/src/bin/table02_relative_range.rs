@@ -18,10 +18,7 @@ fn main() {
         (ModelId::InceptionV3, 23.0),
         (ModelId::ResNet50, 15.1),
     ];
-    println!(
-        "{:<12} {:>16} {:>14}",
-        "model", "measured [%]", "paper [%]"
-    );
+    println!("{:<12} {:>16} {:>14}", "model", "measured [%]", "paper [%]");
     for (id, paper_pct) in paper {
         let model = zoo::build(id);
         let generator = SampleSparsityGenerator::new(&model, DatasetProfile::VisionMixture, 0);

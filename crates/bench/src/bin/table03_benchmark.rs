@@ -2,8 +2,8 @@
 //! scenarios, and their profiled characteristics on the target hardware.
 
 use dysta::models::{zoo, ModelFamily, ModelId};
-use dysta::trace::{SparseModelSpec, TraceGenerator};
 use dysta::sparsity::SparsityPattern;
+use dysta::trace::{SparseModelSpec, TraceGenerator};
 use dysta_bench::banner;
 
 fn scenario_of(model: ModelId) -> (&'static str, &'static str) {
@@ -33,7 +33,11 @@ fn main() {
             } else {
                 SparsityPattern::Dense
             },
-            if id.family() == ModelFamily::Cnn { 0.8 } else { 0.0 },
+            if id.family() == ModelFamily::Cnn {
+                0.8
+            } else {
+                0.0
+            },
         );
         let traces = generator.generate(&spec, 16, 0);
         let (scenario, task) = scenario_of(id);

@@ -27,10 +27,23 @@ fn main() {
         ("dysta", 2.5, 2.0),
     ];
     for (title, scenario, rate, paper) in [
-        ("Multi-AttNNs @ 30 samples/s", Scenario::MultiAttNn, 30.0, &paper_attnn),
-        ("Multi-CNNs @ 3 samples/s", Scenario::MultiCnn, 3.0, &paper_cnn),
+        (
+            "Multi-AttNNs @ 30 samples/s",
+            Scenario::MultiAttNn,
+            30.0,
+            &paper_attnn,
+        ),
+        (
+            "Multi-CNNs @ 3 samples/s",
+            Scenario::MultiCnn,
+            3.0,
+            &paper_cnn,
+        ),
     ] {
-        println!("--- {title} (SLO x10, {} reqs, {} seeds) ---", scale.requests, scale.seeds);
+        println!(
+            "--- {title} (SLO x10, {} reqs, {} seeds) ---",
+            scale.requests, scale.seeds
+        );
         println!(
             "{:<14} {:>8} {:>10} | {:>10} {:>12}",
             "policy", "ANTT", "viol [%]", "paper ANTT", "paper viol"
@@ -44,10 +57,10 @@ fn main() {
             DystaConfig::default(),
         );
         for row in rows {
-            let reference = paper
-                .iter()
-                .find(|(name, _, _)| *name == row.policy.name());
-            let (pa, pv) = reference.map(|&(_, a, v)| (a, v)).unwrap_or((f64::NAN, f64::NAN));
+            let reference = paper.iter().find(|(name, _, _)| *name == row.policy.name());
+            let (pa, pv) = reference
+                .map(|&(_, a, v)| (a, v))
+                .unwrap_or((f64::NAN, f64::NAN));
             println!(
                 "{:<14} {:>8.2} {:>9.1}% | {:>10.1} {:>11.1}%",
                 row.policy.name(),

@@ -45,7 +45,10 @@ impl Scale {
 
     /// Picks the scale from the `DYSTA_QUICK` environment variable.
     pub fn from_env() -> Self {
-        if std::env::var("DYSTA_QUICK").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("DYSTA_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             Scale::quick()
         } else {
             Scale::paper()
@@ -72,7 +75,14 @@ pub fn compare_policies(
     policies: &[Policy],
     config: DystaConfig,
 ) -> Vec<PolicyMetrics> {
-    let mut acc = vec![Metrics { antt: 0.0, violation_rate: 0.0, throughput_inf_s: 0.0 }; policies.len()];
+    let mut acc = vec![
+        Metrics {
+            antt: 0.0,
+            violation_rate: 0.0,
+            throughput_inf_s: 0.0
+        };
+        policies.len()
+    ];
     for seed in 0..scale.seeds {
         let workload = WorkloadBuilder::new(scenario)
             .arrival_rate(arrival_rate)
@@ -138,7 +148,11 @@ mod tests {
             Scenario::MultiCnn,
             3.0,
             10.0,
-            Scale { requests: 20, seeds: 1, samples_per_variant: 4 },
+            Scale {
+                requests: 20,
+                seeds: 1,
+                samples_per_variant: 4,
+            },
             &[Policy::Fcfs, Policy::Dysta],
             DystaConfig::default(),
         );

@@ -1,0 +1,242 @@
+//! Cluster topology configuration.
+
+use dysta_core::{DystaConfig, Policy};
+use dysta_models::ModelFamily;
+use dysta_sim::EngineConfig;
+use dysta_trace::SparseModelSpec;
+use dysta_workload::Scenario;
+
+/// The accelerator installed in a node — one of the paper's two targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AcceleratorKind {
+    /// Eyeriss-V2: sparse CNN accelerator.
+    EyerissV2,
+    /// Sanger: sparse-attention accelerator.
+    Sanger,
+}
+
+impl AcceleratorKind {
+    /// The model family this accelerator was designed for (the paper's
+    /// pairing: Eyeriss-V2 for CNNs, Sanger for AttNNs).
+    pub fn native_family(self) -> ModelFamily {
+        match self {
+            AcceleratorKind::EyerissV2 => ModelFamily::Cnn,
+            AcceleratorKind::Sanger => ModelFamily::AttNn,
+        }
+    }
+
+    /// True when `family` runs at its profiled (native) speed here.
+    pub fn serves(self, family: ModelFamily) -> bool {
+        self.native_family() == family
+    }
+
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AcceleratorKind::EyerissV2 => "eyeriss-v2",
+            AcceleratorKind::Sanger => "sanger",
+        }
+    }
+}
+
+/// One node of the cluster: an accelerator plus the scheduler and engine
+/// parameters it runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeConfig {
+    /// Installed accelerator.
+    pub accelerator: AcceleratorKind,
+    /// Node-local scheduling policy.
+    pub policy: Policy,
+    /// Dysta hyperparameters (used by Dysta-family policies).
+    pub dysta: DystaConfig,
+    /// Node-local engine parameters.
+    pub engine: EngineConfig,
+    /// Service-time multiplier paid by requests whose model family does
+    /// not match the accelerator (weights and dataflow mapped onto
+    /// hardware that cannot exploit their sparsity structure). Must be
+    /// at least 1.
+    pub mismatch_slowdown: f64,
+}
+
+impl NodeConfig {
+    /// A node with default engine parameters and the workspace's default
+    /// mismatch penalty.
+    pub fn new(accelerator: AcceleratorKind, policy: Policy) -> Self {
+        NodeConfig {
+            accelerator,
+            policy,
+            dysta: DystaConfig::default(),
+            engine: EngineConfig::default(),
+            mismatch_slowdown: DEFAULT_MISMATCH_SLOWDOWN,
+        }
+    }
+
+    /// The service-time scale a request of `family` pays on this node.
+    pub fn scale_for(&self, family: ModelFamily) -> f64 {
+        if self.accelerator.serves(family) {
+            1.0
+        } else {
+            self.mismatch_slowdown
+        }
+    }
+}
+
+/// Default mismatch penalty: a sparse model on the wrong accelerator
+/// falls back to dense-equivalent execution of its dynamic layers,
+/// which the Phase-1 traces put at roughly 2–3× the native latency.
+pub const DEFAULT_MISMATCH_SLOWDOWN: f64 = 2.5;
+
+/// The mixed CNN+AttNN serving mix for heterogeneous pools, with load
+/// balanced across the pool halves: a Sanger node sustains roughly 10×
+/// an Eyeriss-V2 node's request rate (30 vs 3 samples/s at the paper's
+/// operating points), so AttNN requests outnumber CNN ones 10:1. The
+/// CNN mix weights sum to 4.0; scaling each AttNN weight by 40/3
+/// brings the AttNN total to 40.0.
+///
+/// Shared by the `cluster_sweep` bench, the `cluster_scaling` example,
+/// and the dispatch-ordering tests so they all exercise one traffic
+/// definition.
+pub fn balanced_mixed_serving_mix() -> Vec<(SparseModelSpec, f64)> {
+    let mut mix = Scenario::MultiCnn.mix();
+    mix.extend(
+        Scenario::MultiAttNn
+            .mix()
+            .into_iter()
+            .map(|(spec, w)| (spec, w * 40.0 / 3.0)),
+    );
+    mix
+}
+
+/// The whole cluster: an ordered list of nodes.
+///
+/// # Examples
+///
+/// ```
+/// use dysta_cluster::{AcceleratorKind, ClusterConfig};
+/// use dysta_core::Policy;
+///
+/// let pool = ClusterConfig::homogeneous(4, AcceleratorKind::EyerissV2, Policy::Dysta);
+/// assert_eq!(pool.len(), 4);
+/// let het = ClusterConfig::heterogeneous(2, 2, Policy::Dysta);
+/// assert_eq!(het.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Per-node configurations; node ids are indices into this list.
+    pub nodes: Vec<NodeConfig>,
+}
+
+impl ClusterConfig {
+    /// A cluster of identical nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn homogeneous(n: usize, accelerator: AcceleratorKind, policy: Policy) -> Self {
+        assert!(n > 0, "cluster needs at least one node");
+        ClusterConfig {
+            nodes: vec![NodeConfig::new(accelerator, policy); n],
+        }
+    }
+
+    /// A mixed pool: `eyeriss` CNN nodes followed by `sanger` attention
+    /// nodes, all running `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both counts are zero.
+    pub fn heterogeneous(eyeriss: usize, sanger: usize, policy: Policy) -> Self {
+        assert!(eyeriss + sanger > 0, "cluster needs at least one node");
+        let mut nodes = vec![NodeConfig::new(AcceleratorKind::EyerissV2, policy); eyeriss];
+        nodes.extend(vec![
+            NodeConfig::new(AcceleratorKind::Sanger, policy);
+            sanger
+        ]);
+        ClusterConfig { nodes }
+    }
+
+    /// A cluster from explicit node configs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty or any mismatch penalty is below 1.
+    pub fn from_nodes(nodes: Vec<NodeConfig>) -> Self {
+        assert!(!nodes.is_empty(), "cluster needs at least one node");
+        assert!(
+            nodes.iter().all(|n| n.mismatch_slowdown >= 1.0),
+            "mismatch slowdown must be >= 1"
+        );
+        ClusterConfig { nodes }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the cluster has no nodes (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Applies one engine configuration to every node.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        for node in &mut self.nodes {
+            node.engine = engine;
+        }
+        self
+    }
+
+    /// Applies one mismatch penalty to every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the penalty is below 1.
+    pub fn with_mismatch_slowdown(mut self, slowdown: f64) -> Self {
+        assert!(
+            slowdown >= 1.0 && slowdown.is_finite(),
+            "mismatch slowdown must be >= 1"
+        );
+        for node in &mut self.nodes {
+            node.mismatch_slowdown = slowdown;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairing_matches_paper() {
+        assert!(AcceleratorKind::EyerissV2.serves(ModelFamily::Cnn));
+        assert!(!AcceleratorKind::EyerissV2.serves(ModelFamily::AttNn));
+        assert!(AcceleratorKind::Sanger.serves(ModelFamily::AttNn));
+    }
+
+    #[test]
+    fn mismatch_scale_applies_to_foreign_family_only() {
+        let node = NodeConfig::new(AcceleratorKind::Sanger, Policy::Fcfs);
+        assert_eq!(node.scale_for(ModelFamily::AttNn), 1.0);
+        assert_eq!(node.scale_for(ModelFamily::Cnn), DEFAULT_MISMATCH_SLOWDOWN);
+    }
+
+    #[test]
+    fn heterogeneous_layout_is_eyeriss_then_sanger() {
+        let c = ClusterConfig::heterogeneous(2, 3, Policy::Sjf);
+        assert_eq!(c.len(), 5);
+        assert!(c.nodes[..2]
+            .iter()
+            .all(|n| n.accelerator == AcceleratorKind::EyerissV2));
+        assert!(c.nodes[2..]
+            .iter()
+            .all(|n| n.accelerator == AcceleratorKind::Sanger));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_rejected() {
+        let _ = ClusterConfig::homogeneous(0, AcceleratorKind::EyerissV2, Policy::Fcfs);
+    }
+}

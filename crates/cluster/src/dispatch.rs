@@ -1,0 +1,324 @@
+//! Pluggable request-dispatch policies.
+//!
+//! The dispatcher is the cluster-level analogue of the node-level
+//! [`dysta_core::Scheduler`]: it is consulted once per request, at the
+//! request's arrival time, with a snapshot of every node as it could
+//! have been observed at that instant, and returns the node that will
+//! serve the request. Routing is immediate and final (no migration —
+//! recorded as a follow-on in ROADMAP.md).
+
+use dysta_core::ModelInfoLut;
+use dysta_workload::Request;
+
+use crate::AcceleratorKind;
+
+/// What a dispatcher can observe about one node at a scheduling point.
+///
+/// Snapshots are plain data, computed eagerly for every node at every
+/// arrival so dispatchers stay pure functions over them; if dispatch
+/// cost ever matters at much larger pool sizes, the backlog estimates
+/// are the fields to make lazy.
+///
+/// The two backlog figures mirror the information tiers the paper's
+/// schedulers work with: `lut_backlog_ns` is the static, profiled
+/// estimate any dispatcher could precompute, while
+/// `predicted_backlog_ns` folds in the runtime sparsity monitor via the
+/// [`dysta_core::SparseLatencyPredictor`] — the cluster-level use of the
+/// paper's Algorithm 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeView {
+    /// Node id (index into the cluster's node list).
+    pub id: usize,
+    /// Installed accelerator.
+    pub accelerator: AcceleratorKind,
+    /// Node-local clock.
+    pub now_ns: u64,
+    /// Unfinished requests on the node (admitted + queued).
+    pub queue_len: usize,
+    /// Remaining queued work estimated from LUT averages, scaled by each
+    /// request's node-local service-time multiplier.
+    pub lut_backlog_ns: f64,
+    /// Remaining queued work estimated by the sparse latency predictor
+    /// from each in-flight request's monitored sparsity stream.
+    pub predicted_backlog_ns: f64,
+    /// Service time the node has executed so far.
+    pub busy_ns: u64,
+}
+
+/// A cluster-level request router.
+pub trait Dispatcher {
+    /// Stable lower-case policy name (used in sweep tables).
+    fn name(&self) -> &str;
+
+    /// Chooses the node that will serve `request`. Returns an index into
+    /// `nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `nodes` is empty; the cluster engine
+    /// never calls with an empty pool.
+    fn dispatch(&mut self, request: &Request, nodes: &[NodeView], lut: &ModelInfoLut) -> usize;
+}
+
+/// Cycles through nodes in order, ignoring load — the baseline every
+/// smarter policy has to beat.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin dispatcher starting at node 0.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Dispatcher for RoundRobin {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn dispatch(&mut self, _request: &Request, nodes: &[NodeView], _lut: &ModelInfoLut) -> usize {
+        let pick = self.next % nodes.len();
+        self.next = (self.next + 1) % nodes.len();
+        pick
+    }
+}
+
+/// Join-shortest-queue by *queued work*: routes to the node with the
+/// least LUT-estimated backlog (not the shortest request count, which
+/// mis-ranks nodes holding a few long requests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinShortestQueue;
+
+impl JoinShortestQueue {
+    /// Creates a JSQ dispatcher.
+    pub fn new() -> Self {
+        JoinShortestQueue
+    }
+}
+
+impl Dispatcher for JoinShortestQueue {
+    fn name(&self) -> &str {
+        "jsq"
+    }
+
+    fn dispatch(&mut self, _request: &Request, nodes: &[NodeView], _lut: &ModelInfoLut) -> usize {
+        nodes
+            .iter()
+            .min_by(|a, b| {
+                a.lut_backlog_ns
+                    .total_cmp(&b.lut_backlog_ns)
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|n| n.id)
+            .expect("cluster engine never passes an empty pool")
+    }
+}
+
+/// Least-estimated-load: like JSQ but ranking nodes by the sparse
+/// latency predictor's backlog estimate, so a node whose in-flight
+/// requests were monitored to be sparser (and will finish sooner) is
+/// preferred over one that merely *looks* equally loaded in the LUT.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeastLoaded;
+
+impl LeastLoaded {
+    /// Creates a least-estimated-load dispatcher.
+    pub fn new() -> Self {
+        LeastLoaded
+    }
+}
+
+impl Dispatcher for LeastLoaded {
+    fn name(&self) -> &str {
+        "least-loaded"
+    }
+
+    fn dispatch(&mut self, _request: &Request, nodes: &[NodeView], _lut: &ModelInfoLut) -> usize {
+        nodes
+            .iter()
+            .min_by(|a, b| by_predicted_backlog(a, b))
+            .map(|n| n.id)
+            .expect("cluster engine never passes an empty pool")
+    }
+}
+
+/// Sparsity/LUT-aware affinity: restricts candidates to nodes whose
+/// accelerator natively serves the request's model family (CNNs to
+/// Eyeriss-V2, AttNNs to Sanger), then picks the least
+/// predictor-estimated load among them. Falls back to the whole pool
+/// (by predicted load) when no node natively serves the family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SparsityAffinity;
+
+impl SparsityAffinity {
+    /// Creates an affinity dispatcher.
+    pub fn new() -> Self {
+        SparsityAffinity
+    }
+}
+
+impl Dispatcher for SparsityAffinity {
+    fn name(&self) -> &str {
+        "affinity"
+    }
+
+    fn dispatch(&mut self, request: &Request, nodes: &[NodeView], _lut: &ModelInfoLut) -> usize {
+        let family = request.spec.model.family();
+        nodes
+            .iter()
+            .filter(|n| n.accelerator.serves(family))
+            .min_by(|a, b| by_predicted_backlog(a, b))
+            .or_else(|| nodes.iter().min_by(|a, b| by_predicted_backlog(a, b)))
+            .map(|n| n.id)
+            .expect("cluster engine never passes an empty pool")
+    }
+}
+
+/// Shared ranking: least predictor-estimated backlog, node-id tie-break.
+fn by_predicted_backlog(a: &NodeView, b: &NodeView) -> std::cmp::Ordering {
+    a.predicted_backlog_ns
+        .total_cmp(&b.predicted_backlog_ns)
+        .then(a.id.cmp(&b.id))
+}
+
+/// Every shipped dispatch policy, as a constructible enum (the sweep
+/// harness iterates this the way `Policy::ALL` iterates schedulers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DispatchPolicy {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`JoinShortestQueue`].
+    JoinShortestQueue,
+    /// [`LeastLoaded`].
+    LeastLoaded,
+    /// [`SparsityAffinity`].
+    SparsityAffinity,
+}
+
+impl DispatchPolicy {
+    /// All policies, baseline first.
+    pub const ALL: [DispatchPolicy; 4] = [
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::JoinShortestQueue,
+        DispatchPolicy::LeastLoaded,
+        DispatchPolicy::SparsityAffinity,
+    ];
+
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchPolicy::RoundRobin => "round-robin",
+            DispatchPolicy::JoinShortestQueue => "jsq",
+            DispatchPolicy::LeastLoaded => "least-loaded",
+            DispatchPolicy::SparsityAffinity => "affinity",
+        }
+    }
+
+    /// Instantiates the dispatcher.
+    pub fn build(self) -> Box<dyn Dispatcher> {
+        match self {
+            DispatchPolicy::RoundRobin => Box::new(RoundRobin::new()),
+            DispatchPolicy::JoinShortestQueue => Box::new(JoinShortestQueue::new()),
+            DispatchPolicy::LeastLoaded => Box::new(LeastLoaded::new()),
+            DispatchPolicy::SparsityAffinity => Box::new(SparsityAffinity::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for DispatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysta_models::ModelId;
+    use dysta_sparsity::SparsityPattern;
+    use dysta_trace::SparseModelSpec;
+
+    fn view(id: usize, accelerator: AcceleratorKind, lut: f64, predicted: f64) -> NodeView {
+        NodeView {
+            id,
+            accelerator,
+            now_ns: 0,
+            queue_len: 0,
+            lut_backlog_ns: lut,
+            predicted_backlog_ns: predicted,
+            busy_ns: 0,
+        }
+    }
+
+    fn cnn_request() -> Request {
+        Request {
+            id: 0,
+            spec: SparseModelSpec::new(ModelId::ResNet50, SparsityPattern::RandomPointwise, 0.8),
+            sample_index: 0,
+            arrival_ns: 0,
+            slo_ns: 1_000_000_000,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let views = [
+            view(0, AcceleratorKind::EyerissV2, 0.0, 0.0),
+            view(1, AcceleratorKind::EyerissV2, 0.0, 0.0),
+        ];
+        let mut rr = RoundRobin::new();
+        let lut = ModelInfoLut::default();
+        let req = cnn_request();
+        assert_eq!(rr.dispatch(&req, &views, &lut), 0);
+        assert_eq!(rr.dispatch(&req, &views, &lut), 1);
+        assert_eq!(rr.dispatch(&req, &views, &lut), 0);
+    }
+
+    #[test]
+    fn jsq_follows_lut_backlog_least_loaded_follows_predictor() {
+        // Node 0 looks busier in the LUT but its in-flight work was
+        // monitored to be sparse (small predicted backlog); the two
+        // policies must disagree exactly here.
+        let views = [
+            view(0, AcceleratorKind::EyerissV2, 10.0, 1.0),
+            view(1, AcceleratorKind::EyerissV2, 5.0, 8.0),
+        ];
+        let lut = ModelInfoLut::default();
+        let req = cnn_request();
+        assert_eq!(JoinShortestQueue::new().dispatch(&req, &views, &lut), 1);
+        assert_eq!(LeastLoaded::new().dispatch(&req, &views, &lut), 0);
+    }
+
+    #[test]
+    fn affinity_prefers_native_accelerator_even_when_busier() {
+        let views = [
+            view(0, AcceleratorKind::Sanger, 0.0, 0.0),
+            view(1, AcceleratorKind::EyerissV2, 5.0, 5.0),
+            view(2, AcceleratorKind::EyerissV2, 3.0, 3.0),
+        ];
+        let lut = ModelInfoLut::default();
+        let req = cnn_request();
+        assert_eq!(SparsityAffinity::new().dispatch(&req, &views, &lut), 2);
+    }
+
+    #[test]
+    fn affinity_falls_back_to_whole_pool() {
+        let views = [
+            view(0, AcceleratorKind::Sanger, 2.0, 2.0),
+            view(1, AcceleratorKind::Sanger, 1.0, 1.0),
+        ];
+        let lut = ModelInfoLut::default();
+        let req = cnn_request();
+        assert_eq!(SparsityAffinity::new().dispatch(&req, &views, &lut), 1);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        for policy in DispatchPolicy::ALL {
+            assert_eq!(policy.build().name(), policy.name());
+        }
+    }
+}

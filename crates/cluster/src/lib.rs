@@ -1,1 +1,68 @@
-//! Placeholder — replaced by the cluster subsystem implementation.
+//! Multi-accelerator cluster simulation (`dysta-cluster`).
+//!
+//! The paper schedules multi-DNN workloads on a *single* time-shared
+//! accelerator; this crate opens the scale-out dimension the ROADMAP's
+//! production north-star needs: a pool of N accelerator nodes — each a
+//! resumable [`dysta_sim::NodeEngine`] running its own scheduling policy
+//! — behind a pluggable cluster-level [`Dispatcher`].
+//!
+//! * [`ClusterConfig`] describes the pool: node count, per-node engine
+//!   parameters, and a (possibly heterogeneous) accelerator mix of
+//!   Eyeriss-V2 CNN nodes and Sanger attention nodes. Requests routed to
+//!   a mismatched accelerator pay a configurable service-time penalty.
+//! * [`Dispatcher`] is consulted once per request at its arrival time
+//!   with causal [`NodeView`] snapshots. Four policies ship:
+//!   [`RoundRobin`], [`JoinShortestQueue`] (by LUT-estimated queued
+//!   work), [`LeastLoaded`] (by the sparse latency predictor's estimate
+//!   — the paper's Algorithm 3 applied at cluster level), and
+//!   [`SparsityAffinity`] (family-matched routing for heterogeneous
+//!   pools).
+//! * [`ClusterReport`] aggregates per-node [`dysta_sim::SimReport`]s
+//!   into cluster-wide ANTT / SLO-violation / throughput plus per-node
+//!   utilization and load imbalance.
+//!
+//! A cluster of one node behind any dispatcher reproduces the
+//! single-node [`dysta_sim::simulate`] results exactly (pinned by this
+//! crate's parity tests).
+//!
+//! # Examples
+//!
+//! ```
+//! use dysta_cluster::{simulate_cluster, ClusterConfig, DispatchPolicy};
+//! use dysta_core::Policy;
+//! use dysta_workload::{Scenario, WorkloadBuilder};
+//!
+//! let workload = WorkloadBuilder::new(Scenario::MultiAttNn)
+//!     .num_requests(60)
+//!     .samples_per_variant(4)
+//!     .seed(7)
+//!     .build();
+//! let pool = ClusterConfig::heterogeneous(2, 2, Policy::Dysta);
+//! let report = simulate_cluster(
+//!     &workload,
+//!     DispatchPolicy::SparsityAffinity.build().as_mut(),
+//!     &pool,
+//! );
+//! assert_eq!(report.completed_total(), 60);
+//! assert!(report.antt() >= 1.0);
+//! assert!(report.load_imbalance() >= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod dispatch;
+mod engine;
+mod report;
+
+pub use config::{
+    balanced_mixed_serving_mix, AcceleratorKind, ClusterConfig, NodeConfig,
+    DEFAULT_MISMATCH_SLOWDOWN,
+};
+pub use dispatch::{
+    DispatchPolicy, Dispatcher, JoinShortestQueue, LeastLoaded, NodeView, RoundRobin,
+    SparsityAffinity,
+};
+pub use engine::simulate_cluster;
+pub use report::{ClusterReport, NodeReport};

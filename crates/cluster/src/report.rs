@@ -1,0 +1,209 @@
+//! Cluster-wide aggregation of per-node simulation results.
+
+use dysta_sim::{CompletedRequest, Metrics, SimReport};
+
+use crate::AcceleratorKind;
+
+/// One node's outcome inside a cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeReport {
+    /// Node id (index into the cluster config).
+    pub node_id: usize,
+    /// The node's accelerator.
+    pub accelerator: AcceleratorKind,
+    /// Requests routed to the node.
+    pub routed: usize,
+    /// Service time the node executed (ns).
+    pub busy_ns: u64,
+    /// The node's completion record.
+    pub report: SimReport,
+}
+
+/// The full outcome of one cluster simulation.
+///
+/// Aggregates the paper's evaluation triple (ANTT / SLO violation rate /
+/// throughput) over every request regardless of which node served it,
+/// plus the cluster-only metrics: per-node utilization and load
+/// imbalance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    nodes: Vec<NodeReport>,
+}
+
+impl ClusterReport {
+    /// Assembles a report from per-node results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty or no node completed any request.
+    pub fn new(nodes: Vec<NodeReport>) -> Self {
+        assert!(!nodes.is_empty(), "cluster report needs nodes");
+        assert!(
+            nodes.iter().any(|n| !n.report.completed().is_empty()),
+            "cluster report needs at least one completion"
+        );
+        ClusterReport { nodes }
+    }
+
+    /// Per-node outcomes, in node-id order.
+    pub fn nodes(&self) -> &[NodeReport] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterates every completed request across all nodes.
+    pub fn completed(&self) -> impl Iterator<Item = &CompletedRequest> {
+        self.nodes.iter().flat_map(|n| n.report.completed().iter())
+    }
+
+    /// Total completed requests.
+    pub fn completed_total(&self) -> usize {
+        self.nodes.iter().map(|n| n.report.completed().len()).sum()
+    }
+
+    /// Cluster ANTT: the mean normalized turnaround over every request
+    /// served anywhere in the pool.
+    pub fn antt(&self) -> f64 {
+        let total = self.completed_total();
+        self.completed()
+            .map(CompletedRequest::normalized_turnaround)
+            .sum::<f64>()
+            / total as f64
+    }
+
+    /// Cluster SLO violation rate in `[0, 1]`.
+    pub fn violation_rate(&self) -> f64 {
+        let total = self.completed_total();
+        self.completed().filter(|c| c.violated()).count() as f64 / total as f64
+    }
+
+    /// The cluster observation window: first arrival to last completion
+    /// across all nodes, in nanoseconds.
+    pub fn span_ns(&self) -> u64 {
+        let first = self.completed().map(|c| c.arrival_ns).min().unwrap_or(0);
+        let last = self
+            .completed()
+            .map(|c| c.completion_ns)
+            .max()
+            .unwrap_or(first);
+        last.saturating_sub(first)
+    }
+
+    /// Cluster throughput: completions per second of the observation
+    /// window.
+    pub fn throughput_inf_s(&self) -> f64 {
+        let span_s = self.span_ns() as f64 / 1e9;
+        if span_s <= 0.0 {
+            0.0
+        } else {
+            self.completed_total() as f64 / span_s
+        }
+    }
+
+    /// The evaluation triple, cluster-wide.
+    pub fn metrics(&self) -> Metrics {
+        Metrics {
+            antt: self.antt(),
+            violation_rate: self.violation_rate(),
+            throughput_inf_s: self.throughput_inf_s(),
+        }
+    }
+
+    /// Per-node utilization: each node's busy time over the shared
+    /// observation window, in `[0, 1]` (a node can idle-wait while the
+    /// window runs, never exceed it).
+    pub fn per_node_utilization(&self) -> Vec<f64> {
+        let span = self.span_ns().max(1) as f64;
+        self.nodes
+            .iter()
+            .map(|n| (n.busy_ns as f64 / span).min(1.0))
+            .collect()
+    }
+
+    /// Load imbalance: the busiest node's service time over the mean —
+    /// 1.0 is a perfectly balanced pool, `num_nodes()` is one node doing
+    /// all the work. Defined as 1.0 for an all-idle pool.
+    pub fn load_imbalance(&self) -> f64 {
+        let busy: Vec<f64> = self.nodes.iter().map(|n| n.busy_ns as f64).collect();
+        let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            busy.iter().cloned().fold(0.0f64, f64::max) / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysta_models::ModelId;
+    use dysta_sparsity::SparsityPattern;
+    use dysta_trace::SparseModelSpec;
+
+    fn completion(id: u64, arrival: u64, completion: u64, isolated: u64) -> CompletedRequest {
+        CompletedRequest {
+            id,
+            spec: SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::Dense, 0.0),
+            arrival_ns: arrival,
+            completion_ns: completion,
+            isolated_ns: isolated,
+            slo_ns: u64::MAX / 2,
+        }
+    }
+
+    fn node(id: usize, completed: Vec<CompletedRequest>, busy_ns: u64) -> NodeReport {
+        NodeReport {
+            node_id: id,
+            accelerator: AcceleratorKind::EyerissV2,
+            routed: completed.len(),
+            busy_ns,
+            report: SimReport::new(completed, 0, 0),
+        }
+    }
+
+    #[test]
+    fn antt_spans_all_nodes() {
+        // NTT 2.0 on node 0, NTT 4.0 on node 1 -> cluster ANTT 3.0.
+        let r = ClusterReport::new(vec![
+            node(0, vec![completion(0, 0, 20, 10)], 10),
+            node(1, vec![completion(1, 0, 40, 10)], 10),
+        ]);
+        assert!((r.antt() - 3.0).abs() < 1e-12);
+        assert_eq!(r.completed_total(), 2);
+    }
+
+    #[test]
+    fn idle_nodes_are_tolerated_and_show_in_imbalance() {
+        let r = ClusterReport::new(vec![
+            node(0, vec![completion(0, 0, 20, 10)], 20),
+            node(1, Vec::new(), 0),
+        ]);
+        assert_eq!(r.completed_total(), 1);
+        // One node did everything: imbalance = max/mean = 20/10.
+        assert!((r.load_imbalance() - 2.0).abs() < 1e-12);
+        let util = r.per_node_utilization();
+        assert!(util[0] > 0.0);
+        assert_eq!(util[1], 0.0);
+    }
+
+    #[test]
+    fn throughput_uses_cluster_window() {
+        let r = ClusterReport::new(vec![
+            node(0, vec![completion(0, 0, 1_000_000_000, 10)], 10),
+            node(1, vec![completion(1, 500_000_000, 2_000_000_000, 10)], 10),
+        ]);
+        // 2 completions over the 2-second window.
+        assert!((r.throughput_inf_s() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one completion")]
+    fn all_idle_cluster_rejected() {
+        let _ = ClusterReport::new(vec![node(0, Vec::new(), 0)]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Cluster-level integration tests: single-node parity, determinism,
+//! and the dispatch-policy orderings the bench sweep reports.
+
+use dysta_cluster::{
+    balanced_mixed_serving_mix, simulate_cluster, AcceleratorKind, ClusterConfig, DispatchPolicy,
+};
+use dysta_core::Policy;
+use dysta_sim::{simulate, EngineConfig};
+use dysta_workload::{Scenario, Workload, WorkloadBuilder};
+
+fn workload(scenario: Scenario, rate: f64, n: usize, seed: u64) -> Workload {
+    WorkloadBuilder::new(scenario)
+        .arrival_rate(rate)
+        .num_requests(n)
+        .samples_per_variant(8)
+        .seed(seed)
+        .build()
+}
+
+/// The heterogeneous serving mix: CNN perception plus AttNN assistant
+/// traffic on one shared pool, balanced per
+/// [`balanced_mixed_serving_mix`].
+fn mixed_workload(rate: f64, n: usize, seed: u64) -> Workload {
+    WorkloadBuilder::from_mix(balanced_mixed_serving_mix())
+        .arrival_rate(rate)
+        .num_requests(n)
+        .samples_per_variant(8)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn one_node_cluster_reproduces_single_node_simulate_exactly() {
+    for (scenario, kind) in [
+        (Scenario::MultiCnn, AcceleratorKind::EyerissV2),
+        (Scenario::MultiAttNn, AcceleratorKind::Sanger),
+    ] {
+        let w = workload(scenario, 3.0, 60, 11);
+        for policy in [Policy::Fcfs, Policy::Sjf, Policy::Dysta, Policy::Oracle] {
+            let single = simulate(&w, policy.build().as_mut(), &EngineConfig::default());
+            for dispatch in DispatchPolicy::ALL {
+                let pool = ClusterConfig::homogeneous(1, kind, policy);
+                let cluster = simulate_cluster(&w, dispatch.build().as_mut(), &pool);
+                assert_eq!(cluster.num_nodes(), 1);
+                let node = &cluster.nodes()[0];
+                assert_eq!(
+                    node.report.completed(),
+                    single.completed(),
+                    "{policy}/{dispatch} on {scenario:?}"
+                );
+                assert_eq!(node.report.preemptions(), single.preemptions());
+                assert_eq!(
+                    node.report.scheduler_invocations(),
+                    single.scheduler_invocations()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn identical_seeds_produce_identical_cluster_reports() {
+    let w1 = mixed_workload(30.0, 150, 42);
+    let w2 = mixed_workload(30.0, 150, 42);
+    let pool = ClusterConfig::heterogeneous(2, 2, Policy::Dysta);
+    for dispatch in DispatchPolicy::ALL {
+        let a = simulate_cluster(&w1, dispatch.build().as_mut(), &pool);
+        let b = simulate_cluster(&w2, dispatch.build().as_mut(), &pool);
+        assert_eq!(a, b, "{dispatch}");
+    }
+}
+
+#[test]
+fn every_dispatch_policy_serves_every_pool_shape() {
+    let pools = [
+        (
+            ClusterConfig::homogeneous(4, AcceleratorKind::EyerissV2, Policy::Dysta),
+            workload(Scenario::MultiCnn, 12.0, 120, 5),
+        ),
+        (
+            ClusterConfig::homogeneous(5, AcceleratorKind::Sanger, Policy::Dysta),
+            workload(Scenario::MultiAttNn, 150.0, 120, 5),
+        ),
+        (
+            ClusterConfig::heterogeneous(2, 2, Policy::Dysta),
+            mixed_workload(30.0, 120, 5),
+        ),
+    ];
+    for (pool, w) in &pools {
+        for dispatch in DispatchPolicy::ALL {
+            let report = simulate_cluster(w, dispatch.build().as_mut(), pool);
+            assert_eq!(report.completed_total(), 120, "{dispatch}");
+            // Exactly-once completion across the whole pool.
+            let mut ids: Vec<u64> = report.completed().map(|c| c.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 120, "{dispatch}: duplicated or lost requests");
+            let routed: usize = report.nodes().iter().map(|n| n.routed).sum();
+            assert_eq!(routed, 120);
+            assert!(report.antt() >= 1.0, "{dispatch}");
+            assert!((0.0..=1.0).contains(&report.violation_rate()));
+            assert!(report.throughput_inf_s() > 0.0);
+            assert!(report.load_imbalance() >= 1.0);
+            assert!(report
+                .per_node_utilization()
+                .iter()
+                .all(|u| (0.0..=1.0).contains(u)));
+        }
+    }
+}
+
+#[test]
+fn informed_dispatch_beats_round_robin_on_homogeneous_pools() {
+    // Seed-averaged at the paper's per-node operating points (3 samples/s
+    // per CNN node, 30 samples/s per Sanger node) — the comparison the
+    // bench sweep prints.
+    let configs = [
+        (Scenario::MultiCnn, AcceleratorKind::EyerissV2, 3.0),
+        (Scenario::MultiAttNn, AcceleratorKind::Sanger, 30.0),
+    ];
+    let nodes = 4;
+    for (scenario, kind, per_node_rate) in configs {
+        let antt = |dispatch: DispatchPolicy| {
+            let mut total = 0.0;
+            for seed in 0..5u64 {
+                let w = workload(
+                    scenario,
+                    per_node_rate * nodes as f64,
+                    250,
+                    seed * 7919 + 13,
+                );
+                let pool = ClusterConfig::homogeneous(nodes, kind, Policy::Dysta);
+                total += simulate_cluster(&w, dispatch.build().as_mut(), &pool).antt();
+            }
+            total / 5.0
+        };
+        let rr = antt(DispatchPolicy::RoundRobin);
+        let jsq = antt(DispatchPolicy::JoinShortestQueue);
+        let affinity = antt(DispatchPolicy::SparsityAffinity);
+        assert!(jsq < rr, "{scenario:?}: jsq {jsq} vs rr {rr}");
+        assert!(
+            affinity < rr,
+            "{scenario:?}: affinity {affinity} vs rr {rr}"
+        );
+    }
+}
+
+#[test]
+fn affinity_wins_on_heterogeneous_pools() {
+    // On a mixed Eyeriss+Sanger pool serving mixed traffic, family-aware
+    // routing avoids the mismatch penalty that backlog-only policies
+    // keep paying.
+    let antt = |dispatch: DispatchPolicy| {
+        let mut total = 0.0;
+        for seed in 0..5u64 {
+            // The bench sweep's operating point: 10 samples/s per node.
+            let w = mixed_workload(40.0, 250, seed * 104_729 + 7);
+            let pool = ClusterConfig::heterogeneous(2, 2, Policy::Dysta);
+            total += simulate_cluster(&w, dispatch.build().as_mut(), &pool).antt();
+        }
+        total / 5.0
+    };
+    let rr = antt(DispatchPolicy::RoundRobin);
+    let affinity = antt(DispatchPolicy::SparsityAffinity);
+    assert!(affinity < rr, "affinity {affinity} vs rr {rr}");
+}
+
+#[test]
+fn mismatched_pool_pays_the_slowdown() {
+    // The same CNN workload on an all-Sanger pool must turn around
+    // slower than on an all-Eyeriss pool of the same size.
+    let w = workload(Scenario::MultiCnn, 6.0, 100, 21);
+    let native = ClusterConfig::homogeneous(2, AcceleratorKind::EyerissV2, Policy::Dysta);
+    let foreign = ClusterConfig::homogeneous(2, AcceleratorKind::Sanger, Policy::Dysta);
+    let native = simulate_cluster(
+        &w,
+        DispatchPolicy::JoinShortestQueue.build().as_mut(),
+        &native,
+    );
+    let foreign = simulate_cluster(
+        &w,
+        DispatchPolicy::JoinShortestQueue.build().as_mut(),
+        &foreign,
+    );
+    assert!(
+        foreign.antt() > native.antt(),
+        "foreign {} vs native {}",
+        foreign.antt(),
+        native.antt()
+    );
+}
+
+#[test]
+fn adding_nodes_improves_turnaround() {
+    let w = workload(Scenario::MultiCnn, 12.0, 150, 31);
+    let antt = |n: usize| {
+        let pool = ClusterConfig::homogeneous(n, AcceleratorKind::EyerissV2, Policy::Dysta);
+        simulate_cluster(
+            &w,
+            DispatchPolicy::JoinShortestQueue.build().as_mut(),
+            &pool,
+        )
+        .antt()
+    };
+    let two = antt(2);
+    let eight = antt(8);
+    assert!(eight < two, "8 nodes {eight} vs 2 nodes {two}");
+}

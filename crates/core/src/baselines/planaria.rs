@@ -47,9 +47,7 @@ impl Scheduler for Planaria {
                 infeasible(a)
                     .cmp(&infeasible(b))
                     .then(a.deadline_ns().cmp(&b.deadline_ns()))
-                    .then_with(|| {
-                        lut_remaining_ns(a, lut).total_cmp(&lut_remaining_ns(b, lut))
-                    })
+                    .then_with(|| lut_remaining_ns(a, lut).total_cmp(&lut_remaining_ns(b, lut)))
                     .then(a.id.cmp(&b.id))
             })
             .map(|(i, _)| i)

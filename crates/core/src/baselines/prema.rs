@@ -85,7 +85,10 @@ impl Prema {
     }
 
     fn priority(&self, task: &TaskState) -> f64 {
-        self.priorities.get(&task.spec.model).copied().unwrap_or(1.0)
+        self.priorities
+            .get(&task.spec.model)
+            .copied()
+            .unwrap_or(1.0)
     }
 
     fn age_tokens(&mut self, queue: &[&TaskState], lut: &ModelInfoLut, now_ns: u64) {
@@ -223,8 +226,7 @@ mod tests {
         // it must reach candidacy and beat the (otherwise preferred)
         // short job.
         let boost = 50.0;
-        let mut p =
-            Prema::new(1.0).with_priorities([(dysta_models::ModelId::Vgg16, boost)]);
+        let mut p = Prema::new(1.0).with_priorities([(dysta_models::ModelId::Vgg16, boost)]);
         let long_task = mk(0, big, 0);
         let short_task = mk(1, small, 0);
         // Wait long enough that only the boosted task crosses threshold:
@@ -232,7 +234,10 @@ mod tests {
         let iso_big = lut.expect(&big).avg_latency_ns();
         let iso_small = lut.expect(&small).avg_latency_ns();
         let wait = (iso_big / boost * 1.5) as u64;
-        assert!((wait as f64) < iso_small, "test premise: small stays below threshold");
+        assert!(
+            (wait as f64) < iso_small,
+            "test premise: small stays below threshold"
+        );
         let queue = [&long_task, &short_task];
         let idx = p.pick_next(&queue, &lut, wait);
         assert_eq!(idx, 0, "high-priority long job must preempt");

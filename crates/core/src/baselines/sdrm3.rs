@@ -57,8 +57,7 @@ impl Sdrm3 {
         } else {
             (remaining / slack).min(10.0)
         };
-        let turnaround =
-            (now_ns.saturating_sub(task.arrival_ns)) as f64 + remaining;
+        let turnaround = (now_ns.saturating_sub(task.arrival_ns)) as f64 + remaining;
         let fairness = turnaround / isolated;
         self.alpha * urgency + (1.0 - self.alpha) * fairness
     }

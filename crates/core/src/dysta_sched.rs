@@ -268,7 +268,10 @@ mod tests {
 
     #[test]
     fn static_score_balances_latency_and_slack() {
-        let cfg = DystaConfig { beta: 0.5, eta: 0.4 };
+        let cfg = DystaConfig {
+            beta: 0.5,
+            eta: 0.4,
+        };
         // lat 10ms, slo 100ms -> slack 90ms -> score 10 + 45 = 55.
         let s = cfg.static_score_ms(10e6, 100_000_000);
         assert!((s - 55.0).abs() < 1e-9);
@@ -276,7 +279,10 @@ mod tests {
 
     #[test]
     fn beta_zero_reduces_static_score_to_latency() {
-        let cfg = DystaConfig { beta: 0.0, eta: 0.4 };
+        let cfg = DystaConfig {
+            beta: 0.0,
+            eta: 0.4,
+        };
         assert!((cfg.static_score_ms(10e6, 100_000_000) - 10.0).abs() < 1e-9);
     }
 
@@ -315,7 +321,10 @@ mod tests {
         let mut dense_task = mk(0, spec, 0, u64::MAX / 4);
         dense_task.next_layer = dyn_layer + 1;
         dense_task.monitored = vec![
-            MonitoredLayer { sparsity: 0.0, latency_ns: 1 };
+            MonitoredLayer {
+                sparsity: 0.0,
+                latency_ns: 1
+            };
             dyn_layer
         ];
         dense_task.monitored.push(MonitoredLayer {

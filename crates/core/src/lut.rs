@@ -26,8 +26,7 @@ impl ModelInfo {
         for j in (0..n).rev() {
             suffix[j] = suffix[j + 1] + avg_layer_latency_ns[j];
         }
-        let avg_layer_sparsity: Vec<f64> =
-            (0..n).map(|j| traces.avg_layer_sparsity(j)).collect();
+        let avg_layer_sparsity: Vec<f64> = (0..n).map(|j| traces.avg_layer_sparsity(j)).collect();
         let gamma_exponent = fit_gamma_exponent(traces, &avg_layer_sparsity);
         ModelInfo {
             avg_latency_ns: traces.avg_latency_ns(),

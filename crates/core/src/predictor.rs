@@ -215,14 +215,16 @@ mod tests {
         let info = lut.expect(&spec);
         let trace = traces.sample(1);
         // Execute exactly up to (and including) the first dynamic layer.
-        let first_dyn = trace.layers().iter().position(|l| l.sparsity > 0.0).unwrap();
+        let first_dyn = trace
+            .layers()
+            .iter()
+            .position(|l| l.sparsity > 0.0)
+            .unwrap();
         let t = task_with_monitored(spec, trace, first_dyn + 1);
-        let g_all = SparseLatencyPredictor::new(CoeffStrategy::AverageAll, 1.0)
-            .coefficient(&t, info);
-        let g_n = SparseLatencyPredictor::new(CoeffStrategy::LastN(3), 1.0)
-            .coefficient(&t, info);
-        let g_one =
-            SparseLatencyPredictor::new(CoeffStrategy::LastOne, 1.0).coefficient(&t, info);
+        let g_all =
+            SparseLatencyPredictor::new(CoeffStrategy::AverageAll, 1.0).coefficient(&t, info);
+        let g_n = SparseLatencyPredictor::new(CoeffStrategy::LastN(3), 1.0).coefficient(&t, info);
+        let g_one = SparseLatencyPredictor::new(CoeffStrategy::LastOne, 1.0).coefficient(&t, info);
         assert!((g_all - g_one).abs() < 1e-12);
         assert!((g_n - g_one).abs() < 1e-12);
     }
@@ -235,9 +237,7 @@ mod tests {
         let t = task_with_monitored(spec, trace, trace.num_layers() / 2);
         let p = SparseLatencyPredictor::new(CoeffStrategy::Disabled, 1.0);
         assert_eq!(p.coefficient(&t, info), 1.0);
-        assert!(
-            (p.remaining_ns(&t, info) - info.avg_remaining_ns(t.next_layer)).abs() < 1e-9
-        );
+        assert!((p.remaining_ns(&t, info) - info.avg_remaining_ns(t.next_layer)).abs() < 1e-9);
     }
 
     #[test]
@@ -248,9 +248,7 @@ mod tests {
         let t = task_with_monitored(spec, trace, trace.num_layers() / 2);
         let p1 = SparseLatencyPredictor::new(CoeffStrategy::LastOne, 1.0);
         let p2 = SparseLatencyPredictor::new(CoeffStrategy::LastOne, 2.0);
-        assert!(
-            (2.0 * p1.remaining_ns(&t, info) - p2.remaining_ns(&t, info)).abs() < 1e-6
-        );
+        assert!((2.0 * p1.remaining_ns(&t, info) - p2.remaining_ns(&t, info)).abs() < 1e-6);
     }
 
     #[test]

@@ -48,6 +48,50 @@ pub trait Scheduler {
     fn pick_next(&mut self, queue: &[&TaskState], lut: &ModelInfoLut, now_ns: u64) -> usize;
 }
 
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn on_arrival(&mut self, task: &TaskState, lut: &ModelInfoLut, now_ns: u64) {
+        (**self).on_arrival(task, lut, now_ns);
+    }
+
+    fn on_layer_complete(&mut self, task: &TaskState, lut: &ModelInfoLut, now_ns: u64) {
+        (**self).on_layer_complete(task, lut, now_ns);
+    }
+
+    fn on_task_complete(&mut self, task: &TaskState, now_ns: u64) {
+        (**self).on_task_complete(task, now_ns);
+    }
+
+    fn pick_next(&mut self, queue: &[&TaskState], lut: &ModelInfoLut, now_ns: u64) -> usize {
+        (**self).pick_next(queue, lut, now_ns)
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn on_arrival(&mut self, task: &TaskState, lut: &ModelInfoLut, now_ns: u64) {
+        (**self).on_arrival(task, lut, now_ns);
+    }
+
+    fn on_layer_complete(&mut self, task: &TaskState, lut: &ModelInfoLut, now_ns: u64) {
+        (**self).on_layer_complete(task, lut, now_ns);
+    }
+
+    fn on_task_complete(&mut self, task: &TaskState, now_ns: u64) {
+        (**self).on_task_complete(task, now_ns);
+    }
+
+    fn pick_next(&mut self, queue: &[&TaskState], lut: &ModelInfoLut, now_ns: u64) -> usize {
+        (**self).pick_next(queue, lut, now_ns)
+    }
+}
+
 /// Shared helper: sparsity-unaware estimate of remaining time from the
 /// latency LUT (what SJF/PREMA/Planaria/SDRM3 use — profiled averages
 /// under the static-workload assumption the paper critiques).

@@ -38,13 +38,15 @@ fn task_strategy() -> impl Strategy<Value = TaskParams> {
         0.0f64..1.0,
         0.0f64..0.95,
     )
-        .prop_map(|(spec_idx, arrival_ns, slo_ns, progress_frac, sparsity)| TaskParams {
-            spec_idx,
-            arrival_ns,
-            slo_ns,
-            progress_frac,
-            sparsity,
-        })
+        .prop_map(
+            |(spec_idx, arrival_ns, slo_ns, progress_frac, sparsity)| TaskParams {
+                spec_idx,
+                arrival_ns,
+                slo_ns,
+                progress_frac,
+                sparsity,
+            },
+        )
 }
 
 fn materialize(
@@ -59,8 +61,7 @@ fn materialize(
             let spec = specs[p.spec_idx];
             let info = lut.expect(&spec);
             let num_layers = info.num_layers();
-            let next_layer = ((num_layers as f64 * p.progress_frac) as usize)
-                .min(num_layers - 1);
+            let next_layer = ((num_layers as f64 * p.progress_frac) as usize).min(num_layers - 1);
             TaskState {
                 id: i as u64,
                 spec,
@@ -68,8 +69,8 @@ fn materialize(
                 slo_ns: p.slo_ns,
                 next_layer,
                 num_layers,
-                executed_ns: (info.avg_remaining_ns(0) - info.avg_remaining_ns(next_layer))
-                    .max(0.0) as u64,
+                executed_ns: (info.avg_remaining_ns(0) - info.avg_remaining_ns(next_layer)).max(0.0)
+                    as u64,
                 monitored: (0..next_layer)
                     .map(|_| MonitoredLayer {
                         sparsity: p.sparsity,

@@ -11,7 +11,10 @@
 //! * [`trace`] — Phase-1 runtime-information traces.
 //! * [`workload`] — Poisson request streams, scenario mixes, SLOs.
 //! * [`core`] — the Dysta bi-level scheduler, baselines, predictor.
-//! * [`sim`] — discrete-event engine and metrics.
+//! * [`sim`] — discrete-event engine (step-able [`sim::NodeEngine`])
+//!   and metrics.
+//! * [`cluster`] — multi-accelerator pools behind pluggable dispatch
+//!   policies.
 //! * [`hw`] — hardware scheduler model and FPGA resource costs.
 //!
 //! # Examples
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub use dysta_accel as accel;
+pub use dysta_cluster as cluster;
 pub use dysta_core as core;
 pub use dysta_hw as hw;
 pub use dysta_models as models;

@@ -122,8 +122,7 @@ mod tests {
     #[test]
     fn coefficient_matches_reference_within_fp16() {
         let mut cu = ComputeUnit::new();
-        for (zeros, shape, avg_density) in
-            [(100u64, 1000u64, 0.5), (900, 1000, 0.25), (0, 64, 0.9)]
+        for (zeros, shape, avg_density) in [(100u64, 1000u64, 0.5), (900, 1000, 0.25), (0, 64, 0.9)]
         {
             let g = cu.coefficient(zeros, shape, F16::from_f64(1.0 / avg_density));
             let reference = (1.0 - zeros as f64 / shape as f64) / avg_density;
@@ -137,11 +136,11 @@ mod tests {
         let mut cu = ComputeUnit::new();
         let s = cu.score(
             F16::from_f64(1.2),
-            F16::from_f64(30.0),   // lat_avg 30 ms
-            F16::from_f64(400.0),  // deadline
-            F16::from_f64(100.0),  // now
-            F16::from_f64(12.0),   // wait
-            F16::from_f64(0.25),   // 1/|Q|
+            F16::from_f64(30.0),  // lat_avg 30 ms
+            F16::from_f64(400.0), // deadline
+            F16::from_f64(100.0), // now
+            F16::from_f64(12.0),  // wait
+            F16::from_f64(0.25),  // 1/|Q|
             F16::from_f64(0.03),
         );
         let remain = 1.2 * 30.0;

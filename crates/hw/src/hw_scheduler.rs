@@ -198,7 +198,13 @@ mod tests {
 
         let mut sparse = mk(0, spec, 0);
         sparse.next_layer = dyn_layer + 1;
-        sparse.monitored = vec![MonitoredLayer { sparsity: 0.0, latency_ns: 1 }; dyn_layer];
+        sparse.monitored = vec![
+            MonitoredLayer {
+                sparsity: 0.0,
+                latency_ns: 1
+            };
+            dyn_layer
+        ];
         sparse.monitored.push(MonitoredLayer {
             sparsity: (avg_s + 0.12).min(0.99),
             latency_ns: 1,

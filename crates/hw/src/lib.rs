@@ -36,12 +36,12 @@
 #![warn(missing_docs)]
 
 mod compute_unit;
-pub mod fp16;
 mod fifo;
+pub mod fp16;
 mod hw_scheduler;
 pub mod resources;
 
 pub use compute_unit::{ComputeUnit, UnitMode};
-pub use fp16::F16;
 pub use fifo::{Fifo, FifoError};
+pub use fp16::F16;
 pub use hw_scheduler::HardwareDystaScheduler;

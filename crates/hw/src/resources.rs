@@ -166,7 +166,12 @@ impl DesignPoint {
         } else {
             // Separate units: duplicate the coefficient multipliers, no
             // sharing muxes, plus inter-unit pipeline registers.
-            (SHARED_MULTS + COEFF_UNIT_MULTS, SHARED_ADDSUBS, 0, 4 * p.bits())
+            (
+                SHARED_MULTS + COEFF_UNIT_MULTS,
+                SHARED_ADDSUBS,
+                0,
+                4 * p.bits(),
+            )
         };
 
         let luts = mults * m_lut
@@ -246,10 +251,16 @@ mod tests {
             let non = DesignPoint::non_opt_fp32(depth).usage();
             let opt32 = DesignPoint::opt_fp32(depth).usage();
             let opt16 = DesignPoint::opt_fp16(depth).usage();
-            assert!(opt32.luts < non.luts && opt32.dsps < non.dsps, "depth {depth}");
+            assert!(
+                opt32.luts < non.luts && opt32.dsps < non.dsps,
+                "depth {depth}"
+            );
             assert!(opt16.luts < opt32.luts, "depth {depth}");
             assert!(opt16.dsps < opt32.dsps, "depth {depth}");
-            assert!(opt16.ffs < opt32.ffs && opt32.ffs < non.ffs, "depth {depth}");
+            assert!(
+                opt16.ffs < opt32.ffs && opt32.ffs < non.ffs,
+                "depth {depth}"
+            );
             assert!(opt16.ram_kb < opt32.ram_kb, "depth {depth}");
         }
     }

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use dysta_hw::{fp16::EPSILON_REL, F16, Fifo};
+use dysta_hw::{fp16::EPSILON_REL, Fifo, F16};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]

@@ -183,9 +183,8 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_names() {
-        let err =
-            ModelGraph::new(ModelId::Vgg16, vec![linear_layer("a"), linear_layer("a")])
-                .unwrap_err();
+        let err = ModelGraph::new(ModelId::Vgg16, vec![linear_layer("a"), linear_layer("a")])
+            .unwrap_err();
         assert!(matches!(
             err,
             GraphValidationError::DuplicateLayerName { ref name, .. } if name == "a"
@@ -195,8 +194,8 @@ mod tests {
 
     #[test]
     fn totals_sum_layers() {
-        let g = ModelGraph::new(ModelId::Vgg16, vec![linear_layer("a"), linear_layer("b")])
-            .unwrap();
+        let g =
+            ModelGraph::new(ModelId::Vgg16, vec![linear_layer("a"), linear_layer("b")]).unwrap();
         assert_eq!(g.total_macs(), 2 * 64);
         assert_eq!(g.total_params(), 2 * 64);
         assert_eq!(g.num_layers(), 2);

@@ -243,9 +243,7 @@ impl LayerKind {
             LayerKind::Conv2d(c) => c.output_elements(),
             LayerKind::Linear(l) => l.output_elements(),
             LayerKind::AttentionScore(a) => a.attention_elements(),
-            LayerKind::AttentionContext(a) => {
-                a.heads as u64 * a.q_len as u64 * a.head_dim as u64
-            }
+            LayerKind::AttentionContext(a) => a.heads as u64 * a.q_len as u64 * a.head_dim as u64,
             LayerKind::Pool(p) => p.output_elements(),
         }
     }
@@ -447,11 +445,14 @@ mod tests {
 
     #[test]
     fn layer_display_mentions_name() {
-        let l = Layer::new("fc", LayerKind::Linear(Linear {
-            in_features: 4096,
-            out_features: 1000,
-            tokens: 1,
-        }));
+        let l = Layer::new(
+            "fc",
+            LayerKind::Linear(Linear {
+                in_features: 4096,
+                out_features: 1000,
+                tokens: 1,
+            }),
+        );
         assert!(l.to_string().contains("fc"));
     }
 }

@@ -14,7 +14,9 @@ pub(crate) fn conv_relu(
 ) -> Layer {
     Layer::new(
         name,
-        LayerKind::Conv2d(Conv2d::square(in_ch, out_ch, kernel, stride, padding, in_size)),
+        LayerKind::Conv2d(Conv2d::square(
+            in_ch, out_ch, kernel, stride, padding, in_size,
+        )),
     )
     .with_relu()
 }
@@ -31,7 +33,9 @@ pub(crate) fn conv_plain(
 ) -> Layer {
     Layer::new(
         name,
-        LayerKind::Conv2d(Conv2d::square(in_ch, out_ch, kernel, stride, padding, in_size)),
+        LayerKind::Conv2d(Conv2d::square(
+            in_ch, out_ch, kernel, stride, padding, in_size,
+        )),
     )
 }
 

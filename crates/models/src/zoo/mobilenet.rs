@@ -37,7 +37,15 @@ pub fn mobilenet() -> ModelGraph {
     for (i, (in_ch, out_ch, stride)) in blocks.into_iter().enumerate() {
         layers.push(depthwise_relu(&format!("dw{}", i + 1), in_ch, stride, size));
         size /= stride;
-        layers.push(conv_relu(&format!("pw{}", i + 1), in_ch, out_ch, 1, 1, 0, size));
+        layers.push(conv_relu(
+            &format!("pw{}", i + 1),
+            in_ch,
+            out_ch,
+            1,
+            1,
+            0,
+            size,
+        ));
     }
     debug_assert_eq!(size, 7);
 

@@ -70,12 +70,12 @@ mod tests {
     #[test]
     fn gmacs_match_published_figures() {
         let cases: [(ModelId, f64, f64); 6] = [
-            (ModelId::ResNet50, 3.8, 4.4),      // ~4.1 GMACs
-            (ModelId::Vgg16, 14.5, 16.5),       // ~15.5 GMACs
-            (ModelId::MobileNet, 0.52, 0.62),   // ~0.57 GMACs
-            (ModelId::GoogLeNet, 1.3, 1.7),     // ~1.5 GMACs
-            (ModelId::InceptionV3, 5.0, 6.2),   // ~5.7 GMACs
-            (ModelId::Ssd, 28.0, 36.0),         // ~31 GMACs (SSD300-VGG)
+            (ModelId::ResNet50, 3.8, 4.4),    // ~4.1 GMACs
+            (ModelId::Vgg16, 14.5, 16.5),     // ~15.5 GMACs
+            (ModelId::MobileNet, 0.52, 0.62), // ~0.57 GMACs
+            (ModelId::GoogLeNet, 1.3, 1.7),   // ~1.5 GMACs
+            (ModelId::InceptionV3, 5.0, 6.2), // ~5.7 GMACs
+            (ModelId::Ssd, 28.0, 36.0),       // ~31 GMACs (SSD300-VGG)
         ];
         for (id, lo, hi) in cases {
             let gmacs = build(id).total_macs() as f64 / 1e9;
@@ -89,10 +89,10 @@ mod tests {
     #[test]
     fn param_counts_match_published_figures() {
         let cases: [(ModelId, f64, f64); 4] = [
-            (ModelId::ResNet50, 23.0, 27.0),  // 25.5 M
-            (ModelId::Vgg16, 132.0, 140.0),   // 138 M
-            (ModelId::MobileNet, 3.6, 4.8),   // 4.2 M
-            (ModelId::GoogLeNet, 5.5, 7.5),   // ~6.6 M (conv weights)
+            (ModelId::ResNet50, 23.0, 27.0), // 25.5 M
+            (ModelId::Vgg16, 132.0, 140.0),  // 138 M
+            (ModelId::MobileNet, 3.6, 4.8),  // 4.2 M
+            (ModelId::GoogLeNet, 5.5, 7.5),  // ~6.6 M (conv weights)
         ];
         for (id, lo, hi) in cases {
             let mparams = build(id).total_params() as f64 / 1e6;

@@ -23,8 +23,12 @@ pub fn resnet50() -> ModelGraph {
     layers.push(max_pool("maxpool", 64, 3, 2, 112));
 
     // (stage index, blocks, bottleneck width, input size)
-    let stages: [(u32, u32, u32, u32); 4] =
-        [(1, 3, 64, 56), (2, 4, 128, 56), (3, 6, 256, 28), (4, 3, 512, 14)];
+    let stages: [(u32, u32, u32, u32); 4] = [
+        (1, 3, 64, 56),
+        (2, 4, 128, 56),
+        (3, 6, 256, 28),
+        (4, 3, 512, 14),
+    ];
     let mut in_ch = 64;
     for (stage, blocks, width, mut size) in stages {
         let out_ch = width * 4;
@@ -99,7 +103,9 @@ mod tests {
             let blocks = g
                 .layers()
                 .iter()
-                .filter(|l| l.name().starts_with(&format!("s{stage}b")) && l.name().ends_with("conv1"))
+                .filter(|l| {
+                    l.name().starts_with(&format!("s{stage}b")) && l.name().ends_with("conv1")
+                })
                 .count();
             assert_eq!(blocks, expected, "stage {stage}");
         }
@@ -120,7 +126,11 @@ mod tests {
     #[test]
     fn downsampling_halves_spatial_size() {
         let g = resnet50();
-        let s2 = g.layers().iter().find(|l| l.name() == "s2b0_conv2").unwrap();
+        let s2 = g
+            .layers()
+            .iter()
+            .find(|l| l.name() == "s2b0_conv2")
+            .unwrap();
         match s2.kind() {
             crate::LayerKind::Conv2d(c) => {
                 assert_eq!(c.stride, 2);

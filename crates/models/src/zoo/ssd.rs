@@ -44,7 +44,13 @@ pub fn ssd300() -> ModelGraph {
             ch = out_ch;
         }
         // SSD uses ceil-mode pooling on block 3 (75 -> 38).
-        layers.push(max_pool(&format!("pool{block}"), out_ch, 2, 2, size + size % 2));
+        layers.push(max_pool(
+            &format!("pool{block}"),
+            out_ch,
+            2,
+            2,
+            size + size % 2,
+        ));
         size = size.div_ceil(2);
     }
     debug_assert_eq!(size, 19);
@@ -54,7 +60,7 @@ pub fn ssd300() -> ModelGraph {
 
     // conv4_3 is a detection source at 38x38; pool5 is 3x3 stride 1.
     layers.push(max_pool("pool5", 512, 3, 1, 21)); // stays 19x19
-    // fc6 converted to dilated 3x3 conv (modelled as same-size 3x3).
+                                                   // fc6 converted to dilated 3x3 conv (modelled as same-size 3x3).
     layers.push(conv_relu("conv6", 512, 1024, 3, 1, 1, 19));
     layers.push(conv_relu("conv7", 1024, 1024, 1, 1, 0, 19));
 
@@ -78,7 +84,15 @@ pub fn ssd300() -> ModelGraph {
         (1, 256, 4),
     ];
     for (i, (fm, ch, boxes)) in sources.into_iter().enumerate() {
-        layers.push(conv_plain(&format!("head_loc_{i}"), ch, boxes * 4, 3, 1, 1, fm));
+        layers.push(conv_plain(
+            &format!("head_loc_{i}"),
+            ch,
+            boxes * 4,
+            3,
+            1,
+            1,
+            fm,
+        ));
         layers.push(conv_plain(
             &format!("head_conf_{i}"),
             ch,

@@ -131,7 +131,10 @@ pub fn gpt2(seq: u32) -> ModelGraph {
 /// assert_eq!(g.attention_layer_indices().len(), 36);
 /// ```
 pub fn bart(src_seq: u32, tgt_seq: u32) -> ModelGraph {
-    assert!(src_seq > 0 && tgt_seq > 0, "sequence lengths must be positive");
+    assert!(
+        src_seq > 0 && tgt_seq > 0,
+        "sequence lengths must be positive"
+    );
     let mut layers = Vec::new();
     for b in 0..6 {
         let p = format!("enc{b}");

@@ -1,9 +1,10 @@
 //! The event loop.
 
-use dysta_core::{ModelInfoLut, MonitoredLayer, Scheduler, TaskState};
+use dysta_core::{ModelInfoLut, Scheduler};
 use dysta_workload::Workload;
 
-use crate::report::{CompletedRequest, SimReport};
+use crate::node::NodeEngine;
+use crate::report::SimReport;
 
 /// Engine parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,7 +38,9 @@ impl Default for EngineConfig {
 
 /// Replays `workload` under `scheduler` and returns the completion record.
 ///
-/// Deterministic: identical inputs produce identical reports.
+/// A thin wrapper over [`NodeEngine`]: every request is enqueued up
+/// front on one node, which then runs to completion. Deterministic:
+/// identical inputs produce identical reports.
 ///
 /// # Panics
 ///
@@ -49,134 +52,19 @@ pub fn simulate(
 ) -> SimReport {
     let requests = workload.requests();
     assert!(!requests.is_empty(), "workload must contain requests");
-    assert!(config.layers_per_block > 0, "block must contain layers");
     let lut = ModelInfoLut::from_store(workload.store());
-
-    let mut tasks: Vec<TaskState> = Vec::with_capacity(requests.len());
-    // Trace backing each task, parallel to `tasks` (ids need not index
-    // `requests`).
-    let mut traces: Vec<&dysta_trace::SampleTrace> = Vec::with_capacity(requests.len());
-    let mut active: Vec<usize> = Vec::new();
-    let mut completed: Vec<CompletedRequest> = Vec::with_capacity(requests.len());
-    let mut next_arrival = 0usize;
-    let mut now_ns = 0u64;
-    let mut last_ran: Option<u64> = None;
-    let mut preemptions = 0u64;
-    let mut invocations = 0u64;
-    let mut timeline: Vec<crate::report::TimelineSegment> = Vec::new();
-
-    loop {
-        // Admit everything that has arrived by `now`.
-        while next_arrival < requests.len() && requests[next_arrival].arrival_ns <= now_ns {
-            let req = &requests[next_arrival];
-            let trace = workload.trace_for(req);
-            let task = TaskState {
-                id: req.id,
-                spec: req.spec,
-                arrival_ns: req.arrival_ns,
-                slo_ns: req.slo_ns,
-                next_layer: 0,
-                num_layers: trace.num_layers(),
-                executed_ns: 0,
-                monitored: Vec::new(),
-                true_remaining_ns: trace.isolated_latency_ns(),
-            };
-            scheduler.on_arrival(&task, &lut, req.arrival_ns);
-            tasks.push(task);
-            traces.push(trace);
-            active.push(tasks.len() - 1);
-            next_arrival += 1;
-        }
-
-        if active.is_empty() {
-            if next_arrival >= requests.len() {
-                break;
-            }
-            // Idle: jump to the next arrival.
-            now_ns = now_ns.max(requests[next_arrival].arrival_ns);
-            continue;
-        }
-
-        // Consult the scheduler.
-        let queue: Vec<&TaskState> = active.iter().map(|&i| &tasks[i]).collect();
-        invocations += 1;
-        let pick = scheduler.pick_next(&queue, &lut, now_ns);
-        assert!(pick < queue.len(), "scheduler returned out-of-range index");
-        let task_idx = active[pick];
-
-        // Pay the context switch when execution moves between requests.
-        let switching = last_ran.is_some() && last_ran != Some(tasks[task_idx].id);
-        if switching {
-            preemptions += 1;
-            now_ns += config.preemption_overhead_ns;
-        }
-        last_ran = Some(tasks[task_idx].id);
-
-        // Execute one scheduling quantum: up to `layers_per_block`
-        // consecutive layers of the chosen request.
-        let trace = traces[task_idx];
-        for _ in 0..config.layers_per_block {
-            if tasks[task_idx].finished() {
-                break;
-            }
-            let layer = trace.layers()[tasks[task_idx].next_layer];
-            if config.record_timeline {
-                let start = now_ns;
-                let end = now_ns + layer.latency_ns;
-                // Extend the previous segment when the same task
-                // continues back-to-back.
-                match timeline.last_mut() {
-                    Some(seg)
-                        if seg.task_id == tasks[task_idx].id && seg.end_ns == start =>
-                    {
-                        seg.end_ns = end;
-                    }
-                    _ => timeline.push(crate::report::TimelineSegment {
-                        task_id: tasks[task_idx].id,
-                        start_ns: start,
-                        end_ns: end,
-                    }),
-                }
-            }
-            now_ns += layer.latency_ns;
-            let task = &mut tasks[task_idx];
-            task.next_layer += 1;
-            task.executed_ns += layer.latency_ns;
-            task.monitored.push(MonitoredLayer {
-                sparsity: layer.sparsity,
-                latency_ns: layer.latency_ns,
-            });
-            task.true_remaining_ns = trace.remaining_ns(task.next_layer);
-        }
-        scheduler.on_layer_complete(&tasks[task_idx], &lut, now_ns);
-
-        if tasks[task_idx].finished() {
-            let task = &tasks[task_idx];
-            scheduler.on_task_complete(task, now_ns);
-            completed.push(CompletedRequest {
-                id: task.id,
-                spec: task.spec,
-                arrival_ns: task.arrival_ns,
-                completion_ns: now_ns,
-                isolated_ns: trace.isolated_latency_ns(),
-                slo_ns: task.slo_ns,
-            });
-            active.remove(
-                active
-                    .iter()
-                    .position(|&i| i == task_idx)
-                    .expect("task was active"),
-            );
-        }
+    let mut node: NodeEngine<'_, &mut dyn Scheduler> = NodeEngine::new(0, scheduler, *config, lut);
+    for req in requests {
+        node.enqueue(req, workload.trace_for(req));
     }
-
-    completed.sort_by_key(|c| c.id);
-    SimReport::with_timeline(completed, preemptions, invocations, timeline)
+    node.run_to_completion();
+    node.into_report()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::CompletedRequest;
     use dysta_core::Policy;
     use dysta_workload::{Scenario, WorkloadBuilder};
 
@@ -345,5 +233,43 @@ mod tests {
             .sum();
         let r = simulate(&w, Policy::Sjf.build().as_mut(), &EngineConfig::default());
         assert_eq!(r.scheduler_invocations(), total_layers);
+    }
+
+    #[test]
+    fn queue_compaction_preserves_determinism_for_every_policy() {
+        // Completion removal uses `swap_remove`, which permutes the
+        // scheduler-visible queue order. Every shipped policy decides
+        // from task fields with id tie-breaks, so replays must stay
+        // bit-identical — this is the regression test pinning that down.
+        let w = tiny_workload(12);
+        for policy in Policy::ALL {
+            let a = simulate(&w, policy.build().as_mut(), &EngineConfig::default());
+            let b = simulate(&w, policy.build().as_mut(), &EngineConfig::default());
+            assert_eq!(a.completed(), b.completed(), "{policy}");
+            assert_eq!(a.preemptions(), b.preemptions(), "{policy}");
+            assert_eq!(
+                a.scheduler_invocations(),
+                b.scheduler_invocations(),
+                "{policy}"
+            );
+        }
+    }
+
+    #[test]
+    fn queue_compaction_keeps_fcfs_arrival_order_under_churn() {
+        // Heavy completion churn (many short requests in flight) is
+        // where swap_remove shuffles the queue hardest; FCFS semantics
+        // must be unaffected.
+        let w = WorkloadBuilder::new(Scenario::MultiCnn)
+            .arrival_rate(20.0)
+            .num_requests(120)
+            .samples_per_variant(4)
+            .seed(13)
+            .build();
+        let r = simulate(&w, Policy::Fcfs.build().as_mut(), &EngineConfig::default());
+        let mut by_completion: Vec<&CompletedRequest> = r.completed().iter().collect();
+        by_completion.sort_by_key(|c| c.completion_ns);
+        let arrivals: Vec<u64> = by_completion.iter().map(|c| c.arrival_ns).collect();
+        assert!(arrivals.windows(2).all(|p| p[0] <= p[1]));
     }
 }

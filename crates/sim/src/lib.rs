@@ -35,7 +35,9 @@
 
 mod engine;
 pub mod metrics;
+mod node;
 mod report;
 
 pub use engine::{simulate, EngineConfig};
-pub use report::{CompletedRequest, Metrics, SimReport};
+pub use node::NodeEngine;
+pub use report::{CompletedRequest, Metrics, SimReport, TimelineSegment};

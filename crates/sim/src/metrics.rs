@@ -52,7 +52,10 @@ pub fn average_over_seeds_with(
     let mut viol = 0.0;
     let mut stp = 0.0;
     for seed in 0..seeds {
-        let workload = builder.clone().seed(seed.wrapping_mul(0x9E37) ^ seed).build();
+        let workload = builder
+            .clone()
+            .seed(seed.wrapping_mul(0x9E37) ^ seed)
+            .build();
         let mut sched = policy.build_with(config);
         let m = simulate(&workload, sched.as_mut(), &EngineConfig::default()).metrics();
         antt += m.antt;

@@ -1,0 +1,509 @@
+//! The resumable per-accelerator engine.
+//!
+//! [`NodeEngine`] is the paper's single-accelerator event loop broken
+//! into explicit, externally driveable steps — admit due arrivals, pick,
+//! execute one scheduling quantum — so that a pool of nodes can be
+//! co-simulated on a shared global clock (see the `dysta-cluster` crate).
+//! The classic whole-workload [`crate::simulate`] is a thin wrapper that
+//! enqueues every request up front and runs the engine to completion.
+//!
+//! # Time model
+//!
+//! Each node owns a local clock `now_ns`. Executing a quantum advances
+//! the clock by the quantum's service time (plus a context-switch
+//! penalty when execution moves between requests); when the node is idle
+//! it jumps forward to the next queued arrival. A cluster driver keeps
+//! nodes causally consistent by calling [`NodeEngine::run_until`] with
+//! each request's arrival time before routing it: every quantum that
+//! *starts* before the arrival has then been executed, which is exactly
+//! the information a real dispatcher could have observed.
+
+use std::collections::VecDeque;
+
+use dysta_core::{ModelInfoLut, MonitoredLayer, Scheduler, TaskState};
+use dysta_trace::SampleTrace;
+use dysta_workload::Request;
+
+use crate::report::{CompletedRequest, SimReport, TimelineSegment};
+use crate::EngineConfig;
+
+/// A request queued on a node but not yet visible to the scheduler
+/// (its arrival time is still in the node's future).
+struct PendingTask<'w> {
+    task: TaskState,
+    trace: &'w SampleTrace,
+    /// Service-time multiplier on this node (1.0 = the trace's native
+    /// accelerator; >1 models running on a mismatched accelerator).
+    scale: f64,
+}
+
+/// A single simulated accelerator node: scheduler, task queues, local
+/// clock, and completion records.
+///
+/// Generic over the scheduler storage so the single-node wrapper can
+/// borrow (`&mut dyn Scheduler`) while a cluster owns its schedulers
+/// (`Box<dyn Scheduler>`, the default).
+///
+/// # Examples
+///
+/// ```
+/// use dysta_core::{ModelInfoLut, Policy};
+/// use dysta_sim::{EngineConfig, NodeEngine};
+/// use dysta_workload::{Scenario, WorkloadBuilder};
+///
+/// let w = WorkloadBuilder::new(Scenario::MultiCnn)
+///     .num_requests(10)
+///     .samples_per_variant(4)
+///     .seed(1)
+///     .build();
+/// let lut = ModelInfoLut::from_store(w.store());
+/// let mut node = NodeEngine::new(0, Policy::Sjf.build(), EngineConfig::default(), lut);
+/// for req in w.requests() {
+///     node.enqueue(req, w.trace_for(req));
+/// }
+/// node.run_to_completion();
+/// assert_eq!(node.into_report().completed().len(), 10);
+/// ```
+pub struct NodeEngine<'w, S = Box<dyn Scheduler>> {
+    id: usize,
+    scheduler: S,
+    config: EngineConfig,
+    lut: ModelInfoLut,
+    /// Enqueued-but-not-admitted requests, in arrival order.
+    pending: VecDeque<PendingTask<'w>>,
+    /// All admitted tasks (completed ones stay in place; `active` holds
+    /// the live indices).
+    tasks: Vec<TaskState>,
+    traces: Vec<&'w SampleTrace>,
+    scales: Vec<f64>,
+    /// Indices into `tasks` of admitted, unfinished tasks. Order is
+    /// arbitrary (completion removal is `swap_remove`); schedulers must
+    /// not read meaning into queue positions, only into task fields.
+    active: Vec<usize>,
+    now_ns: u64,
+    last_ran: Option<u64>,
+    preemptions: u64,
+    invocations: u64,
+    busy_ns: u64,
+    timeline: Vec<TimelineSegment>,
+    completed: Vec<CompletedRequest>,
+}
+
+impl<'w, S: Scheduler> NodeEngine<'w, S> {
+    /// Creates an idle node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config requests zero layers per block.
+    pub fn new(id: usize, scheduler: S, config: EngineConfig, lut: ModelInfoLut) -> Self {
+        assert!(config.layers_per_block > 0, "block must contain layers");
+        NodeEngine {
+            id,
+            scheduler,
+            config,
+            lut,
+            pending: VecDeque::new(),
+            tasks: Vec::new(),
+            traces: Vec::new(),
+            scales: Vec::new(),
+            active: Vec::new(),
+            now_ns: 0,
+            last_ran: None,
+            preemptions: 0,
+            invocations: 0,
+            busy_ns: 0,
+            timeline: Vec::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// The node's identifier (used in cluster reports).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The node's local clock in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Total service time executed so far (excludes switch overhead and
+    /// idle time) — the numerator of the node's utilization.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// Number of requests finished so far.
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Number of admitted-or-queued unfinished requests.
+    pub fn queue_len(&self) -> usize {
+        self.active.len() + self.pending.len()
+    }
+
+    /// True when no unfinished work remains anywhere on the node.
+    pub fn is_drained(&self) -> bool {
+        self.active.is_empty() && self.pending.is_empty()
+    }
+
+    /// The node's LUT (profiled per-variant statistics).
+    pub fn lut(&self) -> &ModelInfoLut {
+        &self.lut
+    }
+
+    /// Iterates over every unfinished request on the node — admitted
+    /// tasks first, then not-yet-admitted arrivals — paired with the
+    /// node-local service-time scale each would execute under.
+    pub fn queued_tasks(&self) -> impl Iterator<Item = (&TaskState, f64)> {
+        self.active
+            .iter()
+            .map(|&i| (&self.tasks[i], self.scales[i]))
+            .chain(self.pending.iter().map(|p| (&p.task, p.scale)))
+    }
+
+    /// Sums `estimator` over every unfinished request, weighting each
+    /// estimate by the node-local service-time scale. Dispatchers use
+    /// this with a LUT or predictor estimate of remaining work.
+    pub fn estimated_backlog_ns(&self, estimator: impl Fn(&TaskState) -> f64) -> f64 {
+        self.queued_tasks()
+            .map(|(task, scale)| estimator(task) * scale)
+            .sum()
+    }
+
+    /// Queues `request` on the node at its native service time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals are enqueued out of order.
+    pub fn enqueue(&mut self, request: &Request, trace: &'w SampleTrace) {
+        self.enqueue_scaled(request, trace, 1.0);
+    }
+
+    /// Queues `request` with a service-time multiplier (≥ 1), modelling
+    /// execution on an accelerator the model was not profiled on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale < 1` or arrivals are enqueued out of order.
+    pub fn enqueue_scaled(&mut self, request: &Request, trace: &'w SampleTrace, scale: f64) {
+        assert!(
+            scale >= 1.0 && scale.is_finite(),
+            "service-time scale must be >= 1"
+        );
+        if let Some(back) = self.pending.back() {
+            assert!(
+                back.task.arrival_ns <= request.arrival_ns,
+                "requests must be enqueued in arrival order"
+            );
+        }
+        let task = TaskState {
+            id: request.id,
+            spec: request.spec,
+            arrival_ns: request.arrival_ns,
+            slo_ns: request.slo_ns,
+            next_layer: 0,
+            num_layers: trace.num_layers(),
+            executed_ns: 0,
+            monitored: Vec::new(),
+            true_remaining_ns: scale_ns(trace.isolated_latency_ns(), scale),
+        };
+        self.pending.push_back(PendingTask { task, trace, scale });
+    }
+
+    /// Admits every queued arrival whose time has come, in arrival
+    /// order, notifying the scheduler.
+    pub fn admit_due(&mut self) {
+        while let Some(front) = self.pending.front() {
+            if front.task.arrival_ns > self.now_ns {
+                break;
+            }
+            let PendingTask { task, trace, scale } = self.pending.pop_front().expect("non-empty");
+            self.scheduler.on_arrival(&task, &self.lut, task.arrival_ns);
+            self.tasks.push(task);
+            self.traces.push(trace);
+            self.scales.push(scale);
+            self.active.push(self.tasks.len() - 1);
+        }
+    }
+
+    /// Runs one engine step: admit due arrivals, then either execute one
+    /// scheduling quantum or jump the clock to the next arrival. Returns
+    /// `false` once the node is drained.
+    pub fn step(&mut self) -> bool {
+        self.admit_due();
+        if self.active.is_empty() {
+            let Some(arrival) = self.pending.front().map(|p| p.task.arrival_ns) else {
+                return false;
+            };
+            self.now_ns = self.now_ns.max(arrival);
+            self.admit_due();
+        }
+        self.execute_quantum();
+        true
+    }
+
+    /// Advances the node up to (exclusive) `t_ns`: every quantum that
+    /// would *start* before `t_ns` is executed, and idle gaps before
+    /// `t_ns` are skipped. The clock may end beyond `t_ns` when a
+    /// quantum straddles it — a node cannot abandon a layer mid-flight.
+    pub fn run_until(&mut self, t_ns: u64) {
+        loop {
+            self.admit_due();
+            if !self.active.is_empty() {
+                if self.now_ns >= t_ns {
+                    return;
+                }
+                self.execute_quantum();
+            } else if let Some(arrival) = self.pending.front().map(|p| p.task.arrival_ns) {
+                if arrival >= t_ns {
+                    return;
+                }
+                self.now_ns = self.now_ns.max(arrival);
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Runs until every queued request has completed.
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// One scheduling quantum: consult the scheduler, pay the context
+    /// switch if execution moves between requests, execute up to
+    /// `layers_per_block` consecutive layers of the choice, and retire
+    /// it when it finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no task is runnable (callers admit first) or the
+    /// scheduler returns an out-of-range index.
+    fn execute_quantum(&mut self) {
+        let queue: Vec<&TaskState> = self.active.iter().map(|&i| &self.tasks[i]).collect();
+        debug_assert!(!queue.is_empty(), "execute_quantum needs a runnable task");
+        self.invocations += 1;
+        let pick = self.scheduler.pick_next(&queue, &self.lut, self.now_ns);
+        assert!(pick < queue.len(), "scheduler returned out-of-range index");
+        let task_idx = self.active[pick];
+
+        // Pay the context switch when execution moves between requests.
+        let switching = self.last_ran.is_some() && self.last_ran != Some(self.tasks[task_idx].id);
+        if switching {
+            self.preemptions += 1;
+            self.now_ns += self.config.preemption_overhead_ns;
+        }
+        self.last_ran = Some(self.tasks[task_idx].id);
+
+        let trace = self.traces[task_idx];
+        let scale = self.scales[task_idx];
+        for _ in 0..self.config.layers_per_block {
+            if self.tasks[task_idx].finished() {
+                break;
+            }
+            let layer = trace.layers()[self.tasks[task_idx].next_layer];
+            let latency_ns = scale_ns(layer.latency_ns, scale);
+            if self.config.record_timeline {
+                let start = self.now_ns;
+                let end = self.now_ns + latency_ns;
+                // Extend the previous segment when the same task
+                // continues back-to-back.
+                match self.timeline.last_mut() {
+                    Some(seg) if seg.task_id == self.tasks[task_idx].id && seg.end_ns == start => {
+                        seg.end_ns = end;
+                    }
+                    _ => self.timeline.push(TimelineSegment {
+                        task_id: self.tasks[task_idx].id,
+                        start_ns: start,
+                        end_ns: end,
+                    }),
+                }
+            }
+            self.now_ns += latency_ns;
+            self.busy_ns += latency_ns;
+            let task = &mut self.tasks[task_idx];
+            task.next_layer += 1;
+            task.executed_ns += latency_ns;
+            task.monitored.push(MonitoredLayer {
+                sparsity: layer.sparsity,
+                latency_ns,
+            });
+            task.true_remaining_ns = scale_ns(trace.remaining_ns(task.next_layer), scale);
+        }
+        self.scheduler
+            .on_layer_complete(&self.tasks[task_idx], &self.lut, self.now_ns);
+
+        if self.tasks[task_idx].finished() {
+            let task = &self.tasks[task_idx];
+            self.scheduler.on_task_complete(task, self.now_ns);
+            self.completed.push(CompletedRequest {
+                id: task.id,
+                spec: task.spec,
+                arrival_ns: task.arrival_ns,
+                completion_ns: self.now_ns,
+                isolated_ns: trace.isolated_latency_ns(),
+                slo_ns: task.slo_ns,
+            });
+            // O(1) removal. The hole is filled by the last active entry,
+            // so scheduler-visible queue *order* changes — every shipped
+            // scheduler decides from task fields with id tie-breaks, so
+            // decisions are order-independent (pinned by the determinism
+            // regression tests in `engine.rs`).
+            self.active.swap_remove(pick);
+        }
+    }
+
+    /// Finishes the node, returning its completion report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if unfinished work remains.
+    pub fn into_report(self) -> SimReport {
+        assert!(self.is_drained(), "node {} still has queued work", self.id);
+        let mut completed = self.completed;
+        completed.sort_by_key(|c| c.id);
+        SimReport::with_timeline(completed, self.preemptions, self.invocations, self.timeline)
+    }
+}
+
+/// Scales a nanosecond quantity, exact for the native scale 1.0.
+fn scale_ns(ns: u64, scale: f64) -> u64 {
+    if scale == 1.0 {
+        ns
+    } else {
+        (ns as f64 * scale).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysta_core::Policy;
+    use dysta_workload::{Scenario, Workload, WorkloadBuilder};
+
+    fn tiny(seed: u64) -> Workload {
+        WorkloadBuilder::new(Scenario::MultiCnn)
+            .num_requests(30)
+            .samples_per_variant(6)
+            .seed(seed)
+            .build()
+    }
+
+    fn engine_for<'w>(w: &'w Workload, policy: Policy) -> NodeEngine<'w> {
+        let lut = ModelInfoLut::from_store(w.store());
+        let mut node = NodeEngine::new(0, policy.build(), EngineConfig::default(), lut);
+        for req in w.requests() {
+            node.enqueue(req, w.trace_for(req));
+        }
+        node
+    }
+
+    #[test]
+    fn stepping_matches_run_to_completion() {
+        let w = tiny(1);
+        let mut stepped = engine_for(&w, Policy::Dysta);
+        while stepped.step() {}
+        let mut ran = engine_for(&w, Policy::Dysta);
+        ran.run_to_completion();
+        assert_eq!(stepped.into_report(), ran.into_report());
+    }
+
+    #[test]
+    fn run_until_is_equivalent_to_uninterrupted_execution() {
+        // Driving the engine with arbitrary run_until barriers must not
+        // change any completion: barriers only bound how far the node
+        // may get ahead, never what it executes.
+        let w = tiny(2);
+        let mut reference = engine_for(&w, Policy::Dysta);
+        reference.run_to_completion();
+        let reference = reference.into_report();
+
+        let mut chunked = engine_for(&w, Policy::Dysta);
+        let horizon = w.requests().last().unwrap().arrival_ns * 2;
+        let mut t = 0;
+        while t < horizon {
+            chunked.run_until(t);
+            t += horizon / 37 + 1;
+        }
+        chunked.run_to_completion();
+        assert_eq!(chunked.into_report(), reference);
+    }
+
+    #[test]
+    fn run_until_does_not_start_quanta_at_or_past_the_barrier() {
+        let w = tiny(3);
+        let mut node = engine_for(&w, Policy::Fcfs);
+        let barrier = w.requests()[10].arrival_ns;
+        node.run_until(barrier);
+        // Pending requests arriving at or after the barrier are untouched.
+        assert!(node
+            .queued_tasks()
+            .all(|(t, _)| t.started() || t.arrival_ns <= node.now_ns() || t.arrival_ns >= barrier));
+    }
+
+    #[test]
+    fn backlog_estimates_shrink_as_work_completes() {
+        let w = tiny(4);
+        let lut = ModelInfoLut::from_store(w.store());
+        let mut node = engine_for(&w, Policy::Sjf);
+        let full =
+            node.estimated_backlog_ns(|t| lut.expect(&t.spec).avg_remaining_ns(t.next_layer));
+        assert!(full > 0.0);
+        node.run_to_completion();
+        let empty =
+            node.estimated_backlog_ns(|t| lut.expect(&t.spec).avg_remaining_ns(t.next_layer));
+        assert_eq!(empty, 0.0);
+        assert!(node.is_drained());
+        assert!(node.busy_ns() > 0);
+    }
+
+    #[test]
+    fn scaled_execution_slows_the_node_but_keeps_native_isolated_times() {
+        let w = tiny(5);
+        let lut = ModelInfoLut::from_store(w.store());
+        let mut native = engine_for(&w, Policy::Fcfs);
+        native.run_to_completion();
+        let native = native.into_report();
+
+        let mut slowed = NodeEngine::new(0, Policy::Fcfs.build(), EngineConfig::default(), lut);
+        for req in w.requests() {
+            slowed.enqueue_scaled(req, w.trace_for(req), 2.0);
+        }
+        slowed.run_to_completion();
+        let slowed = slowed.into_report();
+
+        let makespan = |r: &SimReport| r.completed().iter().map(|c| c.completion_ns).max();
+        assert!(makespan(&slowed) > makespan(&native));
+        // `isolated_ns` stays the native profile, so slowdown shows up
+        // as worse normalized turnaround rather than a moved goalpost.
+        for (a, b) in native.completed().iter().zip(slowed.completed()) {
+            assert_eq!(a.isolated_ns, b.isolated_ns);
+            assert!(b.completion_ns >= a.completion_ns);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival order")]
+    fn out_of_order_enqueue_rejected() {
+        let w = tiny(6);
+        let lut = ModelInfoLut::from_store(w.store());
+        let mut node: NodeEngine =
+            NodeEngine::new(0, Policy::Fcfs.build(), EngineConfig::default(), lut);
+        let reqs = w.requests();
+        node.enqueue(&reqs[5], w.trace_for(&reqs[5]));
+        node.enqueue(&reqs[0], w.trace_for(&reqs[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be >= 1")]
+    fn speedup_scales_rejected() {
+        let w = tiny(7);
+        let lut = ModelInfoLut::from_store(w.store());
+        let mut node: NodeEngine =
+            NodeEngine::new(0, Policy::Fcfs.build(), EngineConfig::default(), lut);
+        let req = &w.requests()[0];
+        node.enqueue_scaled(req, w.trace_for(req), 0.5);
+    }
+}

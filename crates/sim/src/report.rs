@@ -77,11 +77,8 @@ pub struct SimReport {
 }
 
 impl SimReport {
-    /// Assembles a report.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `completed` is empty.
+    /// Assembles a report. An empty completion list is allowed (a
+    /// cluster node that was never routed a request reports one).
     pub fn new(
         completed: Vec<CompletedRequest>,
         preemptions: u64,
@@ -91,17 +88,12 @@ impl SimReport {
     }
 
     /// Assembles a report including the execution timeline.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `completed` is empty.
     pub fn with_timeline(
         completed: Vec<CompletedRequest>,
         preemptions: u64,
         scheduler_invocations: u64,
         timeline: Vec<TimelineSegment>,
     ) -> Self {
-        assert!(!completed.is_empty(), "report needs completions");
         SimReport {
             completed,
             preemptions,
@@ -131,8 +123,11 @@ impl SimReport {
         self.scheduler_invocations
     }
 
-    /// Average normalized turnaround time.
+    /// Average normalized turnaround time (0 for an empty report).
     pub fn antt(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
         self.completed
             .iter()
             .map(CompletedRequest::normalized_turnaround)
@@ -140,16 +135,23 @@ impl SimReport {
             / self.completed.len() as f64
     }
 
-    /// SLO violation rate in `[0, 1]`.
+    /// SLO violation rate in `[0, 1]` (0 for an empty report).
     pub fn violation_rate(&self) -> f64 {
-        self.completed.iter().filter(|c| c.violated()).count() as f64
-            / self.completed.len() as f64
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        self.completed.iter().filter(|c| c.violated()).count() as f64 / self.completed.len() as f64
     }
 
     /// System throughput: completions per second of wall-clock span
     /// (first arrival to last completion).
     pub fn throughput_inf_s(&self) -> f64 {
-        let first = self.completed.iter().map(|c| c.arrival_ns).min().unwrap_or(0);
+        let first = self
+            .completed
+            .iter()
+            .map(|c| c.arrival_ns)
+            .min()
+            .unwrap_or(0);
         let last = self
             .completed
             .iter()
@@ -177,10 +179,8 @@ impl SimReport {
     /// rate)`, sorted by model id. Shows *which* tenants a scheduler
     /// sacrifices (FCFS hurts short models, EDF hurts long ones).
     pub fn per_model(&self) -> Vec<(dysta_models::ModelId, usize, f64, f64)> {
-        let mut by_model: std::collections::BTreeMap<
-            dysta_models::ModelId,
-            (usize, f64, usize),
-        > = std::collections::BTreeMap::new();
+        let mut by_model: std::collections::BTreeMap<dysta_models::ModelId, (usize, f64, usize)> =
+            std::collections::BTreeMap::new();
         for c in &self.completed {
             let entry = by_model.entry(c.spec.model).or_insert((0, 0.0, 0));
             entry.0 += 1;
@@ -216,11 +216,7 @@ mod tests {
     #[test]
     fn antt_formula() {
         // NTTs: 2.0 and 4.0 -> ANTT 3.0.
-        let r = SimReport::new(
-            vec![req(0, 0, 20, 10, 100), req(1, 0, 40, 10, 100)],
-            0,
-            0,
-        );
+        let r = SimReport::new(vec![req(0, 0, 20, 10, 100), req(1, 0, 40, 10, 100)], 0, 0);
         assert!((r.antt() - 3.0).abs() < 1e-12);
     }
 
@@ -228,8 +224,8 @@ mod tests {
     fn violation_rate_counts_misses() {
         let r = SimReport::new(
             vec![
-                req(0, 0, 20, 10, 15),  // violated (turnaround 20 > 15)
-                req(1, 0, 12, 10, 15),  // met
+                req(0, 0, 20, 10, 15), // violated (turnaround 20 > 15)
+                req(1, 0, 12, 10, 15), // met
             ],
             0,
             0,
@@ -240,7 +236,10 @@ mod tests {
     #[test]
     fn throughput_spans_first_arrival_to_last_completion() {
         let r = SimReport::new(
-            vec![req(0, 1_000_000_000, 2_000_000_000, 10, u64::MAX), req(1, 1_500_000_000, 3_000_000_000, 10, u64::MAX)],
+            vec![
+                req(0, 1_000_000_000, 2_000_000_000, 10, u64::MAX),
+                req(1, 1_500_000_000, 3_000_000_000, 10, u64::MAX),
+            ],
             0,
             0,
         );
@@ -251,14 +250,16 @@ mod tests {
     #[test]
     fn per_model_breakdown_partitions_requests() {
         let mut bert_req = req(0, 0, 20, 10, 15);
-        bert_req.spec =
-            SparseModelSpec::new(ModelId::Bert, SparsityPattern::Dense, 0.0);
+        bert_req.spec = SparseModelSpec::new(ModelId::Bert, SparsityPattern::Dense, 0.0);
         let r = SimReport::new(vec![bert_req, req(1, 0, 12, 10, 15)], 0, 0);
         let breakdown = r.per_model();
         assert_eq!(breakdown.len(), 2);
         let total: usize = breakdown.iter().map(|(_, n, _, _)| n).sum();
         assert_eq!(total, 2);
-        let bert = breakdown.iter().find(|(m, ..)| *m == ModelId::Bert).unwrap();
+        let bert = breakdown
+            .iter()
+            .find(|(m, ..)| *m == ModelId::Bert)
+            .unwrap();
         assert_eq!(bert.1, 1);
         assert!((bert.2 - 2.0).abs() < 1e-12); // NTT 20/10
         assert_eq!(bert.3, 1.0); // violated

@@ -1,0 +1,109 @@
+//! Edge cases of the report metrics: degenerate inputs every aggregation
+//! must handle without dividing by zero or inventing violations.
+
+use dysta_models::ModelId;
+use dysta_sim::{CompletedRequest, SimReport, TimelineSegment};
+use dysta_sparsity::SparsityPattern;
+use dysta_trace::SparseModelSpec;
+
+fn req(id: u64, arrival: u64, completion: u64, isolated: u64, slo: u64) -> CompletedRequest {
+    CompletedRequest {
+        id,
+        spec: SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::Dense, 0.0),
+        arrival_ns: arrival,
+        completion_ns: completion,
+        isolated_ns: isolated,
+        slo_ns: slo,
+    }
+}
+
+#[test]
+fn timeline_defaults_to_empty_and_survives_aggregation() {
+    let r = SimReport::new(vec![req(0, 0, 10, 10, 100)], 0, 1);
+    assert!(r.timeline().is_empty());
+    // Metrics are computable with no timeline recorded.
+    let m = r.metrics();
+    assert!(m.antt >= 1.0);
+}
+
+#[test]
+fn empty_report_yields_neutral_metrics() {
+    // A cluster node that served nothing reports zero everywhere rather
+    // than NaN (which would poison any cluster-level average).
+    let r = SimReport::new(Vec::new(), 0, 0);
+    assert_eq!(r.completed().len(), 0);
+    assert_eq!(r.antt(), 0.0);
+    assert_eq!(r.violation_rate(), 0.0);
+    assert_eq!(r.throughput_inf_s(), 0.0);
+    assert!(r.per_model().is_empty());
+    assert!(!r.antt().is_nan());
+}
+
+#[test]
+fn single_request_report() {
+    // One request, served start-to-finish: NTT exactly 1, no violation,
+    // throughput over its own span.
+    let r = SimReport::new(
+        vec![req(
+            7,
+            1_000_000_000,
+            1_500_000_000,
+            500_000_000,
+            600_000_000,
+        )],
+        0,
+        1,
+    );
+    assert_eq!(r.completed().len(), 1);
+    assert!((r.antt() - 1.0).abs() < 1e-12);
+    assert_eq!(r.violation_rate(), 0.0);
+    // 1 completion over a 0.5 s span.
+    assert!((r.throughput_inf_s() - 2.0).abs() < 1e-9);
+    let breakdown = r.per_model();
+    assert_eq!(breakdown.len(), 1);
+    assert_eq!(breakdown[0].1, 1);
+}
+
+#[test]
+fn single_instant_request_has_zero_span_and_zero_throughput() {
+    // Completion at the arrival instant: the span is empty, throughput
+    // must define itself as 0 rather than divide by zero.
+    let r = SimReport::new(vec![req(0, 5, 5, 1, 10)], 0, 0);
+    assert_eq!(r.throughput_inf_s(), 0.0);
+}
+
+#[test]
+fn zero_slack_slo_boundary_is_not_a_violation() {
+    // SLO equal to the achieved turnaround: the paper counts a request
+    // violated only when turnaround *exceeds* the SLO.
+    let exact = req(0, 100, 200, 100, 100); // turnaround 100 == slo 100
+    assert!(!exact.violated());
+    let over = req(1, 100, 201, 100, 100);
+    assert!(over.violated());
+    let r = SimReport::new(vec![exact, over], 0, 0);
+    assert!((r.violation_rate() - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn normalized_turnaround_clamps_zero_isolated_time() {
+    // A degenerate trace with zero isolated time must not divide by
+    // zero: the denominator clamps to 1 ns.
+    let c = req(0, 0, 50, 0, 100);
+    assert!((c.normalized_turnaround() - 50.0).abs() < 1e-12);
+    assert!(c.normalized_turnaround().is_finite());
+    let r = SimReport::new(vec![c], 0, 0);
+    assert!(r.antt().is_finite());
+}
+
+#[test]
+fn timeline_segment_durations() {
+    let seg = TimelineSegment {
+        task_id: 3,
+        start_ns: 10,
+        end_ns: 25,
+    };
+    assert_eq!(seg.duration_ns(), 15);
+    let r = SimReport::with_timeline(vec![req(3, 0, 25, 15, 100)], 0, 1, vec![seg]);
+    assert_eq!(r.timeline().len(), 1);
+    assert_eq!(r.timeline()[0].duration_ns(), 15);
+}

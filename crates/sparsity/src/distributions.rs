@@ -132,7 +132,10 @@ pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
 ///
 /// Panics unless `0 < mean < 1` and `std_dev > 0`.
 pub fn beta_params_from_moments(mean: f64, std_dev: f64) -> (f64, f64) {
-    assert!((0.0..1.0).contains(&mean) && mean > 0.0, "mean must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&mean) && mean > 0.0,
+        "mean must be in (0,1)"
+    );
     assert!(std_dev > 0.0, "std dev must be positive");
     let var = (std_dev * std_dev).min(mean * (1.0 - mean) * 0.95);
     let concentration = (mean * (1.0 - mean) / var - 1.0).max(2.0);
@@ -167,8 +170,14 @@ mod tests {
         for shape in [0.5, 1.0, 2.5, 9.0] {
             let xs: Vec<f64> = (0..20_000).map(|_| gamma(&mut rng, shape)).collect();
             let (mean, var) = moments(&xs);
-            assert!((mean - shape).abs() < 0.15 * shape.max(1.0), "shape {shape} mean {mean}");
-            assert!((var - shape).abs() < 0.3 * shape.max(1.0), "shape {shape} var {var}");
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(1.0),
+                "shape {shape} mean {mean}"
+            );
+            assert!(
+                (var - shape).abs() < 0.3 * shape.max(1.0),
+                "shape {shape} var {var}"
+            );
         }
     }
 
@@ -193,8 +202,14 @@ mod tests {
                 .map(|_| poisson(&mut rng, lambda) as f64)
                 .collect();
             let (mean, var) = moments(&xs);
-            assert!((mean - lambda).abs() < 0.05 * lambda + 0.1, "λ={lambda} mean {mean}");
-            assert!((var - lambda).abs() < 0.15 * lambda + 0.2, "λ={lambda} var {var}");
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda + 0.1,
+                "λ={lambda} mean {mean}"
+            );
+            assert!(
+                (var - lambda).abs() < 0.15 * lambda + 0.2,
+                "λ={lambda} var {var}"
+            );
         }
     }
 

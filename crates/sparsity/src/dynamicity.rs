@@ -231,7 +231,11 @@ impl SampleSparsityGenerator {
         let layer_info = model
             .iter()
             .map(|(i, l)| {
-                let depth = if n > 1 { i as f64 / (n - 1) as f64 } else { 0.0 };
+                let depth = if n > 1 {
+                    i as f64 / (n - 1) as f64
+                } else {
+                    0.0
+                };
                 (l.relu(), l.is_dynamic_attention(), depth)
             })
             .collect();
@@ -299,8 +303,7 @@ impl SampleSparsityGenerator {
                 let shock = rho.sqrt() * z + (1.0 - rho).sqrt() * eps;
                 if is_attention {
                     // Lognormal density, converted to sparsity.
-                    let density =
-                        att_mu * (att_sigma * shock - 0.5 * att_sigma * att_sigma).exp();
+                    let density = att_mu * (att_sigma * shock - 0.5 * att_sigma * att_sigma).exp();
                     (1.0 - density).clamp(0.0, 0.995)
                 } else if has_relu {
                     let mean = lo + (hi - lo) * depth;
@@ -452,7 +455,10 @@ mod tests {
         let g = SampleSparsityGenerator::new(&nlp, DatasetProfile::Squad, 9);
         let scales: Vec<f64> = g.samples(200).iter().map(|s| s.seq_scale()).collect();
         assert!(scales.iter().all(|&s| (0.45..=1.9).contains(&s)));
-        assert!(stats::std_dev(&scales) > 0.1, "language seq length must vary");
+        assert!(
+            stats::std_dev(&scales) > 0.1,
+            "language seq length must vary"
+        );
     }
 
     #[test]

@@ -96,11 +96,7 @@ impl WeightMask {
             SparsityPattern::BlockNm { n, m } => {
                 let implied = 1.0 - n as f64 / m as f64;
                 if (implied - rate).abs() > 1e-9 {
-                    return Err(MaskGenerationError::RateConflictsWithNm {
-                        n,
-                        m,
-                        rate,
-                    });
+                    return Err(MaskGenerationError::RateConflictsWithNm { n, m, rate });
                 }
                 let mut mask = WeightMask::dense(len);
                 let m = m as usize;
@@ -257,8 +253,11 @@ impl fmt::Display for MaskGenerationError {
                 write!(f, "sparsity rate {rate} outside [0, 1)")
             }
             MaskGenerationError::RateConflictsWithNm { n, m, rate } => {
-                write!(f, "rate {rate} conflicts with {n}:{m} pattern (implies {})",
-                    1.0 - *n as f64 / *m as f64)
+                write!(
+                    f,
+                    "rate {rate} conflicts with {n}:{m} pattern (implies {})",
+                    1.0 - *n as f64 / *m as f64
+                )
             }
         }
     }
@@ -274,10 +273,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn conv_layer() -> Layer {
-        Layer::new(
-            "c",
-            LayerKind::Conv2d(Conv2d::square(64, 128, 3, 1, 1, 28)),
-        )
+        Layer::new("c", LayerKind::Conv2d(Conv2d::square(64, 128, 3, 1, 1, 28)))
     }
 
     fn linear_layer() -> Layer {
@@ -301,8 +297,13 @@ mod tests {
     #[test]
     fn random_hits_target_rate() {
         let mut rng = StdRng::seed_from_u64(1);
-        let m = WeightMask::generate(&conv_layer(), SparsityPattern::RandomPointwise, 0.83, &mut rng)
-            .unwrap();
+        let m = WeightMask::generate(
+            &conv_layer(),
+            SparsityPattern::RandomPointwise,
+            0.83,
+            &mut rng,
+        )
+        .unwrap();
         assert!((m.sparsity() - 0.83).abs() < 0.01, "{}", m.sparsity());
     }
 
@@ -310,8 +311,8 @@ mod tests {
     fn nm_blocks_keep_exactly_n() {
         let mut rng = StdRng::seed_from_u64(2);
         let p = SparsityPattern::BlockNm { n: 2, m: 4 };
-        let m = WeightMask::generate(&conv_layer(), p, p.implied_rate().unwrap(), &mut rng)
-            .unwrap();
+        let m =
+            WeightMask::generate(&conv_layer(), p, p.implied_rate().unwrap(), &mut rng).unwrap();
         assert!(m.satisfies_nm(2, 4));
         assert!((m.sparsity() - 0.5).abs() < 1e-6);
     }
@@ -326,15 +327,17 @@ mod tests {
             &mut rng,
         )
         .unwrap_err();
-        assert!(matches!(err, MaskGenerationError::RateConflictsWithNm { .. }));
+        assert!(matches!(
+            err,
+            MaskGenerationError::RateConflictsWithNm { .. }
+        ));
     }
 
     #[test]
     fn channel_mask_prunes_whole_filters() {
         let mut rng = StdRng::seed_from_u64(4);
         let layer = linear_layer();
-        let m =
-            WeightMask::generate(&layer, SparsityPattern::ChannelWise, 0.3, &mut rng).unwrap();
+        let m = WeightMask::generate(&layer, SparsityPattern::ChannelWise, 0.3, &mut rng).unwrap();
         let occ = m.channel_occupancy(256);
         let pruned = occ.iter().filter(|&&o| o == 0).count();
         let full = occ.iter().filter(|&&o| o == 256).count();
@@ -345,17 +348,26 @@ mod tests {
     #[test]
     fn channel_mask_never_prunes_everything() {
         let mut rng = StdRng::seed_from_u64(5);
-        let m = WeightMask::generate(&linear_layer(), SparsityPattern::ChannelWise, 0.999, &mut rng)
-            .unwrap();
+        let m = WeightMask::generate(
+            &linear_layer(),
+            SparsityPattern::ChannelWise,
+            0.999,
+            &mut rng,
+        )
+        .unwrap();
         assert!(m.nnz() >= 256, "at least one channel survives");
     }
 
     #[test]
     fn rejects_rate_one() {
         let mut rng = StdRng::seed_from_u64(6);
-        let err =
-            WeightMask::generate(&conv_layer(), SparsityPattern::RandomPointwise, 1.0, &mut rng)
-                .unwrap_err();
+        let err = WeightMask::generate(
+            &conv_layer(),
+            SparsityPattern::RandomPointwise,
+            1.0,
+            &mut rng,
+        )
+        .unwrap_err();
         assert!(matches!(err, MaskGenerationError::InvalidRate { .. }));
     }
 

@@ -121,9 +121,7 @@ impl FromStr for SparsityPattern {
             "random" | "random_pointwise" | "pointwise" => {
                 return Ok(SparsityPattern::RandomPointwise)
             }
-            "channel" | "channelwise" | "channel_wise" => {
-                return Ok(SparsityPattern::ChannelWise)
-            }
+            "channel" | "channelwise" | "channel_wise" => return Ok(SparsityPattern::ChannelWise),
             _ => {}
         }
         if let Some((n, m)) = lower.split_once(':') {

@@ -112,9 +112,7 @@ pub fn from_csv(text: &str) -> Result<ModelTraces, CsvError> {
 }
 
 fn parse_spec(header: &str) -> Result<SparseModelSpec, CsvError> {
-    let body = header
-        .strip_prefix("# ")
-        .ok_or(CsvError::MissingHeader)?;
+    let body = header.strip_prefix("# ").ok_or(CsvError::MissingHeader)?;
     let parts: Vec<&str> = body.split(',').collect();
     if parts.len() != 4 {
         return Err(CsvError::MissingHeader);
@@ -140,7 +138,9 @@ fn parse_profile(s: &str) -> Option<DatasetProfile> {
 }
 
 fn parse_field<T: FromStr>(s: &str, line_no: usize) -> Result<T, CsvError> {
-    s.trim().parse().map_err(|_| CsvError::BadRow { line: line_no + 3 })
+    s.trim()
+        .parse()
+        .map_err(|_| CsvError::BadRow { line: line_no + 3 })
 }
 
 /// Errors from [`from_csv`].
@@ -178,11 +178,7 @@ mod tests {
     use crate::TraceGenerator;
 
     fn traces() -> ModelTraces {
-        let spec = SparseModelSpec::new(
-            ModelId::MobileNet,
-            SparsityPattern::RandomPointwise,
-            0.7,
-        );
+        let spec = SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::RandomPointwise, 0.7);
         TraceGenerator::default().generate(&spec, 3, 1)
     }
 

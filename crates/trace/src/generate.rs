@@ -22,13 +22,11 @@ use crate::{LayerRecord, ModelTraces, SampleTrace, SparseModelSpec};
 /// let traces = TraceGenerator::default().generate(&spec, 8, 1);
 /// assert_eq!(traces.num_layers(), dysta_models::zoo::bert(384).num_layers());
 /// ```
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TraceGenerator {
     eyeriss: EyerissV2,
     sanger: Sanger,
 }
-
 
 impl TraceGenerator {
     /// Creates a generator with customized accelerator models.
@@ -142,8 +140,7 @@ mod tests {
 
     #[test]
     fn cnn_latency_varies_mildly_across_samples() {
-        let spec =
-            SparseModelSpec::new(ModelId::ResNet50, SparsityPattern::RandomPointwise, 0.8);
+        let spec = SparseModelSpec::new(ModelId::ResNet50, SparsityPattern::RandomPointwise, 0.8);
         let traces = TraceGenerator::default().generate(&spec, 64, 3);
         let lats: Vec<f64> = traces
             .samples()

@@ -266,11 +266,7 @@ mod tests {
 
     #[test]
     fn luts_average_over_samples() {
-        let spec = SparseModelSpec::new(
-            ModelId::MobileNet,
-            SparsityPattern::RandomPointwise,
-            0.8,
-        );
+        let spec = SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::RandomPointwise, 0.8);
         let m = ModelTraces::new(
             spec,
             vec![trace(&[10, 10], &[0.2, 0.4]), trace(&[30, 10], &[0.4, 0.8])],
@@ -283,10 +279,7 @@ mod tests {
     #[test]
     fn sample_wraps_around() {
         let spec = SparseModelSpec::new(ModelId::Vgg16, SparsityPattern::Dense, 0.0);
-        let m = ModelTraces::new(
-            spec,
-            vec![trace(&[1], &[0.0]), trace(&[2], &[0.0])],
-        );
+        let m = ModelTraces::new(spec, vec![trace(&[1], &[0.0]), trace(&[2], &[0.0])]);
         assert_eq!(m.sample(0).isolated_latency_ns(), 1);
         assert_eq!(m.sample(3).isolated_latency_ns(), 2);
     }

@@ -61,7 +61,10 @@ impl WorkloadBuilder {
     /// Panics if the mix is empty or any weight is non-positive.
     pub fn from_mix(mix: Vec<(SparseModelSpec, f64)>) -> Self {
         assert!(!mix.is_empty(), "mix must not be empty");
-        assert!(mix.iter().all(|&(_, w)| w > 0.0), "weights must be positive");
+        assert!(
+            mix.iter().all(|&(_, w)| w > 0.0),
+            "weights must be positive"
+        );
         WorkloadBuilder {
             mix,
             arrival_rate: 1.0,
@@ -80,7 +83,10 @@ impl WorkloadBuilder {
     ///
     /// Panics unless the rate is positive and finite.
     pub fn arrival_rate(mut self, per_sec: f64) -> Self {
-        assert!(per_sec > 0.0 && per_sec.is_finite(), "rate must be positive");
+        assert!(
+            per_sec > 0.0 && per_sec.is_finite(),
+            "rate must be positive"
+        );
         self.arrival_rate = per_sec;
         self
     }
@@ -154,10 +160,11 @@ impl WorkloadBuilder {
             // Trace seeds are independent of the arrival seed so that
             // changing the arrival pattern keeps the trace library fixed,
             // mirroring the paper's two-phase methodology.
-            store.insert(
-                self.generator
-                    .generate(spec, self.samples_per_variant, self.seed ^ 0xD15A),
-            );
+            store.insert(self.generator.generate(
+                spec,
+                self.samples_per_variant,
+                self.seed ^ 0xD15A,
+            ));
         }
 
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -221,7 +228,9 @@ impl Workload {
     /// variant missing from the store.
     pub fn from_parts(requests: Vec<Request>, store: TraceStore) -> Self {
         assert!(
-            requests.windows(2).all(|p| p[0].arrival_ns <= p[1].arrival_ns),
+            requests
+                .windows(2)
+                .all(|p| p[0].arrival_ns <= p[1].arrival_ns),
             "requests must be sorted by arrival"
         );
         for r in &requests {
@@ -271,9 +280,8 @@ impl Workload {
         if self.requests.len() < 2 {
             return 0.0;
         }
-        let span_s = (self.requests.last().unwrap().arrival_ns
-            - self.requests[0].arrival_ns) as f64
-            / 1e9;
+        let span_s =
+            (self.requests.last().unwrap().arrival_ns - self.requests[0].arrival_ns) as f64 / 1e9;
         let busy_s: f64 = self
             .requests
             .iter()

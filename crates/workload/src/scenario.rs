@@ -43,21 +43,56 @@ impl Scenario {
                 (spec(ModelId::Bart, SparsityPattern::Dense, 0.0), 1.0),
             ],
             Scenario::MultiCnn => vec![
-                (spec(ModelId::Ssd, SparsityPattern::RandomPointwise, 0.8), 1.0),
-                (spec(ModelId::ResNet50, SparsityPattern::RandomPointwise, 0.8), 0.5),
-                (spec(ModelId::ResNet50, SparsityPattern::BlockNm { n: 2, m: 4 }, 0.5), 0.5),
+                (
+                    spec(ModelId::Ssd, SparsityPattern::RandomPointwise, 0.8),
+                    1.0,
+                ),
+                (
+                    spec(ModelId::ResNet50, SparsityPattern::RandomPointwise, 0.8),
+                    0.5,
+                ),
+                (
+                    spec(
+                        ModelId::ResNet50,
+                        SparsityPattern::BlockNm { n: 2, m: 4 },
+                        0.5,
+                    ),
+                    0.5,
+                ),
                 (spec(ModelId::Vgg16, SparsityPattern::ChannelWise, 0.6), 0.5),
-                (spec(ModelId::Vgg16, SparsityPattern::RandomPointwise, 0.8), 0.5),
-                (spec(ModelId::MobileNet, SparsityPattern::RandomPointwise, 0.7), 1.0),
+                (
+                    spec(ModelId::Vgg16, SparsityPattern::RandomPointwise, 0.8),
+                    0.5,
+                ),
+                (
+                    spec(ModelId::MobileNet, SparsityPattern::RandomPointwise, 0.7),
+                    1.0,
+                ),
             ],
             Scenario::DataCenter => vec![
-                (spec(ModelId::Ssd, SparsityPattern::RandomPointwise, 0.8), 1.0),
+                (
+                    spec(ModelId::Ssd, SparsityPattern::RandomPointwise, 0.8),
+                    1.0,
+                ),
                 (spec(ModelId::Vgg16, SparsityPattern::ChannelWise, 0.6), 1.0),
-                (spec(ModelId::ResNet50, SparsityPattern::BlockNm { n: 2, m: 4 }, 0.5), 1.0),
+                (
+                    spec(
+                        ModelId::ResNet50,
+                        SparsityPattern::BlockNm { n: 2, m: 4 },
+                        0.5,
+                    ),
+                    1.0,
+                ),
             ],
             Scenario::ArVrWearable => vec![
-                (spec(ModelId::Ssd, SparsityPattern::RandomPointwise, 0.8), 1.0),
-                (spec(ModelId::MobileNet, SparsityPattern::RandomPointwise, 0.7), 1.0),
+                (
+                    spec(ModelId::Ssd, SparsityPattern::RandomPointwise, 0.8),
+                    1.0,
+                ),
+                (
+                    spec(ModelId::MobileNet, SparsityPattern::RandomPointwise, 0.7),
+                    1.0,
+                ),
             ],
         }
     }
@@ -92,7 +127,9 @@ mod tests {
     #[test]
     fn cnn_mix_is_all_cnns_with_varied_patterns() {
         let mix = Scenario::MultiCnn.mix();
-        assert!(mix.iter().all(|(s, _)| s.model.family() == ModelFamily::Cnn));
+        assert!(mix
+            .iter()
+            .all(|(s, _)| s.model.family() == ModelFamily::Cnn));
         let patterns: std::collections::HashSet<String> =
             mix.iter().map(|(s, _)| s.pattern.short_name()).collect();
         assert!(patterns.len() >= 3, "need pattern diversity for Dysta");

@@ -42,7 +42,12 @@ fn main() {
         "{:<14} {:>8} {:>12} {:>14}",
         "policy", "ANTT", "viol [%]", "p99 NTT"
     );
-    for policy in [Policy::Fcfs, Policy::Sjf, Policy::DystaStatic, Policy::Dysta] {
+    for policy in [
+        Policy::Fcfs,
+        Policy::Sjf,
+        Policy::DystaStatic,
+        Policy::Dysta,
+    ] {
         let mut scheduler = policy.build();
         let report = simulate(&workload, scheduler.as_mut(), &EngineConfig::default());
         let mut ntts: Vec<f64> = report

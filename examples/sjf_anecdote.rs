@@ -15,8 +15,7 @@ use dysta::trace::{SparseModelSpec, TraceGenerator, TraceStore};
 
 fn main() {
     let resnet = SparseModelSpec::new(ModelId::ResNet50, SparsityPattern::RandomPointwise, 0.8);
-    let mobilenet =
-        SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::RandomPointwise, 0.7);
+    let mobilenet = SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::RandomPointwise, 0.7);
     let generator = TraceGenerator::default();
     let mut store = TraceStore::new();
     store.insert(generator.generate(&resnet, 64, 0));
@@ -84,5 +83,8 @@ fn main() {
     }
 
     let dysta = Policy::Dysta.build();
-    println!("\nthe {} policy makes decision (b) automatically.", dysta.name());
+    println!(
+        "\nthe {} policy makes decision (b) automatically.",
+        dysta.name()
+    );
 }

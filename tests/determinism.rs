@@ -1,10 +1,10 @@
 //! Reproducibility guarantees: everything is a pure function of its seed.
 
 use dysta::core::Policy;
-use dysta::sim::{simulate, EngineConfig};
-use dysta::trace::{SparseModelSpec, TraceGenerator};
 use dysta::models::ModelId;
+use dysta::sim::{simulate, EngineConfig};
 use dysta::sparsity::SparsityPattern;
+use dysta::trace::{SparseModelSpec, TraceGenerator};
 use dysta::workload::{Scenario, WorkloadBuilder};
 
 #[test]

@@ -56,8 +56,12 @@ fn oracle_is_at_least_as_good_as_sparsity_blind_dysta_static_on_antt() {
     let mut static_antt = 0.0;
     for seed in 0..3 {
         let w = workload(Scenario::MultiAttNn, seed);
-        oracle_antt +=
-            simulate(&w, Policy::Oracle.build().as_mut(), &EngineConfig::default()).antt();
+        oracle_antt += simulate(
+            &w,
+            Policy::Oracle.build().as_mut(),
+            &EngineConfig::default(),
+        )
+        .antt();
         static_antt += simulate(
             &w,
             Policy::DystaStatic.build().as_mut(),
@@ -81,8 +85,12 @@ fn dysta_tracks_oracle_within_margin() {
             let w = workload(scenario, seed);
             dysta_antt +=
                 simulate(&w, Policy::Dysta.build().as_mut(), &EngineConfig::default()).antt();
-            oracle_antt +=
-                simulate(&w, Policy::Oracle.build().as_mut(), &EngineConfig::default()).antt();
+            oracle_antt += simulate(
+                &w,
+                Policy::Oracle.build().as_mut(),
+                &EngineConfig::default(),
+            )
+            .antt();
         }
         assert!(
             dysta_antt <= oracle_antt * 1.5,
@@ -123,11 +131,14 @@ fn tighter_slo_multiplier_cannot_reduce_violations() {
             .samples_per_variant(12)
             .seed(5)
             .build();
-        let loose_v = simulate(&loose, policy.build().as_mut(), &EngineConfig::default())
-            .violation_rate();
-        let tight_v = simulate(&tight, policy.build().as_mut(), &EngineConfig::default())
-            .violation_rate();
-        assert!(tight_v >= loose_v, "{policy}: tight {tight_v} loose {loose_v}");
+        let loose_v =
+            simulate(&loose, policy.build().as_mut(), &EngineConfig::default()).violation_rate();
+        let tight_v =
+            simulate(&tight, policy.build().as_mut(), &EngineConfig::default()).violation_rate();
+        assert!(
+            tight_v >= loose_v,
+            "{policy}: tight {tight_v} loose {loose_v}"
+        );
     }
 }
 

@@ -59,7 +59,6 @@ fn pattern_variants_have_distinct_latencies() {
         8,
         0,
     );
-    let rel = (random.avg_latency_ns() - channel.avg_latency_ns()).abs()
-        / random.avg_latency_ns();
+    let rel = (random.avg_latency_ns() - channel.avg_latency_ns()).abs() / random.avg_latency_ns();
     assert!(rel > 0.05, "patterns indistinguishable: {rel}");
 }
