@@ -1,5 +1,10 @@
 //! Sparse latency predictor throughput per coefficient strategy,
 //! including the FP16 hardware datapath.
+//!
+//! Covers a mid-execution task and a long-monitored-history task (the
+//! case that exposed the old O(executed-layers) per-call re-scan — the
+//! incremental summary must keep `last_one`/`average_all` flat in
+//! history length).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -9,47 +14,51 @@ use dysta::models::ModelId;
 use dysta::sparsity::SparsityPattern;
 use dysta::trace::{SparseModelSpec, TraceGenerator, TraceStore};
 
-fn task_midway() -> (TaskState, ModelInfoLut, SparseModelSpec) {
+/// A task that has executed `executed` of its layers, with the monitored
+/// stream and running sparsity summary populated the way the engine
+/// maintains them.
+fn task_at(executed_frac: f64) -> (TaskState, ModelInfoLut, SparseModelSpec) {
     let spec = SparseModelSpec::new(ModelId::Bert, SparsityPattern::Dense, 0.0);
     let traces = TraceGenerator::default().generate(&spec, 8, 0);
     let mut store = TraceStore::new();
     store.insert(traces.clone());
     let lut = ModelInfoLut::from_store(&store);
+    let variant = lut.variant_id(&spec).expect("spec profiled");
     let trace = traces.sample(0);
-    let mid = trace.num_layers() / 2;
-    let task = TaskState {
-        id: 0,
-        spec,
-        arrival_ns: 0,
-        slo_ns: u64::MAX / 2,
-        next_layer: mid,
-        num_layers: trace.num_layers(),
-        executed_ns: 0,
-        monitored: trace.layers()[..mid]
+    let upto = ((trace.num_layers() as f64 * executed_frac) as usize).min(trace.num_layers() - 1);
+    let mut task = TaskState {
+        next_layer: upto,
+        monitored: trace.layers()[..upto]
             .iter()
             .map(|l| MonitoredLayer {
                 sparsity: l.sparsity,
                 latency_ns: l.latency_ns,
             })
             .collect(),
-        true_remaining_ns: trace.remaining_ns(mid),
+        true_remaining_ns: trace.remaining_ns(upto),
+        ..TaskState::arrived(0, spec, variant, 0, u64::MAX / 2, trace.num_layers())
     };
+    task.rebuild_sparsity_summary(lut.info(variant));
     (task, lut, spec)
 }
 
 fn bench_strategies(c: &mut Criterion) {
-    let (task, lut, spec) = task_midway();
-    let info = lut.expect(&spec);
     let mut group = c.benchmark_group("predictor");
-    for (name, strategy) in [
-        ("average_all", CoeffStrategy::AverageAll),
-        ("last_3", CoeffStrategy::LastN(3)),
-        ("last_one", CoeffStrategy::LastOne),
-    ] {
-        let p = SparseLatencyPredictor::new(strategy, 1.0);
-        group.bench_with_input(BenchmarkId::new("remaining_ns", name), &p, |b, p| {
-            b.iter(|| p.remaining_ns(std::hint::black_box(&task), info))
-        });
+    for (case, frac) in [("midway", 0.5), ("long_history", 0.98)] {
+        let (task, lut, spec) = task_at(frac);
+        let info = lut.expect(&spec);
+        for (name, strategy) in [
+            ("average_all", CoeffStrategy::AverageAll),
+            ("last_3", CoeffStrategy::LastN(3)),
+            ("last_one", CoeffStrategy::LastOne),
+        ] {
+            let p = SparseLatencyPredictor::new(strategy, 1.0);
+            group.bench_with_input(
+                BenchmarkId::new(format!("remaining_ns_{case}"), name),
+                &p,
+                |b, p| b.iter(|| p.remaining_ns(std::hint::black_box(&task), info)),
+            );
+        }
     }
     group.finish();
 }

@@ -1,57 +1,19 @@
 //! Scheduler decision latency: supports the paper's claim that the Dysta
 //! scheduler is lightweight enough to run at layer granularity.
+//!
+//! Queue depths run to 256 so the O(queue) single-pass pick is exercised
+//! well past the paper's operating points (deep queues are where the
+//! old per-comparison score re-evaluation hurt most).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use dysta::core::{ModelInfoLut, Policy, TaskState};
-use dysta::workload::{Scenario, WorkloadBuilder};
-
-/// Builds a realistic scheduling point: `n` in-flight requests with
-/// partially executed layers.
-fn queue_of(n: usize) -> (Vec<TaskState>, ModelInfoLut) {
-    let w = WorkloadBuilder::new(Scenario::MultiAttNn)
-        .num_requests(n)
-        .samples_per_variant(8)
-        .seed(0)
-        .build();
-    let lut = ModelInfoLut::from_store(w.store());
-    let tasks: Vec<TaskState> = w
-        .requests()
-        .iter()
-        .enumerate()
-        .map(|(i, r)| {
-            let trace = w.trace_for(r);
-            let progress = (i * 7) % trace.num_layers();
-            TaskState {
-                id: r.id,
-                spec: r.spec,
-                arrival_ns: r.arrival_ns,
-                slo_ns: r.slo_ns,
-                next_layer: progress,
-                num_layers: trace.num_layers(),
-                executed_ns: trace.layers()[..progress]
-                    .iter()
-                    .map(|l| l.latency_ns)
-                    .sum(),
-                monitored: trace.layers()[..progress]
-                    .iter()
-                    .map(|l| dysta::core::MonitoredLayer {
-                        sparsity: l.sparsity,
-                        latency_ns: l.latency_ns,
-                    })
-                    .collect(),
-                true_remaining_ns: trace.remaining_ns(progress),
-            }
-        })
-        .collect();
-    (tasks, lut)
-}
+use dysta::core::{Policy, TaskQueue};
+use dysta_bench::mid_execution_tasks;
 
 fn bench_pick_next(c: &mut Criterion) {
     let mut group = c.benchmark_group("pick_next");
-    for &queue_len in &[4usize, 16, 64] {
-        let (tasks, lut) = queue_of(queue_len);
-        let queue: Vec<&TaskState> = tasks.iter().collect();
+    for &queue_len in &[4usize, 16, 64, 256] {
+        let (tasks, lut) = mid_execution_tasks(queue_len);
         for policy in [
             Policy::Fcfs,
             Policy::Sjf,
@@ -67,7 +29,15 @@ fn bench_pick_next(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(policy.name(), queue_len),
                 &queue_len,
-                |b, _| b.iter(|| sched.pick_next(std::hint::black_box(&queue), &lut, 1_000_000)),
+                |b, _| {
+                    b.iter(|| {
+                        sched.pick_next(
+                            std::hint::black_box(TaskQueue::dense(&tasks)),
+                            &lut,
+                            1_000_000,
+                        )
+                    })
+                },
             );
         }
     }

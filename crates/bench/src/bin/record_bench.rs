@@ -1,0 +1,230 @@
+//! Records the repository's performance trajectory to `BENCH_engine.json`.
+//!
+//! Wall-clock measurements of the three hot paths the scheduling engine
+//! is judged by — simulator throughput (layer events/sec), scheduler
+//! decision cost (ns per `pick_next`), and the cluster sweep — tagged
+//! with a label so successive PRs can diff perf against the recorded
+//! history instead of re-deriving a baseline in a different environment.
+//!
+//! Usage: `record_bench <label> [path-to-BENCH_engine.json]`
+//! Re-recording an existing label replaces that record in place.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use dysta::cluster::{simulate_cluster, AcceleratorKind, ClusterConfig, DispatchPolicy};
+use dysta::core::{ModelInfoLut, Policy, TaskQueue, TaskState};
+use dysta::sim::{simulate, EngineConfig};
+use dysta::workload::{Scenario, Workload, WorkloadBuilder};
+use dysta_bench::mid_execution_tasks;
+
+/// One simulator-throughput measurement cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EngineRow {
+    scenario: String,
+    policy: String,
+    events_per_sec: f64,
+    sim_ms: f64,
+}
+
+/// One scheduler-decision-cost measurement cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PickRow {
+    policy: String,
+    queue_len: usize,
+    ns_per_pick: f64,
+}
+
+/// One labelled recording session (all cells measured back-to-back in
+/// the same environment, so ratios within a record are meaningful).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchRecord {
+    label: String,
+    engine: Vec<EngineRow>,
+    picks: Vec<PickRow>,
+    cluster_sweep_ms: f64,
+}
+
+/// The whole perf-trajectory file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchFile {
+    records: Vec<BenchRecord>,
+}
+
+/// Median wall time of `runs` executions of `f`, in seconds.
+fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up (page in traces, heat caches)
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn engine_workload(scenario: Scenario) -> Workload {
+    WorkloadBuilder::new(scenario)
+        .num_requests(200)
+        .samples_per_variant(16)
+        .seed(0)
+        .build()
+}
+
+fn measure_engine(records: &mut Vec<EngineRow>) {
+    for (name, scenario) in [
+        ("multi_attnn", Scenario::MultiAttNn),
+        ("multi_cnn", Scenario::MultiCnn),
+    ] {
+        let workload = engine_workload(scenario);
+        let total_layers: u64 = workload
+            .requests()
+            .iter()
+            .map(|r| workload.trace_for(r).num_layers() as u64)
+            .sum();
+        for policy in Policy::ALL {
+            let secs = median_secs(7, || {
+                std::hint::black_box(simulate(
+                    std::hint::black_box(&workload),
+                    policy.build().as_mut(),
+                    &EngineConfig::default(),
+                ));
+            });
+            records.push(EngineRow {
+                scenario: name.to_string(),
+                policy: policy.name().to_string(),
+                events_per_sec: total_layers as f64 / secs,
+                sim_ms: secs * 1e3,
+            });
+            println!(
+                "engine {name:<12} {:<13} {:>10.0} events/s ({:.2} ms)",
+                policy.name(),
+                total_layers as f64 / secs,
+                secs * 1e3
+            );
+        }
+    }
+}
+
+fn measure_picks(records: &mut Vec<PickRow>) {
+    for &queue_len in &[16usize, 64, 256] {
+        let (tasks, lut) = mid_execution_tasks(queue_len);
+        for policy in [
+            Policy::Fcfs,
+            Policy::Sjf,
+            Policy::Prema,
+            Policy::Planaria,
+            Policy::Sdrm3,
+            Policy::Dysta,
+            Policy::Oracle,
+        ] {
+            let ns = time_picks(policy, &tasks, &lut);
+            records.push(PickRow {
+                policy: policy.name().to_string(),
+                queue_len,
+                ns_per_pick: ns,
+            });
+            println!(
+                "pick   q={queue_len:<4} {:<13} {ns:>10.1} ns",
+                policy.name()
+            );
+        }
+    }
+}
+
+/// Mean ns per `pick_next` over an adaptively sized timed loop.
+fn time_picks(policy: Policy, tasks: &[TaskState], lut: &ModelInfoLut) -> f64 {
+    let mut sched = policy.build();
+    for t in tasks {
+        sched.on_arrival(t, lut, t.arrival_ns);
+    }
+    for _ in 0..1_000 {
+        std::hint::black_box(sched.pick_next(
+            std::hint::black_box(TaskQueue::dense(tasks)),
+            lut,
+            1_000_000,
+        ));
+    }
+    let mut iters = 1_000u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(sched.pick_next(
+                std::hint::black_box(TaskQueue::dense(tasks)),
+                lut,
+                1_000_000,
+            ));
+        }
+        let elapsed = t.elapsed();
+        if elapsed.as_millis() >= 50 {
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+        iters *= 4;
+    }
+}
+
+fn measure_cluster_sweep() -> f64 {
+    // Workload/trace generation happens outside the timed region — the
+    // recorded number tracks cluster *simulation* cost only.
+    let workload = WorkloadBuilder::new(Scenario::MultiCnn)
+        .arrival_rate(12.0)
+        .num_requests(200)
+        .samples_per_variant(16)
+        .seed(13)
+        .build();
+    let secs = median_secs(3, || {
+        for dispatch in DispatchPolicy::ALL {
+            let config = ClusterConfig::homogeneous(4, AcceleratorKind::EyerissV2, Policy::Dysta);
+            std::hint::black_box(simulate_cluster(
+                &workload,
+                dispatch.build().as_mut(),
+                &config,
+            ));
+        }
+    });
+    println!(
+        "cluster_sweep (4 nodes x 4 dispatchers x 200 reqs): {:.1} ms",
+        secs * 1e3
+    );
+    secs * 1e3
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let label = args.next().unwrap_or_else(|| "unlabelled".to_string());
+    let path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let mut engine = Vec::new();
+    let mut picks = Vec::new();
+    measure_engine(&mut engine);
+    measure_picks(&mut picks);
+    let cluster_sweep_ms = measure_cluster_sweep();
+
+    let record = BenchRecord {
+        label: label.clone(),
+        engine,
+        picks,
+        cluster_sweep_ms,
+    };
+
+    // A malformed history file must abort, not be silently replaced —
+    // overwriting would erase the recorded perf trajectory.
+    let mut file: BenchFile = match std::fs::read_to_string(&path) {
+        Ok(text) => serde_json::from_str(&text).unwrap_or_else(|e| {
+            panic!("refusing to overwrite unparseable {path}: {e}");
+        }),
+        Err(_) => BenchFile {
+            records: Vec::new(),
+        },
+    };
+    file.records.retain(|r| r.label != label);
+    file.records.push(record);
+    let json = serde_json::to_string(&file).expect("bench record serializes");
+    std::fs::write(&path, json + "\n").expect("bench file writes");
+    println!("recorded `{label}` -> {path}");
+}

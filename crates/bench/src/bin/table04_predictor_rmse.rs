@@ -20,27 +20,26 @@ fn rmse_for(model: ModelId, strategy: CoeffStrategy, samples: u64) -> f64 {
     let info = lut.expect(&spec);
     let predictor = SparseLatencyPredictor::new(strategy, 1.0);
 
+    let variant = lut.variant_id(&spec).expect("spec profiled");
     let mut sq_err = 0.0;
     let mut count = 0u64;
     for idx in 0..traces.num_samples() as u64 {
         let trace = traces.sample(idx);
         let mut task = TaskState {
-            id: idx,
-            spec,
-            arrival_ns: 0,
-            slo_ns: u64::MAX / 2,
-            next_layer: 0,
-            num_layers: trace.num_layers(),
-            executed_ns: 0,
-            monitored: Vec::new(),
             true_remaining_ns: trace.isolated_latency_ns(),
+            ..TaskState::arrived(idx, spec, variant, 0, u64::MAX / 2, trace.num_layers())
         };
         for (j, layer) in trace.layers().iter().enumerate() {
             task.next_layer = j + 1;
-            task.monitored.push(MonitoredLayer {
-                sparsity: layer.sparsity,
-                latency_ns: layer.latency_ns,
-            });
+            // Feed the monitor stream the way the engine does, keeping
+            // the incremental sparsity summary in lockstep.
+            task.record_layer(
+                MonitoredLayer {
+                    sparsity: layer.sparsity,
+                    latency_ns: layer.latency_ns,
+                },
+                info,
+            );
             let predicted_s = predictor.remaining_ns(&task, info) / 1e9;
             let truth_s = trace.remaining_ns(j + 1) as f64 / 1e9;
             sq_err += (predicted_s - truth_s).powi(2);

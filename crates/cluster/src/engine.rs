@@ -71,9 +71,9 @@ pub fn simulate_cluster(
                 now_ns: node.now_ns(),
                 queue_len: node.queue_len(),
                 lut_backlog_ns: node
-                    .estimated_backlog_ns(|t| lut.expect(&t.spec).avg_remaining_ns(t.next_layer)),
+                    .estimated_backlog_ns(|t| lut.info(t.variant).avg_remaining_ns(t.next_layer)),
                 predicted_backlog_ns: node
-                    .estimated_backlog_ns(|t| predictor.remaining_ns(t, lut.expect(&t.spec))),
+                    .estimated_backlog_ns(|t| predictor.remaining_ns(t, lut.info(t.variant))),
                 busy_ns: node.busy_ns(),
             })
             .collect();

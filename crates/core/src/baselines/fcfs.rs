@@ -1,7 +1,7 @@
 //! First-Come First-Served.
 
-use crate::scheduler::Scheduler;
-use crate::{ModelInfoLut, TaskState};
+use crate::scheduler::{Scheduler, TaskQueue};
+use crate::ModelInfoLut;
 
 /// Non-preemptive-in-spirit FCFS: always runs the earliest-arrived active
 /// request to completion (a later arrival never overtakes, because the
@@ -28,7 +28,7 @@ impl Scheduler for Fcfs {
         "fcfs"
     }
 
-    fn pick_next(&mut self, queue: &[&TaskState], _lut: &ModelInfoLut, _now_ns: u64) -> usize {
+    fn pick_next(&mut self, queue: TaskQueue<'_>, _lut: &ModelInfoLut, _now_ns: u64) -> usize {
         queue
             .iter()
             .enumerate()
@@ -41,38 +41,36 @@ impl Scheduler for Fcfs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ModelInfoLut;
+    use crate::{ModelInfoLut, TaskState};
     use dysta_models::ModelId;
     use dysta_sparsity::SparsityPattern;
-    use dysta_trace::SparseModelSpec;
+    use dysta_trace::{SparseModelSpec, VariantId};
 
     fn task(id: u64, arrival: u64) -> TaskState {
+        let spec = SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::Dense, 0.0);
         TaskState {
-            id,
-            spec: SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::Dense, 0.0),
-            arrival_ns: arrival,
-            slo_ns: 1_000_000,
-            next_layer: 0,
-            num_layers: 3,
-            executed_ns: 0,
-            monitored: Vec::new(),
             true_remaining_ns: 100,
+            ..TaskState::arrived(id, spec, VariantId::default(), arrival, 1_000_000, 3)
         }
     }
 
     #[test]
     fn picks_earliest_arrival() {
-        let (a, b, c) = (task(0, 30), task(1, 10), task(2, 20));
-        let queue = [&a, &b, &c];
+        let queue = [task(0, 30), task(1, 10), task(2, 20)];
         let mut s = Fcfs::new();
-        assert_eq!(s.pick_next(&queue, &ModelInfoLut::default(), 100), 1);
+        assert_eq!(
+            s.pick_next(TaskQueue::dense(&queue), &ModelInfoLut::default(), 100),
+            1
+        );
     }
 
     #[test]
     fn ties_break_by_id() {
-        let (a, b) = (task(7, 10), task(3, 10));
-        let queue = [&a, &b];
+        let queue = [task(7, 10), task(3, 10)];
         let mut s = Fcfs::new();
-        assert_eq!(s.pick_next(&queue, &ModelInfoLut::default(), 100), 1);
+        assert_eq!(
+            s.pick_next(TaskQueue::dense(&queue), &ModelInfoLut::default(), 100),
+            1
+        );
     }
 }

@@ -1,8 +1,8 @@
 //! Planaria's task scheduler (Ghodrati et al., MICRO 2020), specialised
 //! to time-shared execution.
 
-use crate::scheduler::{lut_remaining_ns, Scheduler};
-use crate::{ModelInfoLut, TaskState};
+use crate::scheduler::{lut_remaining_ns, Scheduler, TaskQueue};
+use crate::ModelInfoLut;
 
 /// Planaria schedules by deadline urgency: its dispatcher sorts tasks by
 /// slack, *checks feasibility* (can the task still meet its deadline with
@@ -35,29 +35,37 @@ impl Scheduler for Planaria {
         "planaria"
     }
 
-    fn pick_next(&mut self, queue: &[&TaskState], lut: &ModelInfoLut, now_ns: u64) -> usize {
-        let infeasible = |t: &TaskState| {
-            let slack = t.deadline_ns() as f64 - now_ns as f64 - lut_remaining_ns(t, lut);
-            slack < 0.0
-        };
-        queue
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                infeasible(a)
-                    .cmp(&infeasible(b))
-                    .then(a.deadline_ns().cmp(&b.deadline_ns()))
-                    .then_with(|| lut_remaining_ns(a, lut).total_cmp(&lut_remaining_ns(b, lut)))
-                    .then(a.id.cmp(&b.id))
-            })
-            .map(|(i, _)| i)
-            .expect("engine never passes an empty queue")
+    fn pick_next(&mut self, queue: TaskQueue<'_>, lut: &ModelInfoLut, now_ns: u64) -> usize {
+        // Single pass; each task's LUT estimate (the only non-trivial
+        // term) is computed exactly once and reused for both the
+        // feasibility flag and the remaining-time tie-break.
+        let mut best: Option<((bool, u64, f64, u64), usize)> = None;
+        for (pos, t) in queue.iter().enumerate() {
+            let remaining = lut_remaining_ns(t, lut);
+            let infeasible = t.deadline_ns() as f64 - now_ns as f64 - remaining < 0.0;
+            let key = (infeasible, t.deadline_ns(), remaining, t.id);
+            let better = match &best {
+                None => true,
+                Some((bk, _)) => key
+                    .0
+                    .cmp(&bk.0)
+                    .then(key.1.cmp(&bk.1))
+                    .then(key.2.total_cmp(&bk.2))
+                    .then(key.3.cmp(&bk.3))
+                    .is_lt(),
+            };
+            if better {
+                best = Some((key, pos));
+            }
+        }
+        best.expect("engine never passes an empty queue").1
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TaskState;
     use dysta_models::ModelId;
     use dysta_sparsity::SparsityPattern;
     use dysta_trace::{SparseModelSpec, TraceGenerator, TraceStore};
@@ -69,28 +77,23 @@ mod tests {
         (spec, ModelInfoLut::from_store(&store))
     }
 
-    fn mk(id: u64, spec: SparseModelSpec, arrival: u64, slo: u64) -> TaskState {
-        TaskState {
-            id,
-            spec,
-            arrival_ns: arrival,
-            slo_ns: slo,
-            next_layer: 0,
-            num_layers: 3,
-            executed_ns: 0,
-            monitored: Vec::new(),
-            true_remaining_ns: 0,
-        }
+    fn mk(id: u64, spec: SparseModelSpec, lut: &ModelInfoLut, arrival: u64, slo: u64) -> TaskState {
+        let variant = lut.variant_id(&spec).expect("spec profiled");
+        TaskState::arrived(id, spec, variant, arrival, slo, 3)
     }
 
     #[test]
     fn earliest_feasible_deadline_first() {
         let (spec, lut) = setup();
         // Task 1 arrives later but has a much tighter (yet feasible) SLO.
-        let a = mk(0, spec, 0, 10_000_000_000);
-        let b = mk(1, spec, 100, 1_000_000_000);
-        let queue = [&a, &b];
-        assert_eq!(Planaria::new().pick_next(&queue, &lut, 200), 1);
+        let queue = [
+            mk(0, spec, &lut, 0, 10_000_000_000),
+            mk(1, spec, &lut, 100, 1_000_000_000),
+        ];
+        assert_eq!(
+            Planaria::new().pick_next(TaskQueue::dense(&queue), &lut, 200),
+            1
+        );
     }
 
     #[test]
@@ -98,9 +101,13 @@ mod tests {
         let (spec, lut) = setup();
         // Task 0's deadline has already passed; the feasible task 1 with a
         // later-but-reachable deadline must run first.
-        let expired = mk(0, spec, 0, 1);
-        let feasible = mk(1, spec, 0, 10_000_000_000);
-        let queue = [&expired, &feasible];
-        assert_eq!(Planaria::new().pick_next(&queue, &lut, 1_000_000), 1);
+        let queue = [
+            mk(0, spec, &lut, 0, 1),
+            mk(1, spec, &lut, 0, 10_000_000_000),
+        ];
+        assert_eq!(
+            Planaria::new().pick_next(TaskQueue::dense(&queue), &lut, 1_000_000),
+            1
+        );
     }
 }

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use crate::scheduler::{lut_isolated_ns, lut_remaining_ns, Scheduler};
+use crate::scheduler::{lut_isolated_ns, lut_remaining_ns, Scheduler, TaskQueue};
 use crate::{ModelInfoLut, TaskState};
 
 /// PREMA combines token-based aging with shortest-estimated-job
@@ -91,8 +91,8 @@ impl Prema {
             .unwrap_or(1.0)
     }
 
-    fn age_tokens(&mut self, queue: &[&TaskState], lut: &ModelInfoLut, now_ns: u64) {
-        for task in queue {
+    fn age_tokens(&mut self, queue: TaskQueue<'_>, lut: &ModelInfoLut, now_ns: u64) {
+        for task in queue.iter() {
             let priority = self.priority(task);
             let entry = self.tokens.entry(task.id).or_insert(TokenState {
                 token: 0.0,
@@ -121,26 +121,35 @@ impl Scheduler for Prema {
         }
     }
 
-    fn pick_next(&mut self, queue: &[&TaskState], lut: &ModelInfoLut, now_ns: u64) -> usize {
+    fn pick_next(&mut self, queue: TaskQueue<'_>, lut: &ModelInfoLut, now_ns: u64) -> usize {
         self.age_tokens(queue, lut, now_ns);
-        let candidate_ids: Vec<u64> = queue
-            .iter()
-            .filter(|t| self.tokens[&t.id].token >= self.threshold)
-            .map(|t| t.id)
-            .collect();
-        let eligible = |t: &TaskState| candidate_ids.is_empty() || candidate_ids.contains(&t.id);
-        let idx = queue
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| eligible(t))
-            .min_by(|(_, a), (_, b)| {
-                lut_remaining_ns(a, lut)
-                    .total_cmp(&lut_remaining_ns(b, lut))
-                    .then(a.id.cmp(&b.id))
-            })
-            .map(|(i, _)| i)
-            .expect("eligible set is never empty");
-        self.current = Some(queue[idx].id);
+        // One pass, one score evaluation per task: track the shortest
+        // candidate (token over threshold) and the shortest task overall;
+        // the overall minimum only decides when no candidate exists.
+        let mut best_candidate: Option<(f64, u64, usize)> = None;
+        let mut best_any: Option<(f64, u64, usize)> = None;
+        for (pos, t) in queue.iter().enumerate() {
+            let remaining = lut_remaining_ns(t, lut);
+            let better = |best: &Option<(f64, u64, usize)>| match best {
+                None => true,
+                Some((bs, bid, _)) => match remaining.total_cmp(bs) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Equal => t.id < *bid,
+                    std::cmp::Ordering::Greater => false,
+                },
+            };
+            if better(&best_any) {
+                best_any = Some((remaining, t.id, pos));
+            }
+            if self.tokens[&t.id].token >= self.threshold && better(&best_candidate) {
+                best_candidate = Some((remaining, t.id, pos));
+            }
+        }
+        let idx = best_candidate
+            .or(best_any)
+            .expect("eligible set is never empty")
+            .2;
+        self.current = Some(queue.get(idx).id);
         idx
     }
 }
@@ -162,52 +171,45 @@ mod tests {
         (small, big, ModelInfoLut::from_store(&store))
     }
 
-    fn mk(id: u64, spec: SparseModelSpec, arrival: u64) -> TaskState {
-        TaskState {
-            id,
-            spec,
-            arrival_ns: arrival,
-            slo_ns: u64::MAX / 2,
-            next_layer: 0,
-            num_layers: 10,
-            executed_ns: 0,
-            monitored: Vec::new(),
-            true_remaining_ns: 0,
-        }
+    fn mk(id: u64, spec: SparseModelSpec, lut: &ModelInfoLut, arrival: u64) -> TaskState {
+        let variant = lut.variant_id(&spec).expect("spec profiled");
+        TaskState::arrived(id, spec, variant, arrival, u64::MAX / 2, 10)
     }
 
     #[test]
     fn behaves_like_sjf_before_aging() {
         let (small, big, lut) = setup();
-        let a = mk(0, big, 0);
-        let b = mk(1, small, 0);
-        let queue = [&a, &b];
+        let queue = [mk(0, big, &lut, 0), mk(1, small, &lut, 0)];
         let mut p = Prema::default();
-        assert_eq!(p.pick_next(&queue, &lut, 0), 1, "short job first");
+        assert_eq!(
+            p.pick_next(TaskQueue::dense(&queue), &lut, 0),
+            1,
+            "short job first"
+        );
     }
 
     #[test]
     fn starved_long_job_eventually_wins() {
         let (small, big, lut) = setup();
-        let long_task = mk(0, big, 0);
+        let long_task = mk(0, big, &lut, 0);
         let mut p = Prema::default();
         // Age the long task far beyond its isolated time while short jobs
         // keep arriving fresh.
         let isolated = lut.expect(&big).avg_latency_ns();
         let much_later = (isolated * 3.0) as u64;
-        let fresh_short = mk(99, small, much_later);
-        let queue = [&long_task, &fresh_short];
-        let idx = p.pick_next(&queue, &lut, much_later);
+        let fresh_short = mk(99, small, &lut, much_later);
+        let queue = [long_task, fresh_short];
+        let idx = p.pick_next(TaskQueue::dense(&queue), &lut, much_later);
         assert_eq!(idx, 0, "aged long job must win over fresh short job");
     }
 
     #[test]
     fn completion_clears_bookkeeping() {
         let (small, _, lut) = setup();
-        let t = mk(0, small, 0);
+        let t = mk(0, small, &lut, 0);
         let mut p = Prema::default();
-        let queue = [&t];
-        p.pick_next(&queue, &lut, 0);
+        let queue = [t.clone()];
+        p.pick_next(TaskQueue::dense(&queue), &lut, 0);
         p.on_task_complete(&t, 100);
         assert!(p.tokens.is_empty());
         assert_eq!(p.current, None);
@@ -227,8 +229,8 @@ mod tests {
         // short job.
         let boost = 50.0;
         let mut p = Prema::new(1.0).with_priorities([(dysta_models::ModelId::Vgg16, boost)]);
-        let long_task = mk(0, big, 0);
-        let short_task = mk(1, small, 0);
+        let long_task = mk(0, big, &lut, 0);
+        let short_task = mk(1, small, &lut, 0);
         // Wait long enough that only the boosted task crosses threshold:
         // boost * w / iso_big >= 1  while  w / iso_small < 1.
         let iso_big = lut.expect(&big).avg_latency_ns();
@@ -238,8 +240,8 @@ mod tests {
             (wait as f64) < iso_small,
             "test premise: small stays below threshold"
         );
-        let queue = [&long_task, &short_task];
-        let idx = p.pick_next(&queue, &lut, wait);
+        let queue = [long_task, short_task];
+        let idx = p.pick_next(TaskQueue::dense(&queue), &lut, wait);
         assert_eq!(idx, 0, "high-priority long job must preempt");
     }
 

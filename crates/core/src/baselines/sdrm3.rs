@@ -1,6 +1,6 @@
 //! SDRM3's MapScore scheduler (Kim et al., ASPLOS 2024).
 
-use crate::scheduler::{lut_isolated_ns, lut_remaining_ns, Scheduler};
+use crate::scheduler::{lut_isolated_ns, lut_remaining_ns, pick_max_score, Scheduler, TaskQueue};
 use crate::{ModelInfoLut, TaskState};
 
 /// SDRM3 scores every (task, accelerator) mapping and dispatches the
@@ -68,17 +68,8 @@ impl Scheduler for Sdrm3 {
         "sdrm3"
     }
 
-    fn pick_next(&mut self, queue: &[&TaskState], lut: &ModelInfoLut, now_ns: u64) -> usize {
-        queue
-            .iter()
-            .enumerate()
-            .max_by(|(_, a), (_, b)| {
-                self.map_score(a, lut, now_ns)
-                    .total_cmp(&self.map_score(b, lut, now_ns))
-                    .then(b.id.cmp(&a.id))
-            })
-            .map(|(i, _)| i)
-            .expect("engine never passes an empty queue")
+    fn pick_next(&mut self, queue: TaskQueue<'_>, lut: &ModelInfoLut, now_ns: u64) -> usize {
+        pick_max_score(queue, |t| self.map_score(t, lut, now_ns))
     }
 }
 
@@ -96,37 +87,33 @@ mod tests {
         (spec, ModelInfoLut::from_store(&store))
     }
 
-    fn mk(id: u64, spec: SparseModelSpec, arrival: u64, slo: u64) -> TaskState {
-        TaskState {
-            id,
-            spec,
-            arrival_ns: arrival,
-            slo_ns: slo,
-            next_layer: 0,
-            num_layers: 3,
-            executed_ns: 0,
-            monitored: Vec::new(),
-            true_remaining_ns: 0,
-        }
+    fn mk(id: u64, spec: SparseModelSpec, lut: &ModelInfoLut, arrival: u64, slo: u64) -> TaskState {
+        let variant = lut.variant_id(&spec).expect("spec profiled");
+        TaskState::arrived(id, spec, variant, arrival, slo, 3)
     }
 
     #[test]
     fn urgent_task_wins() {
         let (spec, lut) = lut();
-        let relaxed = mk(0, spec, 0, 1_000_000_000);
-        let urgent = mk(1, spec, 0, 1_000);
-        let queue = [&relaxed, &urgent];
-        assert_eq!(Sdrm3::default().pick_next(&queue, &lut, 500), 1);
+        let queue = [
+            mk(0, spec, &lut, 0, 1_000_000_000),
+            mk(1, spec, &lut, 0, 1_000),
+        ];
+        assert_eq!(
+            Sdrm3::default().pick_next(TaskQueue::dense(&queue), &lut, 500),
+            1
+        );
     }
 
     #[test]
     fn long_waiting_task_wins_on_fairness() {
         let (spec, lut) = lut();
-        let old = mk(0, spec, 0, u64::MAX / 2);
-        let fresh = mk(1, spec, 900_000_000, u64::MAX / 2);
-        let queue = [&old, &fresh];
+        let queue = [
+            mk(0, spec, &lut, 0, u64::MAX / 2),
+            mk(1, spec, &lut, 900_000_000, u64::MAX / 2),
+        ];
         assert_eq!(
-            Sdrm3::new(0.0).pick_next(&queue, &lut, 1_000_000_000),
+            Sdrm3::new(0.0).pick_next(TaskQueue::dense(&queue), &lut, 1_000_000_000),
             0,
             "pure fairness favours the older task"
         );

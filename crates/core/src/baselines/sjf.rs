@@ -1,7 +1,7 @@
 //! Shortest-Job First (shortest-remaining-time variant).
 
-use crate::scheduler::{lut_remaining_ns, Scheduler};
-use crate::{ModelInfoLut, TaskState};
+use crate::scheduler::{lut_remaining_ns, pick_min_score, Scheduler, TaskQueue};
+use crate::ModelInfoLut;
 
 /// Preemptive shortest-job-first using the *sparsity-unaware* LUT
 /// estimate of remaining time — the paper's traditional heuristic
@@ -29,23 +29,15 @@ impl Scheduler for Sjf {
         "sjf"
     }
 
-    fn pick_next(&mut self, queue: &[&TaskState], lut: &ModelInfoLut, _now_ns: u64) -> usize {
-        queue
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                lut_remaining_ns(a, lut)
-                    .total_cmp(&lut_remaining_ns(b, lut))
-                    .then(a.id.cmp(&b.id))
-            })
-            .map(|(i, _)| i)
-            .expect("engine never passes an empty queue")
+    fn pick_next(&mut self, queue: TaskQueue<'_>, lut: &ModelInfoLut, _now_ns: u64) -> usize {
+        pick_min_score(queue, |t| lut_remaining_ns(t, lut))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TaskState;
     use dysta_models::ModelId;
     use dysta_sparsity::SparsityPattern;
     use dysta_trace::{SparseModelSpec, TraceGenerator, TraceStore};
@@ -60,20 +52,11 @@ mod tests {
         store.insert(g.generate(&big, 2, 0));
         let lut = ModelInfoLut::from_store(&store);
 
-        let mk = |id, spec: SparseModelSpec, layers| TaskState {
-            id,
-            spec,
-            arrival_ns: 0,
-            slo_ns: u64::MAX / 2,
-            next_layer: 0,
-            num_layers: layers,
-            executed_ns: 0,
-            monitored: Vec::new(),
-            true_remaining_ns: 0,
+        let mk = |id, spec: SparseModelSpec, layers| {
+            let variant = lut.variant_id(&spec).expect("spec profiled");
+            TaskState::arrived(id, spec, variant, 0, u64::MAX / 2, layers)
         };
-        let a = mk(0, big, 21);
-        let b = mk(1, small, 29);
-        let queue = [&a, &b];
-        assert_eq!(Sjf::new().pick_next(&queue, &lut, 0), 1);
+        let queue = [mk(0, big, 21), mk(1, small, 29)];
+        assert_eq!(Sjf::new().pick_next(TaskQueue::dense(&queue), &lut, 0), 1);
     }
 }

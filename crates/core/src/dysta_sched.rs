@@ -1,10 +1,48 @@
 //! The Dysta bi-level scheduler (Algorithms 1 and 2) plus its ablation
 //! and the Oracle reference.
 
-use std::collections::HashMap;
-
-use crate::scheduler::{lut_isolated_ns, Scheduler};
+use crate::scheduler::{lut_isolated_ns, pick_min_score, Scheduler, TaskQueue};
 use crate::{ModelInfoLut, SparseLatencyPredictor, TaskState};
+
+/// A flat ordered id→score map: sorted `Vec` + binary search instead of
+/// a `HashMap<u64, f64>`, so the lookup the static schedulers do per
+/// task per pick is a cache-friendly probe with no hashing, and the
+/// per-pick path never allocates (inserts happen at arrival only).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ScoreMap {
+    entries: Vec<(u64, f64)>,
+}
+
+impl ScoreMap {
+    /// Inserts or replaces the score for `id`.
+    pub fn insert(&mut self, id: u64, score: f64) {
+        match self.entries.binary_search_by_key(&id, |&(k, _)| k) {
+            Ok(i) => self.entries[i].1 = score,
+            Err(i) => self.entries.insert(i, (id, score)),
+        }
+    }
+
+    /// The score recorded for `id`, if any.
+    pub fn get(&self, id: u64) -> Option<f64> {
+        self.entries
+            .binary_search_by_key(&id, |&(k, _)| k)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Removes the score for `id`, if present.
+    pub fn remove(&mut self, id: u64) {
+        if let Ok(i) = self.entries.binary_search_by_key(&id, |&(k, _)| k) {
+            self.entries.remove(i);
+        }
+    }
+
+    /// Number of recorded scores.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
 
 /// Hyperparameters of the Dysta scoring functions.
 ///
@@ -87,7 +125,7 @@ impl DystaConfig {
 pub struct DystaScheduler {
     config: DystaConfig,
     predictor: SparseLatencyPredictor,
-    static_scores: HashMap<u64, f64>,
+    static_scores: ScoreMap,
 }
 
 impl DystaScheduler {
@@ -96,7 +134,7 @@ impl DystaScheduler {
         DystaScheduler {
             config,
             predictor,
-            static_scores: HashMap::new(),
+            static_scores: ScoreMap::default(),
         }
     }
 
@@ -107,7 +145,7 @@ impl DystaScheduler {
 
     /// The static score assigned at arrival, if the task has arrived.
     pub fn static_score(&self, task_id: u64) -> Option<f64> {
-        self.static_scores.get(&task_id).copied()
+        self.static_scores.get(task_id)
     }
 }
 
@@ -124,29 +162,24 @@ impl Scheduler for DystaScheduler {
     }
 
     fn on_task_complete(&mut self, task: &TaskState, _now_ns: u64) {
-        self.static_scores.remove(&task.id);
+        self.static_scores.remove(task.id);
     }
 
-    fn pick_next(&mut self, queue: &[&TaskState], lut: &ModelInfoLut, now_ns: u64) -> usize {
+    fn pick_next(&mut self, queue: TaskQueue<'_>, lut: &ModelInfoLut, now_ns: u64) -> usize {
         // Algorithm 2 lines 7-13: refresh every score with the sparse
-        // latency predictor and dispatch the minimum.
-        let score = |t: &TaskState| {
-            let info = lut.expect(&t.spec);
+        // latency predictor — once per task — and dispatch the minimum.
+        let queue_len = queue.len();
+        pick_min_score(queue, |t| {
+            let info = lut.info(t.variant);
             let remain = self.predictor.remaining_ns(t, info);
             self.config.dynamic_score_ms(
                 remain,
                 t.deadline_ns(),
                 t.waiting_ns(now_ns),
-                queue.len(),
+                queue_len,
                 now_ns,
             )
-        };
-        queue
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| score(a).total_cmp(&score(b)).then(a.id.cmp(&b.id)))
-            .map(|(i, _)| i)
-            .expect("engine never passes an empty queue")
+        })
     }
 }
 
@@ -156,7 +189,7 @@ impl Scheduler for DystaScheduler {
 #[derive(Debug, Clone, Default)]
 pub struct DystaStaticScheduler {
     config: DystaConfig,
-    static_scores: HashMap<u64, f64>,
+    static_scores: ScoreMap,
 }
 
 impl DystaStaticScheduler {
@@ -164,7 +197,7 @@ impl DystaStaticScheduler {
     pub fn new(config: DystaConfig) -> Self {
         DystaStaticScheduler {
             config,
-            static_scores: HashMap::new(),
+            static_scores: ScoreMap::default(),
         }
     }
 }
@@ -181,20 +214,11 @@ impl Scheduler for DystaStaticScheduler {
     }
 
     fn on_task_complete(&mut self, task: &TaskState, _now_ns: u64) {
-        self.static_scores.remove(&task.id);
+        self.static_scores.remove(task.id);
     }
 
-    fn pick_next(&mut self, queue: &[&TaskState], _lut: &ModelInfoLut, _now_ns: u64) -> usize {
-        queue
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                let sa = self.static_scores.get(&a.id).copied().unwrap_or(f64::MAX);
-                let sb = self.static_scores.get(&b.id).copied().unwrap_or(f64::MAX);
-                sa.total_cmp(&sb).then(a.id.cmp(&b.id))
-            })
-            .map(|(i, _)| i)
-            .expect("engine never passes an empty queue")
+    fn pick_next(&mut self, queue: TaskQueue<'_>, _lut: &ModelInfoLut, _now_ns: u64) -> usize {
+        pick_min_score(queue, |t| self.static_scores.get(t.id).unwrap_or(f64::MAX))
     }
 }
 
@@ -218,22 +242,17 @@ impl Scheduler for OracleScheduler {
         "oracle"
     }
 
-    fn pick_next(&mut self, queue: &[&TaskState], _lut: &ModelInfoLut, now_ns: u64) -> usize {
-        let score = |t: &TaskState| {
+    fn pick_next(&mut self, queue: TaskQueue<'_>, _lut: &ModelInfoLut, now_ns: u64) -> usize {
+        let queue_len = queue.len();
+        pick_min_score(queue, |t| {
             self.config.dynamic_score_ms(
                 t.true_remaining_ns as f64,
                 t.deadline_ns(),
                 t.waiting_ns(now_ns),
-                queue.len(),
+                queue_len,
                 now_ns,
             )
-        };
-        queue
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| score(a).total_cmp(&score(b)).then(a.id.cmp(&b.id)))
-            .map(|(i, _)| i)
-            .expect("engine never passes an empty queue")
+        })
     }
 }
 
@@ -252,18 +271,30 @@ mod tests {
         (spec, ModelInfoLut::from_store(&store))
     }
 
-    fn mk(id: u64, spec: SparseModelSpec, arrival: u64, slo: u64) -> TaskState {
+    fn mk(id: u64, spec: SparseModelSpec, lut: &ModelInfoLut, arrival: u64, slo: u64) -> TaskState {
+        let variant = lut.variant_id(&spec).expect("spec profiled");
         TaskState {
-            id,
-            spec,
-            arrival_ns: arrival,
-            slo_ns: slo,
-            next_layer: 0,
-            num_layers: 109,
-            executed_ns: 0,
-            monitored: Vec::new(),
             true_remaining_ns: 30_000_000,
+            ..TaskState::arrived(id, spec, variant, arrival, slo, 109)
         }
+    }
+
+    #[test]
+    fn score_map_inserts_replaces_and_removes() {
+        let mut m = ScoreMap::default();
+        assert_eq!(m.len(), 0);
+        for id in [5u64, 1, 9, 3] {
+            m.insert(id, id as f64);
+        }
+        assert_eq!(m.get(9), Some(9.0));
+        assert_eq!(m.get(2), None);
+        m.insert(9, -1.0);
+        assert_eq!(m.get(9), Some(-1.0));
+        assert_eq!(m.len(), 4, "replacement must not duplicate");
+        m.remove(9);
+        m.remove(42); // absent: no-op
+        assert_eq!(m.get(9), None);
+        assert_eq!(m.len(), 3);
     }
 
     #[test]
@@ -298,7 +329,7 @@ mod tests {
     fn arrival_registers_static_score() {
         let (spec, lut) = setup();
         let mut sched = DystaScheduler::default();
-        let t = mk(0, spec, 0, 400_000_000);
+        let t = mk(0, spec, &lut, 0, 400_000_000);
         sched.on_arrival(&t, &lut, 0);
         assert!(sched.static_score(0).is_some());
         sched.on_task_complete(&t, 100);
@@ -318,7 +349,7 @@ mod tests {
             .unwrap();
         let avg_s = info.avg_layer_sparsity()[dyn_layer];
 
-        let mut dense_task = mk(0, spec, 0, u64::MAX / 4);
+        let mut dense_task = mk(0, spec, &lut, 0, u64::MAX / 4);
         dense_task.next_layer = dyn_layer + 1;
         dense_task.monitored = vec![
             MonitoredLayer {
@@ -332,37 +363,40 @@ mod tests {
             latency_ns: 1,
         });
 
+        dense_task.rebuild_sparsity_summary(info);
+
         let mut sparse_task = dense_task.clone();
         sparse_task.id = 1;
         sparse_task.monitored.last_mut().unwrap().sparsity = (avg_s + 0.15).min(0.99);
+        sparse_task.rebuild_sparsity_summary(info);
 
-        let queue = [&dense_task, &sparse_task];
+        let queue = [dense_task, sparse_task];
         let mut sched = DystaScheduler::default();
-        assert_eq!(sched.pick_next(&queue, &lut, 0), 1);
+        assert_eq!(sched.pick_next(TaskQueue::dense(&queue), &lut, 0), 1);
     }
 
     #[test]
     fn oracle_uses_ground_truth() {
         let (spec, lut) = setup();
-        let mut short = mk(0, spec, 0, u64::MAX / 4);
+        let mut short = mk(0, spec, &lut, 0, u64::MAX / 4);
         short.true_remaining_ns = 1_000_000;
-        let mut long = mk(1, spec, 0, u64::MAX / 4);
+        let mut long = mk(1, spec, &lut, 0, u64::MAX / 4);
         long.true_remaining_ns = 50_000_000;
-        let queue = [&long, &short];
+        let queue = [long, short];
         let mut oracle = OracleScheduler::default();
-        assert_eq!(oracle.pick_next(&queue, &lut, 0), 1);
+        assert_eq!(oracle.pick_next(TaskQueue::dense(&queue), &lut, 0), 1);
     }
 
     #[test]
     fn static_ablation_freezes_order() {
         let (spec, lut) = setup();
         let mut sched = DystaStaticScheduler::default();
-        let a = mk(0, spec, 0, 200_000_000);
-        let b = mk(1, spec, 0, 800_000_000);
+        let a = mk(0, spec, &lut, 0, 200_000_000);
+        let b = mk(1, spec, &lut, 0, 800_000_000);
         sched.on_arrival(&a, &lut, 0);
         sched.on_arrival(&b, &lut, 0);
-        let queue = [&a, &b];
+        let queue = [a, b];
         // Tighter SLO -> smaller slack -> smaller static score -> first.
-        assert_eq!(sched.pick_next(&queue, &lut, 0), 0);
+        assert_eq!(sched.pick_next(TaskQueue::dense(&queue), &lut, 0), 0);
     }
 }

@@ -48,5 +48,9 @@ pub use dysta_sched::{DystaConfig, DystaScheduler, DystaStaticScheduler, OracleS
 pub use lut::{ModelInfo, ModelInfoLut};
 pub use policy::Policy;
 pub use predictor::{CoeffStrategy, SparseLatencyPredictor};
-pub use scheduler::Scheduler;
-pub use task::{MonitoredLayer, TaskState};
+pub use scheduler::{pick_max_score, pick_min_score, Scheduler, TaskQueue};
+pub use task::{MonitoredLayer, SparsitySummary, TaskState};
+
+// The interned variant handle travels with `TaskState`, so re-export it
+// for downstream crates that only depend on the scheduler interface.
+pub use dysta_trace::VariantId;

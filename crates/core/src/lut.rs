@@ -1,9 +1,15 @@
 //! Model-information lookup tables (the paper's latency / sparsity / shape
 //! LUTs, Figure 8 and Algorithm 3).
 
-use std::collections::HashMap;
+use dysta_trace::{ModelTraces, SparseModelSpec, TraceStore, VariantId};
 
-use dysta_trace::{ModelTraces, SparseModelSpec, TraceStore};
+/// LUT sparsity averages at or below this are "no dynamic-sparsity
+/// source" — the layer is skipped by the predictor's coefficient.
+pub(crate) const DYNAMIC_SPARSITY_EPS: f64 = 1e-6;
+
+/// Densities are floored here before forming ratios, bounding the
+/// coefficient for fully sparse layers.
+pub(crate) const DENSITY_FLOOR: f64 = 1e-3;
 
 /// Offline-profiled statistics of one sparse-model variant: the content of
 /// the Dysta LUT entry for a model-pattern pair.
@@ -74,6 +80,31 @@ impl ModelInfo {
     pub fn num_layers(&self) -> usize {
         self.avg_layer_latency_ns.len()
     }
+
+    /// The floored average density of one layer, or `None` when the
+    /// layer has no dynamic-sparsity source in this LUT entry
+    /// (Algorithm 3's per-layer filter). The single home of the
+    /// dynamic-layer epsilon and density floor — the software predictor
+    /// and the FP16 hardware datapath both resolve layers through here,
+    /// so the constants cannot drift apart.
+    pub fn dynamic_layer_avg_density(&self, layer: usize) -> Option<f64> {
+        let avg = *self.avg_layer_sparsity.get(layer)?;
+        if avg <= DYNAMIC_SPARSITY_EPS {
+            return None;
+        }
+        Some((1.0 - avg).max(DENSITY_FLOOR))
+    }
+
+    /// The monitored-vs-average density ratio for one executed layer, or
+    /// `None` when the layer has no dynamic-sparsity source. The single
+    /// definition the incremental [`crate::SparsitySummary`] and the
+    /// predictor's windowed re-scan both use, so the two stay
+    /// bit-identical.
+    pub fn density_ratio(&self, layer: usize, monitored_sparsity: f64) -> Option<f64> {
+        let avg_density = self.dynamic_layer_avg_density(layer)?;
+        let mon_density = (1.0 - monitored_sparsity).max(DENSITY_FLOOR);
+        Some(mon_density / avg_density)
+    }
 }
 
 /// Least-squares fit (through the origin, in log space) of the isolated
@@ -101,8 +132,15 @@ fn fit_gamma_exponent(traces: &ModelTraces, avg_layer_sparsity: &[f64]) -> f64 {
     }
 }
 
-/// The LUT collection: one [`ModelInfo`] per sparse-model variant, keyed
-/// like the paper's "model-pattern pair".
+/// The LUT collection: one [`ModelInfo`] per sparse-model variant, held
+/// densely in [`VariantId`] order (the paper's "model-pattern pair" keys
+/// survive only on the slow path).
+///
+/// Hot paths index with [`ModelInfoLut::info`] — a bounds-checked array
+/// access, no string formatting or hashing. Ids agree with the
+/// [`TraceStore`] the LUT was built from ([`TraceStore::variant_id`]),
+/// and with every clone of the LUT, so a cluster of nodes sharing one
+/// store can exchange ids freely.
 ///
 /// # Examples
 ///
@@ -116,38 +154,65 @@ fn fit_gamma_exponent(traces: &ModelTraces, avg_layer_sparsity: &[f64]) -> f64 {
 /// let mut store = TraceStore::new();
 /// store.insert(TraceGenerator::default().generate(&spec, 4, 0));
 /// let lut = ModelInfoLut::from_store(&store);
-/// assert!(lut.get(&spec).is_some());
+/// let id = lut.variant_id(&spec).unwrap();
+/// assert_eq!(lut.get(&spec), Some(lut.info(id)));
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ModelInfoLut {
-    entries: HashMap<String, ModelInfo>,
+    /// Spec keys, sorted; rank = `VariantId` (mirrors the source store).
+    keys: Vec<String>,
+    /// LUT entries in key order; index = `VariantId`.
+    entries: Vec<ModelInfo>,
 }
 
 impl ModelInfoLut {
-    /// Builds the LUTs from a Phase-1 trace store.
+    /// Builds the LUTs from a Phase-1 trace store. Variant ids are
+    /// inherited from the store's sorted-key ranks.
     pub fn from_store(store: &TraceStore) -> Self {
         ModelInfoLut {
-            entries: store
-                .iter()
-                .map(|t| (t.spec().key(), ModelInfo::from_traces(t)))
-                .collect(),
+            keys: store.iter().map(|t| t.spec().key()).collect(),
+            entries: store.iter().map(ModelInfo::from_traces).collect(),
         }
     }
 
-    /// Looks up the entry for a variant.
-    pub fn get(&self, spec: &SparseModelSpec) -> Option<&ModelInfo> {
-        self.entries.get(&spec.key())
-    }
-
-    /// Looks up the entry for a variant, panicking when absent.
+    /// The entry for an interned variant — the allocation-free fast path
+    /// every per-decision lookup uses.
     ///
     /// # Panics
     ///
-    /// Panics if the variant was never profiled. The engine guarantees
-    /// every request's variant is in the store, so schedulers use this.
-    pub fn expect(&self, spec: &SparseModelSpec) -> &ModelInfo {
+    /// Panics if the id was not minted by this LUT (or the store it was
+    /// built from).
+    #[inline]
+    pub fn info(&self, id: VariantId) -> &ModelInfo {
         self.entries
-            .get(&spec.key())
+            .get(id.index())
+            .unwrap_or_else(|| panic!("no LUT entry for variant {}", id.index()))
+    }
+
+    /// Resolves a spec to its interned id (binary search on a
+    /// stack-formatted key; done once per request at enqueue).
+    pub fn variant_id(&self, spec: &SparseModelSpec) -> Option<VariantId> {
+        let probe = spec.spec_key();
+        self.keys
+            .binary_search_by(|k| k.as_str().cmp(probe.as_str()))
+            .ok()
+            .map(VariantId::from_index)
+    }
+
+    /// Looks up the entry for a variant by spec (slow path).
+    pub fn get(&self, spec: &SparseModelSpec) -> Option<&ModelInfo> {
+        self.variant_id(spec).map(|id| &self.entries[id.index()])
+    }
+
+    /// Looks up the entry for a variant by spec, panicking when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variant was never profiled. Slow-path convenience
+    /// for construction and analysis code; schedulers go through
+    /// [`ModelInfoLut::info`] with the task's interned id.
+    pub fn expect(&self, spec: &SparseModelSpec) -> &ModelInfo {
+        self.get(spec)
             .unwrap_or_else(|| panic!("no LUT entry for {spec}"))
     }
 

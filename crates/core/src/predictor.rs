@@ -82,35 +82,24 @@ impl SparseLatencyPredictor {
     /// Only layers with a dynamic-sparsity source (non-zero LUT average
     /// sparsity) participate; before any such layer has executed, `γ = 1`
     /// (fall back to the LUT average).
+    ///
+    /// O(1) for `LastOne` / `AverageAll` (reads the task's running
+    /// [`crate::SparsitySummary`]); `LastN` re-scans only the monitored
+    /// tail covering its window. No allocation on any path.
     pub fn coefficient(&self, task: &TaskState, info: &ModelInfo) -> f64 {
-        if self.strategy == CoeffStrategy::Disabled {
-            return 1.0;
-        }
-        let avg = info.avg_layer_sparsity();
-        let ratios: Vec<f64> = task
-            .monitored
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| avg.get(j).copied().unwrap_or(0.0) > 1e-6)
-            .map(|(j, m)| {
-                let avg_density = (1.0 - avg[j]).max(1e-3);
-                let mon_density = (1.0 - m.sparsity).max(1e-3);
-                mon_density / avg_density
-            })
-            .collect();
-        if ratios.is_empty() {
-            return 1.0;
-        }
-        let window: &[f64] = match self.strategy {
-            CoeffStrategy::AverageAll => &ratios,
-            CoeffStrategy::LastN(n) => &ratios[ratios.len().saturating_sub(n)..],
-            CoeffStrategy::LastOne => &ratios[ratios.len() - 1..],
-            CoeffStrategy::Disabled => unreachable!("handled above"),
+        let ratio = match self.strategy {
+            CoeffStrategy::Disabled => return 1.0,
+            CoeffStrategy::LastOne => task.sparsity.last(),
+            CoeffStrategy::AverageAll => task.sparsity.mean(),
+            CoeffStrategy::LastN(n) => last_n_ratio(task, info, n),
         };
-        let ratio = window.iter().sum::<f64>() / window.len() as f64;
-        // The profiled hardware-effectiveness exponent maps the monitored
-        // density ratio onto a latency ratio for this variant.
-        ratio.powf(info.gamma_exponent())
+        match ratio {
+            None => 1.0,
+            // The profiled hardware-effectiveness exponent maps the
+            // monitored density ratio onto a latency ratio for this
+            // variant.
+            Some(r) => r.powf(info.gamma_exponent()),
+        }
     }
 
     /// Predicted remaining latency of `task` in nanoseconds
@@ -124,6 +113,34 @@ impl SparseLatencyPredictor {
     pub fn total_ns(&self, task: &TaskState, info: &ModelInfo) -> f64 {
         self.alpha * self.coefficient(task, info) * info.avg_latency_ns()
     }
+}
+
+/// Mean density ratio over the last `n` executed dynamic layers, or
+/// `None` before the first one. Two allocation-free passes over the
+/// monitored tail: walk back to the window's start, then sum forward in
+/// execution order (the same order the old collect-into-`Vec` summed,
+/// so results are bit-identical).
+fn last_n_ratio(task: &TaskState, info: &ModelInfo, n: usize) -> Option<f64> {
+    let mut start = task.monitored.len();
+    let mut in_window = 0usize;
+    while start > 0 && in_window < n {
+        start -= 1;
+        if info
+            .density_ratio(start, task.monitored[start].sparsity)
+            .is_some()
+        {
+            in_window += 1;
+        }
+    }
+    if in_window == 0 {
+        return None;
+    }
+    let sum: f64 = task.monitored[start..]
+        .iter()
+        .enumerate()
+        .filter_map(|(off, m)| info.density_ratio(start + off, m.sparsity))
+        .sum();
+    Some(sum / in_window as f64)
 }
 
 #[cfg(test)]
@@ -144,16 +161,13 @@ mod tests {
 
     fn task_with_monitored(
         spec: SparseModelSpec,
+        lut: &ModelInfoLut,
         trace: &dysta_trace::SampleTrace,
         upto: usize,
     ) -> TaskState {
-        TaskState {
-            id: 0,
-            spec,
-            arrival_ns: 0,
-            slo_ns: u64::MAX / 2,
+        let variant = lut.variant_id(&spec).expect("spec profiled");
+        let mut task = TaskState {
             next_layer: upto,
-            num_layers: trace.num_layers(),
             executed_ns: trace.layers()[..upto].iter().map(|l| l.latency_ns).sum(),
             monitored: trace.layers()[..upto]
                 .iter()
@@ -163,13 +177,16 @@ mod tests {
                 })
                 .collect(),
             true_remaining_ns: trace.remaining_ns(upto),
-        }
+            ..TaskState::arrived(0, spec, variant, 0, u64::MAX / 2, trace.num_layers())
+        };
+        task.rebuild_sparsity_summary(lut.info(variant));
+        task
     }
 
     #[test]
     fn coefficient_is_one_before_dynamic_layers() {
         let (spec, lut, traces) = bert_setup();
-        let t = task_with_monitored(spec, traces.sample(0), 0);
+        let t = task_with_monitored(spec, &lut, traces.sample(0), 0);
         let p = SparseLatencyPredictor::default();
         assert_eq!(p.coefficient(&t, lut.expect(&spec)), 1.0);
     }
@@ -183,7 +200,7 @@ mod tests {
             .max_by_key(|&i| traces.sample(i).isolated_latency_ns())
             .unwrap();
         let trace = traces.sample(dense_idx);
-        let t = task_with_monitored(spec, trace, trace.num_layers() / 2);
+        let t = task_with_monitored(spec, &lut, trace, trace.num_layers() / 2);
         let p = SparseLatencyPredictor::default();
         assert!(p.coefficient(&t, info) > 1.0);
     }
@@ -198,7 +215,7 @@ mod tests {
         for i in 0..traces.num_samples() as u64 {
             let trace = traces.sample(i);
             let mid = trace.num_layers() / 2;
-            let t = task_with_monitored(spec, trace, mid);
+            let t = task_with_monitored(spec, &lut, trace, mid);
             let truth = trace.remaining_ns(mid) as f64;
             pred_err += (p.remaining_ns(&t, info) - truth).powi(2);
             lut_err += (info.avg_remaining_ns(mid) - truth).powi(2);
@@ -220,7 +237,7 @@ mod tests {
             .iter()
             .position(|l| l.sparsity > 0.0)
             .unwrap();
-        let t = task_with_monitored(spec, trace, first_dyn + 1);
+        let t = task_with_monitored(spec, &lut, trace, first_dyn + 1);
         let g_all =
             SparseLatencyPredictor::new(CoeffStrategy::AverageAll, 1.0).coefficient(&t, info);
         let g_n = SparseLatencyPredictor::new(CoeffStrategy::LastN(3), 1.0).coefficient(&t, info);
@@ -234,7 +251,7 @@ mod tests {
         let (spec, lut, traces) = bert_setup();
         let info = lut.expect(&spec);
         let trace = traces.sample(3);
-        let t = task_with_monitored(spec, trace, trace.num_layers() / 2);
+        let t = task_with_monitored(spec, &lut, trace, trace.num_layers() / 2);
         let p = SparseLatencyPredictor::new(CoeffStrategy::Disabled, 1.0);
         assert_eq!(p.coefficient(&t, info), 1.0);
         assert!((p.remaining_ns(&t, info) - info.avg_remaining_ns(t.next_layer)).abs() < 1e-9);
@@ -245,7 +262,7 @@ mod tests {
         let (spec, lut, traces) = bert_setup();
         let info = lut.expect(&spec);
         let trace = traces.sample(2);
-        let t = task_with_monitored(spec, trace, trace.num_layers() / 2);
+        let t = task_with_monitored(spec, &lut, trace, trace.num_layers() / 2);
         let p1 = SparseLatencyPredictor::new(CoeffStrategy::LastOne, 1.0);
         let p2 = SparseLatencyPredictor::new(CoeffStrategy::LastOne, 2.0);
         assert!((2.0 * p1.remaining_ns(&t, info) - p2.remaining_ns(&t, info)).abs() < 1e-6);

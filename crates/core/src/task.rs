@@ -1,6 +1,8 @@
 //! Scheduler-visible task state.
 
-use dysta_trace::SparseModelSpec;
+use dysta_trace::{SparseModelSpec, VariantId};
+
+use crate::ModelInfo;
 
 /// What the hardware monitor reports for one executed layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -11,17 +13,55 @@ pub struct MonitoredLayer {
     pub latency_ns: u64,
 }
 
+/// Running aggregates over the monitored *dynamic* layers of one task:
+/// the density ratios (monitored vs LUT-average density) the sparse
+/// latency predictor folds into its coefficient.
+///
+/// Maintained incrementally by [`TaskState::record_layer`] so the
+/// predictor's `LastOne` / `AverageAll` strategies read O(1) state
+/// instead of re-scanning the whole monitored stream per decision.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SparsitySummary {
+    /// Number of dynamic layers observed so far.
+    pub ratio_count: u32,
+    /// Sum of their density ratios, in execution order.
+    pub ratio_sum: f64,
+    /// The most recent density ratio.
+    pub last_ratio: f64,
+}
+
+impl SparsitySummary {
+    /// Folds one observed dynamic-layer density ratio in.
+    pub fn observe(&mut self, ratio: f64) {
+        self.ratio_count += 1;
+        self.ratio_sum += ratio;
+        self.last_ratio = ratio;
+    }
+
+    /// The most recent ratio, if any dynamic layer has executed.
+    pub fn last(&self) -> Option<f64> {
+        (self.ratio_count > 0).then_some(self.last_ratio)
+    }
+
+    /// Mean ratio over every observed dynamic layer, if any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.ratio_count > 0).then(|| self.ratio_sum / f64::from(self.ratio_count))
+    }
+}
+
 /// The state of one in-flight request as seen at a scheduling point.
 ///
 /// The discrete-event engine owns these and exposes them to schedulers.
 /// Fields are grouped by information source:
 ///
-/// * request metadata (`id`, `spec`, `arrival_ns`, `slo_ns`) — known to
-///   every scheduler;
+/// * request metadata (`id`, `spec`, `variant`, `arrival_ns`, `slo_ns`)
+///   — known to every scheduler; `variant` is the request's interned
+///   LUT handle, resolved once at enqueue time;
 /// * progress (`next_layer`, `num_layers`, `executed_ns`) — known to every
 ///   scheduler (layer boundaries are architecturally visible);
-/// * `monitored` — the runtime sparsity/latency stream only
-///   sparsity-aware schedulers exploit;
+/// * `monitored` / `sparsity` — the runtime sparsity/latency stream and
+///   its running aggregates, which only sparsity-aware schedulers
+///   exploit;
 /// * `true_remaining_ns` — ground truth reserved for the Oracle and for
 ///   metric computation. Fair schedulers must not read it.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +70,9 @@ pub struct TaskState {
     pub id: u64,
     /// Sparse-model variant of the request.
     pub spec: SparseModelSpec,
+    /// Interned LUT handle of `spec` (dense index into the engine's
+    /// `ModelInfoLut`), resolved once when the request enters the system.
+    pub variant: VariantId,
     /// Arrival time (ns since workload start).
     pub arrival_ns: u64,
     /// Relative latency SLO (ns).
@@ -42,11 +85,63 @@ pub struct TaskState {
     pub executed_ns: u64,
     /// Monitored records of executed layers, in execution order.
     pub monitored: Vec<MonitoredLayer>,
+    /// Running density-ratio aggregates over the dynamic layers of
+    /// `monitored` (kept in lockstep by [`TaskState::record_layer`]).
+    pub sparsity: SparsitySummary,
     /// Ground-truth remaining execution time (ns). Oracle-only.
     pub true_remaining_ns: u64,
 }
 
 impl TaskState {
+    /// Fresh, unstarted state for a request entering the system. The
+    /// monitored stream is pre-sized to the full layer count so layer
+    /// recording never reallocates mid-flight.
+    pub fn arrived(
+        id: u64,
+        spec: SparseModelSpec,
+        variant: VariantId,
+        arrival_ns: u64,
+        slo_ns: u64,
+        num_layers: usize,
+    ) -> Self {
+        TaskState {
+            id,
+            spec,
+            variant,
+            arrival_ns,
+            slo_ns,
+            next_layer: 0,
+            num_layers,
+            executed_ns: 0,
+            monitored: Vec::with_capacity(num_layers),
+            sparsity: SparsitySummary::default(),
+            true_remaining_ns: 0,
+        }
+    }
+
+    /// Appends one executed-layer record and folds its density ratio into
+    /// the running [`SparsitySummary`] when the layer has a
+    /// dynamic-sparsity source in `info` (the task's own LUT entry).
+    pub fn record_layer(&mut self, record: MonitoredLayer, info: &ModelInfo) {
+        let layer = self.monitored.len();
+        self.monitored.push(record);
+        if let Some(ratio) = info.density_ratio(layer, record.sparsity) {
+            self.sparsity.observe(ratio);
+        }
+    }
+
+    /// Recomputes the sparsity summary from the monitored stream — for
+    /// task states assembled field-by-field (tests, analysis harnesses)
+    /// rather than grown through [`TaskState::record_layer`].
+    pub fn rebuild_sparsity_summary(&mut self, info: &ModelInfo) {
+        self.sparsity = SparsitySummary::default();
+        for (layer, m) in self.monitored.iter().enumerate() {
+            if let Some(ratio) = info.density_ratio(layer, m.sparsity) {
+                self.sparsity.observe(ratio);
+            }
+        }
+    }
+
     /// Absolute deadline (arrival + SLO).
     pub fn deadline_ns(&self) -> u64 {
         self.arrival_ns.saturating_add(self.slo_ns)
@@ -80,22 +175,41 @@ impl TaskState {
 }
 
 #[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use dysta_models::ModelId;
+    use dysta_sparsity::SparsityPattern;
+
+    /// A queue of unstarted tasks whose ids run *opposite* to their
+    /// positions, so position/id mix-ups show up in tie-break tests.
+    pub(crate) fn dense_queue_tasks(n: usize) -> Vec<TaskState> {
+        let spec = SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::Dense, 0.0);
+        (0..n)
+            .map(|pos| {
+                TaskState::arrived(
+                    (n - 1 - pos) as u64,
+                    spec,
+                    VariantId::default(),
+                    0,
+                    1_000_000,
+                    4,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use dysta_models::ModelId;
     use dysta_sparsity::SparsityPattern;
 
     pub(crate) fn dummy_task(id: u64) -> TaskState {
+        let spec = SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::Dense, 0.0);
         TaskState {
-            id,
-            spec: SparseModelSpec::new(ModelId::MobileNet, SparsityPattern::Dense, 0.0),
-            arrival_ns: 1_000,
-            slo_ns: 10_000,
-            next_layer: 0,
-            num_layers: 4,
-            executed_ns: 0,
-            monitored: Vec::new(),
             true_remaining_ns: 5_000,
+            ..TaskState::arrived(id, spec, VariantId::default(), 1_000, 10_000, 4)
         }
     }
 
@@ -119,5 +233,16 @@ mod tests {
         assert!((t.progress() - 0.5).abs() < 1e-12);
         t.next_layer = 4;
         assert!(t.finished());
+    }
+
+    #[test]
+    fn summary_tracks_mean_and_last() {
+        let mut s = SparsitySummary::default();
+        assert_eq!(s.last(), None);
+        assert_eq!(s.mean(), None);
+        s.observe(0.5);
+        s.observe(1.5);
+        assert_eq!(s.last(), Some(1.5));
+        assert_eq!(s.mean(), Some(1.0));
     }
 }

@@ -1,0 +1,112 @@
+//! Property test: the predictor's incremental O(1) coefficient (running
+//! `SparsitySummary` aggregates) equals the batch recompute-from-
+//! `monitored` definition it replaced, across random execution prefixes
+//! and every `CoeffStrategy`.
+//!
+//! The batch reference below is a line-for-line port of the old
+//! collect-into-`Vec` implementation, so this test is the contract that
+//! the perf refactor changed *no* numerics.
+
+use proptest::prelude::*;
+
+use dysta_core::{
+    CoeffStrategy, ModelInfo, ModelInfoLut, MonitoredLayer, SparseLatencyPredictor, TaskState,
+};
+use dysta_models::ModelId;
+use dysta_sparsity::SparsityPattern;
+use dysta_trace::{SparseModelSpec, TraceGenerator, TraceStore};
+
+/// The pre-refactor batch computation: collect every dynamic layer's
+/// density ratio, window it, average, exponentiate.
+fn batch_coefficient(strategy: CoeffStrategy, task: &TaskState, info: &ModelInfo) -> f64 {
+    if strategy == CoeffStrategy::Disabled {
+        return 1.0;
+    }
+    let avg = info.avg_layer_sparsity();
+    let ratios: Vec<f64> = task
+        .monitored
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| avg.get(j).copied().unwrap_or(0.0) > 1e-6)
+        .map(|(j, m)| {
+            let avg_density = (1.0 - avg[j]).max(1e-3);
+            let mon_density = (1.0 - m.sparsity).max(1e-3);
+            mon_density / avg_density
+        })
+        .collect();
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    let window: &[f64] = match strategy {
+        CoeffStrategy::AverageAll => &ratios,
+        CoeffStrategy::LastN(n) => &ratios[ratios.len().saturating_sub(n)..],
+        CoeffStrategy::LastOne => &ratios[ratios.len() - 1..],
+        CoeffStrategy::Disabled => unreachable!("handled above"),
+    };
+    let ratio = window.iter().sum::<f64>() / window.len() as f64;
+    ratio.powf(info.gamma_exponent())
+}
+
+fn lut_for(model: ModelId) -> (SparseModelSpec, ModelInfoLut) {
+    let spec = SparseModelSpec::new(model, SparsityPattern::Dense, 0.0);
+    let mut store = TraceStore::new();
+    store.insert(TraceGenerator::default().generate(&spec, 8, 17));
+    (spec, ModelInfoLut::from_store(&store))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental == batch for every strategy, any random prefix of any
+    /// random monitored stream, on both a transformer (rich dynamic
+    /// sparsity) and a CNN (sparser dynamic coverage).
+    #[test]
+    fn incremental_coefficient_matches_batch(
+        model_pick in 0usize..2,
+        sparsities in prop::collection::vec(0.0f64..0.999, 1..120),
+        window in 1usize..12,
+    ) {
+        let model = [ModelId::Bert, ModelId::MobileNet][model_pick];
+        let (spec, lut) = lut_for(model);
+        let variant = lut.variant_id(&spec).expect("profiled");
+        let info = lut.info(variant);
+        let num_layers = info.num_layers();
+
+        let strategies = [
+            CoeffStrategy::AverageAll,
+            CoeffStrategy::LastOne,
+            CoeffStrategy::LastN(window),
+            CoeffStrategy::Disabled,
+        ];
+
+        // Grow the task layer by layer the way the engine does, checking
+        // equivalence at *every* prefix, not just the final state.
+        let mut task = TaskState::arrived(0, spec, variant, 0, u64::MAX / 2, num_layers);
+        for (j, &s) in sparsities.iter().take(num_layers).enumerate() {
+            task.next_layer = j + 1;
+            task.record_layer(
+                MonitoredLayer {
+                    sparsity: s,
+                    latency_ns: 1_000,
+                },
+                info,
+            );
+            for strategy in strategies {
+                let predictor = SparseLatencyPredictor::new(strategy, 1.0);
+                let incremental = predictor.coefficient(&task, info);
+                let batch = batch_coefficient(strategy, &task, info);
+                prop_assert!(
+                    (incremental - batch).abs() < 1e-12,
+                    "{strategy:?} at prefix {}: incremental {incremental} vs batch {batch}",
+                    j + 1
+                );
+            }
+        }
+
+        // A rebuilt summary (the test-construction path) agrees with the
+        // incrementally grown one.
+        let grown = task.sparsity;
+        task.rebuild_sparsity_summary(info);
+        prop_assert_eq!(grown, task.sparsity);
+    }
+}

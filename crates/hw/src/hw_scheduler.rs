@@ -1,7 +1,7 @@
 //! The hardware Dysta scheduler: Algorithm 2 executed through the FP16
 //! datapath and bounded FIFOs.
 
-use dysta_core::{DystaConfig, ModelInfoLut, Scheduler, TaskState};
+use dysta_core::{DystaConfig, ModelInfoLut, Scheduler, TaskQueue, TaskState};
 
 use crate::{ComputeUnit, F16};
 
@@ -44,6 +44,9 @@ pub struct HardwareDystaScheduler {
     config: DystaConfig,
     fifo_depth: usize,
     compute: ComputeUnit,
+    /// Reusable buffer for the FIFO-visible queue positions, so
+    /// steady-state picks don't allocate.
+    visible: Vec<usize>,
 }
 
 impl HardwareDystaScheduler {
@@ -59,6 +62,7 @@ impl HardwareDystaScheduler {
             config,
             fifo_depth,
             compute: ComputeUnit::new(),
+            visible: Vec::new(),
         }
     }
 
@@ -75,20 +79,20 @@ impl HardwareDystaScheduler {
     /// The FP16 sparsity coefficient of a task (last-one strategy through
     /// the coefficient dataflow).
     fn gamma(&mut self, task: &TaskState, lut: &ModelInfoLut) -> F16 {
-        let info = lut.expect(&task.spec);
-        let avg = info.avg_layer_sparsity();
-        // Walk back to the most recent dynamic layer the monitor saw.
+        let info = lut.info(task.variant);
+        // Walk back to the most recent dynamic layer the monitor saw
+        // (`dynamic_layer_avg_density` owns the epsilon/floor shared
+        // with the software predictor).
         let last_dynamic = task
             .monitored
             .iter()
             .enumerate()
             .rev()
-            .find(|&(j, _)| avg.get(j).copied().unwrap_or(0.0) > 1e-6);
+            .find_map(|(j, m)| info.dynamic_layer_avg_density(j).map(|d| (m, d)));
         match last_dynamic {
             None => F16::ONE,
-            Some((j, m)) => {
+            Some((m, avg_density)) => {
                 let num_zeros = (m.sparsity.clamp(0.0, 1.0) * MONITOR_SHAPE as f64).round() as u64;
-                let avg_density = (1.0 - avg[j]).max(1e-3);
                 let ratio = self.compute.coefficient(
                     num_zeros,
                     MONITOR_SHAPE,
@@ -108,25 +112,29 @@ impl Scheduler for HardwareDystaScheduler {
         "dysta-hw-fp16"
     }
 
-    fn pick_next(&mut self, queue: &[&TaskState], lut: &ModelInfoLut, now_ns: u64) -> usize {
-        // Hardware visibility: the `fifo_depth` earliest arrivals.
-        let mut visible: Vec<usize> = (0..queue.len()).collect();
+    fn pick_next(&mut self, queue: TaskQueue<'_>, lut: &ModelInfoLut, now_ns: u64) -> usize {
+        // Hardware visibility: the `fifo_depth` earliest arrivals, staged
+        // in a reusable buffer (capacity stabilises after warm-up).
+        self.visible.clear();
+        self.visible.extend(0..queue.len());
         if queue.len() > self.fifo_depth {
-            visible.sort_by_key(|&i| (queue[i].arrival_ns, queue[i].id));
-            visible.truncate(self.fifo_depth);
+            self.visible
+                .sort_by_key(|&i| (queue.get(i).arrival_ns, queue.get(i).id));
+            self.visible.truncate(self.fifo_depth);
         }
 
         let eta = F16::from_f64(self.config.eta);
-        let inv_queue = F16::from_f64(1.0 / visible.len() as f64);
+        let inv_queue = F16::from_f64(1.0 / self.visible.len() as f64);
         // Selection key: (deadline-infeasible flag, FP16 score, id). The
         // flag is a single comparator bit in the RTL design — requests
         // whose predicted slack is already negative are served
         // best-effort behind every feasible one, matching the software
         // scheduler's lost-cause demotion.
         let mut best: Option<(usize, (bool, F16))> = None;
-        for &i in &visible {
-            let t = queue[i];
-            let info = lut.expect(&t.spec);
+        for k in 0..self.visible.len() {
+            let i = self.visible[k];
+            let t = queue.get(i);
+            let info = lut.info(t.variant);
             let gamma = self.gamma(t, lut);
             let lat_avg_ms = F16::from_f64(info.avg_remaining_ns(t.next_layer) / 1e6);
             let ttd_ms = ((t.deadline_ns() as f64 - now_ns as f64) / 1e6)
@@ -149,7 +157,7 @@ impl Scheduler for HardwareDystaScheduler {
                 None => true,
                 Some((bi, (b_inf, b_score))) => {
                     (key.0, key.1.to_f32()) < (b_inf, b_score.to_f32())
-                        || (key.0 == b_inf && key.1 == b_score && t.id < queue[bi].id)
+                        || (key.0 == b_inf && key.1 == b_score && t.id < queue.get(bi).id)
                 }
             };
             if better {
@@ -175,28 +183,23 @@ mod tests {
         (spec, ModelInfoLut::from_store(&store))
     }
 
-    fn mk(id: u64, spec: SparseModelSpec, arrival: u64) -> TaskState {
+    fn mk(id: u64, spec: SparseModelSpec, lut: &ModelInfoLut, arrival: u64) -> TaskState {
+        let variant = lut.variant_id(&spec).expect("spec profiled");
         TaskState {
-            id,
-            spec,
-            arrival_ns: arrival,
-            slo_ns: 300_000_000,
-            next_layer: 0,
-            num_layers: 109,
-            executed_ns: 0,
-            monitored: Vec::new(),
             true_remaining_ns: 30_000_000,
+            ..TaskState::arrived(id, spec, variant, arrival, 300_000_000, 109)
         }
     }
 
     #[test]
     fn agrees_with_software_scheduler_on_clear_cases() {
         let (spec, lut) = setup();
-        let info_sparsity = lut.expect(&spec).avg_layer_sparsity().to_vec();
+        let info = lut.expect(&spec);
+        let info_sparsity = info.avg_layer_sparsity().to_vec();
         let dyn_layer = info_sparsity.iter().position(|&s| s > 0.1).unwrap();
         let avg_s = info_sparsity[dyn_layer];
 
-        let mut sparse = mk(0, spec, 0);
+        let mut sparse = mk(0, spec, &lut, 0);
         sparse.next_layer = dyn_layer + 1;
         sparse.monitored = vec![
             MonitoredLayer {
@@ -209,16 +212,18 @@ mod tests {
             sparsity: (avg_s + 0.12).min(0.99),
             latency_ns: 1,
         });
+        sparse.rebuild_sparsity_summary(info);
         let mut dense = sparse.clone();
         dense.id = 1;
         dense.monitored.last_mut().unwrap().sparsity = (avg_s - 0.12).max(0.0);
+        dense.rebuild_sparsity_summary(info);
 
-        let queue = [&dense, &sparse];
+        let queue = [dense, sparse];
         let mut hw = HardwareDystaScheduler::new(DystaConfig::default(), 64);
         let mut sw = DystaScheduler::new(DystaConfig::default(), SparseLatencyPredictor::default());
         assert_eq!(
-            hw.pick_next(&queue, &lut, 0),
-            sw.pick_next(&queue, &lut, 0),
+            hw.pick_next(TaskQueue::dense(&queue), &lut, 0),
+            sw.pick_next(TaskQueue::dense(&queue), &lut, 0),
             "FP16 must preserve the decision"
         );
     }
@@ -228,24 +233,21 @@ mod tests {
         let (spec, lut) = setup();
         // Task 9 arrived latest; with depth 2 only tasks 0 and 1 are
         // visible even if 9 would score best.
-        let tasks: Vec<TaskState> = (0..10).map(|i| mk(i, spec, i * 1000)).collect();
-        let queue: Vec<&TaskState> = tasks.iter().collect();
+        let tasks: Vec<TaskState> = (0..10).map(|i| mk(i, spec, &lut, i * 1000)).collect();
         let mut hw = HardwareDystaScheduler::new(DystaConfig::default(), 2);
-        let picked = hw.pick_next(&queue, &lut, 1_000_000);
-        assert!(queue[picked].id < 2, "picked {}", queue[picked].id);
+        let picked = hw.pick_next(TaskQueue::dense(&tasks), &lut, 1_000_000);
+        assert!(tasks[picked].id < 2, "picked {}", tasks[picked].id);
     }
 
     #[test]
     fn cycles_accumulate_across_decisions() {
         let (spec, lut) = setup();
-        let a = mk(0, spec, 0);
-        let b = mk(1, spec, 10);
-        let queue = [&a, &b];
+        let queue = [mk(0, spec, &lut, 0), mk(1, spec, &lut, 10)];
         let mut hw = HardwareDystaScheduler::new(DystaConfig::default(), 64);
-        hw.pick_next(&queue, &lut, 100);
+        hw.pick_next(TaskQueue::dense(&queue), &lut, 100);
         let after_one = hw.compute_cycles();
         assert!(after_one > 0);
-        hw.pick_next(&queue, &lut, 200);
+        hw.pick_next(TaskQueue::dense(&queue), &lut, 200);
         assert!(hw.compute_cycles() > after_one);
     }
 }

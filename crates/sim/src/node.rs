@@ -20,7 +20,7 @@
 
 use std::collections::VecDeque;
 
-use dysta_core::{ModelInfoLut, MonitoredLayer, Scheduler, TaskState};
+use dysta_core::{ModelInfoLut, MonitoredLayer, Scheduler, TaskQueue, TaskState};
 use dysta_trace::SampleTrace;
 use dysta_workload::Request;
 
@@ -198,16 +198,24 @@ impl<'w, S: Scheduler> NodeEngine<'w, S> {
                 "requests must be enqueued in arrival order"
             );
         }
+        // Intern the variant once per request; every per-decision LUT
+        // access from here on is a dense array index.
+        let variant = self.lut.variant_id(&request.spec).unwrap_or_else(|| {
+            panic!(
+                "request {} uses unprofiled variant {}",
+                request.id, request.spec
+            )
+        });
         let task = TaskState {
-            id: request.id,
-            spec: request.spec,
-            arrival_ns: request.arrival_ns,
-            slo_ns: request.slo_ns,
-            next_layer: 0,
-            num_layers: trace.num_layers(),
-            executed_ns: 0,
-            monitored: Vec::new(),
             true_remaining_ns: scale_ns(trace.isolated_latency_ns(), scale),
+            ..TaskState::arrived(
+                request.id,
+                request.spec,
+                variant,
+                request.arrival_ns,
+                request.slo_ns,
+                trace.num_layers(),
+            )
         };
         self.pending.push_back(PendingTask { task, trace, scale });
     }
@@ -282,11 +290,16 @@ impl<'w, S: Scheduler> NodeEngine<'w, S> {
     /// Panics if no task is runnable (callers admit first) or the
     /// scheduler returns an out-of-range index.
     fn execute_quantum(&mut self) {
-        let queue: Vec<&TaskState> = self.active.iter().map(|&i| &self.tasks[i]).collect();
+        // The scheduler reads the task arena through the live indices
+        // directly — no per-quantum `Vec<&TaskState>` materialisation.
+        let queue = TaskQueue::indexed(&self.tasks, &self.active);
         debug_assert!(!queue.is_empty(), "execute_quantum needs a runnable task");
         self.invocations += 1;
-        let pick = self.scheduler.pick_next(&queue, &self.lut, self.now_ns);
-        assert!(pick < queue.len(), "scheduler returned out-of-range index");
+        let pick = self.scheduler.pick_next(queue, &self.lut, self.now_ns);
+        assert!(
+            pick < self.active.len(),
+            "scheduler returned out-of-range index"
+        );
         let task_idx = self.active[pick];
 
         // Pay the context switch when execution moves between requests.
@@ -299,6 +312,7 @@ impl<'w, S: Scheduler> NodeEngine<'w, S> {
 
         let trace = self.traces[task_idx];
         let scale = self.scales[task_idx];
+        let info = self.lut.info(self.tasks[task_idx].variant);
         for _ in 0..self.config.layers_per_block {
             if self.tasks[task_idx].finished() {
                 break;
@@ -326,10 +340,13 @@ impl<'w, S: Scheduler> NodeEngine<'w, S> {
             let task = &mut self.tasks[task_idx];
             task.next_layer += 1;
             task.executed_ns += latency_ns;
-            task.monitored.push(MonitoredLayer {
-                sparsity: layer.sparsity,
-                latency_ns,
-            });
+            task.record_layer(
+                MonitoredLayer {
+                    sparsity: layer.sparsity,
+                    latency_ns,
+                },
+                info,
+            );
             task.true_remaining_ns = scale_ns(trace.remaining_ns(task.next_layer), scale);
         }
         self.scheduler
@@ -449,11 +466,11 @@ mod tests {
         let lut = ModelInfoLut::from_store(w.store());
         let mut node = engine_for(&w, Policy::Sjf);
         let full =
-            node.estimated_backlog_ns(|t| lut.expect(&t.spec).avg_remaining_ns(t.next_layer));
+            node.estimated_backlog_ns(|t| lut.info(t.variant).avg_remaining_ns(t.next_layer));
         assert!(full > 0.0);
         node.run_to_completion();
         let empty =
-            node.estimated_backlog_ns(|t| lut.expect(&t.spec).avg_remaining_ns(t.next_layer));
+            node.estimated_backlog_ns(|t| lut.info(t.variant).avg_remaining_ns(t.next_layer));
         assert_eq!(empty, 0.0);
         assert!(node.is_drained());
         assert!(node.busy_ns() > 0);

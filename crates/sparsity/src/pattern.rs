@@ -73,20 +73,22 @@ impl SparsityPattern {
         }
     }
 
-    /// Stable short name for table headers and LUT keys.
+    /// Stable short name for table headers and LUT keys (the `Display`
+    /// impl writes the same characters without allocating — hot key
+    /// formatting goes through that).
     pub fn short_name(self) -> String {
-        match self {
-            SparsityPattern::Dense => "dense".into(),
-            SparsityPattern::RandomPointwise => "random".into(),
-            SparsityPattern::BlockNm { n, m } => format!("{n}:{m}"),
-            SparsityPattern::ChannelWise => "channel".into(),
-        }
+        self.to_string()
     }
 }
 
 impl fmt::Display for SparsityPattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.short_name())
+        match self {
+            SparsityPattern::Dense => f.write_str("dense"),
+            SparsityPattern::RandomPointwise => f.write_str("random"),
+            SparsityPattern::BlockNm { n, m } => write!(f, "{n}:{m}"),
+            SparsityPattern::ChannelWise => f.write_str("channel"),
+        }
     }
 }
 

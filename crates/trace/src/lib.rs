@@ -36,5 +36,5 @@ mod record;
 mod store;
 
 pub use generate::TraceGenerator;
-pub use record::{LayerRecord, ModelTraces, SampleTrace, SparseModelSpec};
+pub use record::{LayerRecord, ModelTraces, SampleTrace, SparseModelSpec, SpecKey, VariantId};
 pub use store::{TraceStore, TraceStoreError};

@@ -1,6 +1,7 @@
 //! Trace record types.
 
 use std::fmt;
+use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
 
@@ -41,13 +42,85 @@ impl SparseModelSpec {
 
     /// Stable string key (used by the trace store and LUTs).
     pub fn key(&self) -> String {
-        format!(
+        self.spec_key().as_str().to_owned()
+    }
+
+    /// The same stable key formatted into a fixed stack buffer — the
+    /// allocation-free probe the store's and LUT's lookup paths use.
+    pub fn spec_key(&self) -> SpecKey {
+        let mut key = SpecKey::default();
+        write!(
+            key,
             "{}|{}|{:.4}|{:?}",
-            self.model,
-            self.pattern.short_name(),
-            self.weight_rate,
-            self.profile
+            self.model, self.pattern, self.weight_rate, self.profile
         )
+        .expect("spec key exceeds SpecKey capacity");
+        key
+    }
+}
+
+/// A spec key held in a fixed-capacity stack buffer, so lookups never
+/// heap-allocate (the `format!`-per-probe cost this replaces showed up
+/// in every scheduler LUT access).
+#[derive(Debug, Clone, Copy)]
+pub struct SpecKey {
+    buf: [u8; SpecKey::CAPACITY],
+    len: usize,
+}
+
+impl SpecKey {
+    /// Longest key the buffer holds; ample for every model/pattern/profile
+    /// combination in the zoo (keys run ~30-50 bytes).
+    const CAPACITY: usize = 128;
+
+    /// The formatted key.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.buf[..self.len]).expect("SpecKey only stores UTF-8")
+    }
+}
+
+impl Default for SpecKey {
+    fn default() -> Self {
+        SpecKey {
+            buf: [0; SpecKey::CAPACITY],
+            len: 0,
+        }
+    }
+}
+
+impl fmt::Write for SpecKey {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        let bytes = s.as_bytes();
+        let end = self.len + bytes.len();
+        if end > SpecKey::CAPACITY {
+            return Err(fmt::Error);
+        }
+        self.buf[self.len..end].copy_from_slice(bytes);
+        self.len = end;
+        Ok(())
+    }
+}
+
+/// Dense handle of one profiled sparse-model variant.
+///
+/// Assigned by sorted-key rank when a [`crate::TraceStore`] (and the
+/// `ModelInfoLut` built from it) is constructed, so schedulers index the
+/// LUT with a plain array offset instead of hashing a formatted string
+/// key on every decision. Resolved once per request at enqueue time; the
+/// string-keyed lookups survive as slow-path conveniences for store
+/// construction and serde.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VariantId(u32);
+
+impl VariantId {
+    /// Builds an id from a dense index (the variant's sorted-key rank).
+    pub fn from_index(index: usize) -> Self {
+        VariantId(u32::try_from(index).expect("variant count fits in u32"))
+    }
+
+    /// The dense index this id names.
+    pub fn index(self) -> usize {
+        self.0 as usize
     }
 }
 

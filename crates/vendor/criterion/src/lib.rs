@@ -160,7 +160,25 @@ struct Stats {
     max_ns: f64,
 }
 
+/// Quick-mode overrides from the `CRITERION_QUICK=1` environment
+/// variable: caps warm-up/measurement budgets so CI can smoke-run every
+/// bench for correctness and gross perf cliffs in seconds (the real
+/// criterion exposes `--quick`/`--measurement-time`; the shim takes the
+/// knob through the environment since harness=false binaries share
+/// argv with libtest).
+fn quick_mode(config: &Criterion) -> Criterion {
+    if std::env::var("CRITERION_QUICK").map(|v| v == "1") != Ok(true) {
+        return config.clone();
+    }
+    Criterion {
+        measurement_time: config.measurement_time.min(Duration::from_millis(60)),
+        warm_up_time: config.warm_up_time.min(Duration::from_millis(20)),
+        sample_size: config.sample_size.min(3),
+    }
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(config: &Criterion, f: &mut F) -> Stats {
+    let config = &quick_mode(config);
     // Warm-up: find an iteration count whose batch takes roughly one
     // sample's share of the measurement budget.
     let mut b = Bencher {
