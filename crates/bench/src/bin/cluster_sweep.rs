@@ -6,9 +6,14 @@
 //! node, 30 per Sanger node), and each cell averages the configured seed
 //! count. Reports cluster ANTT, SLO violation rate, throughput, and load
 //! imbalance; `DYSTA_QUICK=1` drops to smoke-test scale.
+//!
+//! A final section sweeps the serving front-end (work stealing and
+//! request migration) on the pool shape affinity routing stresses most:
+//! CNN-only traffic on a heterogeneous installation.
 
 use dysta::cluster::{
     balanced_mixed_serving_mix, simulate_cluster, AcceleratorKind, ClusterConfig, DispatchPolicy,
+    FrontendConfig, MigrationConfig, StealConfig,
 };
 use dysta::core::Policy;
 use dysta::workload::{Scenario, WorkloadBuilder};
@@ -150,5 +155,77 @@ fn main() {
             }
             println!();
         }
+    }
+
+    serving_frontend_sweep(&scale);
+}
+
+/// The serving front-end under affinity dispatch on a heterogeneous
+/// pool: CNN-only traffic saturates the Eyeriss half while the Sanger
+/// half idles unless stealing/migration put it to work.
+fn serving_frontend_sweep(scale: &Scale) {
+    println!("\n=== serving front-end / CNN traffic on eyeriss+sanger pool (affinity) ===");
+    println!(
+        "{:<16} {:>8} {:>9} {:>10} {:>10} {:>7} {:>9}",
+        "front-end", "ANTT", "viol %", "p99 ms", "imbalance", "steals", "migrated"
+    );
+    let frontends: [(&str, FrontendConfig); 3] = [
+        ("immediate", FrontendConfig::default()),
+        (
+            "steal",
+            FrontendConfig {
+                steal: Some(StealConfig::default()),
+                ..FrontendConfig::default()
+            },
+        ),
+        (
+            "steal+migrate",
+            FrontendConfig {
+                steal: Some(StealConfig::default()),
+                migration: Some(MigrationConfig::default()),
+                ..FrontendConfig::default()
+            },
+        ),
+    ];
+    for (name, frontend) in frontends {
+        let mut antt = 0.0;
+        let mut viol = 0.0;
+        let mut p99 = 0.0;
+        let mut imbalance = 0.0;
+        let mut steals = 0u64;
+        let mut migrations = 0u64;
+        for seed in 0..scale.seeds {
+            let workload = WorkloadBuilder::new(Scenario::MultiCnn)
+                .arrival_rate(12.0)
+                .num_requests(scale.requests)
+                .samples_per_variant(scale.samples_per_variant)
+                .seed(seed * 7919 + 13)
+                .build();
+            let pool = ClusterConfig::heterogeneous(2, 2, Policy::Dysta).with_frontend(frontend);
+            let report = simulate_cluster(
+                &workload,
+                DispatchPolicy::SparsityAffinity.build().as_mut(),
+                &pool,
+            );
+            antt += report.antt();
+            viol += report.violation_rate();
+            p99 += report.turnaround_percentile_ns(99.0) as f64 / 1e6;
+            imbalance += report.load_imbalance();
+            steals += report.serving().steals;
+            migrations += report.serving().migrations;
+        }
+        // Counters are seed-averaged like every other column, so a row
+        // reads as "one run at this operating point".
+        let n = scale.seeds as f64;
+        println!(
+            "{:<16} {:>8.3} {:>8.1}% {:>10.1} {:>10.2} {:>7.1} {:>9.1}",
+            name,
+            antt / n,
+            viol / n * 100.0,
+            p99 / n,
+            imbalance / n,
+            steals as f64 / n,
+            migrations as f64 / n,
+        );
     }
 }

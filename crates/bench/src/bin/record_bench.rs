@@ -13,7 +13,10 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use dysta::cluster::{simulate_cluster, AcceleratorKind, ClusterConfig, DispatchPolicy};
+use dysta::cluster::{
+    simulate_cluster, AcceleratorKind, ClusterConfig, DispatchPolicy, FrontendConfig,
+    MigrationConfig, StealConfig,
+};
 use dysta::core::{ModelInfoLut, Policy, TaskQueue, TaskState};
 use dysta::sim::{simulate, EngineConfig};
 use dysta::workload::{Scenario, Workload, WorkloadBuilder};
@@ -38,12 +41,31 @@ struct PickRow {
 
 /// One labelled recording session (all cells measured back-to-back in
 /// the same environment, so ratios within a record are meaningful).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 struct BenchRecord {
     label: String,
     engine: Vec<EngineRow>,
     picks: Vec<PickRow>,
     cluster_sweep_ms: f64,
+    /// Wall time of the serving-front-end sweep (batching + stealing +
+    /// migration). `None` in records from before the front-end existed —
+    /// hand-written `Deserialize` below keeps the old history parseable.
+    cluster_serving_ms: Option<f64>,
+}
+
+impl serde::Deserialize for BenchRecord {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(BenchRecord {
+            label: serde::Deserialize::from_value(value.field("label")?)?,
+            engine: serde::Deserialize::from_value(value.field("engine")?)?,
+            picks: serde::Deserialize::from_value(value.field("picks")?)?,
+            cluster_sweep_ms: serde::Deserialize::from_value(value.field("cluster_sweep_ms")?)?,
+            cluster_serving_ms: match value.field("cluster_serving_ms") {
+                Ok(v) => serde::Deserialize::from_value(v)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 /// The whole perf-trajectory file.
@@ -192,6 +214,37 @@ fn measure_cluster_sweep() -> f64 {
     secs * 1e3
 }
 
+fn measure_cluster_serving() -> f64 {
+    // The serving front-end's hot path: admission batching plus steal
+    // and migration passes on the pool shape that triggers them most
+    // (CNN traffic + affinity on a heterogeneous pool).
+    let workload = WorkloadBuilder::new(Scenario::MultiCnn)
+        .arrival_rate(12.0)
+        .num_requests(200)
+        .samples_per_variant(16)
+        .seed(13)
+        .build();
+    let frontend = FrontendConfig {
+        admit_batch: 4,
+        admit_interval_ns: 20_000_000,
+        steal: Some(StealConfig::default()),
+        migration: Some(MigrationConfig::default()),
+    };
+    let secs = median_secs(3, || {
+        let pool = ClusterConfig::heterogeneous(2, 2, Policy::Dysta).with_frontend(frontend);
+        std::hint::black_box(simulate_cluster(
+            &workload,
+            DispatchPolicy::SparsityAffinity.build().as_mut(),
+            &pool,
+        ));
+    });
+    println!(
+        "cluster_serving (2+2 nodes, batch+steal+migrate, 200 reqs): {:.1} ms",
+        secs * 1e3
+    );
+    secs * 1e3
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let label = args.next().unwrap_or_else(|| "unlabelled".to_string());
@@ -204,12 +257,14 @@ fn main() {
     measure_engine(&mut engine);
     measure_picks(&mut picks);
     let cluster_sweep_ms = measure_cluster_sweep();
+    let cluster_serving_ms = measure_cluster_serving();
 
     let record = BenchRecord {
         label: label.clone(),
         engine,
         picks,
         cluster_sweep_ms,
+        cluster_serving_ms: Some(cluster_serving_ms),
     };
 
     // A malformed history file must abort, not be silently replaced —

@@ -107,23 +107,155 @@ pub fn balanced_mixed_serving_mix() -> Vec<(SparseModelSpec, f64)> {
     mix
 }
 
-/// The whole cluster: an ordered list of nodes.
+/// Work-stealing knobs for the serving front-end.
+///
+/// Every `period_ns` of simulated time, each *idle* (fully drained) node
+/// may pull one queued, never-started request from the most-backlogged
+/// peer. A steal only happens when the victim's LUT-estimated backlog
+/// exceeds `min_imbalance` times the pool-mean backlog — on a balanced
+/// pool nothing moves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StealConfig {
+    /// Minimum victim-backlog over pool-mean-backlog ratio before an
+    /// idle node steals (≥ 1; 1 steals at any imbalance).
+    pub min_imbalance: f64,
+    /// Sim-time between idle checks, in nanoseconds (> 0). Bounds how
+    /// long a node can sit idle before it looks for work.
+    pub period_ns: u64,
+}
+
+impl Default for StealConfig {
+    fn default() -> Self {
+        StealConfig {
+            min_imbalance: 1.5,
+            period_ns: 10_000_000,
+        }
+    }
+}
+
+/// Request-migration knobs for the serving front-end.
+///
+/// Every `period_ns` of simulated time, nodes whose LUT-estimated
+/// backlog exceeds `min_imbalance` times the pool mean get their queued,
+/// never-started requests re-offered to the dispatcher; a request moves
+/// when the dispatcher now routes it to a strictly less-backlogged node.
+/// Each request migrates at most `max_per_request` times, so a request
+/// can never ping-pong indefinitely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationConfig {
+    /// Minimum node-backlog over pool-mean-backlog ratio before a node's
+    /// queue is rebalanced (≥ 1).
+    pub min_imbalance: f64,
+    /// Sim-time between rebalance passes, in nanoseconds (> 0).
+    pub period_ns: u64,
+    /// Hard cap on how many times one request may be re-dispatched.
+    pub max_per_request: u32,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            min_imbalance: 1.5,
+            period_ns: 50_000_000,
+            max_per_request: 2,
+        }
+    }
+}
+
+/// The cluster-level serving front-end: admission batching plus the
+/// optional work-stealing and request-migration mechanisms.
+///
+/// The default configuration (`admit_batch == 1`, no timer, stealing and
+/// migration off) reproduces pure arrival-time dispatch — a 1-node pool
+/// then matches [`dysta_sim::simulate`] bit-exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontendConfig {
+    /// Admission batch size `k` (≥ 1): arrivals queue at the front-end
+    /// and the whole queue is dispatched once `k` requests are waiting.
+    pub admit_batch: usize,
+    /// Admission timer `Δt` in nanoseconds: a non-empty admission queue
+    /// is flushed `Δt` after its oldest request arrived even if the
+    /// batch never fills. 0 disables the timer (a final partial batch
+    /// then flushes at its newest arrival).
+    pub admit_interval_ns: u64,
+    /// Work stealing, when enabled.
+    pub steal: Option<StealConfig>,
+    /// Request migration, when enabled.
+    pub migration: Option<MigrationConfig>,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            admit_batch: 1,
+            admit_interval_ns: 0,
+            steal: None,
+            migration: None,
+        }
+    }
+}
+
+impl FrontendConfig {
+    /// The full serving stack with default knobs: stealing and migration
+    /// on, immediate admission.
+    pub fn serving() -> Self {
+        FrontendConfig {
+            steal: Some(StealConfig::default()),
+            migration: Some(MigrationConfig::default()),
+            ..FrontendConfig::default()
+        }
+    }
+
+    /// Validates the knob ranges (the cluster engine asserts this once
+    /// per run).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero batch, a zero steal/migration period, or an
+    /// imbalance threshold below 1.
+    pub fn validate(&self) {
+        assert!(self.admit_batch >= 1, "admission batch must be at least 1");
+        if let Some(s) = &self.steal {
+            assert!(s.period_ns > 0, "steal period must be positive");
+            assert!(
+                s.min_imbalance >= 1.0 && s.min_imbalance.is_finite(),
+                "steal imbalance threshold must be >= 1"
+            );
+        }
+        if let Some(m) = &self.migration {
+            assert!(m.period_ns > 0, "migration period must be positive");
+            assert!(
+                m.min_imbalance >= 1.0 && m.min_imbalance.is_finite(),
+                "migration imbalance threshold must be >= 1"
+            );
+        }
+    }
+}
+
+/// The whole cluster: an ordered list of nodes plus the serving
+/// front-end configuration.
 ///
 /// # Examples
 ///
 /// ```
-/// use dysta_cluster::{AcceleratorKind, ClusterConfig};
+/// use dysta_cluster::{AcceleratorKind, ClusterConfig, FrontendConfig};
 /// use dysta_core::Policy;
 ///
 /// let pool = ClusterConfig::homogeneous(4, AcceleratorKind::EyerissV2, Policy::Dysta);
 /// assert_eq!(pool.len(), 4);
-/// let het = ClusterConfig::heterogeneous(2, 2, Policy::Dysta);
+/// let het = ClusterConfig::heterogeneous(2, 2, Policy::Dysta)
+///     .with_frontend(FrontendConfig::serving());
 /// assert_eq!(het.len(), 4);
+/// assert!(het.frontend.steal.is_some());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Per-node configurations; node ids are indices into this list.
     pub nodes: Vec<NodeConfig>,
+    /// Cluster-level serving front-end (admission batching, work
+    /// stealing, request migration). Defaults to pure arrival-time
+    /// dispatch with both mechanisms off.
+    pub frontend: FrontendConfig,
 }
 
 impl ClusterConfig {
@@ -136,6 +268,7 @@ impl ClusterConfig {
         assert!(n > 0, "cluster needs at least one node");
         ClusterConfig {
             nodes: vec![NodeConfig::new(accelerator, policy); n],
+            frontend: FrontendConfig::default(),
         }
     }
 
@@ -152,7 +285,10 @@ impl ClusterConfig {
             NodeConfig::new(AcceleratorKind::Sanger, policy);
             sanger
         ]);
-        ClusterConfig { nodes }
+        ClusterConfig {
+            nodes,
+            frontend: FrontendConfig::default(),
+        }
     }
 
     /// A cluster from explicit node configs.
@@ -166,7 +302,10 @@ impl ClusterConfig {
             nodes.iter().all(|n| n.mismatch_slowdown >= 1.0),
             "mismatch slowdown must be >= 1"
         );
-        ClusterConfig { nodes }
+        ClusterConfig {
+            nodes,
+            frontend: FrontendConfig::default(),
+        }
     }
 
     /// Number of nodes.
@@ -200,6 +339,18 @@ impl ClusterConfig {
         for node in &mut self.nodes {
             node.mismatch_slowdown = slowdown;
         }
+        self
+    }
+
+    /// Replaces the serving front-end configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front-end knobs are out of range
+    /// ([`FrontendConfig::validate`]).
+    pub fn with_frontend(mut self, frontend: FrontendConfig) -> Self {
+        frontend.validate();
+        self.frontend = frontend;
         self
     }
 }
@@ -238,5 +389,38 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_cluster_rejected() {
         let _ = ClusterConfig::homogeneous(0, AcceleratorKind::EyerissV2, Policy::Fcfs);
+    }
+
+    #[test]
+    fn default_frontend_is_immediate_dispatch() {
+        let f = FrontendConfig::default();
+        assert_eq!(f.admit_batch, 1);
+        assert_eq!(f.admit_interval_ns, 0);
+        assert!(f.steal.is_none() && f.migration.is_none());
+        f.validate();
+        FrontendConfig::serving().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "admission batch must be at least 1")]
+    fn zero_admission_batch_rejected() {
+        let c = ClusterConfig::homogeneous(1, AcceleratorKind::EyerissV2, Policy::Fcfs);
+        let _ = c.with_frontend(FrontendConfig {
+            admit_batch: 0,
+            ..FrontendConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "steal imbalance threshold must be >= 1")]
+    fn sub_one_steal_threshold_rejected() {
+        FrontendConfig {
+            steal: Some(StealConfig {
+                min_imbalance: 0.5,
+                period_ns: 1,
+            }),
+            ..FrontendConfig::default()
+        }
+        .validate();
     }
 }

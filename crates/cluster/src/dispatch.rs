@@ -1,11 +1,12 @@
 //! Pluggable request-dispatch policies.
 //!
 //! The dispatcher is the cluster-level analogue of the node-level
-//! [`dysta_core::Scheduler`]: it is consulted once per request, at the
-//! request's arrival time, with a snapshot of every node as it could
-//! have been observed at that instant, and returns the node that will
-//! serve the request. Routing is immediate and final (no migration —
-//! recorded as a follow-on in ROADMAP.md).
+//! [`dysta_core::Scheduler`]: it is consulted with a snapshot of every
+//! node as it could have been observed at that instant, and returns the
+//! node that will serve the request. The serving front-end consults it
+//! when a request leaves the admission queue — and again whenever the
+//! migration pass re-offers a queued, never-started request from a node
+//! that fell behind its backlog estimate.
 
 use dysta_core::ModelInfoLut;
 use dysta_workload::Request;

@@ -1,26 +1,39 @@
-//! The cluster event loop: N node engines behind one dispatcher.
+//! The cluster event loop: N node engines behind one dispatcher, fed by
+//! the serving front-end (admission batching, work stealing, request
+//! migration).
+
+use std::collections::VecDeque;
 
 use dysta_core::{ModelInfoLut, SparseLatencyPredictor};
 use dysta_sim::NodeEngine;
-use dysta_workload::Workload;
+use dysta_workload::{Request, Workload};
 
 use crate::dispatch::{Dispatcher, NodeView};
-use crate::report::{ClusterReport, NodeReport};
-use crate::ClusterConfig;
+use crate::report::{ClusterReport, NodeReport, ServingStats};
+use crate::{ClusterConfig, FrontendConfig};
 
-/// Replays `workload` on a cluster of nodes behind `dispatcher`.
+/// Replays `workload` on a cluster of nodes behind `dispatcher`,
+/// honouring the pool's [`FrontendConfig`].
 ///
-/// Causality: before a request is routed, every node is advanced up to
-/// the request's arrival time ([`NodeEngine::run_until`]), so the
-/// dispatcher sees exactly the queue states a real front-end could have
-/// observed at that instant. Routing is immediate and final.
+/// Causality: before any front-end action at sim-time `t` (batch
+/// dispatch, steal check, rebalance pass), every node is advanced up to
+/// `t` ([`NodeEngine::run_until`]), so decisions see exactly the queue
+/// states a real front-end could have observed at that instant.
+///
+/// The default front-end dispatches each request the moment it arrives
+/// (admission batch 1, no timer, stealing and migration off) — the
+/// historical `simulate_cluster` behavior, and bit-exact with
+/// [`dysta_sim::simulate`] on a 1-node pool. With batching enabled,
+/// requests queue at the front-end and are dispatched `k` at a time (or
+/// when the admission timer fires); with stealing/migration enabled,
+/// periodic passes move queued, never-started requests between nodes.
 ///
 /// Deterministic: identical inputs produce identical reports.
 ///
 /// # Panics
 ///
-/// Panics if the workload is empty or the dispatcher returns an
-/// out-of-range node index.
+/// Panics if the workload is empty, the front-end knobs are out of range,
+/// or the dispatcher returns an out-of-range node index.
 ///
 /// # Examples
 ///
@@ -45,65 +58,378 @@ pub fn simulate_cluster(
 ) -> ClusterReport {
     let requests = workload.requests();
     assert!(!requests.is_empty(), "workload must contain requests");
+    config.frontend.validate();
+    // The front-end indexes requests by id for re-dispatch; a workload
+    // assembled with non-dense ids would silently mis-account waits and
+    // migrations, so this is a hard precondition (O(n), once per run).
+    assert!(
+        requests.iter().enumerate().all(|(i, r)| r.id == i as u64),
+        "cluster front-end requires dense request ids 0..len"
+    );
+
     let lut = ModelInfoLut::from_store(workload.store());
     let predictor = SparseLatencyPredictor::default();
-
-    let mut nodes: Vec<NodeEngine<'_>> = config
+    let nodes: Vec<NodeEngine<'_>> = config
         .nodes
         .iter()
         .enumerate()
         .map(|(id, nc)| NodeEngine::new(id, nc.policy.build_with(nc.dysta), nc.engine, lut.clone()))
         .collect();
-    let mut routed = vec![0usize; nodes.len()];
 
-    for request in requests {
-        // Advance the pool to the arrival instant so queue observations
-        // are causal.
-        for node in &mut nodes {
-            node.run_until(request.arrival_ns);
+    let mut frontend = Frontend {
+        workload,
+        requests,
+        config,
+        dispatcher,
+        lut,
+        predictor,
+        nodes,
+        routed: vec![0; config.nodes.len()],
+        admission_wait_ns: vec![0; requests.len()],
+        migration_count: vec![0; requests.len()],
+        steals: 0,
+        migrations: 0,
+    };
+    frontend.run();
+    frontend.into_report()
+}
+
+/// Event kinds, in processing priority at equal timestamps: arrivals
+/// join the admission queue before the queue flushes, dispatch happens
+/// before rebalancing, and migration (which needs backlogged *and*
+/// underloaded nodes) runs before stealing (which needs idle ones).
+const EV_ARRIVAL: u8 = 0;
+const EV_DISPATCH: u8 = 1;
+const EV_MIGRATE: u8 = 2;
+const EV_STEAL: u8 = 3;
+
+struct Frontend<'w, 'c> {
+    workload: &'w Workload,
+    requests: &'w [Request],
+    config: &'c ClusterConfig,
+    dispatcher: &'c mut dyn Dispatcher,
+    lut: ModelInfoLut,
+    predictor: SparseLatencyPredictor,
+    nodes: Vec<NodeEngine<'w>>,
+    routed: Vec<usize>,
+    admission_wait_ns: Vec<u64>,
+    migration_count: Vec<u32>,
+    steals: u64,
+    migrations: u64,
+}
+
+impl<'w> Frontend<'w, '_> {
+    fn run(&mut self) {
+        let fe: FrontendConfig = self.config.frontend;
+        let mut next_arrival = 0usize;
+        let mut queue: VecDeque<u64> = VecDeque::new();
+        // Set when the admission timer is armed: oldest queued arrival
+        // plus the admission interval.
+        let mut timer_deadline: Option<u64> = None;
+        let mut next_migration = fe.migration.map(|m| m.period_ns);
+        let mut next_steal = fe.steal.map(|s| s.period_ns);
+
+        // Phase 1: drain the arrival stream through the admission queue,
+        // interleaving steal/migration ticks at their configured cadence.
+        while next_arrival < self.requests.len() || !queue.is_empty() {
+            let arrival = self.requests.get(next_arrival).map(|r| r.arrival_ns);
+            let deadline = if queue.is_empty() {
+                None
+            } else if arrival.is_none() && timer_deadline.is_none() {
+                // No more arrivals can ever fill the batch: flush the
+                // remainder at its newest (= the stream's last) arrival.
+                Some(self.requests[self.requests.len() - 1].arrival_ns)
+            } else {
+                timer_deadline
+            };
+
+            let (t, kind) = [
+                arrival.map(|t| (t, EV_ARRIVAL)),
+                deadline.map(|t| (t, EV_DISPATCH)),
+                next_migration.map(|t| (t, EV_MIGRATE)),
+                next_steal.map(|t| (t, EV_STEAL)),
+            ]
+            .into_iter()
+            .flatten()
+            .min()
+            .expect("an arrival or a flush deadline always exists");
+
+            match kind {
+                EV_ARRIVAL => {
+                    if queue.is_empty() && fe.admit_interval_ns > 0 {
+                        timer_deadline = Some(t + fe.admit_interval_ns);
+                    }
+                    queue.push_back(self.requests[next_arrival].id);
+                    next_arrival += 1;
+                    if queue.len() >= fe.admit_batch {
+                        self.dispatch_batch(&mut queue, t);
+                        timer_deadline = None;
+                    }
+                }
+                EV_DISPATCH => {
+                    self.dispatch_batch(&mut queue, t);
+                    timer_deadline = None;
+                }
+                EV_MIGRATE => next_migration = Some(self.rebalance_tick(EV_MIGRATE, t)),
+                EV_STEAL => next_steal = Some(self.rebalance_tick(EV_STEAL, t)),
+                _ => unreachable!(),
+            }
         }
-        let views: Vec<NodeView> = nodes
+
+        // Phase 2: every request is placed; keep rebalancing at the tick
+        // cadence until the pool drains (idle nodes may still steal the
+        // tail of a backlogged peer's queue).
+        if fe.steal.is_some() || fe.migration.is_some() {
+            while self.nodes.iter().any(|n| !n.is_drained()) {
+                let (t, kind) = [
+                    next_migration.map(|t| (t, EV_MIGRATE)),
+                    next_steal.map(|t| (t, EV_STEAL)),
+                ]
+                .into_iter()
+                .flatten()
+                .min()
+                .expect("phase 2 only runs with a tick configured");
+                if kind == EV_MIGRATE {
+                    next_migration = Some(self.rebalance_tick(EV_MIGRATE, t));
+                } else {
+                    next_steal = Some(self.rebalance_tick(EV_STEAL, t));
+                }
+            }
+        }
+        for node in &mut self.nodes {
+            node.run_to_completion();
+        }
+    }
+
+    /// One migrate or steal tick at sim-time `t`: advance the pool,
+    /// run the pass, and return the tick's re-armed next deadline.
+    fn rebalance_tick(&mut self, kind: u8, t: u64) -> u64 {
+        self.sync_nodes(t);
+        let fe = self.config.frontend;
+        if kind == EV_MIGRATE {
+            self.migration_pass(t);
+            t + fe.migration.expect("tick implies config").period_ns
+        } else {
+            self.steal_pass(t);
+            t + fe.steal.expect("tick implies config").period_ns
+        }
+    }
+
+    /// Advances every node up to sim-time `t` so front-end observations
+    /// are causal.
+    fn sync_nodes(&mut self, t: u64) {
+        for node in &mut self.nodes {
+            node.run_until(t);
+        }
+    }
+
+    /// One causal snapshot of every node, in node-id order.
+    fn views(&self) -> Vec<NodeView> {
+        self.nodes
             .iter()
-            .zip(&config.nodes)
+            .zip(&self.config.nodes)
             .map(|(node, nc)| NodeView {
                 id: node.id(),
                 accelerator: nc.accelerator,
                 now_ns: node.now_ns(),
                 queue_len: node.queue_len(),
-                lut_backlog_ns: node
-                    .estimated_backlog_ns(|t| lut.info(t.variant).avg_remaining_ns(t.next_layer)),
-                predicted_backlog_ns: node
-                    .estimated_backlog_ns(|t| predictor.remaining_ns(t, lut.info(t.variant))),
+                lut_backlog_ns: node.estimated_backlog_ns(|t| {
+                    self.lut.info(t.variant).avg_remaining_ns(t.next_layer)
+                }),
+                predicted_backlog_ns: node.estimated_backlog_ns(|t| {
+                    self.predictor.remaining_ns(t, self.lut.info(t.variant))
+                }),
                 busy_ns: node.busy_ns(),
             })
-            .collect();
-        let target = dispatcher.dispatch(request, &views, &lut);
+            .collect()
+    }
+
+    /// LUT-estimated backlog of every node — the estimate the steal and
+    /// migration passes balance on.
+    fn lut_backlogs(&self) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .map(|node| {
+                node.estimated_backlog_ns(|t| {
+                    self.lut.info(t.variant).avg_remaining_ns(t.next_layer)
+                })
+            })
+            .collect()
+    }
+
+    /// Routes one request through the dispatcher against fresh causal
+    /// views, validating the returned node index.
+    fn route(&mut self, request: &Request) -> usize {
+        let views = self.views();
+        let target = self.dispatcher.dispatch(request, &views, &self.lut);
         assert!(
-            target < nodes.len(),
+            target < self.nodes.len(),
             "dispatcher `{}` returned out-of-range node {target}",
-            dispatcher.name()
+            self.dispatcher.name()
         );
-        let scale = config.nodes[target].scale_for(request.spec.model.family());
-        nodes[target].enqueue_scaled(request, workload.trace_for(request), scale);
-        routed[target] += 1;
+        target
     }
 
-    for node in &mut nodes {
-        node.run_to_completion();
+    /// Flushes the admission queue at sim-time `t`: routes every queued
+    /// request in arrival order, recomputing node views between requests
+    /// so one batch spreads over the pool instead of dog-piling the
+    /// momentarily-emptiest node.
+    fn dispatch_batch(&mut self, queue: &mut VecDeque<u64>, t: u64) {
+        self.sync_nodes(t);
+        let requests = self.requests;
+        while let Some(id) = queue.pop_front() {
+            let request = &requests[id as usize];
+            let target = self.route(request);
+            let scale = self.config.nodes[target].scale_for(request.spec.model.family());
+            self.nodes[target].enqueue_scaled(request, self.workload.trace_for(request), scale);
+            self.routed[target] += 1;
+            self.admission_wait_ns[id as usize] = t - request.arrival_ns;
+        }
     }
 
-    ClusterReport::new(
-        nodes
-            .into_iter()
-            .zip(&config.nodes)
-            .zip(routed)
-            .map(|((node, nc), routed)| NodeReport {
-                node_id: node.id(),
-                accelerator: nc.accelerator,
-                routed,
-                busy_ns: node.busy_ns(),
-                report: node.into_report(),
-            })
-            .collect(),
-    )
+    /// The periodic rebalance: nodes whose backlog estimate exceeds the
+    /// configured multiple of the pool mean get their queued,
+    /// never-started requests re-offered to the dispatcher; a request
+    /// moves when the dispatcher now routes it to a strictly
+    /// less-backlogged node and its migration budget allows.
+    fn migration_pass(&mut self, t: u64) {
+        let cfg = self.config.frontend.migration.expect("pass implies config");
+        let n = self.nodes.len();
+        let requests = self.requests;
+        let mut backlogs = self.lut_backlogs();
+        for src in 0..n {
+            // Candidates in arrival order (the active list's order is
+            // arbitrary), frozen before any movement from this node.
+            let mut candidates: Vec<(u64, u64)> = self.nodes[src]
+                .unstarted_tasks()
+                .map(|(task, _)| (task.arrival_ns, task.id))
+                .collect();
+            candidates.sort_unstable();
+            for (_, id) in candidates {
+                let mean = backlogs.iter().sum::<f64>() / n as f64;
+                if mean <= 0.0 || backlogs[src] <= cfg.min_imbalance * mean {
+                    break; // src is no longer behind.
+                }
+                if self.migration_count[id as usize] >= cfg.max_per_request {
+                    continue;
+                }
+                let request = &requests[id as usize];
+                let target = self.route(request);
+                if target == src || backlogs[target] >= backlogs[src] {
+                    continue;
+                }
+                let est = self.lut.info(
+                    self.lut
+                        .variant_id(&request.spec)
+                        .expect("dispatched request is profiled"),
+                );
+                let est_ns = est.avg_latency_ns();
+                let src_scale = self.config.nodes[src].scale_for(request.spec.model.family());
+                let dst_scale = self.config.nodes[target].scale_for(request.spec.model.family());
+                let transfer = self.nodes[src]
+                    .take_unstarted(id)
+                    .expect("candidate is queued and unstarted");
+                self.nodes[target].accept_transfer(transfer, dst_scale, t);
+                backlogs[src] -= est_ns * src_scale;
+                backlogs[target] += est_ns * dst_scale;
+                self.migration_count[id as usize] += 1;
+                self.migrations += 1;
+            }
+        }
+    }
+
+    /// The steal pass: each idle (fully drained) node pulls the best
+    /// queued, never-started request from the most-backlogged peer,
+    /// provided the pool is imbalanced enough and the move finishes the
+    /// request sooner than the victim's whole backlog would take.
+    fn steal_pass(&mut self, t: u64) {
+        let cfg = self.config.frontend.steal.expect("pass implies config");
+        let n = self.nodes.len();
+        for thief in 0..n {
+            if !self.nodes[thief].is_drained() {
+                continue;
+            }
+            let backlogs = self.lut_backlogs();
+            let mean = backlogs.iter().sum::<f64>() / n as f64;
+            if mean <= 0.0 {
+                break; // Nothing queued anywhere.
+            }
+            // Most-backlogged peer holding stealable work; smaller id on
+            // ties.
+            let Some(victim) = (0..n)
+                .filter(|&v| v != thief && self.nodes[v].unstarted_tasks().next().is_some())
+                .max_by(|&a, &b| backlogs[a].total_cmp(&backlogs[b]).then(b.cmp(&a)))
+            else {
+                continue;
+            };
+            if backlogs[victim] < cfg.min_imbalance * mean {
+                continue;
+            }
+            // Best candidate: the request whose move frees the most
+            // victim time net of what the thief pays (ties: bigger
+            // victim-side estimate, then smaller id). Only requests the
+            // thief finishes sooner than the victim's whole backlog
+            // qualify — stealing must never extend the tail.
+            let mut best: Option<(f64, f64, u64)> = None;
+            for (task, victim_scale) in self.nodes[victim].unstarted_tasks() {
+                let est_ns = self.lut.info(task.variant).avg_latency_ns();
+                let thief_scale = self.config.nodes[thief].scale_for(task.spec.model.family());
+                let on_victim = est_ns * victim_scale;
+                let on_thief = est_ns * thief_scale;
+                if on_thief >= backlogs[victim] {
+                    continue;
+                }
+                let gain = on_victim - on_thief;
+                let better = match &best {
+                    None => true,
+                    Some((bg, bv, bid)) => match gain.total_cmp(bg) {
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Equal => match on_victim.total_cmp(bv) {
+                            std::cmp::Ordering::Greater => true,
+                            std::cmp::Ordering::Equal => task.id < *bid,
+                            std::cmp::Ordering::Less => false,
+                        },
+                        std::cmp::Ordering::Less => false,
+                    },
+                };
+                if better {
+                    best = Some((gain, on_victim, task.id));
+                }
+            }
+            let Some((_, _, id)) = best else {
+                continue;
+            };
+            let family = self.requests[id as usize].spec.model.family();
+            let scale = self.config.nodes[thief].scale_for(family);
+            let transfer = self.nodes[victim]
+                .take_unstarted(id)
+                .expect("chosen candidate is queued and unstarted");
+            self.nodes[thief].accept_transfer(transfer, scale, t);
+            self.steals += 1;
+        }
+    }
+
+    fn into_report(self) -> ClusterReport {
+        let serving = ServingStats {
+            steals: self.steals,
+            migrations: self.migrations,
+            max_migrations_single_request: self.migration_count.iter().copied().max().unwrap_or(0),
+            admission_wait_ns: self.admission_wait_ns,
+        };
+        ClusterReport::with_serving(
+            self.nodes
+                .into_iter()
+                .zip(&self.config.nodes)
+                .zip(self.routed)
+                .map(|((node, nc), routed)| NodeReport {
+                    node_id: node.id(),
+                    accelerator: nc.accelerator,
+                    routed,
+                    busy_ns: node.busy_ns(),
+                    report: node.into_report(),
+                })
+                .collect(),
+            serving,
+        )
+    }
 }

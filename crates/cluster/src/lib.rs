@@ -17,13 +17,25 @@
 //!   — the paper's Algorithm 3 applied at cluster level), and
 //!   [`SparsityAffinity`] (family-matched routing for heterogeneous
 //!   pools).
+//! * [`FrontendConfig`] is the cluster's serving front-end: an
+//!   admission queue with configurable batching (dispatch every `k`
+//!   arrivals or every `Δt` of sim-time), plus optional **work
+//!   stealing** ([`StealConfig`]: idle nodes pull queued, never-started
+//!   requests from the most-backlogged peer) and **request migration**
+//!   ([`MigrationConfig`]: a periodic rebalance pass re-dispatches
+//!   queued requests off nodes that fell behind their backlog
+//!   estimate, capped per request).
 //! * [`ClusterReport`] aggregates per-node [`dysta_sim::SimReport`]s
 //!   into cluster-wide ANTT / SLO-violation / throughput plus per-node
-//!   utilization and load imbalance.
+//!   utilization, load imbalance, turnaround percentiles
+//!   ([`LatencyPercentiles`]: p50/p90/p99), and the front-end's
+//!   steal/migration/admission-wait statistics ([`ServingStats`]).
 //!
-//! A cluster of one node behind any dispatcher reproduces the
-//! single-node [`dysta_sim::simulate`] results exactly (pinned by this
-//! crate's parity tests).
+//! A cluster of one node behind any dispatcher — with the default
+//! front-end, or batching `k = 1` with stealing/migration enabled (no
+//! peers means nothing can move) — reproduces the single-node
+//! [`dysta_sim::simulate`] results exactly (pinned by this crate's
+//! parity tests).
 //!
 //! # Examples
 //!
@@ -57,12 +69,12 @@ mod engine;
 mod report;
 
 pub use config::{
-    balanced_mixed_serving_mix, AcceleratorKind, ClusterConfig, NodeConfig,
-    DEFAULT_MISMATCH_SLOWDOWN,
+    balanced_mixed_serving_mix, AcceleratorKind, ClusterConfig, FrontendConfig, MigrationConfig,
+    NodeConfig, StealConfig, DEFAULT_MISMATCH_SLOWDOWN,
 };
 pub use dispatch::{
     DispatchPolicy, Dispatcher, JoinShortestQueue, LeastLoaded, NodeView, RoundRobin,
     SparsityAffinity,
 };
 pub use engine::simulate_cluster;
-pub use report::{ClusterReport, NodeReport};
+pub use report::{ClusterReport, LatencyPercentiles, NodeReport, ServingStats};

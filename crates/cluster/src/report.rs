@@ -1,6 +1,6 @@
 //! Cluster-wide aggregation of per-node simulation results.
 
-use dysta_sim::{CompletedRequest, Metrics, SimReport};
+use dysta_sim::{percentile_ns, percentile_ns_sorted, CompletedRequest, Metrics, SimReport};
 
 use crate::AcceleratorKind;
 
@@ -19,30 +19,125 @@ pub struct NodeReport {
     pub report: SimReport,
 }
 
+/// What the serving front-end did during one cluster run: admission
+/// queueing, work stealing, and request migration, summarized.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServingStats {
+    /// Requests pulled by idle nodes from backlogged peers.
+    pub steals: u64,
+    /// Requests re-dispatched by the periodic rebalance pass.
+    pub migrations: u64,
+    /// The largest migration count any single request accumulated
+    /// (bounded by [`crate::MigrationConfig::max_per_request`]).
+    pub max_migrations_single_request: u32,
+    /// Per-request time spent in the cluster admission queue before
+    /// dispatch, indexed by request id (all zeros under immediate
+    /// dispatch; empty when a report is assembled without a front-end).
+    pub admission_wait_ns: Vec<u64>,
+}
+
+impl ServingStats {
+    /// Mean admission-queue wait in nanoseconds (0 when no waits were
+    /// recorded).
+    pub fn mean_admission_wait_ns(&self) -> f64 {
+        if self.admission_wait_ns.is_empty() {
+            return 0.0;
+        }
+        self.admission_wait_ns.iter().sum::<u64>() as f64 / self.admission_wait_ns.len() as f64
+    }
+
+    /// Nearest-rank percentile of the admission-queue wait.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn admission_wait_percentile_ns(&self, p: f64) -> u64 {
+        percentile_ns(&self.admission_wait_ns, p)
+    }
+}
+
+/// The p50/p90/p99 turnaround triple — the tail-latency summary the
+/// serving front-end reports next to ANTT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyPercentiles {
+    /// Median turnaround (ns).
+    pub p50_ns: u64,
+    /// 90th-percentile turnaround (ns).
+    pub p90_ns: u64,
+    /// 99th-percentile turnaround (ns).
+    pub p99_ns: u64,
+}
+
 /// The full outcome of one cluster simulation.
 ///
 /// Aggregates the paper's evaluation triple (ANTT / SLO violation rate /
 /// throughput) over every request regardless of which node served it,
-/// plus the cluster-only metrics: per-node utilization and load
-/// imbalance.
+/// plus the cluster-only metrics: per-node utilization, load imbalance,
+/// turnaround percentiles, and the serving front-end's steal/migration/
+/// admission statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterReport {
     nodes: Vec<NodeReport>,
+    serving: ServingStats,
 }
 
 impl ClusterReport {
-    /// Assembles a report from per-node results.
+    /// Assembles a report from per-node results with no front-end
+    /// statistics (all serving counters zero).
     ///
     /// # Panics
     ///
     /// Panics if `nodes` is empty or no node completed any request.
     pub fn new(nodes: Vec<NodeReport>) -> Self {
+        ClusterReport::with_serving(nodes, ServingStats::default())
+    }
+
+    /// Assembles a report including the serving front-end's statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty or no node completed any request.
+    pub fn with_serving(nodes: Vec<NodeReport>, serving: ServingStats) -> Self {
         assert!(!nodes.is_empty(), "cluster report needs nodes");
         assert!(
             nodes.iter().any(|n| !n.report.completed().is_empty()),
             "cluster report needs at least one completion"
         );
-        ClusterReport { nodes }
+        ClusterReport { nodes, serving }
+    }
+
+    /// The serving front-end's steal/migration/admission statistics.
+    pub fn serving(&self) -> &ServingStats {
+        &self.serving
+    }
+
+    /// Nearest-rank percentile of per-request turnaround across every
+    /// node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn turnaround_percentile_ns(&self, p: f64) -> u64 {
+        let turnarounds: Vec<u64> = self
+            .completed()
+            .map(CompletedRequest::turnaround_ns)
+            .collect();
+        percentile_ns(&turnarounds, p)
+    }
+
+    /// The p50/p90/p99 turnaround triple (one collection + sort for all
+    /// three ranks).
+    pub fn latency_percentiles(&self) -> LatencyPercentiles {
+        let mut turnarounds: Vec<u64> = self
+            .completed()
+            .map(CompletedRequest::turnaround_ns)
+            .collect();
+        turnarounds.sort_unstable();
+        LatencyPercentiles {
+            p50_ns: percentile_ns_sorted(&turnarounds, 50.0),
+            p90_ns: percentile_ns_sorted(&turnarounds, 90.0),
+            p99_ns: percentile_ns_sorted(&turnarounds, 99.0),
+        }
     }
 
     /// Per-node outcomes, in node-id order.
@@ -205,5 +300,57 @@ mod tests {
     #[should_panic(expected = "at least one completion")]
     fn all_idle_cluster_rejected() {
         let _ = ClusterReport::new(vec![node(0, Vec::new(), 0)]);
+    }
+
+    #[test]
+    fn turnaround_percentiles_match_hand_computation() {
+        // Turnarounds 10, 20, 30, 40 ns across two nodes.
+        let r = ClusterReport::new(vec![
+            node(
+                0,
+                vec![completion(0, 0, 10, 5), completion(1, 0, 30, 5)],
+                40,
+            ),
+            node(
+                1,
+                vec![completion(2, 0, 20, 5), completion(3, 0, 40, 5)],
+                60,
+            ),
+        ]);
+        assert_eq!(r.turnaround_percentile_ns(50.0), 20);
+        assert_eq!(r.turnaround_percentile_ns(90.0), 40);
+        let p = r.latency_percentiles();
+        assert_eq!((p.p50_ns, p.p90_ns, p.p99_ns), (20, 40, 40));
+    }
+
+    #[test]
+    fn single_request_percentiles_collapse_to_its_turnaround() {
+        let r = ClusterReport::new(vec![node(0, vec![completion(0, 5, 35, 10)], 30)]);
+        let p = r.latency_percentiles();
+        assert_eq!((p.p50_ns, p.p90_ns, p.p99_ns), (30, 30, 30));
+    }
+
+    #[test]
+    fn default_serving_stats_are_neutral() {
+        let r = ClusterReport::new(vec![node(0, vec![completion(0, 0, 10, 5)], 10)]);
+        assert_eq!(r.serving().steals, 0);
+        assert_eq!(r.serving().migrations, 0);
+        assert_eq!(r.serving().mean_admission_wait_ns(), 0.0);
+        assert_eq!(r.serving().admission_wait_percentile_ns(99.0), 0);
+    }
+
+    #[test]
+    fn admission_wait_summary() {
+        let serving = ServingStats {
+            steals: 3,
+            migrations: 1,
+            max_migrations_single_request: 1,
+            admission_wait_ns: vec![0, 10, 20, 30],
+        };
+        let r =
+            ClusterReport::with_serving(vec![node(0, vec![completion(0, 0, 10, 5)], 10)], serving);
+        assert!((r.serving().mean_admission_wait_ns() - 15.0).abs() < 1e-12);
+        assert_eq!(r.serving().admission_wait_percentile_ns(50.0), 10);
+        assert_eq!(r.serving().admission_wait_percentile_ns(100.0), 30);
     }
 }

@@ -3,6 +3,7 @@
 
 use dysta_cluster::{
     balanced_mixed_serving_mix, simulate_cluster, AcceleratorKind, ClusterConfig, DispatchPolicy,
+    FrontendConfig, MigrationConfig, StealConfig,
 };
 use dysta_core::Policy;
 use dysta_sim::{simulate, EngineConfig};
@@ -59,14 +60,138 @@ fn one_node_cluster_reproduces_single_node_simulate_exactly() {
 }
 
 #[test]
+fn one_node_cluster_with_serving_frontend_stays_bit_exact_with_simulate() {
+    // With one node there is no peer to steal from or migrate to, and
+    // admission batch 1 dispatches at arrival — the full serving stack
+    // must reproduce the single-accelerator engine exactly.
+    let w = workload(Scenario::MultiCnn, 3.0, 60, 17);
+    let single = simulate(&w, Policy::Dysta.build().as_mut(), &EngineConfig::default());
+    let pool = ClusterConfig::homogeneous(1, AcceleratorKind::EyerissV2, Policy::Dysta)
+        .with_frontend(FrontendConfig::serving());
+    let cluster = simulate_cluster(&w, DispatchPolicy::RoundRobin.build().as_mut(), &pool);
+    assert_eq!(cluster.nodes()[0].report.completed(), single.completed());
+    assert_eq!(cluster.serving().steals, 0);
+    assert_eq!(cluster.serving().migrations, 0);
+    assert!(cluster
+        .serving()
+        .admission_wait_ns
+        .iter()
+        .all(|&wait| wait == 0));
+}
+
+#[test]
+fn stealing_reduces_imbalance_without_antt_regression() {
+    // The acceptance scenario: affinity dispatch piles CNN-only traffic
+    // onto the Eyeriss half of a heterogeneous pool; with stealing on,
+    // the idle Sanger nodes absorb queued work at the mismatch penalty.
+    let w = workload(Scenario::MultiCnn, 12.0, 200, 42);
+    let baseline_pool = ClusterConfig::heterogeneous(2, 2, Policy::Dysta);
+    let steal_pool =
+        ClusterConfig::heterogeneous(2, 2, Policy::Dysta).with_frontend(FrontendConfig {
+            steal: Some(StealConfig::default()),
+            ..FrontendConfig::default()
+        });
+    let baseline = simulate_cluster(
+        &w,
+        DispatchPolicy::SparsityAffinity.build().as_mut(),
+        &baseline_pool,
+    );
+    let stealing = simulate_cluster(
+        &w,
+        DispatchPolicy::SparsityAffinity.build().as_mut(),
+        &steal_pool,
+    );
+    assert!(
+        stealing.serving().steals > 0,
+        "pool imbalance must trigger steals"
+    );
+    assert!(
+        stealing.load_imbalance() < baseline.load_imbalance(),
+        "steal imbalance {} vs baseline {}",
+        stealing.load_imbalance(),
+        baseline.load_imbalance()
+    );
+    assert!(
+        stealing.antt() <= baseline.antt(),
+        "steal ANTT {} vs baseline {}",
+        stealing.antt(),
+        baseline.antt()
+    );
+    assert!(
+        stealing.turnaround_percentile_ns(99.0) <= baseline.turnaround_percentile_ns(99.0),
+        "stealing must not lengthen the tail"
+    );
+}
+
+#[test]
+fn admission_batching_records_queue_waits_and_conserves_requests() {
+    let w = workload(Scenario::MultiCnn, 12.0, 120, 7);
+    let pool = ClusterConfig::homogeneous(4, AcceleratorKind::EyerissV2, Policy::Dysta)
+        .with_frontend(FrontendConfig {
+            admit_batch: 6,
+            ..FrontendConfig::default()
+        });
+    let report = simulate_cluster(
+        &w,
+        DispatchPolicy::JoinShortestQueue.build().as_mut(),
+        &pool,
+    );
+    assert_eq!(report.completed_total(), 120);
+    let waits = &report.serving().admission_wait_ns;
+    assert_eq!(waits.len(), 120);
+    // Batching makes most requests wait for the batch to fill; the
+    // request closing each batch is dispatched instantly.
+    assert!(waits.iter().any(|&wait| wait > 0));
+    assert!(waits.iter().filter(|&&wait| wait == 0).count() >= 120 / 6);
+    assert!(report.serving().mean_admission_wait_ns() > 0.0);
+}
+
+#[test]
+fn admission_timer_bounds_queue_waits() {
+    // A huge batch size with a Δt timer: every request waits at most Δt.
+    let interval = 40_000_000u64;
+    let w = workload(Scenario::MultiCnn, 12.0, 120, 7);
+    let pool = ClusterConfig::homogeneous(4, AcceleratorKind::EyerissV2, Policy::Dysta)
+        .with_frontend(FrontendConfig {
+            admit_batch: usize::MAX,
+            admit_interval_ns: interval,
+            ..FrontendConfig::default()
+        });
+    let report = simulate_cluster(
+        &w,
+        DispatchPolicy::JoinShortestQueue.build().as_mut(),
+        &pool,
+    );
+    assert_eq!(report.completed_total(), 120);
+    assert!(report
+        .serving()
+        .admission_wait_ns
+        .iter()
+        .all(|&wait| wait <= interval));
+    assert!(report.serving().mean_admission_wait_ns() > 0.0);
+}
+
+#[test]
 fn identical_seeds_produce_identical_cluster_reports() {
     let w1 = mixed_workload(30.0, 150, 42);
     let w2 = mixed_workload(30.0, 150, 42);
-    let pool = ClusterConfig::heterogeneous(2, 2, Policy::Dysta);
-    for dispatch in DispatchPolicy::ALL {
-        let a = simulate_cluster(&w1, dispatch.build().as_mut(), &pool);
-        let b = simulate_cluster(&w2, dispatch.build().as_mut(), &pool);
-        assert_eq!(a, b, "{dispatch}");
+    let pools = [
+        ClusterConfig::heterogeneous(2, 2, Policy::Dysta),
+        // The full serving stack (batching + stealing + migration) must
+        // be just as deterministic as immediate dispatch.
+        ClusterConfig::heterogeneous(2, 2, Policy::Dysta).with_frontend(FrontendConfig {
+            admit_batch: 4,
+            steal: Some(StealConfig::default()),
+            migration: Some(MigrationConfig::default()),
+            ..FrontendConfig::default()
+        }),
+    ];
+    for pool in &pools {
+        for dispatch in DispatchPolicy::ALL {
+            let a = simulate_cluster(&w1, dispatch.build().as_mut(), pool);
+            let b = simulate_cluster(&w2, dispatch.build().as_mut(), pool);
+            assert_eq!(a, b, "{dispatch}");
+        }
     }
 }
 

@@ -121,6 +121,12 @@ impl Scheduler for Prema {
         }
     }
 
+    fn on_task_removed(&mut self, task: &TaskState, _now_ns: u64) {
+        // A withdrawn task never ran, so it cannot be `current`; only its
+        // aging bookkeeping needs dropping.
+        self.tokens.remove(&task.id);
+    }
+
     fn pick_next(&mut self, queue: TaskQueue<'_>, lut: &ModelInfoLut, now_ns: u64) -> usize {
         self.age_tokens(queue, lut, now_ns);
         // One pass, one score evaluation per task: track the shortest

@@ -165,6 +165,10 @@ impl Scheduler for DystaScheduler {
         self.static_scores.remove(task.id);
     }
 
+    fn on_task_removed(&mut self, task: &TaskState, _now_ns: u64) {
+        self.static_scores.remove(task.id);
+    }
+
     fn pick_next(&mut self, queue: TaskQueue<'_>, lut: &ModelInfoLut, now_ns: u64) -> usize {
         // Algorithm 2 lines 7-13: refresh every score with the sparse
         // latency predictor — once per task — and dispatch the minimum.
@@ -214,6 +218,10 @@ impl Scheduler for DystaStaticScheduler {
     }
 
     fn on_task_complete(&mut self, task: &TaskState, _now_ns: u64) {
+        self.static_scores.remove(task.id);
+    }
+
+    fn on_task_removed(&mut self, task: &TaskState, _now_ns: u64) {
         self.static_scores.remove(task.id);
     }
 

@@ -112,6 +112,14 @@ pub trait Scheduler {
         let _ = (task, now_ns);
     }
 
+    /// Notification that `task` was withdrawn from this node *without*
+    /// executing — a cluster front-end stole or migrated it to a peer.
+    /// Only never-started tasks are ever withdrawn. Stateful schedulers
+    /// drop their per-task bookkeeping here, exactly as on completion.
+    fn on_task_removed(&mut self, task: &TaskState, now_ns: u64) {
+        let _ = (task, now_ns);
+    }
+
     /// Chooses which queued task runs its next layer. Returns a queue
     /// position (`0..queue.len()`).
     ///
@@ -139,6 +147,10 @@ impl<S: Scheduler + ?Sized> Scheduler for &mut S {
         (**self).on_task_complete(task, now_ns);
     }
 
+    fn on_task_removed(&mut self, task: &TaskState, now_ns: u64) {
+        (**self).on_task_removed(task, now_ns);
+    }
+
     fn pick_next(&mut self, queue: TaskQueue<'_>, lut: &ModelInfoLut, now_ns: u64) -> usize {
         (**self).pick_next(queue, lut, now_ns)
     }
@@ -159,6 +171,10 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 
     fn on_task_complete(&mut self, task: &TaskState, now_ns: u64) {
         (**self).on_task_complete(task, now_ns);
+    }
+
+    fn on_task_removed(&mut self, task: &TaskState, now_ns: u64) {
+        (**self).on_task_removed(task, now_ns);
     }
 
     fn pick_next(&mut self, queue: TaskQueue<'_>, lut: &ModelInfoLut, now_ns: u64) -> usize {

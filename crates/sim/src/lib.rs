@@ -39,5 +39,7 @@ mod node;
 mod report;
 
 pub use engine::{simulate, EngineConfig};
-pub use node::NodeEngine;
-pub use report::{CompletedRequest, Metrics, SimReport, TimelineSegment};
+pub use node::{NodeEngine, TransferableTask};
+pub use report::{
+    percentile_ns, percentile_ns_sorted, CompletedRequest, Metrics, SimReport, TimelineSegment,
+};

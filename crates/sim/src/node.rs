@@ -37,6 +37,25 @@ struct PendingTask<'w> {
     scale: f64,
 }
 
+/// A queued, never-started request withdrawn from one node so a cluster
+/// front-end can hand it to a peer (work stealing / migration).
+///
+/// Produced by [`NodeEngine::take_unstarted`] and consumed by
+/// [`NodeEngine::accept_transfer`]; the trace reference stays private so
+/// a withdrawn request can only re-enter the system whole.
+pub struct TransferableTask<'w> {
+    task: TaskState,
+    trace: &'w SampleTrace,
+}
+
+impl TransferableTask<'_> {
+    /// The withdrawn request's scheduler-visible state (always
+    /// unstarted).
+    pub fn task(&self) -> &TaskState {
+        &self.task
+    }
+}
+
 /// A single simulated accelerator node: scheduler, task queues, local
 /// clock, and completion records.
 ///
@@ -170,6 +189,65 @@ impl<'w, S: Scheduler> NodeEngine<'w, S> {
         self.queued_tasks()
             .map(|(task, scale)| estimator(task) * scale)
             .sum()
+    }
+
+    /// Iterates the *admitted but never started* requests — the only
+    /// ones a cluster front-end may steal or migrate — paired with the
+    /// node-local service-time scale each would execute under.
+    pub fn unstarted_tasks(&self) -> impl Iterator<Item = (&TaskState, f64)> {
+        self.active
+            .iter()
+            .map(|&i| (&self.tasks[i], self.scales[i]))
+            .filter(|(t, _)| !t.started())
+    }
+
+    /// Withdraws the admitted request `id` from the node, provided it
+    /// has not executed a single layer. Returns `None` when the request
+    /// is unknown here, already started, pending (its arrival is still
+    /// in the node's future), or finished — a started task is never
+    /// stealable. On success the node's queue shrinks by exactly one and
+    /// the scheduler is notified via
+    /// [`dysta_core::Scheduler::on_task_removed`].
+    pub fn take_unstarted(&mut self, id: u64) -> Option<TransferableTask<'w>> {
+        let pos = self.active.iter().position(|&i| self.tasks[i].id == id)?;
+        let idx = self.active[pos];
+        if self.tasks[idx].started() {
+            return None;
+        }
+        // The arena slot stays behind (like completed tasks); only the
+        // live index is dropped, so `swap_remove` keeps removal O(1).
+        self.active.swap_remove(pos);
+        let task = self.tasks[idx].clone();
+        self.scheduler.on_task_removed(&task, self.now_ns);
+        Some(TransferableTask {
+            task,
+            trace: self.traces[idx],
+        })
+    }
+
+    /// Admits a request withdrawn from a peer node at transfer time
+    /// `at_ns`, re-scaling its service time for this node's accelerator.
+    /// The request keeps its original arrival time (turnaround metrics
+    /// keep charging the full wait) but cannot execute before `at_ns` —
+    /// an idle node's clock is pulled forward to the transfer instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale < 1` or the task has already started.
+    pub fn accept_transfer(&mut self, transfer: TransferableTask<'w>, scale: f64, at_ns: u64) {
+        assert!(
+            scale >= 1.0 && scale.is_finite(),
+            "service-time scale must be >= 1"
+        );
+        let TransferableTask { mut task, trace } = transfer;
+        assert!(!task.started(), "only unstarted tasks can transfer");
+        task.true_remaining_ns = scale_ns(trace.isolated_latency_ns(), scale);
+        self.now_ns = self.now_ns.max(at_ns);
+        self.scheduler.on_arrival(&task, &self.lut, self.now_ns);
+        self.tasks.push(task);
+        self.traces.push(trace);
+        self.scales.push(scale);
+        self.active.push(self.tasks.len() - 1);
     }
 
     /// Queues `request` on the node at its native service time.
@@ -511,6 +589,72 @@ mod tests {
         let reqs = w.requests();
         node.enqueue(&reqs[5], w.trace_for(&reqs[5]));
         node.enqueue(&reqs[0], w.trace_for(&reqs[0]));
+    }
+
+    #[test]
+    fn take_unstarted_refuses_started_and_unknown_tasks() {
+        let w = tiny(8);
+        let mut node = engine_for(&w, Policy::Fcfs);
+        // Run a few quanta so the first request has started.
+        node.run_until(w.requests()[3].arrival_ns);
+        let started: Vec<u64> = node
+            .queued_tasks()
+            .filter(|(t, _)| t.started())
+            .map(|(t, _)| t.id)
+            .collect();
+        for id in started {
+            assert!(node.take_unstarted(id).is_none(), "started task {id}");
+        }
+        assert!(node.take_unstarted(9_999).is_none(), "unknown id");
+    }
+
+    #[test]
+    fn take_unstarted_shrinks_the_queue_by_exactly_one() {
+        let w = tiny(9);
+        let mut node = engine_for(&w, Policy::Fcfs);
+        node.run_until(w.requests()[10].arrival_ns);
+        let victim = node
+            .unstarted_tasks()
+            .map(|(t, _)| t.id)
+            .next()
+            .expect("an admitted unstarted task exists");
+        let before = node.queue_len();
+        let taken = node.take_unstarted(victim).expect("victim is unstarted");
+        assert_eq!(taken.task().id, victim);
+        assert!(!taken.task().started());
+        assert_eq!(node.queue_len(), before - 1);
+    }
+
+    #[test]
+    fn transfer_preserves_completion_exactly_once() {
+        // Move one unstarted request from a loaded node to an idle one;
+        // every request still completes exactly once across both nodes,
+        // and the moved request keeps its original arrival time.
+        let w = tiny(10);
+        let lut = ModelInfoLut::from_store(w.store());
+        let mut src = engine_for(&w, Policy::Sjf);
+        let mut dst: NodeEngine =
+            NodeEngine::new(1, Policy::Sjf.build(), EngineConfig::default(), lut);
+        let barrier = w.requests()[15].arrival_ns;
+        src.run_until(barrier);
+        let victim = src
+            .unstarted_tasks()
+            .map(|(t, _)| t.id)
+            .min()
+            .expect("unstarted work exists");
+        let arrival = w.requests()[victim as usize].arrival_ns;
+        let transfer = src.take_unstarted(victim).expect("victim is unstarted");
+        dst.accept_transfer(transfer, 2.0, barrier);
+        assert!(dst.now_ns() >= barrier, "idle thief clock pulled forward");
+        src.run_to_completion();
+        dst.run_to_completion();
+        let src_report = src.into_report();
+        let dst_report = dst.into_report();
+        assert_eq!(dst_report.completed().len(), 1);
+        assert_eq!(dst_report.completed()[0].id, victim);
+        assert_eq!(dst_report.completed()[0].arrival_ns, arrival);
+        assert_eq!(src_report.completed().len(), 29);
+        assert!(src_report.completed().iter().all(|c| c.id != victim));
     }
 
     #[test]

@@ -67,6 +67,51 @@ impl TimelineSegment {
     }
 }
 
+/// Nearest-rank percentile of a set of nanosecond samples: the smallest
+/// sample such that at least `p` percent of the set is `<=` it. Defined
+/// as 0 for an empty set (mirroring the other neutral empty-report
+/// metrics) and as the minimum for `p == 0`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+///
+/// # Examples
+///
+/// ```
+/// use dysta_sim::percentile_ns;
+///
+/// let waits = [40, 10, 20, 30];
+/// assert_eq!(percentile_ns(&waits, 50.0), 20);
+/// assert_eq!(percentile_ns(&waits, 99.0), 40);
+/// assert_eq!(percentile_ns(&[], 99.0), 0);
+/// ```
+pub fn percentile_ns(values: &[u64], p: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    percentile_ns_sorted(&sorted, p)
+}
+
+/// [`percentile_ns`] over an already-sorted sample set — for callers
+/// that read several percentiles from one set and want to sort once.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`. Debug-asserts the input is
+/// sorted.
+pub fn percentile_ns_sorted(sorted: &[u64], p: f64) -> u64 {
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile must be in [0, 100], got {p}"
+    );
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// The full outcome of one simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -164,6 +209,22 @@ impl SimReport {
         } else {
             self.completed.len() as f64 / span_s
         }
+    }
+
+    /// Nearest-rank percentile of per-request turnaround time — the
+    /// tail-latency view serving systems are judged by (p99 next to the
+    /// mean-centric ANTT). 0 for an empty report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn turnaround_percentile_ns(&self, p: f64) -> u64 {
+        let turnarounds: Vec<u64> = self
+            .completed
+            .iter()
+            .map(CompletedRequest::turnaround_ns)
+            .collect();
+        percentile_ns(&turnarounds, p)
     }
 
     /// The three paper metrics as one value.

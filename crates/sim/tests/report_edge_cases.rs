@@ -2,7 +2,7 @@
 //! must handle without dividing by zero or inventing violations.
 
 use dysta_models::ModelId;
-use dysta_sim::{CompletedRequest, SimReport, TimelineSegment};
+use dysta_sim::{percentile_ns, CompletedRequest, SimReport, TimelineSegment};
 use dysta_sparsity::SparsityPattern;
 use dysta_trace::SparseModelSpec;
 
@@ -93,6 +93,59 @@ fn normalized_turnaround_clamps_zero_isolated_time() {
     assert!(c.normalized_turnaround().is_finite());
     let r = SimReport::new(vec![c], 0, 0);
     assert!(r.antt().is_finite());
+}
+
+#[test]
+fn percentiles_match_hand_computed_values() {
+    // Nearest-rank on {10, 20, 30, 40, 50}: rank = ceil(p/100 * 5).
+    let v = [50, 10, 40, 20, 30]; // unsorted on purpose
+    assert_eq!(percentile_ns(&v, 50.0), 30); // ceil(2.5) = 3rd
+    assert_eq!(percentile_ns(&v, 90.0), 50); // ceil(4.5) = 5th
+    assert_eq!(percentile_ns(&v, 99.0), 50);
+    assert_eq!(percentile_ns(&v, 20.0), 10); // ceil(1.0) = 1st
+    assert_eq!(percentile_ns(&v, 21.0), 20); // ceil(1.05) = 2nd
+    assert_eq!(percentile_ns(&v, 0.0), 10); // minimum by convention
+    assert_eq!(percentile_ns(&v, 100.0), 50);
+    // Even count {10, 20, 30, 40}: the nearest-rank median is the 2nd.
+    assert_eq!(percentile_ns(&[40, 30, 20, 10], 50.0), 20);
+}
+
+#[test]
+fn percentiles_of_empty_and_single_value_sets() {
+    assert_eq!(percentile_ns(&[], 50.0), 0);
+    assert_eq!(percentile_ns(&[], 99.0), 0);
+    for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+        assert_eq!(percentile_ns(&[7], p), 7, "p{p}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "percentile must be in [0, 100]")]
+fn out_of_range_percentile_rejected() {
+    let _ = percentile_ns(&[1, 2, 3], 101.0);
+}
+
+#[test]
+fn report_turnaround_percentiles() {
+    // Turnarounds: 10, 20, 40 ns.
+    let r = SimReport::new(
+        vec![
+            req(0, 0, 10, 5, 100),
+            req(1, 5, 25, 5, 100),
+            req(2, 10, 50, 5, 100),
+        ],
+        0,
+        0,
+    );
+    assert_eq!(r.turnaround_percentile_ns(50.0), 20);
+    assert_eq!(r.turnaround_percentile_ns(99.0), 40);
+    // Empty report: percentiles are 0, like the other neutral metrics.
+    let empty = SimReport::new(Vec::new(), 0, 0);
+    assert_eq!(empty.turnaround_percentile_ns(99.0), 0);
+    // Single request: every percentile is its turnaround.
+    let single = SimReport::new(vec![req(0, 100, 130, 30, 100)], 0, 1);
+    assert_eq!(single.turnaround_percentile_ns(50.0), 30);
+    assert_eq!(single.turnaround_percentile_ns(99.0), 30);
 }
 
 #[test]

@@ -1,0 +1,103 @@
+//! The cluster serving front-end: admission batching, work stealing,
+//! and request migration on a heterogeneous pool.
+//!
+//! The scenario is the one affinity routing is worst at: CNN-only
+//! traffic offered to a mixed Eyeriss-V2 + Sanger installation. Affinity
+//! piles every request onto the two CNN nodes while the attention nodes
+//! idle; the front-end's stealing and migration put that idle capacity
+//! to work (at the mismatch penalty) and the report's new tail-latency
+//! fields show what that buys.
+//!
+//! Run with `cargo run --release --example serving_frontend`.
+
+use dysta::cluster::{
+    simulate_cluster, ClusterConfig, DispatchPolicy, FrontendConfig, StealConfig,
+};
+use dysta::core::Policy;
+use dysta::workload::{Scenario, WorkloadBuilder};
+
+fn main() {
+    let workload = WorkloadBuilder::new(Scenario::MultiCnn)
+        .arrival_rate(12.0)
+        .slo_multiplier(10.0)
+        .num_requests(300)
+        .samples_per_variant(16)
+        .seed(42)
+        .build();
+    println!(
+        "workload: {} CNN requests at 12 samples/s; pool: 2x Eyeriss-V2 + 2x Sanger,\n\
+         affinity dispatch (all CNN traffic lands on the 2 Eyeriss nodes)\n",
+        workload.requests().len()
+    );
+
+    let frontends: [(&str, FrontendConfig); 5] = [
+        ("immediate", FrontendConfig::default()),
+        (
+            "batch k=8",
+            FrontendConfig {
+                admit_batch: 8,
+                ..FrontendConfig::default()
+            },
+        ),
+        (
+            "batch 20ms",
+            FrontendConfig {
+                admit_batch: usize::MAX,
+                admit_interval_ns: 20_000_000,
+                ..FrontendConfig::default()
+            },
+        ),
+        (
+            "+steal",
+            FrontendConfig {
+                steal: Some(StealConfig::default()),
+                ..FrontendConfig::default()
+            },
+        ),
+        ("+steal+migrate", FrontendConfig::serving()),
+    ];
+
+    println!(
+        "{:<16} {:>7} {:>9} {:>9} {:>9} {:>9} {:>10} {:>7} {:>9} {:>11}",
+        "front-end",
+        "ANTT",
+        "viol %",
+        "p50 ms",
+        "p90 ms",
+        "p99 ms",
+        "imbalance",
+        "steals",
+        "migrated",
+        "adm.wait ms"
+    );
+    for (name, frontend) in frontends {
+        let pool = ClusterConfig::heterogeneous(2, 2, Policy::Dysta).with_frontend(frontend);
+        let report = simulate_cluster(
+            &workload,
+            DispatchPolicy::SparsityAffinity.build().as_mut(),
+            &pool,
+        );
+        let p = report.latency_percentiles();
+        let s = report.serving();
+        println!(
+            "{:<16} {:>7.3} {:>8.1}% {:>9.1} {:>9.1} {:>9.1} {:>10.2} {:>7} {:>9} {:>11.2}",
+            name,
+            report.antt(),
+            report.violation_rate() * 100.0,
+            p.p50_ns as f64 / 1e6,
+            p.p90_ns as f64 / 1e6,
+            p.p99_ns as f64 / 1e6,
+            report.load_imbalance(),
+            s.steals,
+            s.migrations,
+            s.mean_admission_wait_ns() / 1e6,
+        );
+    }
+
+    println!(
+        "\nStealing helps exactly when matched nodes are saturated while others idle:\n\
+         the mismatch penalty (2.5x) is still cheaper than waiting out a deep queue.\n\
+         Batching trades admission-queue wait for fewer, better-informed dispatch\n\
+         decisions; on this pool small batches cost little tail latency."
+    );
+}

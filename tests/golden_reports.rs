@@ -1,0 +1,217 @@
+//! Golden-report regression suite: the quick-mode `table05_end2end` and
+//! `cluster_sweep` experiment configurations, run in-process and pinned
+//! byte-for-byte against recorded JSON fixtures under `tests/golden/`.
+//!
+//! Every run of the simulator is a pure function of its seed, so *exact*
+//! equality is meaningful: any scheduling, dispatch, or front-end change
+//! that shifts a single completion time shows up as a fixture diff. To
+//! accept an intentional behavior change, regenerate the fixtures with
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_reports
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use serde::{Deserialize, Serialize};
+
+use dysta::cluster::{
+    simulate_cluster, ClusterConfig, DispatchPolicy, FrontendConfig, MigrationConfig, StealConfig,
+};
+use dysta::core::{DystaConfig, Policy};
+use dysta::workload::{Scenario, WorkloadBuilder};
+use dysta_bench::{compare_policies, Scale};
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares (or, under `UPDATE_GOLDEN=1`, records) one serialized report
+/// against its fixture.
+fn check_golden(name: &str, current: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir golden");
+        std::fs::write(&path, format!("{current}\n")).expect("write fixture");
+        return;
+    }
+    let recorded = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); record it with \
+             `UPDATE_GOLDEN=1 cargo test --test golden_reports`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        current,
+        recorded.trim_end(),
+        "\n`{name}` drifted from its golden fixture. If the change is \
+         intentional, regenerate with `UPDATE_GOLDEN=1 cargo test --test \
+         golden_reports` and commit the diff."
+    );
+}
+
+// --- table05_end2end (quick mode) ----------------------------------------
+
+#[derive(Debug, Serialize, Deserialize, PartialEq)]
+struct PolicyRow {
+    scenario: String,
+    policy: String,
+    antt: f64,
+    violation_rate: f64,
+    throughput_inf_s: f64,
+}
+
+#[test]
+fn golden_table05_end2end_quick() {
+    let scale = Scale::quick();
+    let mut rows = Vec::new();
+    for (name, scenario, rate) in [
+        ("multi_attnn", Scenario::MultiAttNn, 30.0),
+        ("multi_cnn", Scenario::MultiCnn, 3.0),
+    ] {
+        for row in compare_policies(
+            scenario,
+            rate,
+            10.0,
+            scale,
+            &Policy::TABLE5,
+            DystaConfig::default(),
+        ) {
+            rows.push(PolicyRow {
+                scenario: name.to_string(),
+                policy: row.policy.name().to_string(),
+                antt: row.metrics.antt,
+                violation_rate: row.metrics.violation_rate,
+                throughput_inf_s: row.metrics.throughput_inf_s,
+            });
+        }
+    }
+    let json = serde_json::to_string(&rows).expect("rows serialize");
+    check_golden("table05_end2end.json", &json);
+}
+
+// --- cluster_sweep + serving front-end (quick mode) -----------------------
+
+#[derive(Debug, Serialize, Deserialize, PartialEq)]
+struct ClusterCell {
+    pool: String,
+    nodes: usize,
+    dispatch: String,
+    frontend: String,
+    antt: f64,
+    violation_rate: f64,
+    throughput_inf_s: f64,
+    load_imbalance: f64,
+    p50_ns: u64,
+    p90_ns: u64,
+    p99_ns: u64,
+    steals: u64,
+    migrations: u64,
+    mean_admission_wait_ns: f64,
+}
+
+fn cell(
+    pool_name: &str,
+    config: &ClusterConfig,
+    dispatch: DispatchPolicy,
+    frontend_name: &str,
+    workload: &dysta::workload::Workload,
+) -> ClusterCell {
+    let report = simulate_cluster(workload, dispatch.build().as_mut(), config);
+    let p = report.latency_percentiles();
+    ClusterCell {
+        pool: pool_name.to_string(),
+        nodes: config.len(),
+        dispatch: dispatch.name().to_string(),
+        frontend: frontend_name.to_string(),
+        antt: report.antt(),
+        violation_rate: report.violation_rate(),
+        throughput_inf_s: report.throughput_inf_s(),
+        load_imbalance: report.load_imbalance(),
+        p50_ns: p.p50_ns,
+        p90_ns: p.p90_ns,
+        p99_ns: p.p99_ns,
+        steals: report.serving().steals,
+        migrations: report.serving().migrations,
+        mean_admission_wait_ns: report.serving().mean_admission_wait_ns(),
+    }
+}
+
+#[test]
+fn golden_cluster_sweep_quick() {
+    use dysta::cluster::AcceleratorKind;
+
+    let mut cells = Vec::new();
+
+    // The bench sweep's homogeneous shape at smoke scale: every dispatch
+    // policy on identical request streams.
+    let cnn = WorkloadBuilder::new(Scenario::MultiCnn)
+        .arrival_rate(12.0)
+        .num_requests(100)
+        .samples_per_variant(8)
+        .seed(13)
+        .build();
+    let eyeriss_pool = ClusterConfig::homogeneous(4, AcceleratorKind::EyerissV2, Policy::Dysta);
+    for dispatch in DispatchPolicy::ALL {
+        cells.push(cell(
+            "eyeriss-x4",
+            &eyeriss_pool,
+            dispatch,
+            "immediate",
+            &cnn,
+        ));
+    }
+
+    // The serving front-end on the acceptance scenario: CNN-only traffic
+    // on a heterogeneous pool under affinity dispatch — steal-disabled
+    // baseline, steal-enabled, and the full serving stack.
+    let het_base = ClusterConfig::heterogeneous(2, 2, Policy::Dysta);
+    let het_steal = het_base.clone().with_frontend(FrontendConfig {
+        steal: Some(StealConfig::default()),
+        ..FrontendConfig::default()
+    });
+    let het_serving = het_base.clone().with_frontend(FrontendConfig {
+        admit_batch: 4,
+        admit_interval_ns: 20_000_000,
+        steal: Some(StealConfig::default()),
+        migration: Some(MigrationConfig::default()),
+    });
+    let affinity = DispatchPolicy::SparsityAffinity;
+    cells.push(cell("het-2+2", &het_base, affinity, "immediate", &cnn));
+    cells.push(cell("het-2+2", &het_steal, affinity, "steal", &cnn));
+    cells.push(cell(
+        "het-2+2",
+        &het_serving,
+        affinity,
+        "batch+steal+migrate",
+        &cnn,
+    ));
+
+    // The acceptance criterion rides on the same cells: with affinity
+    // dispatch on a heterogeneous pool, stealing strictly reduces load
+    // imbalance and does not regress ANTT vs the steal-disabled baseline.
+    let baseline = &cells[cells.len() - 3];
+    let stealing = &cells[cells.len() - 2];
+    assert!(stealing.steals > 0);
+    assert!(
+        stealing.load_imbalance < baseline.load_imbalance,
+        "steal imbalance {} vs baseline {}",
+        stealing.load_imbalance,
+        baseline.load_imbalance
+    );
+    assert!(
+        stealing.antt <= baseline.antt,
+        "steal ANTT {} vs baseline {}",
+        stealing.antt,
+        baseline.antt
+    );
+
+    let json = serde_json::to_string(&cells).expect("cells serialize");
+    check_golden("cluster_sweep.json", &json);
+}
