@@ -6,7 +6,10 @@
 //! node that will serve the request. The serving front-end consults it
 //! when a request leaves the admission queue — and again whenever the
 //! migration pass re-offers a queued, never-started request from a node
-//! that fell behind its backlog estimate.
+//! that fell behind its backlog estimate. Re-offers go through the
+//! read-only [`Dispatcher::peek`] path first, and only an *applied*
+//! move charges stateful policies (a rejected candidate never perturbs
+//! the round-robin cursor).
 
 use dysta_core::ModelInfoLut;
 use dysta_workload::Request;
@@ -51,14 +54,31 @@ pub trait Dispatcher {
     /// Stable lower-case policy name (used in sweep tables).
     fn name(&self) -> &str;
 
-    /// Chooses the node that will serve `request`. Returns an index into
-    /// `nodes`.
+    /// The node [`Dispatcher::dispatch`] would pick for `request`,
+    /// without charging any internal policy state. The migration pass
+    /// evaluates candidate moves (most of which it rejects) through this
+    /// path, so a rebalance that moves nothing leaves the routing of
+    /// subsequent arrivals untouched.
     ///
     /// # Panics
     ///
     /// Implementations may panic if `nodes` is empty; the cluster engine
     /// never calls with an empty pool.
-    fn dispatch(&mut self, request: &Request, nodes: &[NodeView], lut: &ModelInfoLut) -> usize;
+    fn peek(&self, request: &Request, nodes: &[NodeView], lut: &ModelInfoLut) -> usize;
+
+    /// Chooses the node that will serve `request` and advances any
+    /// internal policy state (e.g. the round-robin cursor). Returns an
+    /// index into `nodes`, and must agree with [`Dispatcher::peek`] on
+    /// the same snapshot. The default forwards to `peek` — correct for
+    /// every stateless policy.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `nodes` is empty; the cluster engine
+    /// never calls with an empty pool.
+    fn dispatch(&mut self, request: &Request, nodes: &[NodeView], lut: &ModelInfoLut) -> usize {
+        self.peek(request, nodes, lut)
+    }
 }
 
 /// Cycles through nodes in order, ignoring load — the baseline every
@@ -80,8 +100,12 @@ impl Dispatcher for RoundRobin {
         "round-robin"
     }
 
-    fn dispatch(&mut self, _request: &Request, nodes: &[NodeView], _lut: &ModelInfoLut) -> usize {
-        let pick = self.next % nodes.len();
+    fn peek(&self, _request: &Request, nodes: &[NodeView], _lut: &ModelInfoLut) -> usize {
+        self.next % nodes.len()
+    }
+
+    fn dispatch(&mut self, request: &Request, nodes: &[NodeView], lut: &ModelInfoLut) -> usize {
+        let pick = self.peek(request, nodes, lut);
         self.next = (self.next + 1) % nodes.len();
         pick
     }
@@ -105,7 +129,7 @@ impl Dispatcher for JoinShortestQueue {
         "jsq"
     }
 
-    fn dispatch(&mut self, _request: &Request, nodes: &[NodeView], _lut: &ModelInfoLut) -> usize {
+    fn peek(&self, _request: &Request, nodes: &[NodeView], _lut: &ModelInfoLut) -> usize {
         nodes
             .iter()
             .min_by(|a, b| {
@@ -137,7 +161,7 @@ impl Dispatcher for LeastLoaded {
         "least-loaded"
     }
 
-    fn dispatch(&mut self, _request: &Request, nodes: &[NodeView], _lut: &ModelInfoLut) -> usize {
+    fn peek(&self, _request: &Request, nodes: &[NodeView], _lut: &ModelInfoLut) -> usize {
         nodes
             .iter()
             .min_by(|a, b| by_predicted_backlog(a, b))
@@ -166,7 +190,7 @@ impl Dispatcher for SparsityAffinity {
         "affinity"
     }
 
-    fn dispatch(&mut self, request: &Request, nodes: &[NodeView], _lut: &ModelInfoLut) -> usize {
+    fn peek(&self, request: &Request, nodes: &[NodeView], _lut: &ModelInfoLut) -> usize {
         let family = request.spec.model.family();
         nodes
             .iter()
@@ -276,6 +300,25 @@ mod tests {
         assert_eq!(rr.dispatch(&req, &views, &lut), 0);
         assert_eq!(rr.dispatch(&req, &views, &lut), 1);
         assert_eq!(rr.dispatch(&req, &views, &lut), 0);
+    }
+
+    #[test]
+    fn peek_agrees_with_dispatch_and_never_advances_state() {
+        let views = [
+            view(0, AcceleratorKind::EyerissV2, 4.0, 4.0),
+            view(1, AcceleratorKind::EyerissV2, 2.0, 2.0),
+            view(2, AcceleratorKind::Sanger, 1.0, 1.0),
+        ];
+        let lut = ModelInfoLut::default();
+        let req = cnn_request();
+        for policy in DispatchPolicy::ALL {
+            let mut d = policy.build();
+            // Any number of peeks is free of side effects...
+            let peeked = d.peek(&req, &views, &lut);
+            assert_eq!(d.peek(&req, &views, &lut), peeked, "{policy}");
+            // ...and dispatch agrees with the last peek on the snapshot.
+            assert_eq!(d.dispatch(&req, &views, &lut), peeked, "{policy}");
+        }
     }
 
     #[test]

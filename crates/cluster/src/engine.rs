@@ -85,6 +85,8 @@ pub fn simulate_cluster(
         predictor,
         nodes,
         routed: vec![0; config.nodes.len()],
+        transferred_in: vec![0; config.nodes.len()],
+        transferred_out: vec![0; config.nodes.len()],
         admission_wait_ns: vec![0; requests.len()],
         migration_count: vec![0; requests.len()],
         steals: 0,
@@ -112,6 +114,8 @@ struct Frontend<'w, 'c> {
     predictor: SparseLatencyPredictor,
     nodes: Vec<NodeEngine<'w>>,
     routed: Vec<usize>,
+    transferred_in: Vec<usize>,
+    transferred_out: Vec<usize>,
     admission_wait_ns: Vec<u64>,
     migration_count: Vec<u32>,
     steals: u64,
@@ -257,23 +261,39 @@ impl<'w> Frontend<'w, '_> {
             .collect()
     }
 
-    /// Routes one request through the dispatcher against fresh causal
-    /// views, validating the returned node index.
-    fn route(&mut self, request: &Request) -> usize {
+    /// One causal snapshot of the pool plus the per-node LUT backlogs
+    /// derived from it (the estimate the rebalance passes compare on).
+    fn snapshot(&self) -> (Vec<NodeView>, Vec<f64>) {
         let views = self.views();
-        let target = self.dispatcher.dispatch(request, &views, &self.lut);
+        let backlogs = views.iter().map(|v| v.lut_backlog_ns).collect();
+        (views, backlogs)
+    }
+
+    /// Panics when the dispatcher returned an out-of-range node index.
+    fn check_target(&self, target: usize) {
         assert!(
             target < self.nodes.len(),
             "dispatcher `{}` returned out-of-range node {target}",
             self.dispatcher.name()
         );
+    }
+
+    /// Routes one request through the dispatcher against fresh causal
+    /// views, validating the returned node index.
+    fn route(&mut self, request: &Request) -> usize {
+        let views = self.views();
+        let target = self.dispatcher.dispatch(request, &views, &self.lut);
+        self.check_target(target);
         target
     }
 
     /// Flushes the admission queue at sim-time `t`: routes every queued
     /// request in arrival order, recomputing node views between requests
     /// so one batch spreads over the pool instead of dog-piling the
-    /// momentarily-emptiest node.
+    /// momentarily-emptiest node. Execution is floored at `t` — a
+    /// request held back by admission batching cannot start before the
+    /// instant it was dispatched, so the recorded admission wait is real
+    /// delay, not bookkeeping.
     fn dispatch_batch(&mut self, queue: &mut VecDeque<u64>, t: u64) {
         self.sync_nodes(t);
         let requests = self.requests;
@@ -281,7 +301,12 @@ impl<'w> Frontend<'w, '_> {
             let request = &requests[id as usize];
             let target = self.route(request);
             let scale = self.config.nodes[target].scale_for(request.spec.model.family());
-            self.nodes[target].enqueue_scaled(request, self.workload.trace_for(request), scale);
+            self.nodes[target].enqueue_scaled_at(
+                request,
+                self.workload.trace_for(request),
+                scale,
+                t,
+            );
             self.routed[target] += 1;
             self.admission_wait_ns[id as usize] = t - request.arrival_ns;
         }
@@ -291,12 +316,18 @@ impl<'w> Frontend<'w, '_> {
     /// configured multiple of the pool mean get their queued,
     /// never-started requests re-offered to the dispatcher; a request
     /// moves when the dispatcher now routes it to a strictly
-    /// less-backlogged node and its migration budget allows.
+    /// less-backlogged node and its migration budget allows. Candidates
+    /// are evaluated through the read-only [`Dispatcher::peek`] path —
+    /// only an applied move charges stateful policies, so a pass that
+    /// moves nothing cannot perturb how subsequent arrivals are routed.
     fn migration_pass(&mut self, t: u64) {
         let cfg = self.config.frontend.migration.expect("pass implies config");
         let n = self.nodes.len();
         let requests = self.requests;
-        let mut backlogs = self.lut_backlogs();
+        // Node snapshots (and the LUT backlogs derived from them) stay
+        // valid across rejected candidates (peek is read-only); only an
+        // applied move invalidates them.
+        let (mut views, mut backlogs) = self.snapshot();
         for src in 0..n {
             // Candidates in arrival order (the active list's order is
             // arbitrary), frozen before any movement from this node.
@@ -314,26 +345,30 @@ impl<'w> Frontend<'w, '_> {
                     continue;
                 }
                 let request = &requests[id as usize];
-                let target = self.route(request);
+                let target = self.dispatcher.peek(request, &views, &self.lut);
+                self.check_target(target);
                 if target == src || backlogs[target] >= backlogs[src] {
                     continue;
                 }
-                let est = self.lut.info(
-                    self.lut
-                        .variant_id(&request.spec)
-                        .expect("dispatched request is profiled"),
+                // The move is real: charge the dispatcher's state from
+                // the same snapshot the decision was made on.
+                let charged = self.dispatcher.dispatch(request, &views, &self.lut);
+                assert_eq!(
+                    charged,
+                    target,
+                    "dispatcher `{}` peek/dispatch disagree on one snapshot",
+                    self.dispatcher.name()
                 );
-                let est_ns = est.avg_latency_ns();
-                let src_scale = self.config.nodes[src].scale_for(request.spec.model.family());
                 let dst_scale = self.config.nodes[target].scale_for(request.spec.model.family());
                 let transfer = self.nodes[src]
                     .take_unstarted(id)
                     .expect("candidate is queued and unstarted");
                 self.nodes[target].accept_transfer(transfer, dst_scale, t);
-                backlogs[src] -= est_ns * src_scale;
-                backlogs[target] += est_ns * dst_scale;
+                self.transferred_out[src] += 1;
+                self.transferred_in[target] += 1;
                 self.migration_count[id as usize] += 1;
                 self.migrations += 1;
+                (views, backlogs) = self.snapshot();
             }
         }
     }
@@ -345,11 +380,13 @@ impl<'w> Frontend<'w, '_> {
     fn steal_pass(&mut self, t: u64) {
         let cfg = self.config.frontend.steal.expect("pass implies config");
         let n = self.nodes.len();
+        // Backlogs stay valid across thieves that steal nothing; only an
+        // applied transfer invalidates them.
+        let mut backlogs = self.lut_backlogs();
         for thief in 0..n {
             if !self.nodes[thief].is_drained() {
                 continue;
             }
-            let backlogs = self.lut_backlogs();
             let mean = backlogs.iter().sum::<f64>() / n as f64;
             if mean <= 0.0 {
                 break; // Nothing queued anywhere.
@@ -405,26 +442,43 @@ impl<'w> Frontend<'w, '_> {
                 .take_unstarted(id)
                 .expect("chosen candidate is queued and unstarted");
             self.nodes[thief].accept_transfer(transfer, scale, t);
+            self.transferred_out[victim] += 1;
+            self.transferred_in[thief] += 1;
             self.steals += 1;
+            backlogs = self.lut_backlogs();
         }
     }
 
     fn into_report(self) -> ClusterReport {
+        let Frontend {
+            nodes,
+            config,
+            routed,
+            transferred_in,
+            transferred_out,
+            admission_wait_ns,
+            migration_count,
+            steals,
+            migrations,
+            ..
+        } = self;
         let serving = ServingStats {
-            steals: self.steals,
-            migrations: self.migrations,
-            max_migrations_single_request: self.migration_count.iter().copied().max().unwrap_or(0),
-            admission_wait_ns: self.admission_wait_ns,
+            steals,
+            migrations,
+            max_migrations_single_request: migration_count.iter().copied().max().unwrap_or(0),
+            admission_wait_ns,
         };
         ClusterReport::with_serving(
-            self.nodes
+            nodes
                 .into_iter()
-                .zip(&self.config.nodes)
-                .zip(self.routed)
-                .map(|((node, nc), routed)| NodeReport {
+                .zip(&config.nodes)
+                .enumerate()
+                .map(|(i, (node, nc))| NodeReport {
                     node_id: node.id(),
                     accelerator: nc.accelerator,
-                    routed,
+                    routed: routed[i],
+                    transferred_in: transferred_in[i],
+                    transferred_out: transferred_out[i],
                     busy_ns: node.busy_ns(),
                     report: node.into_report(),
                 })

@@ -11,8 +11,17 @@ pub struct NodeReport {
     pub node_id: usize,
     /// The node's accelerator.
     pub accelerator: AcceleratorKind,
-    /// Requests routed to the node.
+    /// Requests *initially dispatched* to the node by the admission
+    /// front-end. Stealing and migration move requests after initial
+    /// dispatch, so per node `routed + transferred_in - transferred_out`
+    /// equals the requests it completed; summed across the pool `routed`
+    /// alone equals the workload size.
     pub routed: usize,
+    /// Requests moved *onto* this node by work stealing or migration.
+    pub transferred_in: usize,
+    /// Requests moved *off* this node (after initial dispatch, before
+    /// starting) by work stealing or migration.
+    pub transferred_out: usize,
     /// Service time the node executed (ns).
     pub busy_ns: u64,
     /// The node's completion record.
@@ -256,6 +265,8 @@ mod tests {
             node_id: id,
             accelerator: AcceleratorKind::EyerissV2,
             routed: completed.len(),
+            transferred_in: 0,
+            transferred_out: 0,
             busy_ns,
             report: SimReport::new(completed, 0, 0),
         }

@@ -82,6 +82,32 @@ proptest! {
         }
         prop_assert!(report.antt() >= 1.0);
 
+        // Per-node accounting balances: requests initially dispatched
+        // plus transfers in minus transfers out is exactly what each
+        // node completed, and the transfer totals match the pass
+        // counters.
+        let moved = (report.serving().steals + report.serving().migrations) as usize;
+        prop_assert_eq!(
+            report.nodes().iter().map(|n| n.transferred_in).sum::<usize>(),
+            moved
+        );
+        prop_assert_eq!(
+            report
+                .nodes()
+                .iter()
+                .map(|n| n.transferred_out)
+                .sum::<usize>(),
+            moved
+        );
+        for node in report.nodes() {
+            prop_assert_eq!(
+                node.routed + node.transferred_in - node.transferred_out,
+                node.report.completed().len(),
+                "node {} accounting out of balance",
+                node.node_id
+            );
+        }
+
         // The migration cap is a hard bound on every single request.
         prop_assert!(
             report.serving().max_migrations_single_request <= max_migrations,

@@ -259,6 +259,33 @@ impl<'w, S: Scheduler> NodeEngine<'w, S> {
         self.enqueue_scaled(request, trace, 1.0);
     }
 
+    /// Queues `request` like [`NodeEngine::enqueue_scaled`], flooring
+    /// execution at the front-end dispatch instant `at_ns`. The request
+    /// keeps its original arrival time (turnaround metrics keep charging
+    /// the admission wait), but the node cannot start it before `at_ns`:
+    /// an idle node's clock is pulled forward to the dispatch instant,
+    /// the same causality guard [`NodeEngine::accept_transfer`] applies
+    /// to transfers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale < 1`, `at_ns` precedes the request's arrival, or
+    /// arrivals are enqueued out of order.
+    pub fn enqueue_scaled_at(
+        &mut self,
+        request: &Request,
+        trace: &'w SampleTrace,
+        scale: f64,
+        at_ns: u64,
+    ) {
+        assert!(
+            at_ns >= request.arrival_ns,
+            "dispatch cannot precede arrival"
+        );
+        self.enqueue_scaled(request, trace, scale);
+        self.now_ns = self.now_ns.max(at_ns);
+    }
+
     /// Queues `request` with a service-time multiplier (≥ 1), modelling
     /// execution on an accelerator the model was not profiled on.
     ///
@@ -655,6 +682,39 @@ mod tests {
         assert_eq!(dst_report.completed()[0].arrival_ns, arrival);
         assert_eq!(src_report.completed().len(), 29);
         assert!(src_report.completed().iter().all(|c| c.id != victim));
+    }
+
+    #[test]
+    fn enqueue_at_floors_execution_at_the_dispatch_instant() {
+        // A request dispatched late (front-end admission batching) keeps
+        // its arrival time for metrics but cannot execute before the
+        // dispatch instant.
+        let w = tiny(11);
+        let lut = ModelInfoLut::from_store(w.store());
+        let mut node: NodeEngine =
+            NodeEngine::new(0, Policy::Fcfs.build(), EngineConfig::default(), lut);
+        let dispatch_ns = w.requests().last().unwrap().arrival_ns + 5_000_000;
+        for req in w.requests() {
+            node.enqueue_scaled_at(req, w.trace_for(req), 1.0, dispatch_ns);
+        }
+        assert!(node.now_ns() >= dispatch_ns, "clock floored at dispatch");
+        node.run_to_completion();
+        let report = node.into_report();
+        for c in report.completed() {
+            assert!(c.completion_ns >= dispatch_ns);
+            assert_eq!(c.arrival_ns, w.requests()[c.id as usize].arrival_ns);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatch cannot precede arrival")]
+    fn dispatch_before_arrival_rejected() {
+        let w = tiny(12);
+        let lut = ModelInfoLut::from_store(w.store());
+        let mut node: NodeEngine =
+            NodeEngine::new(0, Policy::Fcfs.build(), EngineConfig::default(), lut);
+        let req = w.requests().last().unwrap();
+        node.enqueue_scaled_at(req, w.trace_for(req), 1.0, req.arrival_ns - 1);
     }
 
     #[test]

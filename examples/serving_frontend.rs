@@ -97,7 +97,10 @@ fn main() {
     println!(
         "\nStealing helps exactly when matched nodes are saturated while others idle:\n\
          the mismatch penalty (2.5x) is still cheaper than waiting out a deep queue.\n\
-         Batching trades admission-queue wait for fewer, better-informed dispatch\n\
-         decisions; on this pool small batches cost little tail latency."
+         Admission waits are real delay — a held-back request cannot start before\n\
+         its batch dispatches — so count-based batches at low arrival rates hold\n\
+         requests for a long time and the wait lands straight on ANTT and the tail;\n\
+         the 20ms timer caps every wait at the interval (at this sparse arrival\n\
+         rate most windows hold one request, so the mean sits near the cap)."
     );
 }
