@@ -12,8 +12,8 @@
 //! CNN-only traffic on a heterogeneous installation.
 
 use dysta::cluster::{
-    balanced_mixed_serving_mix, simulate_cluster, AcceleratorKind, ClusterConfig, DispatchPolicy,
-    FrontendConfig, MigrationConfig, StealConfig,
+    balanced_mixed_serving_mix, simulate_cluster, AcceleratorKind, ClusterBuilder, ClusterConfig,
+    DispatchPolicy, FrontendConfig, MigrationConfig, StealConfig, TransferCostConfig,
 };
 use dysta::core::Policy;
 use dysta::workload::{Scenario, WorkloadBuilder};
@@ -160,23 +160,36 @@ fn main() {
     serving_frontend_sweep(&scale);
 }
 
-/// The serving front-end under affinity dispatch on a heterogeneous
-/// pool: CNN-only traffic saturates the Eyeriss half while the Sanger
-/// half idles unless stealing/migration put it to work.
+/// The serving front-end on a heterogeneous pool: CNN-only traffic
+/// saturates the Eyeriss half while the Sanger half idles unless
+/// stealing/migration put it to work. The last two rows are the
+/// `ClusterPolicy` clients: the default *costed* transfer model under
+/// the re-tuned thresholds (every move pays a weight/activation
+/// re-fetch on the receiving node), and deadline-aware `edf` dispatch
+/// on top of it — both covered by the CI smoke run.
 fn serving_frontend_sweep(scale: &Scale) {
-    println!("\n=== serving front-end / CNN traffic on eyeriss+sanger pool (affinity) ===");
+    println!("\n=== serving front-end / CNN traffic on eyeriss+sanger pool ===");
     println!(
-        "{:<16} {:>8} {:>9} {:>10} {:>10} {:>7} {:>9}",
-        "front-end", "ANTT", "viol %", "p99 ms", "imbalance", "steals", "migrated"
+        "{:<22} {:>8} {:>9} {:>10} {:>10} {:>7} {:>9} {:>9}",
+        "front-end", "ANTT", "viol %", "p99 ms", "imbalance", "steals", "migrated", "fetch ms"
     );
-    let frontends: [(&str, FrontendConfig); 3] = [
-        ("immediate", FrontendConfig::default()),
+    let free = TransferCostConfig::FREE;
+    let costed = TransferCostConfig::default_costed();
+    let rows: [(&str, FrontendConfig, TransferCostConfig, DispatchPolicy); 5] = [
+        (
+            "immediate",
+            FrontendConfig::default(),
+            free,
+            DispatchPolicy::SparsityAffinity,
+        ),
         (
             "steal",
             FrontendConfig {
                 steal: Some(StealConfig::default()),
                 ..FrontendConfig::default()
             },
+            free,
+            DispatchPolicy::SparsityAffinity,
         ),
         (
             "steal+migrate",
@@ -185,15 +198,30 @@ fn serving_frontend_sweep(scale: &Scale) {
                 migration: Some(MigrationConfig::default()),
                 ..FrontendConfig::default()
             },
+            free,
+            DispatchPolicy::SparsityAffinity,
+        ),
+        (
+            "steal+migrate costed",
+            FrontendConfig::serving_costed(),
+            costed,
+            DispatchPolicy::SparsityAffinity,
+        ),
+        (
+            "edf costed",
+            FrontendConfig::serving_costed(),
+            costed,
+            DispatchPolicy::EarliestDeadlineFirst,
         ),
     ];
-    for (name, frontend) in frontends {
+    for (name, frontend, transfer_cost, dispatch) in rows {
         let mut antt = 0.0;
         let mut viol = 0.0;
         let mut p99 = 0.0;
         let mut imbalance = 0.0;
         let mut steals = 0u64;
         let mut migrations = 0u64;
+        let mut fetch_ms = 0.0;
         for seed in 0..scale.seeds {
             let workload = WorkloadBuilder::new(Scenario::MultiCnn)
                 .arrival_rate(12.0)
@@ -201,24 +229,24 @@ fn serving_frontend_sweep(scale: &Scale) {
                 .samples_per_variant(scale.samples_per_variant)
                 .seed(seed * 7919 + 13)
                 .build();
-            let pool = ClusterConfig::heterogeneous(2, 2, Policy::Dysta).with_frontend(frontend);
-            let report = simulate_cluster(
-                &workload,
-                DispatchPolicy::SparsityAffinity.build().as_mut(),
-                &pool,
-            );
+            let pool = ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+                .frontend(frontend)
+                .transfer_cost(transfer_cost)
+                .build();
+            let report = simulate_cluster(&workload, dispatch.build().as_mut(), &pool);
             antt += report.antt();
             viol += report.violation_rate();
             p99 += report.turnaround_percentile_ns(99.0) as f64 / 1e6;
             imbalance += report.load_imbalance();
             steals += report.serving().steals;
             migrations += report.serving().migrations;
+            fetch_ms += report.serving().transfer_cost_ns as f64 / 1e6;
         }
         // Counters are seed-averaged like every other column, so a row
         // reads as "one run at this operating point".
         let n = scale.seeds as f64;
         println!(
-            "{:<16} {:>8.3} {:>8.1}% {:>10.1} {:>10.2} {:>7.1} {:>9.1}",
+            "{:<22} {:>8.3} {:>8.1}% {:>10.1} {:>10.2} {:>7.1} {:>9.1} {:>9.1}",
             name,
             antt / n,
             viol / n * 100.0,
@@ -226,6 +254,7 @@ fn serving_frontend_sweep(scale: &Scale) {
             imbalance / n,
             steals as f64 / n,
             migrations as f64 / n,
+            fetch_ms / n,
         );
     }
 }

@@ -1,8 +1,14 @@
 //! Figure 14: robustness across latency SLO multipliers (10x–150x), at
-//! two arrival rates per workload family, including the Oracle.
+//! two arrival rates per workload family, including the Oracle — plus
+//! the cluster-level extension: deadline-aware (EDF) dispatch vs
+//! jsq/affinity across *tight* SLO multipliers on a
+//! capacity-heterogeneous pool.
 
+use dysta::cluster::{
+    balanced_mixed_serving_mix, simulate_cluster, ClusterBuilder, DispatchPolicy,
+};
 use dysta::core::{DystaConfig, Policy};
-use dysta::workload::Scenario;
+use dysta::workload::{Scenario, WorkloadBuilder};
 use dysta_bench::{banner, compare_policies, Scale};
 
 const POLICIES: [Policy; 7] = [
@@ -70,4 +76,82 @@ fn main() {
     }
     println!("shape to preserve: both metrics fall as the SLO relaxes; Dysta");
     println!("tracks the Oracle and stays lowest across the whole sweep");
+    println!();
+    cluster_edf_sweep(scale);
+}
+
+/// The cluster-level slice of the SLO sweep: the deadline-aware `edf`
+/// dispatcher against `jsq` and `affinity` on a heterogeneous 2+2 pool
+/// where one node of each family runs at 0.5 capacity, under tight SLO
+/// multipliers. `edf` charges each node's capacity and mismatch penalty
+/// against the inbound request, so it dodges the slow nodes exactly
+/// when the deadline cannot absorb them.
+fn cluster_edf_sweep(scale: Scale) {
+    banner(
+        "Figure 14 (cluster)",
+        "EDF vs jsq/affinity across tight SLO multipliers, capacity-heterogeneous pool",
+    );
+    const DISPATCHERS: [DispatchPolicy; 3] = [
+        DispatchPolicy::JoinShortestQueue,
+        DispatchPolicy::SparsityAffinity,
+        DispatchPolicy::EarliestDeadlineFirst,
+    ];
+    let multipliers = [3.0, 5.0, 10.0];
+    println!("mixed CNN+AttNN traffic at 30 samples/s, 2x Eyeriss + 2x Sanger,");
+    println!("one node per family at 0.5 capacity\n");
+    // One pass over the grid; both tables print from the stored cells.
+    let cells: Vec<Vec<(f64, f64)>> = DISPATCHERS
+        .iter()
+        .map(|dispatch| {
+            multipliers
+                .iter()
+                .map(|&m| {
+                    let mut antt = 0.0;
+                    let mut viol = 0.0;
+                    for seed in 0..scale.seeds {
+                        let w = WorkloadBuilder::from_mix(balanced_mixed_serving_mix())
+                            .arrival_rate(30.0)
+                            .slo_multiplier(m)
+                            .num_requests(scale.requests)
+                            .samples_per_variant(scale.samples_per_variant)
+                            .seed(seed * 7919 + 13)
+                            .build();
+                        let pool = ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+                            .node_capacity(1, 0.5)
+                            .node_capacity(3, 0.5)
+                            .build();
+                        let r = simulate_cluster(&w, dispatch.build().as_mut(), &pool);
+                        antt += r.antt();
+                        viol += r.violation_rate();
+                    }
+                    let n = scale.seeds as f64;
+                    (antt / n, viol / n)
+                })
+                .collect()
+        })
+        .collect();
+    for metric in ["SLO violation rate [%]", "ANTT"] {
+        println!("{metric}:");
+        print!("{:<14}", "dispatch");
+        for m in multipliers {
+            print!("{:>9}", format!("x{m:.0}"));
+        }
+        println!();
+        for (dispatch, row) in DISPATCHERS.iter().zip(&cells) {
+            print!("{:<14}", dispatch.name());
+            for (antt, viol) in row {
+                if metric.starts_with("SLO") {
+                    print!("{:>8.1}%", viol * 100.0);
+                } else {
+                    print!("{:>9.2}", antt);
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("shape to preserve: at the tightest multiplier edf beats affinity on");
+    println!("violations AND ANTT (both far below jsq); at looser multipliers the two");
+    println!("coincide to within noise — edf routes exactly like affinity whenever no");
+    println!("deadline is at risk, and only spills under pressure");
 }

@@ -14,8 +14,8 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use dysta::cluster::{
-    simulate_cluster, AcceleratorKind, ClusterConfig, DispatchPolicy, FrontendConfig,
-    MigrationConfig, StealConfig,
+    simulate_cluster, AcceleratorKind, ClusterBuilder, ClusterConfig, DispatchPolicy,
+    FrontendConfig, MigrationConfig, StealConfig, TransferCostConfig,
 };
 use dysta::core::{ModelInfoLut, Policy, TaskQueue, TaskState};
 use dysta::sim::{simulate, EngineConfig};
@@ -51,19 +51,29 @@ struct BenchRecord {
     /// migration). `None` in records from before the front-end existed —
     /// hand-written `Deserialize` below keeps the old history parseable.
     cluster_serving_ms: Option<f64>,
+    /// Wall time of a deadline-aware serving run: EDF dispatch with
+    /// costed transfers on a capacity-heterogeneous pool. `None` in
+    /// records from before the `ClusterPolicy` redesign.
+    cluster_edf_ms: Option<f64>,
 }
 
 impl serde::Deserialize for BenchRecord {
     fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        // Optional fields absent from older records deserialize to
+        // `None` so the recorded history stays parseable forever.
+        let optional = |name: &str| -> Result<Option<f64>, serde::DeError> {
+            match value.field(name) {
+                Ok(v) => serde::Deserialize::from_value(v),
+                Err(_) => Ok(None),
+            }
+        };
         Ok(BenchRecord {
             label: serde::Deserialize::from_value(value.field("label")?)?,
             engine: serde::Deserialize::from_value(value.field("engine")?)?,
             picks: serde::Deserialize::from_value(value.field("picks")?)?,
             cluster_sweep_ms: serde::Deserialize::from_value(value.field("cluster_sweep_ms")?)?,
-            cluster_serving_ms: match value.field("cluster_serving_ms") {
-                Ok(v) => serde::Deserialize::from_value(v)?,
-                Err(_) => None,
-            },
+            cluster_serving_ms: optional("cluster_serving_ms")?,
+            cluster_edf_ms: optional("cluster_edf_ms")?,
         })
     }
 }
@@ -190,7 +200,10 @@ fn time_picks(policy: Policy, tasks: &[TaskState], lut: &ModelInfoLut) -> f64 {
 
 fn measure_cluster_sweep() -> f64 {
     // Workload/trace generation happens outside the timed region — the
-    // recorded number tracks cluster *simulation* cost only.
+    // recorded number tracks cluster *simulation* cost only. Sweeps the
+    // original four dispatchers (`CLASSIC`) so the cell stays
+    // like-for-like with the recorded history; EDF is timed separately
+    // in `measure_cluster_edf`.
     let workload = WorkloadBuilder::new(Scenario::MultiCnn)
         .arrival_rate(12.0)
         .num_requests(200)
@@ -198,7 +211,7 @@ fn measure_cluster_sweep() -> f64 {
         .seed(13)
         .build();
     let secs = median_secs(3, || {
-        for dispatch in DispatchPolicy::ALL {
+        for dispatch in DispatchPolicy::CLASSIC {
             let config = ClusterConfig::homogeneous(4, AcceleratorKind::EyerissV2, Policy::Dysta);
             std::hint::black_box(simulate_cluster(
                 &workload,
@@ -231,7 +244,9 @@ fn measure_cluster_serving() -> f64 {
         migration: Some(MigrationConfig::default()),
     };
     let secs = median_secs(3, || {
-        let pool = ClusterConfig::heterogeneous(2, 2, Policy::Dysta).with_frontend(frontend);
+        let pool = ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+            .frontend(frontend)
+            .build();
         std::hint::black_box(simulate_cluster(
             &workload,
             DispatchPolicy::SparsityAffinity.build().as_mut(),
@@ -240,6 +255,37 @@ fn measure_cluster_serving() -> f64 {
     });
     println!(
         "cluster_serving (2+2 nodes, batch+steal+migrate, 200 reqs): {:.1} ms",
+        secs * 1e3
+    );
+    secs * 1e3
+}
+
+fn measure_cluster_edf() -> f64 {
+    // The ClusterPolicy redesign's hot path: deadline-aware dispatch
+    // (per-node slack projections on every routing decision) plus
+    // costed steal/migration passes on a capacity-heterogeneous pool.
+    let workload = WorkloadBuilder::new(Scenario::MultiCnn)
+        .arrival_rate(12.0)
+        .slo_multiplier(5.0)
+        .num_requests(200)
+        .samples_per_variant(16)
+        .seed(13)
+        .build();
+    let secs = median_secs(3, || {
+        let pool = ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+            .node_capacity(1, 0.5)
+            .node_capacity(3, 0.5)
+            .frontend(FrontendConfig::serving_costed())
+            .transfer_cost(TransferCostConfig::default_costed())
+            .build();
+        std::hint::black_box(simulate_cluster(
+            &workload,
+            DispatchPolicy::EarliestDeadlineFirst.build().as_mut(),
+            &pool,
+        ));
+    });
+    println!(
+        "cluster_edf (2+2 nodes, capacity-het, costed serving, 200 reqs): {:.1} ms",
         secs * 1e3
     );
     secs * 1e3
@@ -258,6 +304,7 @@ fn main() {
     measure_picks(&mut picks);
     let cluster_sweep_ms = measure_cluster_sweep();
     let cluster_serving_ms = measure_cluster_serving();
+    let cluster_edf_ms = measure_cluster_edf();
 
     let record = BenchRecord {
         label: label.clone(),
@@ -265,6 +312,7 @@ fn main() {
         picks,
         cluster_sweep_ms,
         cluster_serving_ms: Some(cluster_serving_ms),
+        cluster_edf_ms: Some(cluster_edf_ms),
     };
 
     // A malformed history file must abort, not be silently replaced —

@@ -1,4 +1,11 @@
-//! Cluster topology configuration.
+//! Cluster topology configuration and the validating [`ClusterBuilder`].
+//!
+//! Every knob of the pool — node list, per-node capacity and mismatch
+//! penalty, serving front-end, transfer cost model — is plain data on
+//! [`ClusterConfig`]; range validation is centralized in
+//! [`ClusterConfig::validate`], which [`ClusterBuilder::build`] and
+//! [`crate::simulate_cluster`] both call, so a hand-mutated config can
+//! never reach the engine unchecked.
 
 use dysta_core::{DystaConfig, Policy};
 use dysta_models::ModelFamily;
@@ -56,11 +63,19 @@ pub struct NodeConfig {
     /// hardware that cannot exploit their sparsity structure). Must be
     /// at least 1.
     pub mismatch_slowdown: f64,
+    /// Node speed factor in `(0, 1]` relative to the profiled baseline
+    /// (DVFS state, binned silicon, an older accelerator revision): a
+    /// `0.5` node executes every layer in twice its profiled latency.
+    /// The capacity divides into the service-time scale, so the
+    /// effective scale a request pays is `scale_for(family) / capacity`
+    /// — always at least the mismatch scale. Traces are profiled at full
+    /// speed, so capacities above 1 are rejected.
+    pub capacity: f64,
 }
 
 impl NodeConfig {
-    /// A node with default engine parameters and the workspace's default
-    /// mismatch penalty.
+    /// A full-speed node with default engine parameters and the
+    /// workspace's default mismatch penalty.
     pub fn new(accelerator: AcceleratorKind, policy: Policy) -> Self {
         NodeConfig {
             accelerator,
@@ -68,10 +83,12 @@ impl NodeConfig {
             dysta: DystaConfig::default(),
             engine: EngineConfig::default(),
             mismatch_slowdown: DEFAULT_MISMATCH_SLOWDOWN,
+            capacity: 1.0,
         }
     }
 
-    /// The service-time scale a request of `family` pays on this node.
+    /// The family-mismatch component of the service-time scale (1 when
+    /// the accelerator natively serves `family`).
     pub fn scale_for(&self, family: ModelFamily) -> f64 {
         if self.accelerator.serves(family) {
             1.0
@@ -79,12 +96,45 @@ impl NodeConfig {
             self.mismatch_slowdown
         }
     }
+
+    /// The full service-time scale a request of `family` pays on this
+    /// node: the mismatch penalty divided by the node's capacity. At
+    /// capacity 1 this is bit-identical to [`NodeConfig::scale_for`].
+    pub fn effective_scale(&self, family: ModelFamily) -> f64 {
+        effective_scale(
+            self.accelerator.serves(family),
+            self.mismatch_slowdown,
+            self.capacity,
+        )
+    }
+
+    /// Panics when any per-node knob is out of range.
+    fn validate(&self, id: usize) {
+        assert!(
+            self.mismatch_slowdown >= 1.0 && self.mismatch_slowdown.is_finite(),
+            "node {id}: mismatch slowdown must be >= 1"
+        );
+        assert!(
+            self.capacity > 0.0 && self.capacity <= 1.0,
+            "node {id}: capacity must be in (0, 1]"
+        );
+    }
 }
 
 /// Default mismatch penalty: a sparse model on the wrong accelerator
 /// falls back to dense-equivalent execution of its dynamic layers,
 /// which the Phase-1 traces put at roughly 2–3× the native latency.
 pub const DEFAULT_MISMATCH_SLOWDOWN: f64 = 2.5;
+
+/// The one definition of the service-time scale: the family-mismatch
+/// penalty over the node capacity. [`NodeConfig::effective_scale`]
+/// (what the engine charges) and [`crate::NodeView::service_scale`]
+/// (what policies price with) both resolve through here, so the two
+/// can never drift apart.
+pub(crate) fn effective_scale(native: bool, mismatch_slowdown: f64, capacity: f64) -> f64 {
+    let mismatch = if native { 1.0 } else { mismatch_slowdown };
+    mismatch / capacity
+}
 
 /// The mixed CNN+AttNN serving mix for heterogeneous pools, with load
 /// balanced across the pool halves: a Sanger node sustains roughly 10×
@@ -107,13 +157,82 @@ pub fn balanced_mixed_serving_mix() -> Vec<(SparseModelSpec, f64)> {
     mix
 }
 
+/// The price of re-homing a queued request onto another node: the
+/// weights and any staged activations have to be re-fetched across the
+/// interconnect before the receiving accelerator can run it.
+///
+/// The model is `base_ns + compute_fraction × avg_isolated_latency`:
+/// a flat per-move interconnect/setup cost plus a variable part that
+/// tracks the request's LUT-estimated compute (weight volume correlates
+/// with model compute across the zoo). The cost is charged on the
+/// *receiving* node by [`dysta_sim::NodeEngine::accept_transfer`] — it
+/// delays the node's clock and counts as busy time.
+///
+/// The default is [`TransferCostConfig::FREE`], which reproduces the
+/// historical free-transfer behavior bit-exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferCostConfig {
+    /// Flat per-move cost in nanoseconds (interconnect setup, descriptor
+    /// rewrite).
+    pub base_ns: u64,
+    /// Variable part: fraction of the request's LUT-estimated isolated
+    /// latency added on top of `base_ns`. Must be finite and `>= 0`.
+    pub compute_fraction: f64,
+}
+
+impl TransferCostConfig {
+    /// Free transfers — the historical behavior, and the default.
+    pub const FREE: TransferCostConfig = TransferCostConfig {
+        base_ns: 0,
+        compute_fraction: 0.0,
+    };
+
+    /// The workspace's default *costed* model: 1 ms of flat interconnect
+    /// cost plus 2% of the request's estimated compute (a 300 ms CNN
+    /// request pays ~7 ms — noticeable against marginal moves, cheap
+    /// against draining a deep queue).
+    pub fn default_costed() -> Self {
+        TransferCostConfig {
+            base_ns: 1_000_000,
+            compute_fraction: 0.02,
+        }
+    }
+
+    /// True when every transfer is free (no accounting, bit-exact with
+    /// the pre-cost engine).
+    pub fn is_free(&self) -> bool {
+        self.base_ns == 0 && self.compute_fraction == 0.0
+    }
+
+    /// The estimated cost of moving one request whose LUT-estimated
+    /// isolated latency is `avg_isolated_ns`
+    /// ([`dysta_core::ModelInfo::avg_latency_ns`]).
+    pub fn estimate_ns(&self, avg_isolated_ns: f64) -> u64 {
+        self.base_ns + (self.compute_fraction * avg_isolated_ns).round() as u64
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.compute_fraction >= 0.0 && self.compute_fraction.is_finite(),
+            "transfer-cost compute fraction must be finite and >= 0"
+        );
+    }
+}
+
+impl Default for TransferCostConfig {
+    fn default() -> Self {
+        TransferCostConfig::FREE
+    }
+}
+
 /// Work-stealing knobs for the serving front-end.
 ///
 /// Every `period_ns` of simulated time, each *idle* (fully drained) node
-/// may pull one queued, never-started request from the most-backlogged
-/// peer. A steal only happens when the victim's LUT-estimated backlog
-/// exceeds `min_imbalance` times the pool-mean backlog — on a balanced
-/// pool nothing moves.
+/// may pull one queued, never-started request from a backlogged peer
+/// (victim and candidate choice belong to the pluggable
+/// [`crate::StealPolicy`]). A steal only happens when the victim's
+/// LUT-estimated backlog exceeds `min_imbalance` times the pool-mean
+/// backlog — on a balanced pool nothing moves.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StealConfig {
     /// Minimum victim-backlog over pool-mean-backlog ratio before an
@@ -122,6 +241,19 @@ pub struct StealConfig {
     /// Sim-time between idle checks, in nanoseconds (> 0). Bounds how
     /// long a node can sit idle before it looks for work.
     pub period_ns: u64,
+}
+
+impl StealConfig {
+    /// Thresholds re-tuned for nonzero transfer costs: with every move
+    /// paying a re-fetch, stealing waits for a deeper imbalance (2×
+    /// pool mean instead of 1.5×) so marginal steals whose gain the
+    /// fetch would eat never fire.
+    pub fn costed() -> Self {
+        StealConfig {
+            min_imbalance: 2.0,
+            ..StealConfig::default()
+        }
+    }
 }
 
 impl Default for StealConfig {
@@ -137,10 +269,11 @@ impl Default for StealConfig {
 ///
 /// Every `period_ns` of simulated time, nodes whose LUT-estimated
 /// backlog exceeds `min_imbalance` times the pool mean get their queued,
-/// never-started requests re-offered to the dispatcher; a request moves
-/// when the dispatcher now routes it to a strictly less-backlogged node.
-/// Each request migrates at most `max_per_request` times, so a request
-/// can never ping-pong indefinitely.
+/// never-started requests re-offered to the dispatcher; whether a
+/// proposed move is applied belongs to the pluggable
+/// [`crate::MigrationPolicy`]. Each request migrates at most
+/// `max_per_request` times, so a request can never ping-pong
+/// indefinitely.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MigrationConfig {
     /// Minimum node-backlog over pool-mean-backlog ratio before a node's
@@ -150,6 +283,20 @@ pub struct MigrationConfig {
     pub period_ns: u64,
     /// Hard cap on how many times one request may be re-dispatched.
     pub max_per_request: u32,
+}
+
+impl MigrationConfig {
+    /// Thresholds re-tuned for nonzero transfer costs: rebalance only
+    /// clearly-behind nodes (2× pool mean) and allow each request one
+    /// costed move instead of two — a second re-fetch almost never pays
+    /// for itself.
+    pub fn costed() -> Self {
+        MigrationConfig {
+            min_imbalance: 2.0,
+            max_per_request: 1,
+            ..MigrationConfig::default()
+        }
+    }
 }
 
 impl Default for MigrationConfig {
@@ -197,7 +344,8 @@ impl Default for FrontendConfig {
 
 impl FrontendConfig {
     /// The full serving stack with default knobs: stealing and migration
-    /// on, immediate admission.
+    /// on, immediate admission. Tuned for free transfers; combine with
+    /// [`FrontendConfig::serving_costed`] when a transfer cost is set.
     pub fn serving() -> Self {
         FrontendConfig {
             steal: Some(StealConfig::default()),
@@ -206,8 +354,18 @@ impl FrontendConfig {
         }
     }
 
-    /// Validates the knob ranges (the cluster engine asserts this once
-    /// per run).
+    /// The full serving stack with thresholds re-tuned for nonzero
+    /// transfer costs ([`StealConfig::costed`],
+    /// [`MigrationConfig::costed`]).
+    pub fn serving_costed() -> Self {
+        FrontendConfig {
+            steal: Some(StealConfig::costed()),
+            migration: Some(MigrationConfig::costed()),
+            ..FrontendConfig::default()
+        }
+    }
+
+    /// Validates the knob ranges (part of [`ClusterConfig::validate`]).
     ///
     /// # Panics
     ///
@@ -232,19 +390,27 @@ impl FrontendConfig {
     }
 }
 
-/// The whole cluster: an ordered list of nodes plus the serving
-/// front-end configuration.
+/// The whole cluster: an ordered list of nodes, the serving front-end,
+/// and the transfer-cost model.
+///
+/// Construct simple pools with [`ClusterConfig::homogeneous`] /
+/// [`ClusterConfig::heterogeneous`]; anything configured beyond the
+/// defaults goes through the validating [`ClusterBuilder`] (the former
+/// `with_*` mutators are gone — see the crate docs for the migration
+/// map). Fields stay public for inspection; whatever route a config
+/// takes, [`crate::simulate_cluster`] re-validates it once up front.
 ///
 /// # Examples
 ///
 /// ```
-/// use dysta_cluster::{AcceleratorKind, ClusterConfig, FrontendConfig};
+/// use dysta_cluster::{AcceleratorKind, ClusterBuilder, ClusterConfig, FrontendConfig};
 /// use dysta_core::Policy;
 ///
 /// let pool = ClusterConfig::homogeneous(4, AcceleratorKind::EyerissV2, Policy::Dysta);
 /// assert_eq!(pool.len(), 4);
-/// let het = ClusterConfig::heterogeneous(2, 2, Policy::Dysta)
-///     .with_frontend(FrontendConfig::serving());
+/// let het = ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+///     .frontend(FrontendConfig::serving())
+///     .build();
 /// assert_eq!(het.len(), 4);
 /// assert!(het.frontend.steal.is_some());
 /// ```
@@ -256,23 +422,112 @@ pub struct ClusterConfig {
     /// stealing, request migration). Defaults to pure arrival-time
     /// dispatch with both mechanisms off.
     pub frontend: FrontendConfig,
+    /// The weight/activation re-fetch cost charged per steal or
+    /// migration. Defaults to [`TransferCostConfig::FREE`].
+    pub transfer_cost: TransferCostConfig,
 }
 
 impl ClusterConfig {
-    /// A cluster of identical nodes.
+    /// A cluster of identical full-speed nodes with the default
+    /// front-end and free transfers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn homogeneous(n: usize, accelerator: AcceleratorKind, policy: Policy) -> Self {
+        ClusterBuilder::homogeneous(n, accelerator, policy).build()
+    }
+
+    /// A mixed pool: `eyeriss` CNN nodes followed by `sanger` attention
+    /// nodes, all running `policy`, with the default front-end and free
+    /// transfers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both counts are zero.
+    pub fn heterogeneous(eyeriss: usize, sanger: usize, policy: Policy) -> Self {
+        ClusterBuilder::heterogeneous(eyeriss, sanger, policy).build()
+    }
+
+    /// A cluster from explicit node configs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty or any node knob is out of range.
+    pub fn from_nodes(nodes: Vec<NodeConfig>) -> Self {
+        ClusterBuilder::from_nodes(nodes).build()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the cluster has no nodes (never constructible through
+    /// the builder).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Checks every range invariant of the pool in one place: node list
+    /// non-empty, per-node mismatch/capacity in range, front-end knobs
+    /// valid, transfer-cost model finite. [`ClusterBuilder::build`] and
+    /// [`crate::simulate_cluster`] both call this, so a hand-assembled
+    /// or field-mutated config cannot reach the engine unvalidated.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a field-specific message on the first violation.
+    pub fn validate(&self) {
+        assert!(!self.nodes.is_empty(), "cluster needs at least one node");
+        for (id, node) in self.nodes.iter().enumerate() {
+            node.validate(id);
+        }
+        self.frontend.validate();
+        self.transfer_cost.validate();
+    }
+}
+
+/// Validating builder for [`ClusterConfig`] — the one construction path
+/// for anything beyond a plain default pool.
+///
+/// Setters only record values; every range check runs once in
+/// [`ClusterBuilder::build`] (and again in [`crate::simulate_cluster`],
+/// guarding configs assembled or mutated by hand).
+///
+/// # Examples
+///
+/// ```
+/// use dysta_cluster::{AcceleratorKind, ClusterBuilder, FrontendConfig, TransferCostConfig};
+/// use dysta_core::Policy;
+///
+/// let pool = ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+///     .node_capacity(1, 0.5) // one Eyeriss node at half clock
+///     .frontend(FrontendConfig::serving_costed())
+///     .transfer_cost(TransferCostConfig::default_costed())
+///     .build();
+/// assert_eq!(pool.nodes[1].capacity, 0.5);
+/// assert!(!pool.transfer_cost.is_free());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    nodes: Vec<NodeConfig>,
+    frontend: FrontendConfig,
+    transfer_cost: TransferCostConfig,
+}
+
+impl ClusterBuilder {
+    /// Starts from `n` identical full-speed nodes.
     ///
     /// # Panics
     ///
     /// Panics if `n` is zero.
     pub fn homogeneous(n: usize, accelerator: AcceleratorKind, policy: Policy) -> Self {
         assert!(n > 0, "cluster needs at least one node");
-        ClusterConfig {
-            nodes: vec![NodeConfig::new(accelerator, policy); n],
-            frontend: FrontendConfig::default(),
-        }
+        ClusterBuilder::from_nodes(vec![NodeConfig::new(accelerator, policy); n])
     }
 
-    /// A mixed pool: `eyeriss` CNN nodes followed by `sanger` attention
+    /// Starts from `eyeriss` CNN nodes followed by `sanger` attention
     /// nodes, all running `policy`.
     ///
     /// # Panics
@@ -285,41 +540,20 @@ impl ClusterConfig {
             NodeConfig::new(AcceleratorKind::Sanger, policy);
             sanger
         ]);
-        ClusterConfig {
-            nodes,
-            frontend: FrontendConfig::default(),
-        }
+        ClusterBuilder::from_nodes(nodes)
     }
 
-    /// A cluster from explicit node configs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `nodes` is empty or any mismatch penalty is below 1.
+    /// Starts from explicit node configs.
     pub fn from_nodes(nodes: Vec<NodeConfig>) -> Self {
-        assert!(!nodes.is_empty(), "cluster needs at least one node");
-        assert!(
-            nodes.iter().all(|n| n.mismatch_slowdown >= 1.0),
-            "mismatch slowdown must be >= 1"
-        );
-        ClusterConfig {
+        ClusterBuilder {
             nodes,
             frontend: FrontendConfig::default(),
+            transfer_cost: TransferCostConfig::FREE,
         }
-    }
-
-    /// Number of nodes.
-    pub fn len(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// True when the cluster has no nodes (never constructible).
-    pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
     }
 
     /// Applies one engine configuration to every node.
-    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
         for node in &mut self.nodes {
             node.engine = engine;
         }
@@ -327,31 +561,57 @@ impl ClusterConfig {
     }
 
     /// Applies one mismatch penalty to every node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the penalty is below 1.
-    pub fn with_mismatch_slowdown(mut self, slowdown: f64) -> Self {
-        assert!(
-            slowdown >= 1.0 && slowdown.is_finite(),
-            "mismatch slowdown must be >= 1"
-        );
+    pub fn mismatch_slowdown(mut self, slowdown: f64) -> Self {
         for node in &mut self.nodes {
             node.mismatch_slowdown = slowdown;
         }
         self
     }
 
-    /// Replaces the serving front-end configuration.
+    /// Applies one capacity (speed factor in `(0, 1]`) to every node.
+    pub fn capacity(mut self, capacity: f64) -> Self {
+        for node in &mut self.nodes {
+            node.capacity = capacity;
+        }
+        self
+    }
+
+    /// Sets one node's capacity (heterogeneous speeds / DVFS states).
     ///
     /// # Panics
     ///
-    /// Panics if the front-end knobs are out of range
-    /// ([`FrontendConfig::validate`]).
-    pub fn with_frontend(mut self, frontend: FrontendConfig) -> Self {
-        frontend.validate();
+    /// Panics if `node` is out of range.
+    pub fn node_capacity(mut self, node: usize, capacity: f64) -> Self {
+        self.nodes[node].capacity = capacity;
+        self
+    }
+
+    /// Replaces the serving front-end configuration.
+    pub fn frontend(mut self, frontend: FrontendConfig) -> Self {
         self.frontend = frontend;
         self
+    }
+
+    /// Replaces the transfer-cost model.
+    pub fn transfer_cost(mut self, transfer_cost: TransferCostConfig) -> Self {
+        self.transfer_cost = transfer_cost;
+        self
+    }
+
+    /// Validates every knob and produces the config.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a field-specific message on the first out-of-range
+    /// knob ([`ClusterConfig::validate`]).
+    pub fn build(self) -> ClusterConfig {
+        let config = ClusterConfig {
+            nodes: self.nodes,
+            frontend: self.frontend,
+            transfer_cost: self.transfer_cost,
+        };
+        config.validate();
+        config
     }
 }
 
@@ -371,6 +631,22 @@ mod tests {
         let node = NodeConfig::new(AcceleratorKind::Sanger, Policy::Fcfs);
         assert_eq!(node.scale_for(ModelFamily::AttNn), 1.0);
         assert_eq!(node.scale_for(ModelFamily::Cnn), DEFAULT_MISMATCH_SLOWDOWN);
+    }
+
+    #[test]
+    fn effective_scale_divides_by_capacity_and_is_exact_at_full_speed() {
+        let mut node = NodeConfig::new(AcceleratorKind::EyerissV2, Policy::Fcfs);
+        // Bit-exact with the mismatch-only scale at capacity 1.
+        assert_eq!(
+            node.effective_scale(ModelFamily::Cnn).to_bits(),
+            node.scale_for(ModelFamily::Cnn).to_bits()
+        );
+        node.capacity = 0.5;
+        assert_eq!(node.effective_scale(ModelFamily::Cnn), 2.0);
+        assert_eq!(
+            node.effective_scale(ModelFamily::AttNn),
+            DEFAULT_MISMATCH_SLOWDOWN * 2.0
+        );
     }
 
     #[test]
@@ -399,16 +675,40 @@ mod tests {
         assert!(f.steal.is_none() && f.migration.is_none());
         f.validate();
         FrontendConfig::serving().validate();
+        FrontendConfig::serving_costed().validate();
+    }
+
+    #[test]
+    fn costed_presets_are_stricter_than_free_defaults() {
+        assert!(StealConfig::costed().min_imbalance > StealConfig::default().min_imbalance);
+        assert!(MigrationConfig::costed().min_imbalance > MigrationConfig::default().min_imbalance);
+        assert!(
+            MigrationConfig::costed().max_per_request < MigrationConfig::default().max_per_request
+        );
+    }
+
+    #[test]
+    fn transfer_cost_estimate_is_base_plus_compute_fraction() {
+        assert!(TransferCostConfig::FREE.is_free());
+        let costed = TransferCostConfig {
+            base_ns: 500,
+            compute_fraction: 0.1,
+        };
+        assert!(!costed.is_free());
+        // avg isolated latency 4000 -> 500 + 400.
+        assert_eq!(costed.estimate_ns(4_000.0), 900);
+        assert_eq!(TransferCostConfig::FREE.estimate_ns(4_000.0), 0);
     }
 
     #[test]
     #[should_panic(expected = "admission batch must be at least 1")]
     fn zero_admission_batch_rejected() {
-        let c = ClusterConfig::homogeneous(1, AcceleratorKind::EyerissV2, Policy::Fcfs);
-        let _ = c.with_frontend(FrontendConfig {
-            admit_batch: 0,
-            ..FrontendConfig::default()
-        });
+        let _ = ClusterBuilder::homogeneous(1, AcceleratorKind::EyerissV2, Policy::Fcfs)
+            .frontend(FrontendConfig {
+                admit_batch: 0,
+                ..FrontendConfig::default()
+            })
+            .build();
     }
 
     #[test]
@@ -422,5 +722,23 @@ mod tests {
             ..FrontendConfig::default()
         }
         .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "node 1: capacity must be in (0, 1]")]
+    fn overclocked_capacity_rejected() {
+        let _ = ClusterBuilder::homogeneous(2, AcceleratorKind::EyerissV2, Policy::Fcfs)
+            .node_capacity(1, 1.5)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch slowdown must be >= 1")]
+    fn hand_assembled_config_is_still_validated() {
+        // The builder is the normal path, but a field-mutated config must
+        // not sneak past: validate() is the single choke point.
+        let mut config = ClusterConfig::homogeneous(2, AcceleratorKind::EyerissV2, Policy::Fcfs);
+        config.nodes[0].mismatch_slowdown = 0.3;
+        config.validate();
     }
 }

@@ -1,22 +1,30 @@
-//! Pluggable request-dispatch policies.
+//! Pluggable request-dispatch policies and the shared decision context.
 //!
 //! The dispatcher is the cluster-level analogue of the node-level
-//! [`dysta_core::Scheduler`]: it is consulted with a snapshot of every
-//! node as it could have been observed at that instant, and returns the
-//! node that will serve the request. The serving front-end consults it
-//! when a request leaves the admission queue — and again whenever the
-//! migration pass re-offers a queued, never-started request from a node
-//! that fell behind its backlog estimate. Re-offers go through the
-//! read-only [`Dispatcher::peek`] path first, and only an *applied*
-//! move charges stateful policies (a rejected candidate never perturbs
-//! the round-robin cursor).
+//! [`dysta_core::Scheduler`]: it is consulted through a
+//! [`DispatchContext`] — a snapshot of every node as it could have been
+//! observed at that instant plus the LUT and the pool's transfer-cost
+//! model — and returns the node that will serve the request. The serving
+//! front-end consults it when a request leaves the admission queue — and
+//! again whenever the migration pass re-offers a queued, never-started
+//! request from a node that fell behind its backlog estimate. Re-offers
+//! go through the read-only [`Dispatcher::peek`] path first, and only an
+//! *applied* move charges stateful policies (a rejected candidate never
+//! perturbs the round-robin cursor).
+//!
+//! The same context type feeds the steal and migration sides of the
+//! [`crate::ClusterPolicy`] family (see the `policy` module), so every
+//! cluster-level decision — routing, victim choice, migration acceptance
+//! — reads one coherent view of the pool.
 
 use dysta_core::ModelInfoLut;
+use dysta_models::ModelFamily;
 use dysta_workload::Request;
 
-use crate::AcceleratorKind;
+use crate::{AcceleratorKind, TransferCostConfig};
 
-/// What a dispatcher can observe about one node at a scheduling point.
+/// What a cluster policy can observe about one node at a scheduling
+/// point.
 ///
 /// Snapshots are plain data, computed eagerly for every node at every
 /// arrival so dispatchers stay pure functions over them; if dispatch
@@ -28,25 +36,114 @@ use crate::AcceleratorKind;
 /// estimate any dispatcher could precompute, while
 /// `predicted_backlog_ns` folds in the runtime sparsity monitor via the
 /// [`dysta_core::SparseLatencyPredictor`] — the cluster-level use of the
-/// paper's Algorithm 3.
+/// paper's Algorithm 3. The deadline summaries
+/// (`earliest_deadline_ns` / `total_slack_ns`) expose the SLO pressure
+/// of the node's queue to deadline-aware policies such as
+/// [`EarliestDeadlineFirst`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeView {
     /// Node id (index into the cluster's node list).
     pub id: usize,
     /// Installed accelerator.
     pub accelerator: AcceleratorKind,
+    /// Node speed factor in `(0, 1]` ([`crate::NodeConfig::capacity`]).
+    pub capacity: f64,
+    /// Service-time multiplier for family-mismatched requests
+    /// ([`crate::NodeConfig::mismatch_slowdown`]).
+    pub mismatch_slowdown: f64,
     /// Node-local clock.
     pub now_ns: u64,
     /// Unfinished requests on the node (admitted + queued).
     pub queue_len: usize,
     /// Remaining queued work estimated from LUT averages, scaled by each
-    /// request's node-local service-time multiplier.
+    /// request's node-local service-time multiplier (which folds in the
+    /// node capacity).
     pub lut_backlog_ns: f64,
     /// Remaining queued work estimated by the sparse latency predictor
     /// from each in-flight request's monitored sparsity stream.
     pub predicted_backlog_ns: f64,
+    /// Earliest absolute deadline among the node's unfinished requests
+    /// (`u64::MAX` when the node is drained).
+    pub earliest_deadline_ns: u64,
+    /// Sum over unfinished requests of `deadline − now − est_remaining`
+    /// (LUT estimate, node-scaled): how much SLO headroom the queue has
+    /// in aggregate. Negative when the queue is already overcommitted.
+    pub total_slack_ns: f64,
+    /// Estimated weight/activation re-fetch cost of moving this node's
+    /// average queued request to a peer (0 when the queue is empty or
+    /// transfers are free) — the per-node aggregate price signal of the
+    /// pool's [`TransferCostConfig`], for custom policies that weigh
+    /// rebalance pressure at dispatch time. The shipped steal/migration
+    /// policies price individual moves instead, via
+    /// [`crate::StealCandidate::transfer_cost_ns`] and
+    /// [`DispatchContext::request_transfer_cost_ns`].
+    pub transfer_cost_ns: u64,
     /// Service time the node has executed so far.
     pub busy_ns: u64,
+}
+
+impl NodeView {
+    /// The service-time scale a request of `family` would pay here —
+    /// the same formula the engine charges through
+    /// [`crate::NodeConfig::effective_scale`] (one shared definition,
+    /// so the dispatcher's cost model cannot desync from what requests
+    /// actually pay).
+    pub fn service_scale(&self, family: ModelFamily) -> f64 {
+        crate::config::effective_scale(
+            self.accelerator.serves(family),
+            self.mismatch_slowdown,
+            self.capacity,
+        )
+    }
+}
+
+/// Everything a cluster-level decision gets to look at: causal node
+/// snapshots, the profiled LUT, and the pool's transfer-cost model, at
+/// one instant of simulated time.
+///
+/// Shared by all three policy kinds ([`Dispatcher`],
+/// [`crate::StealPolicy`], [`crate::MigrationPolicy`]) so their
+/// decisions are made against the same information surface.
+#[derive(Clone, Copy)]
+pub struct DispatchContext<'a> {
+    /// The decision instant (front-end sim-time).
+    pub now_ns: u64,
+    /// One causal snapshot per node, in node-id order.
+    pub nodes: &'a [NodeView],
+    /// Profiled per-variant statistics.
+    pub lut: &'a ModelInfoLut,
+    /// The pool's transfer-cost model.
+    pub transfer_cost: &'a TransferCostConfig,
+    /// `Some(src)` when the request being routed is a migration
+    /// re-offer already queued on node `src` — that node's backlog
+    /// estimates *include* the request itself, so estimate-projecting
+    /// policies (e.g. [`EarliestDeadlineFirst`]) must not charge its
+    /// service there a second time. `None` on the admission path.
+    pub reoffer_src: Option<usize>,
+}
+
+impl DispatchContext<'_> {
+    /// Pool-mean LUT-estimated backlog — the reference level the steal
+    /// and migration thresholds are expressed against.
+    pub fn mean_lut_backlog_ns(&self) -> f64 {
+        self.nodes.iter().map(|n| n.lut_backlog_ns).sum::<f64>() / self.nodes.len() as f64
+    }
+
+    /// The estimated re-fetch cost of moving `request` between any two
+    /// nodes. An unprofiled variant (no LUT entry to size the variable
+    /// part from) still pays the flat `base_ns`.
+    pub fn request_transfer_cost_ns(&self, request: &Request) -> u64 {
+        if self.transfer_cost.is_free() {
+            return 0;
+        }
+        self.lut
+            .variant_id(&request.spec)
+            .map(|v| {
+                self.transfer_cost
+                    .estimate_ns(self.lut.info(v).avg_latency_ns())
+            })
+            .unwrap_or(self.transfer_cost.base_ns)
+    }
 }
 
 /// A cluster-level request router.
@@ -62,22 +159,22 @@ pub trait Dispatcher {
     ///
     /// # Panics
     ///
-    /// Implementations may panic if `nodes` is empty; the cluster engine
-    /// never calls with an empty pool.
-    fn peek(&self, request: &Request, nodes: &[NodeView], lut: &ModelInfoLut) -> usize;
+    /// Implementations may panic if `ctx.nodes` is empty; the cluster
+    /// engine never calls with an empty pool.
+    fn peek(&self, request: &Request, ctx: &DispatchContext<'_>) -> usize;
 
     /// Chooses the node that will serve `request` and advances any
     /// internal policy state (e.g. the round-robin cursor). Returns an
-    /// index into `nodes`, and must agree with [`Dispatcher::peek`] on
-    /// the same snapshot. The default forwards to `peek` — correct for
-    /// every stateless policy.
+    /// index into `ctx.nodes`, and must agree with [`Dispatcher::peek`]
+    /// on the same snapshot. The default forwards to `peek` — correct
+    /// for every stateless policy.
     ///
     /// # Panics
     ///
-    /// Implementations may panic if `nodes` is empty; the cluster engine
-    /// never calls with an empty pool.
-    fn dispatch(&mut self, request: &Request, nodes: &[NodeView], lut: &ModelInfoLut) -> usize {
-        self.peek(request, nodes, lut)
+    /// Implementations may panic if `ctx.nodes` is empty; the cluster
+    /// engine never calls with an empty pool.
+    fn dispatch(&mut self, request: &Request, ctx: &DispatchContext<'_>) -> usize {
+        self.peek(request, ctx)
     }
 }
 
@@ -100,13 +197,13 @@ impl Dispatcher for RoundRobin {
         "round-robin"
     }
 
-    fn peek(&self, _request: &Request, nodes: &[NodeView], _lut: &ModelInfoLut) -> usize {
-        self.next % nodes.len()
+    fn peek(&self, _request: &Request, ctx: &DispatchContext<'_>) -> usize {
+        self.next % ctx.nodes.len()
     }
 
-    fn dispatch(&mut self, request: &Request, nodes: &[NodeView], lut: &ModelInfoLut) -> usize {
-        let pick = self.peek(request, nodes, lut);
-        self.next = (self.next + 1) % nodes.len();
+    fn dispatch(&mut self, request: &Request, ctx: &DispatchContext<'_>) -> usize {
+        let pick = self.peek(request, ctx);
+        self.next = (self.next + 1) % ctx.nodes.len();
         pick
     }
 }
@@ -129,8 +226,8 @@ impl Dispatcher for JoinShortestQueue {
         "jsq"
     }
 
-    fn peek(&self, _request: &Request, nodes: &[NodeView], _lut: &ModelInfoLut) -> usize {
-        nodes
+    fn peek(&self, _request: &Request, ctx: &DispatchContext<'_>) -> usize {
+        ctx.nodes
             .iter()
             .min_by(|a, b| {
                 a.lut_backlog_ns
@@ -161,8 +258,8 @@ impl Dispatcher for LeastLoaded {
         "least-loaded"
     }
 
-    fn peek(&self, _request: &Request, nodes: &[NodeView], _lut: &ModelInfoLut) -> usize {
-        nodes
+    fn peek(&self, _request: &Request, ctx: &DispatchContext<'_>) -> usize {
+        ctx.nodes
             .iter()
             .min_by(|a, b| by_predicted_backlog(a, b))
             .map(|n| n.id)
@@ -190,13 +287,120 @@ impl Dispatcher for SparsityAffinity {
         "affinity"
     }
 
-    fn peek(&self, request: &Request, nodes: &[NodeView], _lut: &ModelInfoLut) -> usize {
+    fn peek(&self, request: &Request, ctx: &DispatchContext<'_>) -> usize {
         let family = request.spec.model.family();
-        nodes
+        ctx.nodes
             .iter()
             .filter(|n| n.accelerator.serves(family))
             .min_by(|a, b| by_predicted_backlog(a, b))
-            .or_else(|| nodes.iter().min_by(|a, b| by_predicted_backlog(a, b)))
+            .or_else(|| ctx.nodes.iter().min_by(|a, b| by_predicted_backlog(a, b)))
+            .map(|n| n.id)
+            .expect("cluster engine never passes an empty pool")
+    }
+}
+
+/// Cluster-level EDF-family routing on slack: places the request on the
+/// node that leaves it the most deadline headroom, spilling across
+/// accelerator families only when the deadline demands it.
+///
+/// For every node the policy projects the request's completion —
+/// `max(node clock, now)` plus the node's predictor-estimated backlog
+/// (the same tier [`SparsityAffinity`] ranks with) plus the request's
+/// own LUT estimate under the node's *effective* service scale
+/// (mismatch penalty over capacity) — giving a per-node slack
+/// `deadline − projected completion`
+/// ([`dysta_workload::Request::slack_ns`]). Routing is three-stage:
+///
+/// 1. Among family-native nodes that still meet the deadline
+///    (slack ≥ 0), pick the least predictor-estimated backlog — the
+///    exact ordering [`SparsityAffinity`] uses, so under no deadline
+///    pressure the two policies route identically and EDF inherits
+///    affinity's ANTT. Unlike affinity, a node whose capacity or
+///    straddling clock makes the inbound request *miss* its deadline is
+///    excluded here even if its queue is the shortest.
+/// 2. When no native node can hold the SLO but some foreign node can,
+///    spill to the least-backlogged feasible node. Paying the 2.5×
+///    mismatch penalty is exactly the trade a violation-minimizing
+///    router must make once the matched nodes are saturated — and it is
+///    never made while a native node can still hold the deadline.
+/// 3. When *nobody* can hold the deadline, the violation is already
+///    decided: fall back to affinity's exact pick (least-backlogged
+///    native), rather than dumping a doomed mismatched request onto the
+///    other family's nodes where it would stall their tighter traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EarliestDeadlineFirst;
+
+impl EarliestDeadlineFirst {
+    /// Creates an EDF dispatcher.
+    pub fn new() -> Self {
+        EarliestDeadlineFirst
+    }
+
+    /// The request's projected slack if routed to `node` now: deadline
+    /// minus projected completion under the node's effective scale. For
+    /// a migration re-offer evaluated against its own source node
+    /// ([`DispatchContext::reoffer_src`]), the node's backlog already
+    /// contains the request, so its service is not charged again.
+    pub fn projected_slack_ns(
+        request: &Request,
+        node: &NodeView,
+        ctx: &DispatchContext<'_>,
+    ) -> i64 {
+        let own = if ctx.reoffer_src == Some(node.id) {
+            0.0
+        } else {
+            let est = ctx
+                .lut
+                .variant_id(&request.spec)
+                .map(|v| ctx.lut.info(v).avg_latency_ns())
+                .unwrap_or(0.0);
+            est * node.service_scale(request.spec.model.family())
+        };
+        let start = node.now_ns.max(ctx.now_ns);
+        // The queue ahead is estimated with the sparsity predictor, the
+        // inbound request with its LUT average (it has no monitored
+        // stream yet).
+        let wait = (node.predicted_backlog_ns + own).round().max(0.0) as u64;
+        request.slack_ns(start, wait)
+    }
+}
+
+impl Dispatcher for EarliestDeadlineFirst {
+    fn name(&self) -> &str {
+        "edf"
+    }
+
+    fn peek(&self, request: &Request, ctx: &DispatchContext<'_>) -> usize {
+        let family = request.spec.model.family();
+        let feasible =
+            |n: &&NodeView| EarliestDeadlineFirst::projected_slack_ns(request, n, ctx) >= 0;
+        // Stage 1: feasible native nodes, balanced exactly like
+        // SparsityAffinity balances.
+        if let Some(node) = ctx
+            .nodes
+            .iter()
+            .filter(|n| n.accelerator.serves(family))
+            .filter(feasible)
+            .min_by(|a, b| by_predicted_backlog(a, b))
+        {
+            return node.id;
+        }
+        // Stage 2: deadline pressure — spill to a feasible node of any
+        // family.
+        if let Some(node) = ctx
+            .nodes
+            .iter()
+            .filter(feasible)
+            .min_by(|a, b| by_predicted_backlog(a, b))
+        {
+            return node.id;
+        }
+        // Stage 3: the deadline is lost everywhere — affinity's pick.
+        ctx.nodes
+            .iter()
+            .filter(|n| n.accelerator.serves(family))
+            .min_by(|a, b| by_predicted_backlog(a, b))
+            .or_else(|| ctx.nodes.iter().min_by(|a, b| by_predicted_backlog(a, b)))
             .map(|n| n.id)
             .expect("cluster engine never passes an empty pool")
     }
@@ -221,11 +425,23 @@ pub enum DispatchPolicy {
     LeastLoaded,
     /// [`SparsityAffinity`].
     SparsityAffinity,
+    /// [`EarliestDeadlineFirst`].
+    EarliestDeadlineFirst,
 }
 
 impl DispatchPolicy {
     /// All policies, baseline first.
-    pub const ALL: [DispatchPolicy; 4] = [
+    pub const ALL: [DispatchPolicy; 5] = [
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::JoinShortestQueue,
+        DispatchPolicy::LeastLoaded,
+        DispatchPolicy::SparsityAffinity,
+        DispatchPolicy::EarliestDeadlineFirst,
+    ];
+
+    /// The original PR-1 policy set (no EDF) — the grid the recorded
+    /// golden fixtures and the like-for-like perf history sweep.
+    pub const CLASSIC: [DispatchPolicy; 4] = [
         DispatchPolicy::RoundRobin,
         DispatchPolicy::JoinShortestQueue,
         DispatchPolicy::LeastLoaded,
@@ -239,6 +455,7 @@ impl DispatchPolicy {
             DispatchPolicy::JoinShortestQueue => "jsq",
             DispatchPolicy::LeastLoaded => "least-loaded",
             DispatchPolicy::SparsityAffinity => "affinity",
+            DispatchPolicy::EarliestDeadlineFirst => "edf",
         }
     }
 
@@ -249,6 +466,7 @@ impl DispatchPolicy {
             DispatchPolicy::JoinShortestQueue => Box::new(JoinShortestQueue::new()),
             DispatchPolicy::LeastLoaded => Box::new(LeastLoaded::new()),
             DispatchPolicy::SparsityAffinity => Box::new(SparsityAffinity::new()),
+            DispatchPolicy::EarliestDeadlineFirst => Box::new(EarliestDeadlineFirst::new()),
         }
     }
 }
@@ -270,11 +488,26 @@ mod tests {
         NodeView {
             id,
             accelerator,
+            capacity: 1.0,
+            mismatch_slowdown: 2.5,
             now_ns: 0,
             queue_len: 0,
             lut_backlog_ns: lut,
             predicted_backlog_ns: predicted,
+            earliest_deadline_ns: u64::MAX,
+            total_slack_ns: 0.0,
+            transfer_cost_ns: 0,
             busy_ns: 0,
+        }
+    }
+
+    fn ctx<'a>(nodes: &'a [NodeView], lut: &'a ModelInfoLut) -> DispatchContext<'a> {
+        DispatchContext {
+            now_ns: 0,
+            nodes,
+            lut,
+            transfer_cost: &TransferCostConfig::FREE,
+            reoffer_src: None,
         }
     }
 
@@ -296,10 +529,11 @@ mod tests {
         ];
         let mut rr = RoundRobin::new();
         let lut = ModelInfoLut::default();
+        let ctx = ctx(&views, &lut);
         let req = cnn_request();
-        assert_eq!(rr.dispatch(&req, &views, &lut), 0);
-        assert_eq!(rr.dispatch(&req, &views, &lut), 1);
-        assert_eq!(rr.dispatch(&req, &views, &lut), 0);
+        assert_eq!(rr.dispatch(&req, &ctx), 0);
+        assert_eq!(rr.dispatch(&req, &ctx), 1);
+        assert_eq!(rr.dispatch(&req, &ctx), 0);
     }
 
     #[test]
@@ -310,14 +544,15 @@ mod tests {
             view(2, AcceleratorKind::Sanger, 1.0, 1.0),
         ];
         let lut = ModelInfoLut::default();
+        let ctx = ctx(&views, &lut);
         let req = cnn_request();
         for policy in DispatchPolicy::ALL {
             let mut d = policy.build();
             // Any number of peeks is free of side effects...
-            let peeked = d.peek(&req, &views, &lut);
-            assert_eq!(d.peek(&req, &views, &lut), peeked, "{policy}");
+            let peeked = d.peek(&req, &ctx);
+            assert_eq!(d.peek(&req, &ctx), peeked, "{policy}");
             // ...and dispatch agrees with the last peek on the snapshot.
-            assert_eq!(d.dispatch(&req, &views, &lut), peeked, "{policy}");
+            assert_eq!(d.dispatch(&req, &ctx), peeked, "{policy}");
         }
     }
 
@@ -331,9 +566,10 @@ mod tests {
             view(1, AcceleratorKind::EyerissV2, 5.0, 8.0),
         ];
         let lut = ModelInfoLut::default();
+        let ctx = ctx(&views, &lut);
         let req = cnn_request();
-        assert_eq!(JoinShortestQueue::new().dispatch(&req, &views, &lut), 1);
-        assert_eq!(LeastLoaded::new().dispatch(&req, &views, &lut), 0);
+        assert_eq!(JoinShortestQueue::new().dispatch(&req, &ctx), 1);
+        assert_eq!(LeastLoaded::new().dispatch(&req, &ctx), 0);
     }
 
     #[test]
@@ -344,8 +580,9 @@ mod tests {
             view(2, AcceleratorKind::EyerissV2, 3.0, 3.0),
         ];
         let lut = ModelInfoLut::default();
+        let ctx = ctx(&views, &lut);
         let req = cnn_request();
-        assert_eq!(SparsityAffinity::new().dispatch(&req, &views, &lut), 2);
+        assert_eq!(SparsityAffinity::new().dispatch(&req, &ctx), 2);
     }
 
     #[test]
@@ -355,8 +592,63 @@ mod tests {
             view(1, AcceleratorKind::Sanger, 1.0, 1.0),
         ];
         let lut = ModelInfoLut::default();
+        let ctx = ctx(&views, &lut);
         let req = cnn_request();
-        assert_eq!(SparsityAffinity::new().dispatch(&req, &views, &lut), 1);
+        assert_eq!(SparsityAffinity::new().dispatch(&req, &ctx), 1);
+    }
+
+    #[test]
+    fn edf_dodges_infeasible_nodes_spills_under_pressure_and_falls_back_to_affinity() {
+        // Node 0 has the shorter queue (affinity's pick) but its clock
+        // already straddles far enough that the request's deadline dies
+        // there; node 1 can still make it. (Empty LUT: the request's own
+        // estimate is 0, so slack = deadline − start − backlog.)
+        let mut straddling = view(0, AcceleratorKind::EyerissV2, 1.0e6, 1.0e6);
+        straddling.now_ns = 4_000_000;
+        let views = [
+            straddling,
+            view(1, AcceleratorKind::EyerissV2, 3.0e6, 3.0e6),
+        ];
+        let lut = ModelInfoLut::default();
+        let ctx = ctx(&views, &lut);
+        let req = Request {
+            slo_ns: 4_500_000,
+            ..cnn_request()
+        };
+        assert_eq!(SparsityAffinity::new().dispatch(&req, &ctx), 0);
+        assert_eq!(EarliestDeadlineFirst::new().dispatch(&req, &ctx), 1);
+
+        // Same pressure, but node 1 is a Sanger: no native node can hold
+        // the deadline, the foreign node can — EDF spills.
+        let mut spill = views;
+        spill[1].accelerator = AcceleratorKind::Sanger;
+        let ctx2 = DispatchContext {
+            nodes: &spill,
+            ..ctx
+        };
+        assert_eq!(EarliestDeadlineFirst::new().dispatch(&req, &ctx2), 1);
+
+        // Deadline lost everywhere: EDF makes affinity's exact pick (the
+        // least-backlogged native) instead of dumping the doomed request
+        // on the other family.
+        let doomed = Request {
+            slo_ns: 500_000,
+            ..cnn_request()
+        };
+        assert_eq!(
+            EarliestDeadlineFirst::new().dispatch(&doomed, &ctx2),
+            SparsityAffinity::new().dispatch(&doomed, &ctx2)
+        );
+    }
+
+    #[test]
+    fn service_scale_folds_mismatch_and_capacity() {
+        let mut n = view(0, AcceleratorKind::EyerissV2, 0.0, 0.0);
+        assert_eq!(n.service_scale(ModelFamily::Cnn), 1.0);
+        assert_eq!(n.service_scale(ModelFamily::AttNn), 2.5);
+        n.capacity = 0.5;
+        assert_eq!(n.service_scale(ModelFamily::Cnn), 2.0);
+        assert_eq!(n.service_scale(ModelFamily::AttNn), 5.0);
     }
 
     #[test]
@@ -364,5 +656,6 @@ mod tests {
         for policy in DispatchPolicy::ALL {
             assert_eq!(policy.build().name(), policy.name());
         }
+        assert_eq!(DispatchPolicy::EarliestDeadlineFirst.name(), "edf");
     }
 }

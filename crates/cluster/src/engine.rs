@@ -1,6 +1,14 @@
-//! The cluster event loop: N node engines behind one dispatcher, fed by
-//! the serving front-end (admission batching, work stealing, request
-//! migration).
+//! The cluster event loop: N node engines behind one [`ClusterPolicy`],
+//! fed by the serving front-end (admission batching, work stealing,
+//! request migration).
+//!
+//! The loop only *sequences*: it advances nodes causally, snapshots the
+//! pool into a [`DispatchContext`], consults the policy family
+//! (dispatcher for routing, [`crate::StealPolicy`] for victim choice,
+//! [`crate::MigrationPolicy`] for rebalance acceptance), and applies
+//! whatever they decide — charging the pool's
+//! [`crate::TransferCostConfig`] on every applied move. All decision
+//! logic lives behind the policy traits.
 
 use std::collections::VecDeque;
 
@@ -8,12 +16,17 @@ use dysta_core::{ModelInfoLut, SparseLatencyPredictor};
 use dysta_sim::NodeEngine;
 use dysta_workload::{Request, Workload};
 
-use crate::dispatch::{Dispatcher, NodeView};
+use crate::dispatch::{DispatchContext, Dispatcher, NodeView};
+use crate::policy::{
+    BacklogGainSteal, BacklogThresholdMigration, ClusterPolicy, MigrationPolicy, StealCandidate,
+    StealPolicy,
+};
 use crate::report::{ClusterReport, NodeReport, ServingStats};
 use crate::{ClusterConfig, FrontendConfig};
 
-/// Replays `workload` on a cluster of nodes behind `dispatcher`,
-/// honouring the pool's [`FrontendConfig`].
+/// Replays `workload` on a cluster of nodes behind `dispatcher` with the
+/// default steal and migration policies, honouring the pool's
+/// [`FrontendConfig`].
 ///
 /// Causality: before any front-end action at sim-time `t` (batch
 /// dispatch, steal check, rebalance pass), every node is advanced up to
@@ -26,14 +39,16 @@ use crate::{ClusterConfig, FrontendConfig};
 /// [`dysta_sim::simulate`] on a 1-node pool. With batching enabled,
 /// requests queue at the front-end and are dispatched `k` at a time (or
 /// when the admission timer fires); with stealing/migration enabled,
-/// periodic passes move queued, never-started requests between nodes.
+/// periodic passes move queued, never-started requests between nodes,
+/// each move paying the configured transfer cost on the receiving node.
 ///
 /// Deterministic: identical inputs produce identical reports.
 ///
 /// # Panics
 ///
-/// Panics if the workload is empty, the front-end knobs are out of range,
-/// or the dispatcher returns an out-of-range node index.
+/// Panics if the workload is empty, any config knob is out of range
+/// ([`ClusterConfig::validate`]), or the dispatcher returns an
+/// out-of-range node index.
 ///
 /// # Examples
 ///
@@ -56,9 +71,50 @@ pub fn simulate_cluster(
     dispatcher: &mut dyn Dispatcher,
     config: &ClusterConfig,
 ) -> ClusterReport {
+    run_cluster(
+        workload,
+        dispatcher,
+        &BacklogGainSteal::new(),
+        &BacklogThresholdMigration::new(),
+        config,
+    )
+}
+
+/// Replays `workload` under a full [`ClusterPolicy`] bundle — custom
+/// steal and migration policies next to the dispatcher. Semantics are
+/// identical to [`simulate_cluster`], which is this function applied to
+/// the default bundle.
+///
+/// # Panics
+///
+/// As [`simulate_cluster`].
+pub fn simulate_cluster_with(
+    workload: &Workload,
+    policy: &mut ClusterPolicy,
+    config: &ClusterConfig,
+) -> ClusterReport {
+    run_cluster(
+        workload,
+        policy.dispatcher.as_mut(),
+        policy.steal.as_ref(),
+        policy.migration.as_ref(),
+        config,
+    )
+}
+
+fn run_cluster(
+    workload: &Workload,
+    dispatcher: &mut dyn Dispatcher,
+    steal_policy: &dyn StealPolicy,
+    migration_policy: &dyn MigrationPolicy,
+    config: &ClusterConfig,
+) -> ClusterReport {
     let requests = workload.requests();
     assert!(!requests.is_empty(), "workload must contain requests");
-    config.frontend.validate();
+    // Every range invariant — node knobs, front-end, transfer cost — is
+    // checked once here, so hand-assembled configs cannot reach the
+    // engine unvalidated.
+    config.validate();
     // The front-end indexes requests by id for re-dispatch; a workload
     // assembled with non-dense ids would silently mis-account waits and
     // migrations, so this is a hard precondition (O(n), once per run).
@@ -81,12 +137,15 @@ pub fn simulate_cluster(
         requests,
         config,
         dispatcher,
+        steal_policy,
+        migration_policy,
         lut,
         predictor,
         nodes,
         routed: vec![0; config.nodes.len()],
         transferred_in: vec![0; config.nodes.len()],
         transferred_out: vec![0; config.nodes.len()],
+        transfer_fetch_ns: vec![0; config.nodes.len()],
         admission_wait_ns: vec![0; requests.len()],
         migration_count: vec![0; requests.len()],
         steals: 0,
@@ -110,12 +169,15 @@ struct Frontend<'w, 'c> {
     requests: &'w [Request],
     config: &'c ClusterConfig,
     dispatcher: &'c mut dyn Dispatcher,
+    steal_policy: &'c dyn StealPolicy,
+    migration_policy: &'c dyn MigrationPolicy,
     lut: ModelInfoLut,
     predictor: SparseLatencyPredictor,
     nodes: Vec<NodeEngine<'w>>,
     routed: Vec<usize>,
     transferred_in: Vec<usize>,
     transferred_out: Vec<usize>,
+    transfer_fetch_ns: Vec<u64>,
     admission_wait_ns: Vec<u64>,
     migration_count: Vec<u32>,
     steals: u64,
@@ -227,46 +289,60 @@ impl<'w> Frontend<'w, '_> {
         }
     }
 
-    /// One causal snapshot of every node, in node-id order.
+    /// One causal snapshot of every node, in node-id order — the
+    /// [`NodeView`] slice every policy decision reads. One pass over
+    /// each node's queue computes the backlog estimates (in the same
+    /// summation order as always, so estimates are bit-stable), the
+    /// deadline summaries, and the mean transfer-cost signal.
     fn views(&self) -> Vec<NodeView> {
+        let free_transfers = self.config.transfer_cost.is_free();
         self.nodes
             .iter()
             .zip(&self.config.nodes)
-            .map(|(node, nc)| NodeView {
-                id: node.id(),
-                accelerator: nc.accelerator,
-                now_ns: node.now_ns(),
-                queue_len: node.queue_len(),
-                lut_backlog_ns: node.estimated_backlog_ns(|t| {
-                    self.lut.info(t.variant).avg_remaining_ns(t.next_layer)
-                }),
-                predicted_backlog_ns: node.estimated_backlog_ns(|t| {
-                    self.predictor.remaining_ns(t, self.lut.info(t.variant))
-                }),
-                busy_ns: node.busy_ns(),
+            .map(|(node, nc)| {
+                let mut lut_backlog_ns = 0.0;
+                let mut predicted_backlog_ns = 0.0;
+                let mut earliest_deadline_ns = u64::MAX;
+                let mut total_slack_ns = 0.0;
+                let mut cost_sum_ns = 0.0;
+                let mut movable = 0usize;
+                for (task, scale) in node.queued_tasks() {
+                    let info = self.lut.info(task.variant);
+                    let lut_remaining = info.avg_remaining_ns(task.next_layer) * scale;
+                    lut_backlog_ns += lut_remaining;
+                    predicted_backlog_ns += self.predictor.remaining_ns(task, info) * scale;
+                    let deadline = task.arrival_ns.saturating_add(task.slo_ns);
+                    earliest_deadline_ns = earliest_deadline_ns.min(deadline);
+                    total_slack_ns += deadline as f64 - node.now_ns() as f64 - lut_remaining;
+                    // Only unstarted requests can ever move, so only
+                    // they enter the node's price signal.
+                    if !free_transfers && !task.started() {
+                        cost_sum_ns +=
+                            self.config.transfer_cost.estimate_ns(info.avg_latency_ns()) as f64;
+                        movable += 1;
+                    }
+                }
+                let transfer_cost_ns = if movable == 0 {
+                    0
+                } else {
+                    (cost_sum_ns / movable as f64).round() as u64
+                };
+                NodeView {
+                    id: node.id(),
+                    accelerator: nc.accelerator,
+                    capacity: nc.capacity,
+                    mismatch_slowdown: nc.mismatch_slowdown,
+                    now_ns: node.now_ns(),
+                    queue_len: node.queue_len(),
+                    lut_backlog_ns,
+                    predicted_backlog_ns,
+                    earliest_deadline_ns,
+                    total_slack_ns,
+                    transfer_cost_ns,
+                    busy_ns: node.busy_ns(),
+                }
             })
             .collect()
-    }
-
-    /// LUT-estimated backlog of every node — the estimate the steal and
-    /// migration passes balance on.
-    fn lut_backlogs(&self) -> Vec<f64> {
-        self.nodes
-            .iter()
-            .map(|node| {
-                node.estimated_backlog_ns(|t| {
-                    self.lut.info(t.variant).avg_remaining_ns(t.next_layer)
-                })
-            })
-            .collect()
-    }
-
-    /// One causal snapshot of the pool plus the per-node LUT backlogs
-    /// derived from it (the estimate the rebalance passes compare on).
-    fn snapshot(&self) -> (Vec<NodeView>, Vec<f64>) {
-        let views = self.views();
-        let backlogs = views.iter().map(|v| v.lut_backlog_ns).collect();
-        (views, backlogs)
     }
 
     /// Panics when the dispatcher returned an out-of-range node index.
@@ -276,15 +352,6 @@ impl<'w> Frontend<'w, '_> {
             "dispatcher `{}` returned out-of-range node {target}",
             self.dispatcher.name()
         );
-    }
-
-    /// Routes one request through the dispatcher against fresh causal
-    /// views, validating the returned node index.
-    fn route(&mut self, request: &Request) -> usize {
-        let views = self.views();
-        let target = self.dispatcher.dispatch(request, &views, &self.lut);
-        self.check_target(target);
-        target
     }
 
     /// Flushes the admission queue at sim-time `t`: routes every queued
@@ -299,8 +366,17 @@ impl<'w> Frontend<'w, '_> {
         let requests = self.requests;
         while let Some(id) = queue.pop_front() {
             let request = &requests[id as usize];
-            let target = self.route(request);
-            let scale = self.config.nodes[target].scale_for(request.spec.model.family());
+            let views = self.views();
+            let ctx = DispatchContext {
+                now_ns: t,
+                nodes: &views,
+                lut: &self.lut,
+                transfer_cost: &self.config.transfer_cost,
+                reoffer_src: None,
+            };
+            let target = self.dispatcher.dispatch(request, &ctx);
+            self.check_target(target);
+            let scale = self.config.nodes[target].effective_scale(request.spec.model.family());
             self.nodes[target].enqueue_scaled_at(
                 request,
                 self.workload.trace_for(request),
@@ -312,22 +388,24 @@ impl<'w> Frontend<'w, '_> {
         }
     }
 
-    /// The periodic rebalance: nodes whose backlog estimate exceeds the
-    /// configured multiple of the pool mean get their queued,
-    /// never-started requests re-offered to the dispatcher; a request
-    /// moves when the dispatcher now routes it to a strictly
-    /// less-backlogged node and its migration budget allows. Candidates
-    /// are evaluated through the read-only [`Dispatcher::peek`] path —
-    /// only an applied move charges stateful policies, so a pass that
-    /// moves nothing cannot perturb how subsequent arrivals are routed.
+    /// The periodic rebalance: the [`MigrationPolicy`] selects which
+    /// nodes are behind, their queued, never-started requests are
+    /// re-offered to the dispatcher in arrival order, and the policy
+    /// accepts or rejects each proposed move (the engine additionally
+    /// enforces the per-request migration budget). Candidates are
+    /// evaluated through the read-only [`Dispatcher::peek`] path — only
+    /// an applied move charges stateful policies, so a pass that moves
+    /// nothing cannot perturb how subsequent arrivals are routed. An
+    /// applied move pays the transfer cost on the receiving node.
     fn migration_pass(&mut self, t: u64) {
         let cfg = self.config.frontend.migration.expect("pass implies config");
         let n = self.nodes.len();
         let requests = self.requests;
-        // Node snapshots (and the LUT backlogs derived from them) stay
-        // valid across rejected candidates (peek is read-only); only an
-        // applied move invalidates them.
-        let (mut views, mut backlogs) = self.snapshot();
+        // One snapshot serves the whole pass: it stays valid across
+        // rejected candidates and across source nodes (peek and the
+        // policy checks are read-only); only an applied move refreshes
+        // it.
+        let mut views = self.views();
         for src in 0..n {
             // Candidates in arrival order (the active list's order is
             // arbitrary), frozen before any movement from this node.
@@ -337,115 +415,131 @@ impl<'w> Frontend<'w, '_> {
                 .collect();
             candidates.sort_unstable();
             for (_, id) in candidates {
-                let mean = backlogs.iter().sum::<f64>() / n as f64;
-                if mean <= 0.0 || backlogs[src] <= cfg.min_imbalance * mean {
+                let ctx = DispatchContext {
+                    now_ns: t,
+                    nodes: &views,
+                    lut: &self.lut,
+                    transfer_cost: &self.config.transfer_cost,
+                    // The candidate is already queued on `src`, whose
+                    // backlog estimates include it — estimate-projecting
+                    // dispatchers must not charge it there twice.
+                    reoffer_src: Some(src),
+                };
+                if !self.migration_policy.should_rebalance(src, &ctx, &cfg) {
                     break; // src is no longer behind.
                 }
                 if self.migration_count[id as usize] >= cfg.max_per_request {
                     continue;
                 }
                 let request = &requests[id as usize];
-                let target = self.dispatcher.peek(request, &views, &self.lut);
+                let target = self.dispatcher.peek(request, &ctx);
                 self.check_target(target);
-                if target == src || backlogs[target] >= backlogs[src] {
+                if !self
+                    .migration_policy
+                    .accept(request, src, target, &ctx, &cfg)
+                {
                     continue;
                 }
                 // The move is real: charge the dispatcher's state from
                 // the same snapshot the decision was made on.
-                let charged = self.dispatcher.dispatch(request, &views, &self.lut);
+                let charged = self.dispatcher.dispatch(request, &ctx);
                 assert_eq!(
                     charged,
                     target,
                     "dispatcher `{}` peek/dispatch disagree on one snapshot",
                     self.dispatcher.name()
                 );
-                let dst_scale = self.config.nodes[target].scale_for(request.spec.model.family());
+                let fetch_ns = ctx.request_transfer_cost_ns(request);
+                let dst_scale =
+                    self.config.nodes[target].effective_scale(request.spec.model.family());
                 let transfer = self.nodes[src]
                     .take_unstarted(id)
                     .expect("candidate is queued and unstarted");
-                self.nodes[target].accept_transfer(transfer, dst_scale, t);
+                self.nodes[target].accept_transfer(transfer, dst_scale, t, fetch_ns);
                 self.transferred_out[src] += 1;
                 self.transferred_in[target] += 1;
+                self.transfer_fetch_ns[target] += fetch_ns;
                 self.migration_count[id as usize] += 1;
                 self.migrations += 1;
-                (views, backlogs) = self.snapshot();
+                views = self.views();
             }
         }
     }
 
-    /// The steal pass: each idle (fully drained) node pulls the best
-    /// queued, never-started request from the most-backlogged peer,
-    /// provided the pool is imbalanced enough and the move finishes the
-    /// request sooner than the victim's whole backlog would take.
+    /// Every queued, never-started request on every peer of `thief`,
+    /// priced for that thief (service estimates on both sides plus the
+    /// transfer cost).
+    fn steal_candidates(&self, thief: usize) -> Vec<StealCandidate> {
+        let thief_cfg = &self.config.nodes[thief];
+        let mut candidates = Vec::new();
+        for (victim, node) in self.nodes.iter().enumerate() {
+            if victim == thief {
+                continue;
+            }
+            for (task, victim_scale) in node.unstarted_tasks() {
+                let info = self.lut.info(task.variant);
+                let est_ns = info.avg_latency_ns();
+                let thief_scale = thief_cfg.effective_scale(task.spec.model.family());
+                candidates.push(StealCandidate {
+                    victim,
+                    task_id: task.id,
+                    arrival_ns: task.arrival_ns,
+                    deadline_ns: task.arrival_ns.saturating_add(task.slo_ns),
+                    est_ns,
+                    on_victim_ns: est_ns * victim_scale,
+                    on_thief_ns: est_ns * thief_scale,
+                    transfer_cost_ns: if self.config.transfer_cost.is_free() {
+                        0
+                    } else {
+                        self.config.transfer_cost.estimate_ns(est_ns)
+                    },
+                });
+            }
+        }
+        candidates
+    }
+
+    /// The steal pass: each idle (fully drained) node asks the
+    /// [`StealPolicy`] to pick from the pool's stealable requests; an
+    /// applied steal pays the transfer cost on the thief.
     fn steal_pass(&mut self, t: u64) {
         let cfg = self.config.frontend.steal.expect("pass implies config");
         let n = self.nodes.len();
-        // Backlogs stay valid across thieves that steal nothing; only an
-        // applied transfer invalidates them.
-        let mut backlogs = self.lut_backlogs();
+        // Snapshots stay valid across thieves that steal nothing; only
+        // an applied transfer invalidates them.
+        let mut views = self.views();
         for thief in 0..n {
             if !self.nodes[thief].is_drained() {
                 continue;
             }
-            let mean = backlogs.iter().sum::<f64>() / n as f64;
-            if mean <= 0.0 {
-                break; // Nothing queued anywhere.
-            }
-            // Most-backlogged peer holding stealable work; smaller id on
-            // ties.
-            let Some(victim) = (0..n)
-                .filter(|&v| v != thief && self.nodes[v].unstarted_tasks().next().is_some())
-                .max_by(|&a, &b| backlogs[a].total_cmp(&backlogs[b]).then(b.cmp(&a)))
-            else {
+            let candidates = self.steal_candidates(thief);
+            let ctx = DispatchContext {
+                now_ns: t,
+                nodes: &views,
+                lut: &self.lut,
+                transfer_cost: &self.config.transfer_cost,
+                reoffer_src: None,
+            };
+            let Some(pick) = self.steal_policy.choose(thief, &candidates, &ctx, &cfg) else {
                 continue;
             };
-            if backlogs[victim] < cfg.min_imbalance * mean {
-                continue;
-            }
-            // Best candidate: the request whose move frees the most
-            // victim time net of what the thief pays (ties: bigger
-            // victim-side estimate, then smaller id). Only requests the
-            // thief finishes sooner than the victim's whole backlog
-            // qualify — stealing must never extend the tail.
-            let mut best: Option<(f64, f64, u64)> = None;
-            for (task, victim_scale) in self.nodes[victim].unstarted_tasks() {
-                let est_ns = self.lut.info(task.variant).avg_latency_ns();
-                let thief_scale = self.config.nodes[thief].scale_for(task.spec.model.family());
-                let on_victim = est_ns * victim_scale;
-                let on_thief = est_ns * thief_scale;
-                if on_thief >= backlogs[victim] {
-                    continue;
-                }
-                let gain = on_victim - on_thief;
-                let better = match &best {
-                    None => true,
-                    Some((bg, bv, bid)) => match gain.total_cmp(bg) {
-                        std::cmp::Ordering::Greater => true,
-                        std::cmp::Ordering::Equal => match on_victim.total_cmp(bv) {
-                            std::cmp::Ordering::Greater => true,
-                            std::cmp::Ordering::Equal => task.id < *bid,
-                            std::cmp::Ordering::Less => false,
-                        },
-                        std::cmp::Ordering::Less => false,
-                    },
-                };
-                if better {
-                    best = Some((gain, on_victim, task.id));
-                }
-            }
-            let Some((_, _, id)) = best else {
-                continue;
-            };
-            let family = self.requests[id as usize].spec.model.family();
-            let scale = self.config.nodes[thief].scale_for(family);
-            let transfer = self.nodes[victim]
-                .take_unstarted(id)
+            assert!(
+                pick < candidates.len(),
+                "steal policy `{}` returned out-of-range candidate {pick}",
+                self.steal_policy.name()
+            );
+            let chosen = candidates[pick];
+            let family = self.requests[chosen.task_id as usize].spec.model.family();
+            let scale = self.config.nodes[thief].effective_scale(family);
+            let transfer = self.nodes[chosen.victim]
+                .take_unstarted(chosen.task_id)
                 .expect("chosen candidate is queued and unstarted");
-            self.nodes[thief].accept_transfer(transfer, scale, t);
-            self.transferred_out[victim] += 1;
+            self.nodes[thief].accept_transfer(transfer, scale, t, chosen.transfer_cost_ns);
+            self.transferred_out[chosen.victim] += 1;
             self.transferred_in[thief] += 1;
+            self.transfer_fetch_ns[thief] += chosen.transfer_cost_ns;
             self.steals += 1;
-            backlogs = self.lut_backlogs();
+            views = self.views();
         }
     }
 
@@ -456,6 +550,7 @@ impl<'w> Frontend<'w, '_> {
             routed,
             transferred_in,
             transferred_out,
+            transfer_fetch_ns,
             admission_wait_ns,
             migration_count,
             steals,
@@ -466,6 +561,7 @@ impl<'w> Frontend<'w, '_> {
             steals,
             migrations,
             max_migrations_single_request: migration_count.iter().copied().max().unwrap_or(0),
+            transfer_cost_ns: transfer_fetch_ns.iter().sum(),
             admission_wait_ns,
         };
         ClusterReport::with_serving(
@@ -479,6 +575,7 @@ impl<'w> Frontend<'w, '_> {
                     routed: routed[i],
                     transferred_in: transferred_in[i],
                     transferred_out: transferred_out[i],
+                    transfer_fetch_ns: transfer_fetch_ns[i],
                     busy_ns: node.busy_ns(),
                     report: node.into_report(),
                 })

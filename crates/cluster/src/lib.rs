@@ -4,38 +4,73 @@
 //! accelerator; this crate opens the scale-out dimension the ROADMAP's
 //! production north-star needs: a pool of N accelerator nodes — each a
 //! resumable [`dysta_sim::NodeEngine`] running its own scheduling policy
-//! — behind a pluggable cluster-level [`Dispatcher`].
+//! — behind the pluggable cluster-control family [`ClusterPolicy`].
 //!
-//! * [`ClusterConfig`] describes the pool: node count, per-node engine
-//!   parameters, and a (possibly heterogeneous) accelerator mix of
-//!   Eyeriss-V2 CNN nodes and Sanger attention nodes. Requests routed to
-//!   a mismatched accelerator pay a configurable service-time penalty.
-//! * [`Dispatcher`] is consulted once per request at its arrival time
-//!   with causal [`NodeView`] snapshots. Four policies ship:
-//!   [`RoundRobin`], [`JoinShortestQueue`] (by LUT-estimated queued
-//!   work), [`LeastLoaded`] (by the sparse latency predictor's estimate
-//!   — the paper's Algorithm 3 applied at cluster level), and
-//!   [`SparsityAffinity`] (family-matched routing for heterogeneous
-//!   pools).
-//! * [`FrontendConfig`] is the cluster's serving front-end: an
-//!   admission queue with configurable batching (dispatch every `k`
-//!   arrivals or every `Δt` of sim-time), plus optional **work
-//!   stealing** ([`StealConfig`]: idle nodes pull queued, never-started
-//!   requests from the most-backlogged peer) and **request migration**
-//!   ([`MigrationConfig`]: a periodic rebalance pass re-dispatches
-//!   queued requests off nodes that fell behind their backlog
-//!   estimate, capped per request).
-//! * [`ClusterReport`] aggregates per-node [`dysta_sim::SimReport`]s
-//!   into cluster-wide ANTT / SLO-violation / throughput plus per-node
-//!   utilization, load imbalance, turnaround percentiles
-//!   ([`LatencyPercentiles`]: p50/p90/p99), and the front-end's
-//!   steal/migration/admission-wait statistics ([`ServingStats`]).
+//! # The decision surface
+//!
+//! Every cluster-level decision is made by one of three traits, all
+//! consulted through the same [`DispatchContext`] (causal [`NodeView`]
+//! snapshots + the profiled LUT + the pool's [`TransferCostConfig`]):
+//!
+//! * [`Dispatcher`] routes each admitted request. Five policies ship:
+//!   [`RoundRobin`], [`JoinShortestQueue`] (LUT-estimated queued work),
+//!   [`LeastLoaded`] (sparse-latency-predictor backlog — the paper's
+//!   Algorithm 3 applied at cluster level), [`SparsityAffinity`]
+//!   (family-matched routing on heterogeneous Eyeriss+Sanger pools),
+//!   and [`EarliestDeadlineFirst`] (deadline-aware routing on projected
+//!   slack, charging each node's capacity and mismatch penalty against
+//!   the inbound request).
+//! * [`StealPolicy`] picks what an idle node pulls from its peers
+//!   (default: [`BacklogGainSteal`], the victim/gain rule the PR 3
+//!   engine hard-coded, generalized to price the transfer cost into
+//!   every prospective move).
+//! * [`MigrationPolicy`] gates the periodic rebalance pass (default:
+//!   [`BacklogThresholdMigration`]).
+//!
+//! The event loop in `engine.rs` only *sequences* — sync nodes,
+//! snapshot, consult, apply — so new routing/steal/migration behaviors
+//! are libraries, not engine patches. [`simulate_cluster`] serves the
+//! common case (a dispatcher plus the default steal/migration
+//! policies); [`simulate_cluster_with`] takes a full [`ClusterPolicy`].
+//!
+//! # Configuration
+//!
+//! [`ClusterConfig`] describes the pool: per-node engine parameters, a
+//! (possibly heterogeneous) accelerator mix, per-node `capacity` speed
+//! factors (DVFS / binned silicon — a 0.5 node runs everything twice as
+//! slow), the serving front-end ([`FrontendConfig`]: admission
+//! batching, work stealing, request migration), and the transfer-cost
+//! model ([`TransferCostConfig`]: the weight/activation re-fetch price
+//! charged on the receiving node per steal or migration).
+//!
+//! Anything beyond a plain default pool goes through the validating
+//! [`ClusterBuilder`]; [`ClusterConfig::validate`] re-checks every
+//! range invariant once per [`simulate_cluster`] call, so hand-mutated
+//! configs cannot reach the engine unvalidated.
+//!
+//! **Migration note** (pre-`ClusterBuilder` API): the former mutators
+//! moved onto the builder —
+//! `ClusterConfig::with_engine(e)` → builder `.engine(e)`,
+//! `with_mismatch_slowdown(s)` → `.mismatch_slowdown(s)`,
+//! `with_frontend(f)` → `.frontend(f)`; finish with `.build()`. The
+//! plain constructors ([`ClusterConfig::homogeneous`] /
+//! [`ClusterConfig::heterogeneous`] / [`ClusterConfig::from_nodes`])
+//! are unchanged.
+//!
+//! [`ClusterReport`] aggregates per-node [`dysta_sim::SimReport`]s into
+//! cluster-wide ANTT / SLO-violation / throughput plus per-node
+//! utilization, violations and completion slack, transfer-cost
+//! accounting, load imbalance, turnaround percentiles
+//! ([`LatencyPercentiles`]: p50/p90/p99), and the front-end's
+//! steal/migration/admission statistics ([`ServingStats`]).
 //!
 //! A cluster of one node behind any dispatcher — with the default
 //! front-end, or batching `k = 1` with stealing/migration enabled (no
 //! peers means nothing can move) — reproduces the single-node
 //! [`dysta_sim::simulate`] results exactly (pinned by this crate's
-//! parity tests).
+//! parity tests). The default configuration (free transfers, full
+//! capacity) is bit-exact with the PR 3 engine for all four original
+//! dispatchers.
 //!
 //! # Examples
 //!
@@ -59,6 +94,37 @@
 //! assert!(report.antt() >= 1.0);
 //! assert!(report.load_imbalance() >= 1.0);
 //! ```
+//!
+//! Deadline-aware serving on a capacity-heterogeneous pool with costed
+//! transfers:
+//!
+//! ```
+//! use dysta_cluster::{
+//!     simulate_cluster_with, ClusterBuilder, ClusterPolicy, DispatchPolicy, FrontendConfig,
+//!     TransferCostConfig,
+//! };
+//! use dysta_core::Policy;
+//! use dysta_workload::{Scenario, WorkloadBuilder};
+//!
+//! let workload = WorkloadBuilder::new(Scenario::MultiCnn)
+//!     .num_requests(60)
+//!     .samples_per_variant(4)
+//!     .slo_multiplier(5.0)
+//!     .seed(7)
+//!     .build();
+//! let pool = ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+//!     .node_capacity(1, 0.5) // one Eyeriss node at half clock
+//!     .frontend(FrontendConfig::serving_costed())
+//!     .transfer_cost(TransferCostConfig::default_costed())
+//!     .build();
+//! let mut policy = ClusterPolicy::from_dispatch(DispatchPolicy::EarliestDeadlineFirst);
+//! let report = simulate_cluster_with(&workload, &mut policy, &pool);
+//! assert_eq!(report.completed_total(), 60);
+//! assert_eq!(
+//!     report.total_transfer_cost_ns(),
+//!     report.serving().transfer_cost_ns
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,15 +132,20 @@
 mod config;
 mod dispatch;
 mod engine;
+mod policy;
 mod report;
 
 pub use config::{
-    balanced_mixed_serving_mix, AcceleratorKind, ClusterConfig, FrontendConfig, MigrationConfig,
-    NodeConfig, StealConfig, DEFAULT_MISMATCH_SLOWDOWN,
+    balanced_mixed_serving_mix, AcceleratorKind, ClusterBuilder, ClusterConfig, FrontendConfig,
+    MigrationConfig, NodeConfig, StealConfig, TransferCostConfig, DEFAULT_MISMATCH_SLOWDOWN,
 };
 pub use dispatch::{
-    DispatchPolicy, Dispatcher, JoinShortestQueue, LeastLoaded, NodeView, RoundRobin,
-    SparsityAffinity,
+    DispatchContext, DispatchPolicy, Dispatcher, EarliestDeadlineFirst, JoinShortestQueue,
+    LeastLoaded, NodeView, RoundRobin, SparsityAffinity,
 };
-pub use engine::simulate_cluster;
+pub use engine::{simulate_cluster, simulate_cluster_with};
+pub use policy::{
+    BacklogGainSteal, BacklogThresholdMigration, ClusterPolicy, MigrationPolicy, StealCandidate,
+    StealPolicy,
+};
 pub use report::{ClusterReport, LatencyPercentiles, NodeReport, ServingStats};

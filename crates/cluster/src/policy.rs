@@ -1,0 +1,401 @@
+//! The cluster-control policy family: steal-victim choice and
+//! migration acceptance as pluggable policies, bundled with the
+//! [`Dispatcher`] into one [`ClusterPolicy`].
+//!
+//! PR 3 hard-coded steal and migration decisions inside the cluster
+//! event loop; this module lifts them behind traits sharing the
+//! [`DispatchContext`] the dispatcher already reads, so the engine only
+//! *sequences* events (sync nodes → consult policy → apply transfer)
+//! and every decision — routing, victim choice, acceptance — is
+//! swappable and testable in isolation. The default implementations
+//! ([`BacklogGainSteal`], [`BacklogThresholdMigration`]) reproduce the
+//! PR 3 behavior bit-exactly under free transfers, and generalize it by
+//! charging the pool's [`crate::TransferCostConfig`] against every
+//! prospective move.
+
+use dysta_workload::Request;
+
+use crate::dispatch::{DispatchContext, Dispatcher};
+use crate::{DispatchPolicy, MigrationConfig, StealConfig};
+
+/// One stealable request on a victim node, pre-priced for a specific
+/// thief: the engine enumerates these (every queued, never-started
+/// request on every peer) and the [`StealPolicy`] ranks them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StealCandidate {
+    /// Node currently holding the request.
+    pub victim: usize,
+    /// Request id.
+    pub task_id: u64,
+    /// Request arrival time (ns).
+    pub arrival_ns: u64,
+    /// Absolute deadline (arrival + SLO, saturating).
+    pub deadline_ns: u64,
+    /// LUT-estimated isolated latency of the request (unscaled).
+    pub est_ns: f64,
+    /// Estimated service on the victim (est × the victim's stored
+    /// per-task scale).
+    pub on_victim_ns: f64,
+    /// Estimated service on the thief (est × the thief's effective
+    /// scale for the request's family).
+    pub on_thief_ns: f64,
+    /// Weight/activation re-fetch cost the thief would pay to take it.
+    pub transfer_cost_ns: u64,
+}
+
+/// Chooses what an idle node steals.
+pub trait StealPolicy {
+    /// Stable lower-case policy name.
+    fn name(&self) -> &str;
+
+    /// Picks the candidate the idle `thief` should pull, as an index
+    /// into `candidates`, or `None` to steal nothing this tick.
+    /// `candidates` covers every queued, never-started request on every
+    /// peer; implementations must be pure functions of their arguments
+    /// (the engine may re-consult them at any tick).
+    fn choose(
+        &self,
+        thief: usize,
+        candidates: &[StealCandidate],
+        ctx: &DispatchContext<'_>,
+        cfg: &StealConfig,
+    ) -> Option<usize>;
+}
+
+/// The default steal policy: pull the best request from the single
+/// most-backlogged peer, provided the pool is imbalanced enough and the
+/// move — including its transfer cost — finishes the request sooner
+/// than the victim's whole backlog would.
+///
+/// Victim: the peer with the largest LUT-estimated backlog that holds
+/// stealable work (smaller id on ties), gated by
+/// [`StealConfig::min_imbalance`] over the pool mean. Candidate: the
+/// request whose move frees the most victim time net of what the thief
+/// pays (`on_victim − on_thief − transfer_cost`), requiring
+/// `on_thief + transfer_cost < victim backlog` so stealing can never
+/// extend the tail; ties prefer the bigger victim-side estimate, then
+/// the smaller id. Under [`crate::TransferCostConfig::FREE`] this is
+/// bit-exact with the PR 3 in-engine steal pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BacklogGainSteal;
+
+impl BacklogGainSteal {
+    /// Creates the default steal policy.
+    pub fn new() -> Self {
+        BacklogGainSteal
+    }
+}
+
+impl StealPolicy for BacklogGainSteal {
+    fn name(&self) -> &str {
+        "backlog-gain"
+    }
+
+    fn choose(
+        &self,
+        thief: usize,
+        candidates: &[StealCandidate],
+        ctx: &DispatchContext<'_>,
+        cfg: &StealConfig,
+    ) -> Option<usize> {
+        let mean = ctx.mean_lut_backlog_ns();
+        if mean <= 0.0 {
+            return None;
+        }
+        // Most-backlogged peer holding stealable work; smaller id on
+        // ties.
+        let victim = ctx
+            .nodes
+            .iter()
+            .filter(|n| n.id != thief && candidates.iter().any(|c| c.victim == n.id))
+            .max_by(|a, b| {
+                a.lut_backlog_ns
+                    .total_cmp(&b.lut_backlog_ns)
+                    .then(b.id.cmp(&a.id))
+            })?
+            .id;
+        let victim_backlog = ctx.nodes[victim].lut_backlog_ns;
+        if victim_backlog < cfg.min_imbalance * mean {
+            return None;
+        }
+        // Best candidate on that victim: max gain net of the transfer
+        // cost (ties: bigger victim-side estimate, then smaller id).
+        let mut best: Option<(f64, f64, u64, usize)> = None;
+        for (i, c) in candidates.iter().enumerate() {
+            if c.victim != victim {
+                continue;
+            }
+            let landed = c.on_thief_ns + c.transfer_cost_ns as f64;
+            if landed >= victim_backlog {
+                continue;
+            }
+            let gain = c.on_victim_ns - landed;
+            let better = match &best {
+                None => true,
+                Some((bg, bv, bid, _)) => match gain.total_cmp(bg) {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Equal => match c.on_victim_ns.total_cmp(bv) {
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Equal => c.task_id < *bid,
+                        std::cmp::Ordering::Less => false,
+                    },
+                    std::cmp::Ordering::Less => false,
+                },
+            };
+            if better {
+                best = Some((gain, c.on_victim_ns, c.task_id, i));
+            }
+        }
+        best.map(|(_, _, _, i)| i)
+    }
+}
+
+/// Decides which nodes the periodic rebalance pass drains and whether a
+/// dispatcher-proposed move is applied.
+pub trait MigrationPolicy {
+    /// Stable lower-case policy name.
+    fn name(&self) -> &str;
+
+    /// True when `src`'s queue should be re-offered to the dispatcher
+    /// under this snapshot. Consulted before every candidate (the
+    /// snapshot refreshes after each applied move), so returning `false`
+    /// stops draining a node the pass has already rebalanced enough.
+    fn should_rebalance(
+        &self,
+        src: usize,
+        ctx: &DispatchContext<'_>,
+        cfg: &MigrationConfig,
+    ) -> bool;
+
+    /// True when moving `request` from `src` to the dispatcher-proposed
+    /// `target` should be applied.
+    fn accept(
+        &self,
+        request: &Request,
+        src: usize,
+        target: usize,
+        ctx: &DispatchContext<'_>,
+        cfg: &MigrationConfig,
+    ) -> bool;
+}
+
+/// The default migration policy: rebalance nodes whose LUT-estimated
+/// backlog exceeds [`MigrationConfig::min_imbalance`] times the pool
+/// mean, and apply a move only when the target — after paying the
+/// transfer cost — is still strictly less backlogged than the source.
+/// Under [`crate::TransferCostConfig::FREE`] this is bit-exact with the
+/// PR 3 in-engine migration pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BacklogThresholdMigration;
+
+impl BacklogThresholdMigration {
+    /// Creates the default migration policy.
+    pub fn new() -> Self {
+        BacklogThresholdMigration
+    }
+}
+
+impl MigrationPolicy for BacklogThresholdMigration {
+    fn name(&self) -> &str {
+        "backlog-threshold"
+    }
+
+    fn should_rebalance(
+        &self,
+        src: usize,
+        ctx: &DispatchContext<'_>,
+        cfg: &MigrationConfig,
+    ) -> bool {
+        let mean = ctx.mean_lut_backlog_ns();
+        mean > 0.0 && ctx.nodes[src].lut_backlog_ns > cfg.min_imbalance * mean
+    }
+
+    fn accept(
+        &self,
+        request: &Request,
+        src: usize,
+        target: usize,
+        ctx: &DispatchContext<'_>,
+        _cfg: &MigrationConfig,
+    ) -> bool {
+        if target == src {
+            return false;
+        }
+        let cost = ctx.request_transfer_cost_ns(request) as f64;
+        ctx.nodes[target].lut_backlog_ns + cost < ctx.nodes[src].lut_backlog_ns
+    }
+}
+
+/// The full cluster control surface: request routing plus the steal and
+/// migration sides, consulted by [`crate::simulate_cluster_with`].
+///
+/// [`crate::simulate_cluster`] wraps a bare dispatcher in this bundle
+/// with the default steal/migration policies, which keeps the
+/// four-argument call sites (and their behavior) unchanged.
+pub struct ClusterPolicy {
+    /// Routes each admitted (or re-offered) request to a node.
+    pub dispatcher: Box<dyn Dispatcher>,
+    /// Chooses what idle nodes steal.
+    pub steal: Box<dyn StealPolicy>,
+    /// Gates the periodic rebalance pass.
+    pub migration: Box<dyn MigrationPolicy>,
+}
+
+impl ClusterPolicy {
+    /// Bundles `dispatcher` with the default steal and migration
+    /// policies.
+    pub fn new(dispatcher: Box<dyn Dispatcher>) -> Self {
+        ClusterPolicy {
+            dispatcher,
+            steal: Box::new(BacklogGainSteal::new()),
+            migration: Box::new(BacklogThresholdMigration::new()),
+        }
+    }
+
+    /// Convenience: the bundle for a shipped [`DispatchPolicy`].
+    pub fn from_dispatch(policy: DispatchPolicy) -> Self {
+        ClusterPolicy::new(policy.build())
+    }
+
+    /// Replaces the steal policy.
+    pub fn with_steal(mut self, steal: Box<dyn StealPolicy>) -> Self {
+        self.steal = steal;
+        self
+    }
+
+    /// Replaces the migration policy.
+    pub fn with_migration(mut self, migration: Box<dyn MigrationPolicy>) -> Self {
+        self.migration = migration;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::NodeView;
+    use crate::{AcceleratorKind, TransferCostConfig};
+    use dysta_core::ModelInfoLut;
+
+    fn view(id: usize, backlog: f64) -> NodeView {
+        NodeView {
+            id,
+            accelerator: AcceleratorKind::EyerissV2,
+            capacity: 1.0,
+            mismatch_slowdown: 2.5,
+            now_ns: 0,
+            queue_len: 0,
+            lut_backlog_ns: backlog,
+            predicted_backlog_ns: backlog,
+            earliest_deadline_ns: u64::MAX,
+            total_slack_ns: 0.0,
+            transfer_cost_ns: 0,
+            busy_ns: 0,
+        }
+    }
+
+    fn candidate(victim: usize, task_id: u64, est: f64, cost: u64) -> StealCandidate {
+        StealCandidate {
+            victim,
+            task_id,
+            arrival_ns: 0,
+            deadline_ns: u64::MAX,
+            est_ns: est,
+            on_victim_ns: est,
+            on_thief_ns: est,
+            transfer_cost_ns: cost,
+        }
+    }
+
+    #[test]
+    fn steal_targets_most_backlogged_victim_and_respects_threshold() {
+        let lut = ModelInfoLut::default();
+        let views = [view(0, 0.0), view(1, 40.0), view(2, 100.0)];
+        let ctx = DispatchContext {
+            now_ns: 0,
+            nodes: &views,
+            lut: &lut,
+            transfer_cost: &TransferCostConfig::FREE,
+            reoffer_src: None,
+        };
+        let candidates = [candidate(1, 10, 5.0, 0), candidate(2, 20, 5.0, 0)];
+        let policy = BacklogGainSteal::new();
+        let cfg = StealConfig::default();
+        // Node 2 is the most backlogged: its candidate wins.
+        let pick = policy.choose(0, &candidates, &ctx, &cfg).unwrap();
+        assert_eq!(candidates[pick].task_id, 20);
+        // A tight threshold (victim must exceed 3x the mean ~46.7)
+        // suppresses the steal entirely.
+        let strict = StealConfig {
+            min_imbalance: 3.0,
+            ..cfg
+        };
+        assert_eq!(policy.choose(0, &candidates, &ctx, &strict), None);
+    }
+
+    #[test]
+    fn transfer_cost_disqualifies_marginal_steals() {
+        let lut = ModelInfoLut::default();
+        let views = [view(0, 0.0), view(1, 100.0)];
+        let ctx = DispatchContext {
+            now_ns: 0,
+            nodes: &views,
+            lut: &lut,
+            transfer_cost: &TransferCostConfig::FREE,
+            reoffer_src: None,
+        };
+        let cfg = StealConfig {
+            min_imbalance: 1.0,
+            ..StealConfig::default()
+        };
+        let policy = BacklogGainSteal::new();
+        // Free: on_thief (60) < victim backlog (100) qualifies.
+        let free = [candidate(1, 1, 60.0, 0)];
+        assert!(policy.choose(0, &free, &ctx, &cfg).is_some());
+        // Costed: 60 + 50 >= 100 — the move would outlast the victim's
+        // whole backlog, so it never fires.
+        let costed = [candidate(1, 1, 60.0, 50)];
+        assert_eq!(policy.choose(0, &costed, &ctx, &cfg), None);
+    }
+
+    #[test]
+    fn migration_accepts_only_strictly_cheaper_targets_net_of_cost() {
+        use dysta_models::ModelId;
+        use dysta_sparsity::SparsityPattern;
+        use dysta_trace::SparseModelSpec;
+        use dysta_workload::Request;
+
+        let lut = ModelInfoLut::default();
+        let views = [view(0, 100.0), view(1, 99.0)];
+        let ctx = DispatchContext {
+            now_ns: 0,
+            nodes: &views,
+            lut: &lut,
+            transfer_cost: &TransferCostConfig::FREE,
+            reoffer_src: None,
+        };
+        let req = Request {
+            id: 0,
+            spec: SparseModelSpec::new(ModelId::ResNet50, SparsityPattern::Dense, 0.0),
+            sample_index: 0,
+            arrival_ns: 0,
+            slo_ns: u64::MAX,
+        };
+        let policy = BacklogThresholdMigration::new();
+        let cfg = MigrationConfig::default();
+        assert!(policy.accept(&req, 0, 1, &ctx, &cfg));
+        assert!(!policy.accept(&req, 0, 0, &ctx, &cfg), "self-move");
+        assert!(!policy.accept(&req, 1, 0, &ctx, &cfg), "uphill move");
+        // With a base cost wider than the 1 ns gap the move stops
+        // paying for itself. (An unprofiled spec prices at base only.)
+        let costed = TransferCostConfig {
+            base_ns: 10,
+            compute_fraction: 0.0,
+        };
+        let ctx_costed = DispatchContext {
+            transfer_cost: &costed,
+            ..ctx
+        };
+        assert!(!policy.accept(&req, 0, 1, &ctx_costed, &cfg));
+    }
+}

@@ -22,10 +22,40 @@ pub struct NodeReport {
     /// Requests moved *off* this node (after initial dispatch, before
     /// starting) by work stealing or migration.
     pub transferred_out: usize,
-    /// Service time the node executed (ns).
+    /// Weight/activation re-fetch time this node paid for incoming
+    /// transfers (ns) — part of `busy_ns`, zero under free transfers.
+    pub transfer_fetch_ns: u64,
+    /// Service time the node executed (ns), including
+    /// `transfer_fetch_ns`.
     pub busy_ns: u64,
     /// The node's completion record.
     pub report: SimReport,
+}
+
+impl NodeReport {
+    /// Requests this node completed past their deadline.
+    pub fn violations(&self) -> usize {
+        self.report
+            .completed()
+            .iter()
+            .filter(|c| c.violated())
+            .count()
+    }
+
+    /// Mean completion slack of the node's requests in nanoseconds:
+    /// `deadline − completion`, negative when the average request
+    /// finished late (0 for an idle node).
+    pub fn mean_completion_slack_ns(&self) -> f64 {
+        let completed = self.report.completed();
+        if completed.is_empty() {
+            return 0.0;
+        }
+        completed
+            .iter()
+            .map(|c| c.arrival_ns.saturating_add(c.slo_ns) as f64 - c.completion_ns as f64)
+            .sum::<f64>()
+            / completed.len() as f64
+    }
 }
 
 /// What the serving front-end did during one cluster run: admission
@@ -39,6 +69,9 @@ pub struct ServingStats {
     /// The largest migration count any single request accumulated
     /// (bounded by [`crate::MigrationConfig::max_per_request`]).
     pub max_migrations_single_request: u32,
+    /// Total weight/activation re-fetch time charged across all steals
+    /// and migrations (ns) — zero under free transfers.
+    pub transfer_cost_ns: u64,
     /// Per-request time spent in the cluster admission queue before
     /// dispatch, indexed by request id (all zeros under immediate
     /// dispatch; empty when a report is assembled without a front-end).
@@ -228,6 +261,29 @@ impl ClusterReport {
             .collect()
     }
 
+    /// Per-node SLO-violation counts, in node-id order.
+    pub fn per_node_violations(&self) -> Vec<usize> {
+        self.nodes.iter().map(NodeReport::violations).collect()
+    }
+
+    /// Per-node mean completion slack (`deadline − completion`, ns), in
+    /// node-id order — negative entries mark nodes that ran their queue
+    /// late on average.
+    pub fn per_node_mean_slack_ns(&self) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .map(NodeReport::mean_completion_slack_ns)
+            .collect()
+    }
+
+    /// Total weight/activation re-fetch time the pool paid for steals
+    /// and migrations (ns). Always equals the sum of the per-node
+    /// [`NodeReport::transfer_fetch_ns`] entries and the serving
+    /// stats' total.
+    pub fn total_transfer_cost_ns(&self) -> u64 {
+        self.nodes.iter().map(|n| n.transfer_fetch_ns).sum()
+    }
+
     /// Load imbalance: the busiest node's service time over the mean —
     /// 1.0 is a perfectly balanced pool, `num_nodes()` is one node doing
     /// all the work. Defined as 1.0 for an all-idle pool.
@@ -267,6 +323,7 @@ mod tests {
             routed: completed.len(),
             transferred_in: 0,
             transferred_out: 0,
+            transfer_fetch_ns: 0,
             busy_ns,
             report: SimReport::new(completed, 0, 0),
         }
@@ -351,11 +408,34 @@ mod tests {
     }
 
     #[test]
+    fn per_node_slack_violation_and_transfer_cost_accounting() {
+        // Node 0 finishes its request with 5 ns to spare; node 1 blows
+        // its deadline by 10 ns and paid 7 ns of fetch cost.
+        let on_time = CompletedRequest {
+            slo_ns: 25,
+            ..completion(0, 0, 20, 10)
+        };
+        let late = CompletedRequest {
+            slo_ns: 30,
+            ..completion(1, 0, 40, 10)
+        };
+        let mut n1 = node(1, vec![late], 17);
+        n1.transfer_fetch_ns = 7;
+        let r = ClusterReport::new(vec![node(0, vec![on_time], 10), n1]);
+        assert_eq!(r.per_node_violations(), vec![0, 1]);
+        let slack = r.per_node_mean_slack_ns();
+        assert!((slack[0] - 5.0).abs() < 1e-12);
+        assert!((slack[1] + 10.0).abs() < 1e-12);
+        assert_eq!(r.total_transfer_cost_ns(), 7);
+    }
+
+    #[test]
     fn admission_wait_summary() {
         let serving = ServingStats {
             steals: 3,
             migrations: 1,
             max_migrations_single_request: 1,
+            transfer_cost_ns: 0,
             admission_wait_ns: vec![0, 10, 20, 30],
         };
         let r =

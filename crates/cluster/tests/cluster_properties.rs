@@ -2,8 +2,8 @@
 //! and the dispatch-policy orderings the bench sweep reports.
 
 use dysta_cluster::{
-    balanced_mixed_serving_mix, simulate_cluster, AcceleratorKind, ClusterConfig, DispatchPolicy,
-    FrontendConfig, MigrationConfig, StealConfig,
+    balanced_mixed_serving_mix, simulate_cluster, AcceleratorKind, ClusterBuilder, ClusterConfig,
+    DispatchPolicy, FrontendConfig, MigrationConfig, StealConfig, TransferCostConfig,
 };
 use dysta_core::Policy;
 use dysta_sim::{simulate, EngineConfig};
@@ -66,8 +66,9 @@ fn one_node_cluster_with_serving_frontend_stays_bit_exact_with_simulate() {
     // must reproduce the single-accelerator engine exactly.
     let w = workload(Scenario::MultiCnn, 3.0, 60, 17);
     let single = simulate(&w, Policy::Dysta.build().as_mut(), &EngineConfig::default());
-    let pool = ClusterConfig::homogeneous(1, AcceleratorKind::EyerissV2, Policy::Dysta)
-        .with_frontend(FrontendConfig::serving());
+    let pool = ClusterBuilder::homogeneous(1, AcceleratorKind::EyerissV2, Policy::Dysta)
+        .frontend(FrontendConfig::serving())
+        .build();
     let cluster = simulate_cluster(&w, DispatchPolicy::RoundRobin.build().as_mut(), &pool);
     assert_eq!(cluster.nodes()[0].report.completed(), single.completed());
     assert_eq!(cluster.serving().steals, 0);
@@ -86,11 +87,12 @@ fn stealing_reduces_imbalance_without_antt_regression() {
     // the idle Sanger nodes absorb queued work at the mismatch penalty.
     let w = workload(Scenario::MultiCnn, 12.0, 200, 42);
     let baseline_pool = ClusterConfig::heterogeneous(2, 2, Policy::Dysta);
-    let steal_pool =
-        ClusterConfig::heterogeneous(2, 2, Policy::Dysta).with_frontend(FrontendConfig {
+    let steal_pool = ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+        .frontend(FrontendConfig {
             steal: Some(StealConfig::default()),
             ..FrontendConfig::default()
-        });
+        })
+        .build();
     let baseline = simulate_cluster(
         &w,
         DispatchPolicy::SparsityAffinity.build().as_mut(),
@@ -124,13 +126,85 @@ fn stealing_reduces_imbalance_without_antt_regression() {
 }
 
 #[test]
+fn costed_transfers_throttle_movement_but_keep_the_pool_balanced() {
+    // The transfer-cost acceptance scenario: with the default cost model
+    // and the re-tuned (costed) thresholds, steal and migration counts
+    // drop vs free transfers — marginal moves no longer pay for
+    // themselves — while load imbalance stays well below the no-serving
+    // baseline, and every fetch is accounted on the nodes that paid it.
+    let w = workload(Scenario::MultiCnn, 12.0, 200, 42);
+    let affinity = || DispatchPolicy::SparsityAffinity.build();
+    let baseline = simulate_cluster(
+        &w,
+        affinity().as_mut(),
+        &ClusterConfig::heterogeneous(2, 2, Policy::Dysta),
+    );
+    let free = simulate_cluster(
+        &w,
+        affinity().as_mut(),
+        &ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+            .frontend(FrontendConfig::serving())
+            .build(),
+    );
+    let costed = simulate_cluster(
+        &w,
+        affinity().as_mut(),
+        &ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+            .frontend(FrontendConfig::serving_costed())
+            .transfer_cost(TransferCostConfig::default_costed())
+            .build(),
+    );
+    assert_eq!(
+        free.serving().transfer_cost_ns,
+        0,
+        "free moves cost nothing"
+    );
+    assert!(
+        costed.serving().steals > 0,
+        "imbalance must still trigger steals"
+    );
+    assert!(
+        costed.serving().steals < free.serving().steals,
+        "costed steals {} vs free {}",
+        costed.serving().steals,
+        free.serving().steals
+    );
+    assert!(
+        costed.serving().migrations < free.serving().migrations,
+        "costed migrations {} vs free {}",
+        costed.serving().migrations,
+        free.serving().migrations
+    );
+    assert!(
+        costed.load_imbalance() < baseline.load_imbalance(),
+        "costed imbalance {} vs no-serving {}",
+        costed.load_imbalance(),
+        baseline.load_imbalance()
+    );
+    // Fetch accounting: the serving total matches the per-node sum, and
+    // only nodes that received transfers paid anything.
+    assert!(costed.serving().transfer_cost_ns > 0);
+    assert_eq!(
+        costed.total_transfer_cost_ns(),
+        costed.serving().transfer_cost_ns
+    );
+    for node in costed.nodes() {
+        if node.transferred_in == 0 {
+            assert_eq!(node.transfer_fetch_ns, 0, "node {}", node.node_id);
+        }
+        assert!(node.busy_ns >= node.transfer_fetch_ns);
+    }
+}
+
+#[test]
 fn admission_batching_records_queue_waits_and_conserves_requests() {
     let w = workload(Scenario::MultiCnn, 12.0, 120, 7);
-    let pool = ClusterConfig::homogeneous(4, AcceleratorKind::EyerissV2, Policy::Dysta)
-        .with_frontend(FrontendConfig {
+    let pool = ClusterBuilder::homogeneous(4, AcceleratorKind::EyerissV2, Policy::Dysta)
+        .frontend(FrontendConfig {
             admit_batch: 6,
             ..FrontendConfig::default()
-        });
+        })
+        .build();
     let report = simulate_cluster(
         &w,
         DispatchPolicy::JoinShortestQueue.build().as_mut(),
@@ -155,10 +229,12 @@ fn batched_dispatch_delays_execution_to_the_dispatch_instant() {
     let w = workload(Scenario::MultiCnn, 12.0, 60, 7);
     let last_arrival = w.requests().last().unwrap().arrival_ns;
     let immediate_pool = ClusterConfig::homogeneous(1, AcceleratorKind::EyerissV2, Policy::Dysta);
-    let batched_pool = immediate_pool.clone().with_frontend(FrontendConfig {
-        admit_batch: 60,
-        ..FrontendConfig::default()
-    });
+    let batched_pool = ClusterBuilder::from_nodes(immediate_pool.nodes.clone())
+        .frontend(FrontendConfig {
+            admit_batch: 60,
+            ..FrontendConfig::default()
+        })
+        .build();
     let immediate = simulate_cluster(
         &w,
         DispatchPolicy::RoundRobin.build().as_mut(),
@@ -181,8 +257,7 @@ fn batched_dispatch_delays_execution_to_the_dispatch_instant() {
 
 #[test]
 fn rejected_migration_candidates_do_not_charge_stateful_dispatchers() {
-    use dysta_cluster::{Dispatcher, NodeView, RoundRobin};
-    use dysta_core::ModelInfoLut;
+    use dysta_cluster::{DispatchContext, Dispatcher, RoundRobin};
     use dysta_workload::Request;
 
     // Round-robin that counts how often its mutable state is charged.
@@ -194,12 +269,12 @@ fn rejected_migration_candidates_do_not_charge_stateful_dispatchers() {
         fn name(&self) -> &str {
             "counting-round-robin"
         }
-        fn peek(&self, request: &Request, nodes: &[NodeView], lut: &ModelInfoLut) -> usize {
-            self.inner.peek(request, nodes, lut)
+        fn peek(&self, request: &Request, ctx: &DispatchContext<'_>) -> usize {
+            self.inner.peek(request, ctx)
         }
-        fn dispatch(&mut self, request: &Request, nodes: &[NodeView], lut: &ModelInfoLut) -> usize {
+        fn dispatch(&mut self, request: &Request, ctx: &DispatchContext<'_>) -> usize {
             self.dispatches += 1;
-            self.inner.dispatch(request, nodes, lut)
+            self.inner.dispatch(request, ctx)
         }
     }
 
@@ -208,14 +283,16 @@ fn rejected_migration_candidates_do_not_charge_stateful_dispatchers() {
     // aggressive migration pass keeps evaluating candidates — most of
     // which it rejects.
     let w = workload(Scenario::MultiCnn, 12.0, 120, 7);
-    let pool = ClusterConfig::heterogeneous(2, 2, Policy::Dysta).with_frontend(FrontendConfig {
-        migration: Some(MigrationConfig {
-            min_imbalance: 1.0,
-            period_ns: 5_000_000,
-            max_per_request: 2,
-        }),
-        ..FrontendConfig::default()
-    });
+    let pool = ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+        .frontend(FrontendConfig {
+            migration: Some(MigrationConfig {
+                min_imbalance: 1.0,
+                period_ns: 5_000_000,
+                max_per_request: 2,
+            }),
+            ..FrontendConfig::default()
+        })
+        .build();
     let mut dispatcher = CountingRoundRobin {
         inner: RoundRobin::new(),
         dispatches: 0,
@@ -236,12 +313,13 @@ fn admission_timer_bounds_queue_waits() {
     // A huge batch size with a Δt timer: every request waits at most Δt.
     let interval = 40_000_000u64;
     let w = workload(Scenario::MultiCnn, 12.0, 120, 7);
-    let pool = ClusterConfig::homogeneous(4, AcceleratorKind::EyerissV2, Policy::Dysta)
-        .with_frontend(FrontendConfig {
+    let pool = ClusterBuilder::homogeneous(4, AcceleratorKind::EyerissV2, Policy::Dysta)
+        .frontend(FrontendConfig {
             admit_batch: usize::MAX,
             admit_interval_ns: interval,
             ..FrontendConfig::default()
-        });
+        })
+        .build();
     let report = simulate_cluster(
         &w,
         DispatchPolicy::JoinShortestQueue.build().as_mut(),
@@ -264,12 +342,14 @@ fn identical_seeds_produce_identical_cluster_reports() {
         ClusterConfig::heterogeneous(2, 2, Policy::Dysta),
         // The full serving stack (batching + stealing + migration) must
         // be just as deterministic as immediate dispatch.
-        ClusterConfig::heterogeneous(2, 2, Policy::Dysta).with_frontend(FrontendConfig {
-            admit_batch: 4,
-            steal: Some(StealConfig::default()),
-            migration: Some(MigrationConfig::default()),
-            ..FrontendConfig::default()
-        }),
+        ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+            .frontend(FrontendConfig {
+                admit_batch: 4,
+                steal: Some(StealConfig::default()),
+                migration: Some(MigrationConfig::default()),
+                ..FrontendConfig::default()
+            })
+            .build(),
     ];
     for pool in &pools {
         for dispatch in DispatchPolicy::ALL {

@@ -1,0 +1,174 @@
+//! Property tests for the `ClusterPolicy` redesign: deadline-aware
+//! dispatch quality, costed-transfer accounting, and per-node capacity
+//! semantics.
+//!
+//! The EDF-vs-round-robin property is aggregated over a window of
+//! consecutive seeds: EDF routes on *estimated* completion, so a single
+//! adversarial seed can cost it a violation round-robin happens to
+//! dodge, but over any 8-seed window at this operating point EDF's
+//! violation total never exceeds round-robin's (pre-verified for every
+//! window in the seed range the generator draws from).
+
+use proptest::prelude::*;
+
+use dysta_cluster::{
+    simulate_cluster, AcceleratorKind, ClusterBuilder, DispatchPolicy, FrontendConfig,
+    MigrationConfig, StealConfig, TransferCostConfig,
+};
+use dysta_core::Policy;
+use dysta_sim::EngineConfig;
+use dysta_workload::{Scenario, Workload, WorkloadBuilder};
+
+fn workload(rate: f64, slo: f64, n: usize, seed: u64) -> Workload {
+    WorkloadBuilder::new(Scenario::MultiCnn)
+        .arrival_rate(rate)
+        .slo_multiplier(slo)
+        .num_requests(n)
+        .samples_per_variant(4)
+        .seed(seed)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn edf_never_violates_more_than_round_robin_on_a_single_family_pool(
+        base_seed in 0u64..292,
+    ) {
+        // Single-family (all-Eyeriss) pool with one slow node: the
+        // deadline-aware router must not lose to blind cycling on SLO
+        // violations, aggregated over the window.
+        let mut edf_total = 0usize;
+        let mut rr_total = 0usize;
+        for seed in base_seed..base_seed + 8 {
+            let w = workload(12.0, 5.0, 60, seed);
+            let pool = ClusterBuilder::homogeneous(3, AcceleratorKind::EyerissV2, Policy::Dysta)
+                .node_capacity(1, 0.6)
+                .build();
+            let rr = simulate_cluster(&w, DispatchPolicy::RoundRobin.build().as_mut(), &pool);
+            let edf = simulate_cluster(
+                &w,
+                DispatchPolicy::EarliestDeadlineFirst.build().as_mut(),
+                &pool,
+            );
+            rr_total += rr.completed().filter(|c| c.violated()).count();
+            edf_total += edf.completed().filter(|c| c.violated()).count();
+        }
+        prop_assert!(
+            edf_total <= rr_total,
+            "edf {} vs round-robin {} violations over window [{base_seed}, {})",
+            edf_total,
+            rr_total,
+            base_seed + 8
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn costed_transfers_conserve_requests_and_strictly_increase_busy_time(
+        seed in 0u64..100,
+    ) {
+        // Homogeneous full-speed pool: every placement costs the same
+        // service, so total busy time is placement-invariant and the
+        // costed run's busy must exceed the free run's by *exactly* the
+        // charged fetch time — strictly more whenever anything moved.
+        let w = workload(12.0, 10.0, 60, seed);
+        let frontend = FrontendConfig {
+            steal: Some(StealConfig {
+                min_imbalance: 1.0,
+                period_ns: 7_000_000,
+            }),
+            migration: Some(MigrationConfig {
+                min_imbalance: 1.0,
+                period_ns: 13_000_000,
+                max_per_request: 2,
+            }),
+            ..FrontendConfig::default()
+        };
+        let free = ClusterBuilder::homogeneous(4, AcceleratorKind::EyerissV2, Policy::Dysta)
+            .frontend(frontend)
+            .build();
+        let costed = ClusterBuilder::homogeneous(4, AcceleratorKind::EyerissV2, Policy::Dysta)
+            .frontend(frontend)
+            .transfer_cost(TransferCostConfig::default_costed())
+            .build();
+        let rf = simulate_cluster(&w, DispatchPolicy::RoundRobin.build().as_mut(), &free);
+        let rc = simulate_cluster(&w, DispatchPolicy::RoundRobin.build().as_mut(), &costed);
+
+        // Conservation still holds with a nonzero transfer cost.
+        prop_assert_eq!(rc.completed_total(), 60);
+        for node in rc.nodes() {
+            prop_assert_eq!(
+                node.routed + node.transferred_in - node.transferred_out,
+                node.report.completed().len(),
+                "node {} accounting out of balance under costed transfers",
+                node.node_id
+            );
+        }
+
+        // Fetch-cost accounting is exact: the serving total equals the
+        // per-node sum, and busy time exceeds the free-transfer run by
+        // exactly that amount (strictly, whenever any transfer fired —
+        // which this operating point guarantees).
+        let fetch = rc.serving().transfer_cost_ns;
+        prop_assert_eq!(rc.total_transfer_cost_ns(), fetch);
+        let busy_free: u64 = rf.nodes().iter().map(|n| n.busy_ns).sum();
+        let busy_costed: u64 = rc.nodes().iter().map(|n| n.busy_ns).sum();
+        prop_assert_eq!(busy_costed, busy_free + fetch);
+        let moved = rc.serving().steals + rc.serving().migrations;
+        prop_assert!(moved > 0, "operating point must trigger transfers");
+        prop_assert!(busy_costed > busy_free);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn capacity_scales_a_lone_nodes_makespan_by_exactly_its_inverse(
+        seed in 0u64..200,
+        speed_bin in 0u8..2,
+    ) {
+        // A lone node at capacity c = 1/k (k a power of two, so the
+        // per-layer rounding in `scale_ns` is exact) runs the same
+        // saturated workload with a makespan and busy time exactly k×
+        // the full-speed run. Arrivals are packed (huge rate) and the
+        // switch overhead zeroed so the makespan is pure service time.
+        let (capacity, factor) = if speed_bin == 0 { (0.5, 2u64) } else { (0.25, 4u64) };
+        let w = WorkloadBuilder::new(Scenario::MultiCnn)
+            .arrival_rate(1e6)
+            .num_requests(20)
+            .samples_per_variant(4)
+            .seed(seed)
+            .build();
+        let engine = EngineConfig {
+            preemption_overhead_ns: 0,
+            ..EngineConfig::default()
+        };
+        let run = |cap: f64| {
+            let pool = ClusterBuilder::homogeneous(1, AcceleratorKind::EyerissV2, Policy::Fcfs)
+                .engine(engine)
+                .capacity(cap)
+                .build();
+            simulate_cluster(&w, DispatchPolicy::RoundRobin.build().as_mut(), &pool)
+        };
+        let full = run(1.0);
+        let slow = run(capacity);
+        let first_arrival = w.requests()[0].arrival_ns;
+        let makespan = |r: &dysta_cluster::ClusterReport| {
+            r.completed().map(|c| c.completion_ns).max().unwrap() - first_arrival
+        };
+        prop_assert_eq!(makespan(&slow), factor * makespan(&full));
+        prop_assert_eq!(
+            slow.nodes()[0].busy_ns,
+            factor * full.nodes()[0].busy_ns
+        );
+        // The slowdown lands on turnaround, not on the isolated-time
+        // goalposts: ANTT strictly degrades.
+        prop_assert!(slow.antt() > full.antt());
+    }
+}

@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 
 use dysta_cluster::{
-    simulate_cluster, AcceleratorKind, ClusterConfig, DispatchPolicy, FrontendConfig,
-    MigrationConfig, StealConfig,
+    simulate_cluster, AcceleratorKind, ClusterBuilder, ClusterConfig, DispatchPolicy,
+    FrontendConfig, MigrationConfig, StealConfig,
 };
 use dysta_core::{ModelInfoLut, Policy};
 use dysta_sim::{EngineConfig, NodeEngine};
@@ -25,11 +25,12 @@ fn workload(scenario: Scenario, rate: f64, n: usize, seed: u64) -> Workload {
 
 fn pool(shape: u8, frontend: FrontendConfig) -> ClusterConfig {
     match shape {
-        0 => ClusterConfig::homogeneous(3, AcceleratorKind::EyerissV2, Policy::Dysta),
-        1 => ClusterConfig::homogeneous(2, AcceleratorKind::Sanger, Policy::Sjf),
-        _ => ClusterConfig::heterogeneous(2, 2, Policy::Dysta),
+        0 => ClusterBuilder::homogeneous(3, AcceleratorKind::EyerissV2, Policy::Dysta),
+        1 => ClusterBuilder::homogeneous(2, AcceleratorKind::Sanger, Policy::Sjf),
+        _ => ClusterBuilder::heterogeneous(2, 2, Policy::Dysta),
     }
-    .with_frontend(frontend)
+    .frontend(frontend)
+    .build()
 }
 
 fn scenario_for(shape: u8) -> Scenario {

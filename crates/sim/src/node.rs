@@ -231,10 +231,22 @@ impl<'w, S: Scheduler> NodeEngine<'w, S> {
     /// keep charging the full wait) but cannot execute before `at_ns` —
     /// an idle node's clock is pulled forward to the transfer instant.
     ///
+    /// `fetch_ns` is the weight/activation re-fetch cost of re-homing
+    /// the request: the receiving node's memory interface is occupied
+    /// for that long before anything else can run, so the cost lands on
+    /// the clock *and* on `busy_ns` (a transfer is work, not idle time).
+    /// Pass 0 for the historical free-transfer behavior.
+    ///
     /// # Panics
     ///
     /// Panics if `scale < 1` or the task has already started.
-    pub fn accept_transfer(&mut self, transfer: TransferableTask<'w>, scale: f64, at_ns: u64) {
+    pub fn accept_transfer(
+        &mut self,
+        transfer: TransferableTask<'w>,
+        scale: f64,
+        at_ns: u64,
+        fetch_ns: u64,
+    ) {
         assert!(
             scale >= 1.0 && scale.is_finite(),
             "service-time scale must be >= 1"
@@ -242,7 +254,8 @@ impl<'w, S: Scheduler> NodeEngine<'w, S> {
         let TransferableTask { mut task, trace } = transfer;
         assert!(!task.started(), "only unstarted tasks can transfer");
         task.true_remaining_ns = scale_ns(trace.isolated_latency_ns(), scale);
-        self.now_ns = self.now_ns.max(at_ns);
+        self.now_ns = self.now_ns.max(at_ns) + fetch_ns;
+        self.busy_ns += fetch_ns;
         self.scheduler.on_arrival(&task, &self.lut, self.now_ns);
         self.tasks.push(task);
         self.traces.push(trace);
@@ -671,7 +684,7 @@ mod tests {
             .expect("unstarted work exists");
         let arrival = w.requests()[victim as usize].arrival_ns;
         let transfer = src.take_unstarted(victim).expect("victim is unstarted");
-        dst.accept_transfer(transfer, 2.0, barrier);
+        dst.accept_transfer(transfer, 2.0, barrier, 0);
         assert!(dst.now_ns() >= barrier, "idle thief clock pulled forward");
         src.run_to_completion();
         dst.run_to_completion();
@@ -682,6 +695,33 @@ mod tests {
         assert_eq!(dst_report.completed()[0].arrival_ns, arrival);
         assert_eq!(src_report.completed().len(), 29);
         assert!(src_report.completed().iter().all(|c| c.id != victim));
+    }
+
+    #[test]
+    fn costed_transfer_charges_the_receiving_node() {
+        // A nonzero fetch cost delays the receiving node's clock by
+        // exactly the fetch and shows up in its busy time, so transfer
+        // traffic is visible in utilization and load-imbalance metrics.
+        let w = tiny(13);
+        let lut = ModelInfoLut::from_store(w.store());
+        let mut src = engine_for(&w, Policy::Fcfs);
+        let mut dst: NodeEngine =
+            NodeEngine::new(1, Policy::Fcfs.build(), EngineConfig::default(), lut);
+        let barrier = w.requests()[10].arrival_ns;
+        src.run_until(barrier);
+        let victim = src
+            .unstarted_tasks()
+            .map(|(t, _)| t.id)
+            .min()
+            .expect("unstarted work exists");
+        let fetch = 3_000_000u64;
+        let transfer = src.take_unstarted(victim).expect("victim is unstarted");
+        dst.accept_transfer(transfer, 1.0, barrier, fetch);
+        assert_eq!(dst.now_ns(), barrier + fetch);
+        assert_eq!(dst.busy_ns(), fetch);
+        dst.run_to_completion();
+        let report = dst.into_report();
+        assert!(report.completed()[0].completion_ns >= barrier + fetch);
     }
 
     #[test]

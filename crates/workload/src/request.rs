@@ -25,6 +25,16 @@ impl Request {
     pub fn deadline_ns(&self) -> u64 {
         self.arrival_ns.saturating_add(self.slo_ns)
     }
+
+    /// Remaining slack at `now_ns` assuming the request still needs
+    /// `est_remaining_ns` of service: positive means time to spare,
+    /// negative means the deadline is already unreachable under the
+    /// estimate. Saturates at the `i64` range so a relaxed (near-`MAX`)
+    /// SLO cannot wrap.
+    pub fn slack_ns(&self, now_ns: u64, est_remaining_ns: u64) -> i64 {
+        let slack = self.deadline_ns() as i128 - now_ns as i128 - est_remaining_ns as i128;
+        slack.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+    }
 }
 
 #[cfg(test)]
@@ -43,6 +53,27 @@ mod tests {
             slo_ns: 50,
         };
         assert_eq!(r.deadline_ns(), 150);
+    }
+
+    #[test]
+    fn slack_shrinks_with_time_and_work() {
+        let r = Request {
+            id: 0,
+            spec: SparseModelSpec::new(ModelId::Bert, SparsityPattern::Dense, 0.0),
+            sample_index: 0,
+            arrival_ns: 100,
+            slo_ns: 1_000,
+        };
+        assert_eq!(r.slack_ns(100, 0), 1_000);
+        assert_eq!(r.slack_ns(600, 300), 200);
+        // Past the point of no return the slack goes negative.
+        assert_eq!(r.slack_ns(1_000, 500), -400);
+        // A saturated deadline cannot wrap the signed range.
+        let relaxed = Request {
+            slo_ns: u64::MAX,
+            ..r
+        };
+        assert_eq!(relaxed.slack_ns(0, 0), i64::MAX);
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! Run with `cargo run --release --example serving_frontend`.
 
 use dysta::cluster::{
-    simulate_cluster, ClusterConfig, DispatchPolicy, FrontendConfig, StealConfig,
+    simulate_cluster, ClusterBuilder, DispatchPolicy, FrontendConfig, StealConfig,
+    TransferCostConfig,
 };
 use dysta::core::Policy;
 use dysta::workload::{Scenario, WorkloadBuilder};
@@ -30,7 +31,7 @@ fn main() {
         workload.requests().len()
     );
 
-    let frontends: [(&str, FrontendConfig); 5] = [
+    let frontends: [(&str, FrontendConfig); 6] = [
         ("immediate", FrontendConfig::default()),
         (
             "batch k=8",
@@ -55,6 +56,10 @@ fn main() {
             },
         ),
         ("+steal+migrate", FrontendConfig::serving()),
+        // Costed transfers: every move pays a weight/activation
+        // re-fetch on the receiving node, under the re-tuned (stricter)
+        // steal/migration thresholds.
+        ("costed transfers", FrontendConfig::serving_costed()),
     ];
 
     println!(
@@ -71,7 +76,15 @@ fn main() {
         "adm.wait ms"
     );
     for (name, frontend) in frontends {
-        let pool = ClusterConfig::heterogeneous(2, 2, Policy::Dysta).with_frontend(frontend);
+        let transfer_cost = if name == "costed transfers" {
+            TransferCostConfig::default_costed()
+        } else {
+            TransferCostConfig::FREE
+        };
+        let pool = ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+            .frontend(frontend)
+            .transfer_cost(transfer_cost)
+            .build();
         let report = simulate_cluster(
             &workload,
             DispatchPolicy::SparsityAffinity.build().as_mut(),

@@ -16,7 +16,8 @@
 use serde::{Deserialize, Serialize};
 
 use dysta::cluster::{
-    simulate_cluster, ClusterConfig, DispatchPolicy, FrontendConfig, MigrationConfig, StealConfig,
+    simulate_cluster, ClusterBuilder, ClusterConfig, DispatchPolicy, FrontendConfig,
+    MigrationConfig, StealConfig,
 };
 use dysta::core::{DystaConfig, Policy};
 use dysta::workload::{Scenario, WorkloadBuilder};
@@ -149,8 +150,10 @@ fn golden_cluster_sweep_quick() {
 
     let mut cells = Vec::new();
 
-    // The bench sweep's homogeneous shape at smoke scale: every dispatch
-    // policy on identical request streams.
+    // The bench sweep's homogeneous shape at smoke scale: the original
+    // four dispatch policies on identical request streams (EDF is pinned
+    // separately in the fig14 fixture, keeping this file byte-identical
+    // across the ClusterPolicy redesign).
     let cnn = WorkloadBuilder::new(Scenario::MultiCnn)
         .arrival_rate(12.0)
         .num_requests(100)
@@ -158,7 +161,7 @@ fn golden_cluster_sweep_quick() {
         .seed(13)
         .build();
     let eyeriss_pool = ClusterConfig::homogeneous(4, AcceleratorKind::EyerissV2, Policy::Dysta);
-    for dispatch in DispatchPolicy::ALL {
+    for dispatch in DispatchPolicy::CLASSIC {
         cells.push(cell(
             "eyeriss-x4",
             &eyeriss_pool,
@@ -172,16 +175,20 @@ fn golden_cluster_sweep_quick() {
     // on a heterogeneous pool under affinity dispatch — steal-disabled
     // baseline, steal-enabled, and the full serving stack.
     let het_base = ClusterConfig::heterogeneous(2, 2, Policy::Dysta);
-    let het_steal = het_base.clone().with_frontend(FrontendConfig {
-        steal: Some(StealConfig::default()),
-        ..FrontendConfig::default()
-    });
-    let het_serving = het_base.clone().with_frontend(FrontendConfig {
-        admit_batch: 4,
-        admit_interval_ns: 20_000_000,
-        steal: Some(StealConfig::default()),
-        migration: Some(MigrationConfig::default()),
-    });
+    let het_steal = ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+        .frontend(FrontendConfig {
+            steal: Some(StealConfig::default()),
+            ..FrontendConfig::default()
+        })
+        .build();
+    let het_serving = ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+        .frontend(FrontendConfig {
+            admit_batch: 4,
+            admit_interval_ns: 20_000_000,
+            steal: Some(StealConfig::default()),
+            migration: Some(MigrationConfig::default()),
+        })
+        .build();
     let affinity = DispatchPolicy::SparsityAffinity;
     cells.push(cell("het-2+2", &het_base, affinity, "immediate", &cnn));
     cells.push(cell("het-2+2", &het_steal, affinity, "steal", &cnn));
@@ -214,4 +221,160 @@ fn golden_cluster_sweep_quick() {
 
     let json = serde_json::to_string(&cells).expect("cells serialize");
     check_golden("cluster_sweep.json", &json);
+}
+
+// --- fig14_slo_sweep (quick mode) -----------------------------------------
+
+#[derive(Debug, Serialize, Deserialize, PartialEq)]
+struct SloRow {
+    scenario: String,
+    rate: f64,
+    slo_multiplier: f64,
+    policy: String,
+    antt: f64,
+    violation_rate: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize, PartialEq)]
+struct EdfClusterCell {
+    dispatch: String,
+    slo_multiplier: f64,
+    antt: f64,
+    violation_rate: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize, PartialEq)]
+struct Fig14Golden {
+    single_node: Vec<SloRow>,
+    cluster_edf: Vec<EdfClusterCell>,
+}
+
+/// Pins the deadline-flavored `fig14_slo_sweep` configuration: the
+/// single-accelerator SLO sweep at the ends of the multiplier range,
+/// plus the cluster EDF section (the first client of the
+/// `ClusterPolicy` redesign) at its two tightest multipliers. The
+/// acceptance criterion for deadline-aware dispatch rides on the same
+/// cells; regenerate intentionally changed fixtures with
+/// `UPDATE_GOLDEN=1 cargo test --test golden_reports`.
+#[test]
+fn golden_fig14_slo_sweep_quick() {
+    use dysta::cluster::balanced_mixed_serving_mix;
+
+    let scale = Scale::quick();
+
+    // The binary's policy list (fig14 includes the Oracle).
+    const FIG14_POLICIES: [Policy; 7] = [
+        Policy::Fcfs,
+        Policy::Sjf,
+        Policy::Prema,
+        Policy::Planaria,
+        Policy::Sdrm3,
+        Policy::Oracle,
+        Policy::Dysta,
+    ];
+
+    let mut single_node = Vec::new();
+    for (name, scenario, rate) in [
+        ("multi_attnn", Scenario::MultiAttNn, 30.0),
+        ("multi_cnn", Scenario::MultiCnn, 3.0),
+    ] {
+        for m in [10.0, 150.0] {
+            for row in compare_policies(
+                scenario,
+                rate,
+                m,
+                scale,
+                &FIG14_POLICIES,
+                DystaConfig::default(),
+            ) {
+                single_node.push(SloRow {
+                    scenario: name.to_string(),
+                    rate,
+                    slo_multiplier: m,
+                    policy: row.policy.name().to_string(),
+                    antt: row.metrics.antt,
+                    violation_rate: row.metrics.violation_rate,
+                });
+            }
+        }
+    }
+
+    // The cluster section: mixed traffic on a capacity-heterogeneous
+    // 2+2 pool (one node per family at 0.5 capacity), tight SLOs.
+    let mut cluster_edf = Vec::new();
+    for m in [3.0, 5.0] {
+        for dispatch in [
+            DispatchPolicy::JoinShortestQueue,
+            DispatchPolicy::SparsityAffinity,
+            DispatchPolicy::EarliestDeadlineFirst,
+        ] {
+            let mut antt = 0.0;
+            let mut viol = 0.0;
+            for seed in 0..scale.seeds {
+                let w = dysta::workload::WorkloadBuilder::from_mix(balanced_mixed_serving_mix())
+                    .arrival_rate(30.0)
+                    .slo_multiplier(m)
+                    .num_requests(scale.requests)
+                    .samples_per_variant(scale.samples_per_variant)
+                    .seed(seed * 7919 + 13)
+                    .build();
+                let pool = ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+                    .node_capacity(1, 0.5)
+                    .node_capacity(3, 0.5)
+                    .build();
+                let report = simulate_cluster(&w, dispatch.build().as_mut(), &pool);
+                antt += report.antt();
+                viol += report.violation_rate();
+            }
+            let n = scale.seeds as f64;
+            cluster_edf.push(EdfClusterCell {
+                dispatch: dispatch.name().to_string(),
+                slo_multiplier: m,
+                antt: antt / n,
+                violation_rate: viol / n,
+            });
+        }
+    }
+
+    // Acceptance: at the tight multiplier deadline-aware dispatch
+    // strictly reduces the violation rate vs both jsq and affinity with
+    // ANTT no more than 10% worse; at the looser one it never does
+    // worse than either.
+    let cell = |dispatch: &str, m: f64| {
+        cluster_edf
+            .iter()
+            .find(|c| c.dispatch == dispatch && c.slo_multiplier == m)
+            .expect("cell exists")
+    };
+    for m in [3.0, 5.0] {
+        let jsq = cell("jsq", m);
+        let affinity = cell("affinity", m);
+        let edf = cell("edf", m);
+        assert!(
+            edf.violation_rate <= affinity.violation_rate
+                && edf.violation_rate <= jsq.violation_rate,
+            "x{m}: edf {} vs affinity {} / jsq {}",
+            edf.violation_rate,
+            affinity.violation_rate,
+            jsq.violation_rate
+        );
+        assert!(
+            edf.antt <= affinity.antt.min(jsq.antt) * 1.1,
+            "x{m}: edf ANTT {} vs affinity {} / jsq {}",
+            edf.antt,
+            affinity.antt,
+            jsq.antt
+        );
+    }
+    assert!(
+        cell("edf", 3.0).violation_rate < cell("affinity", 3.0).violation_rate,
+        "tight-SLO cell must show a strict violation reduction"
+    );
+
+    let golden = Fig14Golden {
+        single_node,
+        cluster_edf,
+    };
+    let json = serde_json::to_string(&golden).expect("fig14 rows serialize");
+    check_golden("fig14_slo_sweep.json", &json);
 }
