@@ -7,13 +7,18 @@
 //! count. Reports cluster ANTT, SLO violation rate, throughput, and load
 //! imbalance; `DYSTA_QUICK=1` drops to smoke-test scale.
 //!
-//! A final section sweeps the serving front-end (work stealing and
-//! request migration) on the pool shape affinity routing stresses most:
-//! CNN-only traffic on a heterogeneous installation.
+//! A serving-front-end section sweeps work stealing and request
+//! migration on the pool shape affinity routing stresses most
+//! (CNN-only traffic on a heterogeneous installation), and an
+//! admission-control section compares admit-all against the
+//! reject/degrade policies on the capacity-heterogeneous pool at tight
+//! SLOs.
 
 use dysta::cluster::{
-    balanced_mixed_serving_mix, simulate_cluster, AcceleratorKind, ClusterBuilder, ClusterConfig,
-    DispatchPolicy, FrontendConfig, MigrationConfig, StealConfig, TransferCostConfig,
+    balanced_mixed_serving_mix, simulate_cluster, simulate_cluster_with, AcceleratorKind,
+    AdmissionPolicy, AdmitAll, ClusterBuilder, ClusterConfig, ClusterPolicy, DispatchPolicy,
+    FrontendConfig, InfeasibleEverywhere, MigrationConfig, SlackLoadShedding, StealConfig,
+    TransferCostConfig,
 };
 use dysta::core::Policy;
 use dysta::workload::{Scenario, WorkloadBuilder};
@@ -158,6 +163,7 @@ fn main() {
     }
 
     serving_frontend_sweep(&scale);
+    admission_sweep(&scale);
 }
 
 /// The serving front-end on a heterogeneous pool: CNN-only traffic
@@ -256,5 +262,77 @@ fn serving_frontend_sweep(scale: &Scale) {
             migrations as f64 / n,
             fetch_ms / n,
         );
+    }
+}
+
+/// Admission control on the fig14 capacity-heterogeneous pool at tight
+/// SLOs, with FCFS node scheduling — the shape where doomed
+/// head-of-queue work genuinely blocks feasible work. The three
+/// `AdmissionPolicy` rows per dispatcher are the `fig_admission` golden
+/// cells: rejecting infeasible-everywhere requests must cut the
+/// violation rate among admitted work without costing goodput, and
+/// slack-based load shedding cuts it further by re-classing
+/// thin-headroom admissions. Covered by the CI smoke run.
+fn admission_sweep(scale: &Scale) {
+    println!(
+        "\n=== admission control / mixed traffic on capacity-het 2+2 pool (fcfs nodes, slo x2) ==="
+    );
+    println!(
+        "{:<10} {:<22} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "dispatch", "admission", "ANTT", "viol %", "goodput", "rejected", "degraded", "good %"
+    );
+    type AdmissionBuilder = fn() -> Box<dyn AdmissionPolicy>;
+    let builders: [(&str, AdmissionBuilder); 3] = [
+        ("admit-all", || Box::new(AdmitAll::new())),
+        ("infeasible-everywhere", || {
+            Box::new(InfeasibleEverywhere::new())
+        }),
+        ("slack-load-shed", || Box::new(SlackLoadShedding::new())),
+    ];
+    for dispatch in [
+        DispatchPolicy::SparsityAffinity,
+        DispatchPolicy::EarliestDeadlineFirst,
+    ] {
+        for (name, admission) in &builders {
+            let mut antt = 0.0;
+            let mut viol = 0.0;
+            let mut goodput = 0usize;
+            let mut rejected = 0usize;
+            let mut degraded = 0usize;
+            let mut good_rate = 0.0;
+            for seed in 0..scale.seeds {
+                let workload = WorkloadBuilder::from_mix(balanced_mixed_serving_mix())
+                    .arrival_rate(45.0)
+                    .slo_multiplier(2.0)
+                    .num_requests(scale.requests)
+                    .samples_per_variant(scale.samples_per_variant)
+                    .seed(seed * 7919 + 13)
+                    .build();
+                let pool = ClusterBuilder::heterogeneous(2, 2, Policy::Fcfs)
+                    .node_capacity(1, 0.5)
+                    .node_capacity(3, 0.5)
+                    .build();
+                let mut policy = ClusterPolicy::from_dispatch(dispatch).with_admission(admission());
+                let report = simulate_cluster_with(&workload, &mut policy, &pool);
+                antt += report.antt();
+                viol += report.violation_rate();
+                goodput += report.goodput();
+                rejected += report.rejected_total();
+                degraded += report.degraded_total();
+                good_rate += report.goodput_rate();
+            }
+            let n = scale.seeds as f64;
+            println!(
+                "{:<10} {:<22} {:>8.3} {:>8.1}% {:>9.1} {:>9.1} {:>9.1} {:>8.1}%",
+                dispatch.name(),
+                name,
+                antt / n,
+                viol / n * 100.0,
+                goodput as f64 / n,
+                rejected as f64 / n,
+                degraded as f64 / n,
+                good_rate / n * 100.0,
+            );
+        }
     }
 }

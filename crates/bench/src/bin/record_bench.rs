@@ -55,6 +55,11 @@ struct BenchRecord {
     /// costed transfers on a capacity-heterogeneous pool. `None` in
     /// records from before the `ClusterPolicy` redesign.
     cluster_edf_ms: Option<f64>,
+    /// Wall time of an admission-controlled serving run: load-shedding
+    /// admission (per-request pool-wide slack projections at every
+    /// batch dispatch) over EDF routing on the capacity-heterogeneous
+    /// pool. `None` in records from before admission control existed.
+    cluster_admission_ms: Option<f64>,
 }
 
 impl serde::Deserialize for BenchRecord {
@@ -74,6 +79,7 @@ impl serde::Deserialize for BenchRecord {
             cluster_sweep_ms: serde::Deserialize::from_value(value.field("cluster_sweep_ms")?)?,
             cluster_serving_ms: optional("cluster_serving_ms")?,
             cluster_edf_ms: optional("cluster_edf_ms")?,
+            cluster_admission_ms: optional("cluster_admission_ms")?,
         })
     }
 }
@@ -242,6 +248,7 @@ fn measure_cluster_serving() -> f64 {
         admit_interval_ns: 20_000_000,
         steal: Some(StealConfig::default()),
         migration: Some(MigrationConfig::default()),
+        ..FrontendConfig::default()
     };
     let secs = median_secs(3, || {
         let pool = ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
@@ -291,6 +298,38 @@ fn measure_cluster_edf() -> f64 {
     secs * 1e3
 }
 
+fn measure_cluster_admission() -> f64 {
+    // Admission control's hot path: every batch dispatch projects the
+    // request's slack on every node (feasibility for the reject side,
+    // best headroom for the degrade side) before routing — measured
+    // over the same capacity-heterogeneous pool as the EDF cell so the
+    // two wall times are directly comparable.
+    use dysta::cluster::{simulate_cluster_with, ClusterPolicy, SlackLoadShedding};
+    let workload = WorkloadBuilder::new(Scenario::MultiCnn)
+        .arrival_rate(12.0)
+        .slo_multiplier(5.0)
+        .num_requests(200)
+        .samples_per_variant(16)
+        .seed(13)
+        .build();
+    let secs = median_secs(3, || {
+        let pool = ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+            .node_capacity(1, 0.5)
+            .node_capacity(3, 0.5)
+            .frontend(FrontendConfig::serving_costed())
+            .transfer_cost(TransferCostConfig::default_costed())
+            .build();
+        let mut policy = ClusterPolicy::from_dispatch(DispatchPolicy::EarliestDeadlineFirst)
+            .with_admission(Box::new(SlackLoadShedding::new()));
+        std::hint::black_box(simulate_cluster_with(&workload, &mut policy, &pool));
+    });
+    println!(
+        "cluster_admission (2+2 nodes, capacity-het, slack-load-shed + edf, 200 reqs): {:.1} ms",
+        secs * 1e3
+    );
+    secs * 1e3
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let label = args.next().unwrap_or_else(|| "unlabelled".to_string());
@@ -305,6 +344,7 @@ fn main() {
     let cluster_sweep_ms = measure_cluster_sweep();
     let cluster_serving_ms = measure_cluster_serving();
     let cluster_edf_ms = measure_cluster_edf();
+    let cluster_admission_ms = measure_cluster_admission();
 
     let record = BenchRecord {
         label: label.clone(),
@@ -313,6 +353,7 @@ fn main() {
         cluster_sweep_ms,
         cluster_serving_ms: Some(cluster_serving_ms),
         cluster_edf_ms: Some(cluster_edf_ms),
+        cluster_admission_ms: Some(cluster_admission_ms),
     };
 
     // A malformed history file must abort, not be silently replaced —

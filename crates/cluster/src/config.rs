@@ -309,6 +309,53 @@ impl Default for MigrationConfig {
     }
 }
 
+/// Admission-control knobs for the serving front-end — the numeric
+/// side of the pluggable [`crate::AdmissionPolicy`] (the same split
+/// [`StealConfig`] / [`crate::StealPolicy`] use): the policy decides
+/// Admit / Reject / Degrade, this config parameterizes the thresholds
+/// it decides with.
+///
+/// The defaults are inert under [`crate::AdmitAll`] (which never reads
+/// them), so a default front-end stays bit-exact with the
+/// admission-free engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Required deadline headroom for a full-class admission, as a
+    /// fraction of the request's SLO: load-shedding policies degrade or
+    /// reject a request whose best projected slack across the pool is
+    /// below `min_slack_fraction × slo_ns`. Must be finite and `>= 0`
+    /// (0 sheds only infeasible-everywhere requests).
+    pub min_slack_fraction: f64,
+    /// SLO relaxation applied to a degraded admission: the request
+    /// enters the pool with `slo_ns × degrade_slo_multiplier`
+    /// (saturating), and its completion is judged against the *relaxed*
+    /// deadline node-side while [`crate::ClusterReport::goodput`] keeps
+    /// judging it against the original. Must be finite and `>= 1`.
+    pub degrade_slo_multiplier: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            min_slack_fraction: 0.25,
+            degrade_slo_multiplier: 4.0,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    fn validate(&self) {
+        assert!(
+            self.min_slack_fraction >= 0.0 && self.min_slack_fraction.is_finite(),
+            "admission slack fraction must be finite and >= 0"
+        );
+        assert!(
+            self.degrade_slo_multiplier >= 1.0 && self.degrade_slo_multiplier.is_finite(),
+            "admission degrade multiplier must be >= 1"
+        );
+    }
+}
+
 /// The cluster-level serving front-end: admission batching plus the
 /// optional work-stealing and request-migration mechanisms.
 ///
@@ -325,6 +372,10 @@ pub struct FrontendConfig {
     /// batch never fills. 0 disables the timer (a final partial batch
     /// then flushes at its newest arrival).
     pub admit_interval_ns: u64,
+    /// Admission-control thresholds, read by the pool's
+    /// [`crate::AdmissionPolicy`] at batch-dispatch time (inert under
+    /// the default [`crate::AdmitAll`]).
+    pub admission: AdmissionConfig,
     /// Work stealing, when enabled.
     pub steal: Option<StealConfig>,
     /// Request migration, when enabled.
@@ -336,6 +387,7 @@ impl Default for FrontendConfig {
         FrontendConfig {
             admit_batch: 1,
             admit_interval_ns: 0,
+            admission: AdmissionConfig::default(),
             steal: None,
             migration: None,
         }
@@ -369,10 +421,12 @@ impl FrontendConfig {
     ///
     /// # Panics
     ///
-    /// Panics on a zero batch, a zero steal/migration period, or an
-    /// imbalance threshold below 1.
+    /// Panics on a zero batch, an out-of-range admission knob
+    /// (negative slack fraction, degrade multiplier below 1), a zero
+    /// steal/migration period, or an imbalance threshold below 1.
     pub fn validate(&self) {
         assert!(self.admit_batch >= 1, "admission batch must be at least 1");
+        self.admission.validate();
         if let Some(s) = &self.steal {
             assert!(s.period_ns > 0, "steal period must be positive");
             assert!(
@@ -709,6 +763,32 @@ mod tests {
                 ..FrontendConfig::default()
             })
             .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "admission degrade multiplier must be >= 1")]
+    fn sub_one_degrade_multiplier_rejected() {
+        FrontendConfig {
+            admission: AdmissionConfig {
+                degrade_slo_multiplier: 0.5,
+                ..AdmissionConfig::default()
+            },
+            ..FrontendConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "admission slack fraction must be finite and >= 0")]
+    fn negative_slack_fraction_rejected() {
+        FrontendConfig {
+            admission: AdmissionConfig {
+                min_slack_fraction: -0.1,
+                ..AdmissionConfig::default()
+            },
+            ..FrontendConfig::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -62,12 +62,19 @@ pub struct NodeView {
     /// Remaining queued work estimated by the sparse latency predictor
     /// from each in-flight request's monitored sparsity stream.
     pub predicted_backlog_ns: f64,
-    /// Earliest absolute deadline among the node's unfinished requests
-    /// (`u64::MAX` when the node is drained).
+    /// Earliest absolute deadline among the node's unfinished
+    /// *deadlined* requests (`u64::MAX` when the node is drained or
+    /// holds only deadline-free requests). A request whose saturated
+    /// deadline equals `u64::MAX` means "no deadline" and is excluded
+    /// from both SLO-pressure summaries — consumers must treat the
+    /// sentinel as "no pressure", never do arithmetic on it.
     pub earliest_deadline_ns: u64,
-    /// Sum over unfinished requests of `deadline − now − est_remaining`
-    /// (LUT estimate, node-scaled): how much SLO headroom the queue has
-    /// in aggregate. Negative when the queue is already overcommitted.
+    /// Sum over unfinished *deadlined* requests of
+    /// `deadline − now − est_remaining` (LUT estimate, node-scaled):
+    /// how much SLO headroom the queue has in aggregate. Negative when
+    /// the queue is already overcommitted. Deadline-free requests
+    /// contribute nothing (folding their `u64::MAX` sentinel in would
+    /// swamp every real deadline with ~1.8e19 of phantom headroom).
     pub total_slack_ns: f64,
     /// Estimated weight/activation re-fetch cost of moving this node's
     /// average queued request to a peer (0 when the queue is empty or

@@ -18,15 +18,15 @@ use dysta_workload::{Request, Workload};
 
 use crate::dispatch::{DispatchContext, Dispatcher, NodeView};
 use crate::policy::{
-    BacklogGainSteal, BacklogThresholdMigration, ClusterPolicy, MigrationPolicy, StealCandidate,
-    StealPolicy,
+    AdmissionDecision, AdmissionPolicy, AdmitAll, BacklogGainSteal, BacklogThresholdMigration,
+    ClusterPolicy, MigrationPolicy, StealCandidate, StealPolicy,
 };
 use crate::report::{ClusterReport, NodeReport, ServingStats};
 use crate::{ClusterConfig, FrontendConfig};
 
 /// Replays `workload` on a cluster of nodes behind `dispatcher` with the
-/// default steal and migration policies, honouring the pool's
-/// [`FrontendConfig`].
+/// default admission ([`AdmitAll`]), steal, and migration policies,
+/// honouring the pool's [`FrontendConfig`].
 ///
 /// Causality: before any front-end action at sim-time `t` (batch
 /// dispatch, steal check, rebalance pass), every node is advanced up to
@@ -74,6 +74,7 @@ pub fn simulate_cluster(
     run_cluster(
         workload,
         dispatcher,
+        &AdmitAll::new(),
         &BacklogGainSteal::new(),
         &BacklogThresholdMigration::new(),
         config,
@@ -81,9 +82,12 @@ pub fn simulate_cluster(
 }
 
 /// Replays `workload` under a full [`ClusterPolicy`] bundle — custom
-/// steal and migration policies next to the dispatcher. Semantics are
-/// identical to [`simulate_cluster`], which is this function applied to
-/// the default bundle.
+/// admission, steal, and migration policies next to the dispatcher.
+/// Semantics are identical to [`simulate_cluster`], which is this
+/// function applied to the default bundle. With a non-default
+/// [`AdmissionPolicy`] the pool may complete fewer requests than the
+/// workload carries: rejected requests never enter any node engine,
+/// and no steal or migration pass can resurrect them.
 ///
 /// # Panics
 ///
@@ -96,6 +100,7 @@ pub fn simulate_cluster_with(
     run_cluster(
         workload,
         policy.dispatcher.as_mut(),
+        policy.admission.as_ref(),
         policy.steal.as_ref(),
         policy.migration.as_ref(),
         config,
@@ -105,6 +110,7 @@ pub fn simulate_cluster_with(
 fn run_cluster(
     workload: &Workload,
     dispatcher: &mut dyn Dispatcher,
+    admission_policy: &dyn AdmissionPolicy,
     steal_policy: &dyn StealPolicy,
     migration_policy: &dyn MigrationPolicy,
     config: &ClusterConfig,
@@ -137,16 +143,21 @@ fn run_cluster(
         requests,
         config,
         dispatcher,
+        admission_policy,
         steal_policy,
         migration_policy,
         lut,
         predictor,
         nodes,
         routed: vec![0; config.nodes.len()],
+        rejected: vec![0; config.nodes.len()],
+        degraded: vec![0; config.nodes.len()],
         transferred_in: vec![0; config.nodes.len()],
         transferred_out: vec![0; config.nodes.len()],
         transfer_fetch_ns: vec![0; config.nodes.len()],
-        admission_wait_ns: vec![0; requests.len()],
+        admission_wait_ns: Vec::with_capacity(requests.len()),
+        rejected_ids: Vec::new(),
+        degraded_slo_ns: Vec::new(),
         migration_count: vec![0; requests.len()],
         steals: 0,
         migrations: 0,
@@ -169,16 +180,21 @@ struct Frontend<'w, 'c> {
     requests: &'w [Request],
     config: &'c ClusterConfig,
     dispatcher: &'c mut dyn Dispatcher,
+    admission_policy: &'c dyn AdmissionPolicy,
     steal_policy: &'c dyn StealPolicy,
     migration_policy: &'c dyn MigrationPolicy,
     lut: ModelInfoLut,
     predictor: SparseLatencyPredictor,
     nodes: Vec<NodeEngine<'w>>,
     routed: Vec<usize>,
+    rejected: Vec<usize>,
+    degraded: Vec<usize>,
     transferred_in: Vec<usize>,
     transferred_out: Vec<usize>,
     transfer_fetch_ns: Vec<u64>,
     admission_wait_ns: Vec<u64>,
+    rejected_ids: Vec<u64>,
+    degraded_slo_ns: Vec<(u64, u64)>,
     migration_count: Vec<u32>,
     steals: u64,
     migrations: u64,
@@ -311,9 +327,16 @@ impl<'w> Frontend<'w, '_> {
                     let lut_remaining = info.avg_remaining_ns(task.next_layer) * scale;
                     lut_backlog_ns += lut_remaining;
                     predicted_backlog_ns += self.predictor.remaining_ns(task, info) * scale;
+                    // A saturated deadline means "no deadline": such a
+                    // request must not enter the SLO-pressure summaries
+                    // — folding the u64::MAX sentinel into the slack
+                    // sum would swamp every real deadline with ~1.8e19
+                    // of phantom headroom.
                     let deadline = task.arrival_ns.saturating_add(task.slo_ns);
-                    earliest_deadline_ns = earliest_deadline_ns.min(deadline);
-                    total_slack_ns += deadline as f64 - node.now_ns() as f64 - lut_remaining;
+                    if deadline < u64::MAX {
+                        earliest_deadline_ns = earliest_deadline_ns.min(deadline);
+                        total_slack_ns += deadline as f64 - node.now_ns() as f64 - lut_remaining;
+                    }
                     // Only unstarted requests can ever move, so only
                     // they enter the node's price signal.
                     if !free_transfers && !task.started() {
@@ -354,16 +377,27 @@ impl<'w> Frontend<'w, '_> {
         );
     }
 
-    /// Flushes the admission queue at sim-time `t`: routes every queued
-    /// request in arrival order, recomputing node views between requests
+    /// Flushes the admission queue at sim-time `t`: gates every queued
+    /// request through the [`AdmissionPolicy`] and routes the admitted
+    /// ones in arrival order, recomputing node views between requests
     /// so one batch spreads over the pool instead of dog-piling the
     /// momentarily-emptiest node. Execution is floored at `t` — a
     /// request held back by admission batching cannot start before the
     /// instant it was dispatched, so the recorded admission wait is real
-    /// delay, not bookkeeping.
+    /// delay, not bookkeeping — and admission is evaluated at `t` too,
+    /// so a deadline lost while the batch filled counts against the
+    /// request.
+    ///
+    /// A rejected request never reaches any [`NodeEngine`]: it is
+    /// attributed (via the read-only [`Dispatcher::peek`], so the
+    /// rejection cannot perturb how subsequent admissions are routed)
+    /// to the node that would have served it and dropped. A degraded
+    /// request is re-classed to its relaxed SLO before routing, with
+    /// the original SLO recorded for the report's goodput accounting.
     fn dispatch_batch(&mut self, queue: &mut VecDeque<u64>, t: u64) {
         self.sync_nodes(t);
         let requests = self.requests;
+        let admission_cfg = self.config.frontend.admission;
         while let Some(id) = queue.pop_front() {
             let request = &requests[id as usize];
             let views = self.views();
@@ -374,17 +408,34 @@ impl<'w> Frontend<'w, '_> {
                 transfer_cost: &self.config.transfer_cost,
                 reoffer_src: None,
             };
-            let target = self.dispatcher.dispatch(request, &ctx);
+            let decision = self.admission_policy.decide(request, &ctx, &admission_cfg);
+            if decision == AdmissionDecision::Reject {
+                let would_serve = self.dispatcher.peek(request, &ctx);
+                self.check_target(would_serve);
+                self.rejected[would_serve] += 1;
+                self.rejected_ids.push(id);
+                continue;
+            }
+            let request = if decision == AdmissionDecision::Degrade {
+                self.degraded_slo_ns.push((id, request.slo_ns));
+                request.relax_slo(admission_cfg.degrade_slo_multiplier)
+            } else {
+                *request
+            };
+            let target = self.dispatcher.dispatch(&request, &ctx);
             self.check_target(target);
+            if decision == AdmissionDecision::Degrade {
+                self.degraded[target] += 1;
+            }
             let scale = self.config.nodes[target].effective_scale(request.spec.model.family());
             self.nodes[target].enqueue_scaled_at(
-                request,
-                self.workload.trace_for(request),
+                &request,
+                self.workload.trace_for(&request),
                 scale,
                 t,
             );
             self.routed[target] += 1;
-            self.admission_wait_ns[id as usize] = t - request.arrival_ns;
+            self.admission_wait_ns.push(t - request.arrival_ns);
         }
     }
 
@@ -548,10 +599,14 @@ impl<'w> Frontend<'w, '_> {
             nodes,
             config,
             routed,
+            rejected,
+            degraded,
             transferred_in,
             transferred_out,
             transfer_fetch_ns,
             admission_wait_ns,
+            rejected_ids,
+            degraded_slo_ns,
             migration_count,
             steals,
             migrations,
@@ -563,6 +618,8 @@ impl<'w> Frontend<'w, '_> {
             max_migrations_single_request: migration_count.iter().copied().max().unwrap_or(0),
             transfer_cost_ns: transfer_fetch_ns.iter().sum(),
             admission_wait_ns,
+            rejected_ids,
+            degraded_slo_ns,
         };
         ClusterReport::with_serving(
             nodes
@@ -573,6 +630,8 @@ impl<'w> Frontend<'w, '_> {
                     node_id: node.id(),
                     accelerator: nc.accelerator,
                     routed: routed[i],
+                    rejected: rejected[i],
+                    degraded: degraded[i],
                     transferred_in: transferred_in[i],
                     transferred_out: transferred_out[i],
                     transfer_fetch_ns: transfer_fetch_ns[i],

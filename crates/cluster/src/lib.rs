@@ -8,10 +8,22 @@
 //!
 //! # The decision surface
 //!
-//! Every cluster-level decision is made by one of three traits, all
+//! Every cluster-level decision is made by one of four traits, all
 //! consulted through the same [`DispatchContext`] (causal [`NodeView`]
 //! snapshots + the profiled LUT + the pool's [`TransferCostConfig`]):
 //!
+//! * [`AdmissionPolicy`] gates each request at batch-dispatch time —
+//!   Admit, Reject (the request never enters any node engine, and no
+//!   steal or migration pass can resurrect it), or Degrade (admit in a
+//!   relaxed SLO class recorded on the request;
+//!   [`ClusterReport::goodput`] still judges the completion against
+//!   the original deadline). Three policies ship: [`AdmitAll`] (the
+//!   default — bit-exact with the admission-free engine),
+//!   [`InfeasibleEverywhere`] (reject iff the projected slack is
+//!   negative on every node — stop serving doomed work), and
+//!   [`SlackLoadShedding`] (additionally degrade feasible requests
+//!   whose best headroom is under
+//!   [`AdmissionConfig::min_slack_fraction`] of their SLO).
 //! * [`Dispatcher`] routes each admitted request. Five policies ship:
 //!   [`RoundRobin`], [`JoinShortestQueue`] (LUT-estimated queued work),
 //!   [`LeastLoaded`] (sparse-latency-predictor backlog — the paper's
@@ -136,8 +148,9 @@ mod policy;
 mod report;
 
 pub use config::{
-    balanced_mixed_serving_mix, AcceleratorKind, ClusterBuilder, ClusterConfig, FrontendConfig,
-    MigrationConfig, NodeConfig, StealConfig, TransferCostConfig, DEFAULT_MISMATCH_SLOWDOWN,
+    balanced_mixed_serving_mix, AcceleratorKind, AdmissionConfig, ClusterBuilder, ClusterConfig,
+    FrontendConfig, MigrationConfig, NodeConfig, StealConfig, TransferCostConfig,
+    DEFAULT_MISMATCH_SLOWDOWN,
 };
 pub use dispatch::{
     DispatchContext, DispatchPolicy, Dispatcher, EarliestDeadlineFirst, JoinShortestQueue,
@@ -145,7 +158,8 @@ pub use dispatch::{
 };
 pub use engine::{simulate_cluster, simulate_cluster_with};
 pub use policy::{
-    BacklogGainSteal, BacklogThresholdMigration, ClusterPolicy, MigrationPolicy, StealCandidate,
+    AdmissionDecision, AdmissionPolicy, AdmitAll, BacklogGainSteal, BacklogThresholdMigration,
+    ClusterPolicy, InfeasibleEverywhere, MigrationPolicy, SlackLoadShedding, StealCandidate,
     StealPolicy,
 };
 pub use report::{ClusterReport, LatencyPercentiles, NodeReport, ServingStats};

@@ -226,13 +226,189 @@ impl MigrationPolicy for BacklogThresholdMigration {
     }
 }
 
-/// The full cluster control surface: request routing plus the steal and
-/// migration sides, consulted by [`crate::simulate_cluster_with`].
+/// What the [`AdmissionPolicy`] decided for one request at
+/// batch-dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionDecision {
+    /// Serve the request at its requested SLO class.
+    Admit,
+    /// Drop the request at the front-end door: it never enters any node
+    /// engine, and no later steal or migration pass can resurrect it.
+    Reject,
+    /// Serve the request in a relaxed SLO class: it enters the pool
+    /// with its SLO multiplied by
+    /// [`crate::AdmissionConfig::degrade_slo_multiplier`], while
+    /// [`crate::ClusterReport::goodput`] keeps judging its completion
+    /// against the original deadline.
+    Degrade,
+}
+
+/// Gates every request at batch-dispatch time — the fourth member of
+/// the [`ClusterPolicy`] family.
+///
+/// Consulted when a request leaves the admission queue (after any
+/// batching delay, so a deadline lost while waiting for the batch to
+/// fill counts against it), against the same [`DispatchContext`]
+/// snapshot the dispatcher routes with. Implementations must be pure
+/// functions of their arguments.
+pub trait AdmissionPolicy {
+    /// Stable lower-case policy name.
+    fn name(&self) -> &str;
+
+    /// Decides whether `request` is served, shed, or degraded under
+    /// this snapshot. `cfg` carries the pool's admission thresholds
+    /// ([`crate::FrontendConfig::admission`]).
+    fn decide(
+        &self,
+        request: &Request,
+        ctx: &DispatchContext<'_>,
+        cfg: &crate::AdmissionConfig,
+    ) -> AdmissionDecision;
+}
+
+/// The default admission policy: serve everything — bit-exact with the
+/// admission-free engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmitAll;
+
+impl AdmitAll {
+    /// Creates the default admission policy.
+    pub fn new() -> Self {
+        AdmitAll
+    }
+}
+
+impl AdmissionPolicy for AdmitAll {
+    fn name(&self) -> &str {
+        "admit-all"
+    }
+
+    fn decide(
+        &self,
+        _request: &Request,
+        _ctx: &DispatchContext<'_>,
+        _cfg: &crate::AdmissionConfig,
+    ) -> AdmissionDecision {
+        AdmissionDecision::Admit
+    }
+}
+
+/// Rejects a request iff its deadline is already infeasible on *every*
+/// node — the projected slack
+/// ([`crate::EarliestDeadlineFirst::projected_slack_ns`], the same
+/// estimate deadline-aware dispatch routes on) is negative across the
+/// whole pool, so wherever the dispatcher would place it the SLO is
+/// lost before a single layer runs. Serving such a request cannot
+/// reduce the violation count; it can only steal capacity from
+/// feasible requests. Everything feasible somewhere is admitted
+/// unchanged.
+///
+/// Deadline-free requests (saturated SLO) always project positive
+/// slack and are never rejected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InfeasibleEverywhere;
+
+impl InfeasibleEverywhere {
+    /// Creates the reject-doomed-work admission policy.
+    pub fn new() -> Self {
+        InfeasibleEverywhere
+    }
+
+    /// True when no node in the snapshot can hold the request's
+    /// deadline under the projected-slack estimate.
+    pub fn infeasible_everywhere(request: &Request, ctx: &DispatchContext<'_>) -> bool {
+        ctx.nodes
+            .iter()
+            .all(|n| crate::EarliestDeadlineFirst::projected_slack_ns(request, n, ctx) < 0)
+    }
+}
+
+impl AdmissionPolicy for InfeasibleEverywhere {
+    fn name(&self) -> &str {
+        "infeasible-everywhere"
+    }
+
+    fn decide(
+        &self,
+        request: &Request,
+        ctx: &DispatchContext<'_>,
+        _cfg: &crate::AdmissionConfig,
+    ) -> AdmissionDecision {
+        if InfeasibleEverywhere::infeasible_everywhere(request, ctx) {
+            AdmissionDecision::Reject
+        } else {
+            AdmissionDecision::Admit
+        }
+    }
+}
+
+/// Load shedding with a configurable headroom threshold: requests whose
+/// deadline is infeasible everywhere are rejected (as
+/// [`InfeasibleEverywhere`]); requests that are feasible somewhere but
+/// whose *best* projected slack across the pool is thinner than
+/// [`crate::AdmissionConfig::min_slack_fraction`] of their SLO are
+/// admitted in the degraded class (their deadline is unlikely to
+/// survive estimation error, so they are re-classed rather than
+/// allowed to count against the tight class); everything with real
+/// headroom is admitted unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlackLoadShedding;
+
+impl SlackLoadShedding {
+    /// Creates the headroom-thresholded load-shedding policy.
+    pub fn new() -> Self {
+        SlackLoadShedding
+    }
+}
+
+impl AdmissionPolicy for SlackLoadShedding {
+    fn name(&self) -> &str {
+        "slack-load-shed"
+    }
+
+    fn decide(
+        &self,
+        request: &Request,
+        ctx: &DispatchContext<'_>,
+        cfg: &crate::AdmissionConfig,
+    ) -> AdmissionDecision {
+        let best = ctx
+            .nodes
+            .iter()
+            .map(|n| crate::EarliestDeadlineFirst::projected_slack_ns(request, n, ctx))
+            .max()
+            .expect("cluster engine never passes an empty pool");
+        if best < 0 {
+            return AdmissionDecision::Reject;
+        }
+        // A deadline-free request (saturated SLO, slack clamped at
+        // i64::MAX) has infinite headroom by definition: admit it
+        // outright. Without this guard a fraction above ~0.5 would
+        // degrade it, because the clamped slack (~9.2e18) undershoots
+        // the threshold computed from the unclamped u64::MAX SLO.
+        if request.slo_ns == u64::MAX || best == i64::MAX {
+            return AdmissionDecision::Admit;
+        }
+        // f64 comparison so a huge-but-finite SLO cannot overflow.
+        if (best as f64) < cfg.min_slack_fraction * request.slo_ns as f64 {
+            AdmissionDecision::Degrade
+        } else {
+            AdmissionDecision::Admit
+        }
+    }
+}
+
+/// The full cluster control surface: admission gating and request
+/// routing plus the steal and migration sides, consulted by
+/// [`crate::simulate_cluster_with`].
 ///
 /// [`crate::simulate_cluster`] wraps a bare dispatcher in this bundle
-/// with the default steal/migration policies, which keeps the
-/// four-argument call sites (and their behavior) unchanged.
+/// with the default admission/steal/migration policies, which keeps
+/// the four-argument call sites (and their behavior) unchanged.
 pub struct ClusterPolicy {
+    /// Gates each request at batch-dispatch time (default:
+    /// [`AdmitAll`]).
+    pub admission: Box<dyn AdmissionPolicy>,
     /// Routes each admitted (or re-offered) request to a node.
     pub dispatcher: Box<dyn Dispatcher>,
     /// Chooses what idle nodes steal.
@@ -242,10 +418,11 @@ pub struct ClusterPolicy {
 }
 
 impl ClusterPolicy {
-    /// Bundles `dispatcher` with the default steal and migration
-    /// policies.
+    /// Bundles `dispatcher` with the default admission, steal, and
+    /// migration policies.
     pub fn new(dispatcher: Box<dyn Dispatcher>) -> Self {
         ClusterPolicy {
+            admission: Box::new(AdmitAll::new()),
             dispatcher,
             steal: Box::new(BacklogGainSteal::new()),
             migration: Box::new(BacklogThresholdMigration::new()),
@@ -255,6 +432,12 @@ impl ClusterPolicy {
     /// Convenience: the bundle for a shipped [`DispatchPolicy`].
     pub fn from_dispatch(policy: DispatchPolicy) -> Self {
         ClusterPolicy::new(policy.build())
+    }
+
+    /// Replaces the admission policy.
+    pub fn with_admission(mut self, admission: Box<dyn AdmissionPolicy>) -> Self {
+        self.admission = admission;
+        self
     }
 
     /// Replaces the steal policy.
@@ -356,6 +539,146 @@ mod tests {
         // whole backlog, so it never fires.
         let costed = [candidate(1, 1, 60.0, 50)];
         assert_eq!(policy.choose(0, &costed, &ctx, &cfg), None);
+    }
+
+    fn admission_request(arrival_ns: u64, slo_ns: u64) -> dysta_workload::Request {
+        use dysta_models::ModelId;
+        use dysta_sparsity::SparsityPattern;
+        use dysta_trace::SparseModelSpec;
+        dysta_workload::Request {
+            id: 0,
+            spec: SparseModelSpec::new(ModelId::ResNet50, SparsityPattern::Dense, 0.0),
+            sample_index: 0,
+            arrival_ns,
+            slo_ns,
+        }
+    }
+
+    #[test]
+    fn admit_all_admits_unconditionally() {
+        let lut = ModelInfoLut::default();
+        let views = [view(0, 1.0e18)];
+        let ctx = DispatchContext {
+            now_ns: 0,
+            nodes: &views,
+            lut: &lut,
+            transfer_cost: &TransferCostConfig::FREE,
+            reoffer_src: None,
+        };
+        let cfg = crate::AdmissionConfig::default();
+        // Even a request whose deadline is hopeless everywhere.
+        let doomed = admission_request(0, 1);
+        assert_eq!(
+            AdmitAll::new().decide(&doomed, &ctx, &cfg),
+            AdmissionDecision::Admit
+        );
+    }
+
+    #[test]
+    fn infeasible_everywhere_rejects_only_when_no_node_can_hold_the_deadline() {
+        // Empty LUT: the request's own estimate is 0, so per-node slack
+        // is deadline − predicted backlog.
+        let lut = ModelInfoLut::default();
+        let cfg = crate::AdmissionConfig::default();
+        let policy = InfeasibleEverywhere::new();
+        let req = admission_request(0, 50);
+
+        let hopeless = [view(0, 100.0), view(1, 200.0)];
+        let ctx = DispatchContext {
+            now_ns: 0,
+            nodes: &hopeless,
+            lut: &lut,
+            transfer_cost: &TransferCostConfig::FREE,
+            reoffer_src: None,
+        };
+        assert_eq!(policy.decide(&req, &ctx, &cfg), AdmissionDecision::Reject);
+
+        // One feasible node is enough to admit.
+        let one_open = [view(0, 100.0), view(1, 10.0)];
+        let ctx_open = DispatchContext {
+            nodes: &one_open,
+            ..ctx
+        };
+        assert_eq!(
+            policy.decide(&req, &ctx_open, &cfg),
+            AdmissionDecision::Admit
+        );
+
+        // A deadline-free request is never rejected, no matter the load.
+        let relaxed = admission_request(0, u64::MAX);
+        assert_eq!(
+            policy.decide(&relaxed, &ctx, &cfg),
+            AdmissionDecision::Admit
+        );
+    }
+
+    #[test]
+    fn slack_load_shedding_degrades_thin_headroom_and_rejects_infeasible() {
+        let lut = ModelInfoLut::default();
+        let cfg = crate::AdmissionConfig {
+            min_slack_fraction: 0.25,
+            degrade_slo_multiplier: 4.0,
+        };
+        let policy = SlackLoadShedding::new();
+        // SLO 1000 ⇒ full-class admission needs 250 ns of slack on the
+        // best node.
+        let req = admission_request(0, 1_000);
+        let wide = [view(0, 100.0), view(1, 900.0)];
+        let thin = [view(0, 800.0), view(1, 900.0)];
+        let none = [view(0, 1_200.0), view(1, 1_500.0)];
+        let base = DispatchContext {
+            now_ns: 0,
+            nodes: &wide,
+            lut: &lut,
+            transfer_cost: &TransferCostConfig::FREE,
+            reoffer_src: None,
+        };
+        assert_eq!(policy.decide(&req, &base, &cfg), AdmissionDecision::Admit);
+        let thin_ctx = DispatchContext {
+            nodes: &thin,
+            ..base
+        };
+        assert_eq!(
+            policy.decide(&req, &thin_ctx, &cfg),
+            AdmissionDecision::Degrade
+        );
+        let none_ctx = DispatchContext {
+            nodes: &none,
+            ..base
+        };
+        assert_eq!(
+            policy.decide(&req, &none_ctx, &cfg),
+            AdmissionDecision::Reject
+        );
+        // At fraction 0 the policy collapses to InfeasibleEverywhere.
+        let strict0 = crate::AdmissionConfig {
+            min_slack_fraction: 0.0,
+            ..cfg
+        };
+        assert_eq!(
+            policy.decide(&req, &thin_ctx, &strict0),
+            AdmissionDecision::Admit
+        );
+        // A deadline-free request has infinite headroom: it is admitted
+        // at full class even under a fraction high enough that the
+        // clamped slack (i64::MAX) undershoots a threshold computed
+        // from its unclamped u64::MAX SLO.
+        let free = admission_request(0, u64::MAX);
+        let greedy = crate::AdmissionConfig {
+            min_slack_fraction: 0.9,
+            ..cfg
+        };
+        assert_eq!(
+            policy.decide(&free, &none_ctx, &greedy),
+            AdmissionDecision::Admit
+        );
+    }
+
+    #[test]
+    fn admission_policy_names_are_stable() {
+        assert_eq!(AdmitAll::new().name(), "admit-all");
+        assert_eq!(InfeasibleEverywhere::new().name(), "infeasible-everywhere");
+        assert_eq!(SlackLoadShedding::new().name(), "slack-load-shed");
     }
 
     #[test]

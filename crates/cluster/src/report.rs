@@ -11,12 +11,22 @@ pub struct NodeReport {
     pub node_id: usize,
     /// The node's accelerator.
     pub accelerator: AcceleratorKind,
-    /// Requests *initially dispatched* to the node by the admission
-    /// front-end. Stealing and migration move requests after initial
+    /// *Admitted* requests initially dispatched to the node by the
+    /// admission front-end (full-class and degraded; never rejected
+    /// ones). Stealing and migration move requests after initial
     /// dispatch, so per node `routed + transferred_in - transferred_out`
     /// equals the requests it completed; summed across the pool `routed`
-    /// alone equals the workload size.
+    /// alone equals the number of admitted requests (the workload size
+    /// minus every rejection).
     pub routed: usize,
+    /// Requests the admission policy rejected whose dispatcher pick —
+    /// the node that *would* have served them, read through the
+    /// side-effect-free peek path — was this node. Rejected requests
+    /// never enter any node engine.
+    pub rejected: usize,
+    /// Requests admitted to this node in the degraded (relaxed-SLO)
+    /// class.
+    pub degraded: usize,
     /// Requests moved *onto* this node by work stealing or migration.
     pub transferred_in: usize,
     /// Requests moved *off* this node (after initial dispatch, before
@@ -72,10 +82,20 @@ pub struct ServingStats {
     /// Total weight/activation re-fetch time charged across all steals
     /// and migrations (ns) — zero under free transfers.
     pub transfer_cost_ns: u64,
-    /// Per-request time spent in the cluster admission queue before
-    /// dispatch, indexed by request id (all zeros under immediate
-    /// dispatch; empty when a report is assembled without a front-end).
+    /// Time each *admitted* request spent in the cluster admission
+    /// queue before dispatch, in dispatch order (all zeros under
+    /// immediate dispatch; empty when a report is assembled without a
+    /// front-end). Rejected requests never dispatch, so they
+    /// contribute no sample.
     pub admission_wait_ns: Vec<u64>,
+    /// Ids of the requests the admission policy rejected, in decision
+    /// order (empty under [`crate::AdmitAll`]).
+    pub rejected_ids: Vec<u64>,
+    /// For each degraded admission: the request id and its *original*
+    /// SLO in nanoseconds, in decision order. The request runs the
+    /// pool under the relaxed deadline; [`ClusterReport::goodput`]
+    /// judges its completion against the original recorded here.
+    pub degraded_slo_ns: Vec<(u64, u64)>,
 }
 
 impl ServingStats {
@@ -129,22 +149,22 @@ impl ClusterReport {
     ///
     /// # Panics
     ///
-    /// Panics if `nodes` is empty or no node completed any request.
+    /// Panics if `nodes` is empty.
     pub fn new(nodes: Vec<NodeReport>) -> Self {
         ClusterReport::with_serving(nodes, ServingStats::default())
     }
 
     /// Assembles a report including the serving front-end's statistics.
     ///
+    /// A report with zero completions is legal — an admission policy
+    /// may reject every request of a run — and yields neutral metrics
+    /// (ANTT, violation rate, throughput, and load imbalance all 0).
+    ///
     /// # Panics
     ///
-    /// Panics if `nodes` is empty or no node completed any request.
+    /// Panics if `nodes` is empty.
     pub fn with_serving(nodes: Vec<NodeReport>, serving: ServingStats) -> Self {
         assert!(!nodes.is_empty(), "cluster report needs nodes");
-        assert!(
-            nodes.iter().any(|n| !n.report.completed().is_empty()),
-            "cluster report needs at least one completion"
-        );
         ClusterReport { nodes, serving }
     }
 
@@ -202,20 +222,83 @@ impl ClusterReport {
         self.nodes.iter().map(|n| n.report.completed().len()).sum()
     }
 
+    /// Requests the admission policy turned away at the front-end door
+    /// (sum of the per-node [`NodeReport::rejected`] counters; 0 under
+    /// [`crate::AdmitAll`]).
+    pub fn rejected_total(&self) -> usize {
+        self.nodes.iter().map(|n| n.rejected).sum()
+    }
+
+    /// Requests admitted in the degraded (relaxed-SLO) class (sum of
+    /// the per-node [`NodeReport::degraded`] counters).
+    pub fn degraded_total(&self) -> usize {
+        self.nodes.iter().map(|n| n.degraded).sum()
+    }
+
+    /// Requests the front-end admitted into the pool — full-class plus
+    /// degraded, i.e. the sum of the per-node `routed` counters. The
+    /// serving conservation invariant is stated over these: per node
+    /// `routed + transferred_in − transferred_out == completed`, and
+    /// summed across the pool `admitted_total == completed_total` once
+    /// the pool drains.
+    pub fn admitted_total(&self) -> usize {
+        self.nodes.iter().map(|n| n.routed).sum()
+    }
+
     /// Cluster ANTT: the mean normalized turnaround over every request
-    /// served anywhere in the pool.
+    /// served anywhere in the pool (0 when nothing completed).
     pub fn antt(&self) -> f64 {
         let total = self.completed_total();
+        if total == 0 {
+            return 0.0;
+        }
         self.completed()
             .map(CompletedRequest::normalized_turnaround)
             .sum::<f64>()
             / total as f64
     }
 
-    /// Cluster SLO violation rate in `[0, 1]`.
+    /// Cluster SLO violation rate in `[0, 1]`, over the requests the
+    /// pool actually served — a degraded admission is judged against
+    /// its relaxed deadline here (see [`ClusterReport::goodput`] for
+    /// the original-SLO view), and a rejected request is no violation
+    /// because it was never served (0 when nothing completed).
     pub fn violation_rate(&self) -> f64 {
         let total = self.completed_total();
+        if total == 0 {
+            return 0.0;
+        }
         self.completed().filter(|c| c.violated()).count() as f64 / total as f64
+    }
+
+    /// Goodput: completions that met their *original* SLO. For a
+    /// degraded admission the node-side record carries the relaxed
+    /// deadline, so this looks the original up in
+    /// [`ServingStats::degraded_slo_ns`] — a degraded request that
+    /// finished within its relaxed class but past its requested
+    /// deadline counts toward throughput and not toward goodput.
+    pub fn goodput(&self) -> usize {
+        // One map build per call keeps this O(completed + degraded)
+        // instead of a per-completion scan of the degraded list.
+        let original: std::collections::HashMap<u64, u64> =
+            self.serving.degraded_slo_ns.iter().copied().collect();
+        self.completed()
+            .filter(|c| {
+                let original_slo = original.get(&c.id).copied().unwrap_or(c.slo_ns);
+                c.completion_ns <= c.arrival_ns.saturating_add(original_slo)
+            })
+            .count()
+    }
+
+    /// Goodput as a fraction of the requests *offered* to the pool —
+    /// admitted plus rejected — so shedding work can never inflate it
+    /// (0 when nothing was offered).
+    pub fn goodput_rate(&self) -> f64 {
+        let offered = self.admitted_total() + self.rejected_total();
+        if offered == 0 {
+            return 0.0;
+        }
+        self.goodput() as f64 / offered as f64
     }
 
     /// The cluster observation window: first arrival to last completion
@@ -286,12 +369,15 @@ impl ClusterReport {
 
     /// Load imbalance: the busiest node's service time over the mean —
     /// 1.0 is a perfectly balanced pool, `num_nodes()` is one node doing
-    /// all the work. Defined as 1.0 for an all-idle pool.
+    /// all the work. Defined as 0.0 for an all-idle pool (zero mean
+    /// busy time would otherwise divide to NaN): no work means no
+    /// imbalance, and the 0 is distinguishable from a genuinely
+    /// balanced pool's 1.0.
     pub fn load_imbalance(&self) -> f64 {
         let busy: Vec<f64> = self.nodes.iter().map(|n| n.busy_ns as f64).collect();
         let mean = busy.iter().sum::<f64>() / busy.len() as f64;
         if mean <= 0.0 {
-            1.0
+            0.0
         } else {
             busy.iter().cloned().fold(0.0f64, f64::max) / mean
         }
@@ -321,6 +407,8 @@ mod tests {
             node_id: id,
             accelerator: AcceleratorKind::EyerissV2,
             routed: completed.len(),
+            rejected: 0,
+            degraded: 0,
             transferred_in: 0,
             transferred_out: 0,
             transfer_fetch_ns: 0,
@@ -365,9 +453,57 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one completion")]
-    fn all_idle_cluster_rejected() {
-        let _ = ClusterReport::new(vec![node(0, Vec::new(), 0)]);
+    fn empty_traffic_run_yields_neutral_metrics() {
+        // An admission policy may reject every request: the all-idle
+        // report is legal and every metric is neutral — in particular
+        // load_imbalance is 0.0 (it used to divide max busy by the
+        // zero mean), not NaN/inf.
+        let mut rejecting = node(0, Vec::new(), 0);
+        rejecting.rejected = 5;
+        let r = ClusterReport::new(vec![rejecting, node(1, Vec::new(), 0)]);
+        assert_eq!(r.completed_total(), 0);
+        assert_eq!(r.admitted_total(), 0);
+        assert_eq!(r.rejected_total(), 5);
+        assert_eq!(r.load_imbalance(), 0.0);
+        assert!(r.load_imbalance().is_finite());
+        assert_eq!(r.antt(), 0.0);
+        assert_eq!(r.violation_rate(), 0.0);
+        assert_eq!(r.throughput_inf_s(), 0.0);
+        assert_eq!(r.goodput(), 0);
+        assert_eq!(r.goodput_rate(), 0.0);
+        assert_eq!(r.turnaround_percentile_ns(99.0), 0);
+        assert_eq!(r.serving().mean_admission_wait_ns(), 0.0);
+    }
+
+    #[test]
+    fn goodput_judges_degraded_completions_against_their_original_slo() {
+        // Request 1 was degraded: it runs the pool with a relaxed SLO
+        // of 100 ns (meets it, so it is no node-side violation) but its
+        // original class was 15 ns, which its completion at 40 missed.
+        let on_time = CompletedRequest {
+            slo_ns: 25,
+            ..completion(0, 0, 20, 10)
+        };
+        let degraded_late = CompletedRequest {
+            slo_ns: 100,
+            ..completion(1, 0, 40, 10)
+        };
+        let mut n0 = node(0, vec![on_time, degraded_late], 50);
+        n0.degraded = 1;
+        let serving = ServingStats {
+            degraded_slo_ns: vec![(1, 15)],
+            ..ServingStats::default()
+        };
+        let r = ClusterReport::with_serving(vec![n0], serving);
+        assert_eq!(r.violation_rate(), 0.0, "relaxed class was met");
+        assert_eq!(r.goodput(), 1, "original class was not");
+        assert_eq!(r.degraded_total(), 1);
+        assert!((r.goodput_rate() - 0.5).abs() < 1e-12);
+        // Rejections widen the goodput denominator: shedding can never
+        // inflate the rate.
+        let mut shed = r.clone();
+        shed.nodes[0].rejected = 2;
+        assert!((shed.goodput_rate() - 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -408,6 +544,28 @@ mod tests {
     }
 
     #[test]
+    fn admission_wait_summary_edges_are_total() {
+        // Empty sample set (a run that admitted nothing): mean and every
+        // percentile — including the p = 0 edge — are 0, never NaN or a
+        // panic.
+        let empty = ServingStats::default();
+        assert_eq!(empty.mean_admission_wait_ns(), 0.0);
+        assert!(empty.mean_admission_wait_ns().is_finite());
+        assert_eq!(empty.admission_wait_percentile_ns(0.0), 0);
+        assert_eq!(empty.admission_wait_percentile_ns(50.0), 0);
+        assert_eq!(empty.admission_wait_percentile_ns(100.0), 0);
+        // Non-empty: p = 0 is the minimum (nearest-rank convention),
+        // not an out-of-bounds index.
+        let some = ServingStats {
+            admission_wait_ns: vec![30, 10, 20],
+            ..ServingStats::default()
+        };
+        assert_eq!(some.admission_wait_percentile_ns(0.0), 10);
+        assert_eq!(some.admission_wait_percentile_ns(100.0), 30);
+        assert!((some.mean_admission_wait_ns() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn per_node_slack_violation_and_transfer_cost_accounting() {
         // Node 0 finishes its request with 5 ns to spare; node 1 blows
         // its deadline by 10 ns and paid 7 ns of fetch cost.
@@ -437,6 +595,7 @@ mod tests {
             max_migrations_single_request: 1,
             transfer_cost_ns: 0,
             admission_wait_ns: vec![0, 10, 20, 30],
+            ..ServingStats::default()
         };
         let r =
             ClusterReport::with_serving(vec![node(0, vec![completion(0, 0, 10, 5)], 10)], serving);

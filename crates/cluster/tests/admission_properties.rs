@@ -1,0 +1,290 @@
+//! Property tests for admission control: rejected requests never enter
+//! the pool (no completion, no transfer can involve them), the serving
+//! conservation invariant restated over *admitted* requests holds
+//! across pool shapes × dispatchers × steal/migration settings, the
+//! default `AdmitAll` bundle is bit-exact with the admission-free
+//! engine, and the `NodeView` deadline summaries never fold the
+//! `u64::MAX` no-deadline sentinel into their slack arithmetic.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use dysta_cluster::{
+    simulate_cluster, simulate_cluster_with, AcceleratorKind, ClusterBuilder, ClusterConfig,
+    ClusterPolicy, DispatchContext, DispatchPolicy, Dispatcher, FrontendConfig,
+    InfeasibleEverywhere, JoinShortestQueue, SlackLoadShedding,
+};
+use dysta_core::Policy;
+use dysta_workload::{Request, Scenario, Workload, WorkloadBuilder};
+
+fn workload(rate: f64, slo: f64, n: usize, seed: u64) -> Workload {
+    WorkloadBuilder::new(Scenario::MultiCnn)
+        .arrival_rate(rate)
+        .slo_multiplier(slo)
+        .num_requests(n)
+        .samples_per_variant(4)
+        .seed(seed)
+        .build()
+}
+
+fn pool(shape: u8, frontend: FrontendConfig) -> ClusterConfig {
+    match shape {
+        0 => ClusterBuilder::homogeneous(3, AcceleratorKind::EyerissV2, Policy::Dysta),
+        1 => ClusterBuilder::heterogeneous(2, 2, Policy::Dysta),
+        // The fig14 capacity-heterogeneous shape: one node per family
+        // at half clock.
+        _ => ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+            .node_capacity(1, 0.5)
+            .node_capacity(3, 0.5),
+    }
+    .frontend(frontend)
+    .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn rejected_requests_never_complete_and_admission_conserves(
+        seed in 0u64..500,
+        shape in 0u8..3,
+        dispatch in prop::sample::select(DispatchPolicy::ALL.to_vec()),
+        serving in 0u8..2,
+        batch in 1usize..6,
+        slo in 1.5f64..4.0,
+        shed in 0u8..2,
+    ) {
+        let (serving, shed) = (serving == 1, shed == 1);
+        let n = 60;
+        // Tight SLOs at an overdriven rate so real rejections happen.
+        let w = workload(18.0, slo, n, seed);
+        let frontend = FrontendConfig {
+            admit_batch: batch,
+            admit_interval_ns: 25_000_000,
+            ..if serving {
+                FrontendConfig::serving()
+            } else {
+                FrontendConfig::default()
+            }
+        };
+        let mut policy = ClusterPolicy::from_dispatch(dispatch).with_admission(if shed {
+            Box::new(SlackLoadShedding::new())
+        } else {
+            Box::new(InfeasibleEverywhere::new())
+        });
+        let report = simulate_cluster_with(&w, &mut policy, &pool(shape, frontend));
+
+        let rejected = report.rejected_total();
+        let admitted = report.admitted_total();
+        let degraded = report.degraded_total();
+
+        // Every offered request is either admitted or rejected, and the
+        // serving stats agree with the per-node counters.
+        prop_assert_eq!(admitted + rejected, n);
+        prop_assert_eq!(report.serving().rejected_ids.len(), rejected);
+        prop_assert_eq!(report.serving().degraded_slo_ns.len(), degraded);
+        prop_assert!(degraded <= admitted);
+
+        // admitted == routed == completed: what the front-end let in is
+        // exactly what the pool served, exactly once.
+        prop_assert_eq!(report.completed_total(), admitted);
+        let completed_ids: HashSet<u64> = report.completed().map(|c| c.id).collect();
+        prop_assert_eq!(completed_ids.len(), admitted, "duplicate completion");
+
+        // A rejected request appears in no node's completions...
+        for id in &report.serving().rejected_ids {
+            prop_assert!(
+                !completed_ids.contains(id),
+                "rejected request {} completed",
+                id
+            );
+        }
+        // ...and no transfer can have involved one: transfers only move
+        // requests queued on nodes, and the counters balance exactly
+        // over admitted work.
+        let moved = (report.serving().steals + report.serving().migrations) as usize;
+        prop_assert_eq!(
+            report.nodes().iter().map(|nd| nd.transferred_in).sum::<usize>(),
+            moved
+        );
+        prop_assert_eq!(
+            report.nodes().iter().map(|nd| nd.transferred_out).sum::<usize>(),
+            moved
+        );
+        // The conservation invariant, restated over admitted requests.
+        for node in report.nodes() {
+            prop_assert_eq!(
+                node.routed + node.transferred_in - node.transferred_out,
+                node.report.completed().len(),
+                "node {} accounting out of balance",
+                node.node_id
+            );
+        }
+
+        // One admission-wait sample per admitted request, none for the
+        // rejected ones.
+        prop_assert_eq!(report.serving().admission_wait_ns.len(), admitted);
+
+        // Goodput counts a subset of completions and the rate is a
+        // well-formed fraction of offered work.
+        prop_assert!(report.goodput() <= report.completed_total());
+        prop_assert!((0.0..=1.0).contains(&report.goodput_rate()));
+    }
+
+    #[test]
+    fn default_admit_all_bundle_is_bit_exact_with_simulate_cluster(
+        seed in 0u64..500,
+        dispatch in prop::sample::select(DispatchPolicy::ALL.to_vec()),
+    ) {
+        let w = workload(12.0, 5.0, 40, seed);
+        let config = pool(1, FrontendConfig::serving());
+        let direct = simulate_cluster(&w, dispatch.build().as_mut(), &config);
+        let mut bundle = ClusterPolicy::from_dispatch(dispatch);
+        let with_policy = simulate_cluster_with(&w, &mut bundle, &config);
+        prop_assert_eq!(direct, with_policy);
+    }
+}
+
+/// A pass-through dispatcher that records the deadline summaries of
+/// every `NodeView` it is shown, so the engine's queue summarization is
+/// observable from the public API.
+#[derive(Default)]
+struct SummaryProbe {
+    inner: JoinShortestQueue,
+    seen: RefCell<Vec<(u64, f64)>>,
+}
+
+impl Dispatcher for SummaryProbe {
+    fn name(&self) -> &str {
+        "summary-probe"
+    }
+
+    fn peek(&self, request: &Request, ctx: &DispatchContext<'_>) -> usize {
+        let mut seen = self.seen.borrow_mut();
+        for node in ctx.nodes {
+            seen.push((node.earliest_deadline_ns, node.total_slack_ns));
+        }
+        self.inner.peek(request, ctx)
+    }
+}
+
+/// Re-tags every `stride`-th request as deadline-free (`slo_ns ==
+/// u64::MAX`), keeping arrival order and dense ids.
+fn with_deadline_free_mix(w: &Workload, stride: usize) -> Workload {
+    let requests: Vec<Request> = w
+        .requests()
+        .iter()
+        .map(|r| {
+            if (r.id as usize).is_multiple_of(stride) {
+                Request {
+                    slo_ns: u64::MAX,
+                    ..*r
+                }
+            } else {
+                *r
+            }
+        })
+        .collect();
+    Workload::from_parts(requests, w.store().clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn deadline_summaries_never_fold_in_the_no_deadline_sentinel(
+        seed in 0u64..200,
+        stride in 2usize..5,
+        slo in 1.5f64..6.0,
+    ) {
+        // A queue mixing deadline-free and tight-deadline requests: the
+        // observed total_slack_ns must stay in the range finite
+        // deadlines can produce. Folding even one u64::MAX sentinel in
+        // would push it past 1e18.
+        let w = with_deadline_free_mix(&workload(18.0, slo, 40, seed), stride);
+        // The latest deadline any *deadlined* request carries: a
+        // non-sentinel summary must never exceed it.
+        let max_real_deadline = w
+            .requests()
+            .iter()
+            .filter(|r| r.slo_ns != u64::MAX)
+            .map(Request::deadline_ns)
+            .max()
+            .expect("stride >= 2 leaves deadlined requests");
+        prop_assert!(max_real_deadline < u64::MAX, "workload SLOs are finite");
+        let mut probe = SummaryProbe::default();
+        let config = pool(2, FrontendConfig::default());
+        let report = simulate_cluster(&w, &mut probe, &config);
+        prop_assert_eq!(report.completed_total(), 40);
+        let seen = probe.seen.into_inner();
+        prop_assert!(!seen.is_empty());
+        for (earliest, slack) in &seen {
+            prop_assert!(
+                slack.abs() < 1e18,
+                "sentinel leaked into total_slack_ns: {}",
+                slack
+            );
+            prop_assert!(slack.is_finite());
+            // The earliest-deadline summary is either the sentinel (no
+            // deadlined request queued) or one of the real deadlines —
+            // never a partially-overflowed in-between value.
+            prop_assert!(
+                *earliest == u64::MAX || *earliest <= max_real_deadline,
+                "earliest_deadline_ns {} is neither sentinel nor a real deadline",
+                earliest
+            );
+        }
+    }
+
+    #[test]
+    fn all_deadline_free_queues_report_sentinel_and_zero_slack(
+        seed in 0u64..200,
+    ) {
+        // Every request deadline-free: the summaries must be exactly
+        // the drained-queue defaults (sentinel deadline, zero slack) at
+        // every decision point — a deadline-free queue exerts no SLO
+        // pressure.
+        let w = with_deadline_free_mix(&workload(18.0, 3.0, 30, seed), 1);
+        let mut probe = SummaryProbe::default();
+        let config = pool(0, FrontendConfig::default());
+        let report = simulate_cluster(&w, &mut probe, &config);
+        prop_assert_eq!(report.completed_total(), 30);
+        prop_assert_eq!(report.violation_rate(), 0.0);
+        for (earliest, slack) in probe.seen.into_inner() {
+            prop_assert_eq!(earliest, u64::MAX);
+            prop_assert_eq!(slack, 0.0);
+        }
+    }
+
+    #[test]
+    fn infeasible_everywhere_never_rejects_deadline_free_requests(
+        seed in 0u64..200,
+        stride in 1usize..4,
+    ) {
+        // Deadline-free requests always project positive slack, so the
+        // reject-doomed policy must admit them no matter how overdriven
+        // the pool is.
+        let w = with_deadline_free_mix(&workload(24.0, 1.5, 40, seed), stride);
+        let mut policy = ClusterPolicy::from_dispatch(DispatchPolicy::EarliestDeadlineFirst)
+            .with_admission(Box::new(InfeasibleEverywhere::new()));
+        let report = simulate_cluster_with(&w, &mut policy, &pool(2, FrontendConfig::default()));
+        let free_ids: HashSet<u64> = w
+            .requests()
+            .iter()
+            .filter(|r| r.slo_ns == u64::MAX)
+            .map(|r| r.id)
+            .collect();
+        for id in &report.serving().rejected_ids {
+            prop_assert!(!free_ids.contains(id), "deadline-free request {} rejected", id);
+        }
+        // Deadline-free completions can never violate.
+        let completed_free_violations = report
+            .completed()
+            .filter(|c| free_ids.contains(&c.id))
+            .filter(|c| c.violated())
+            .count();
+        prop_assert_eq!(completed_free_violations, 0);
+    }
+}

@@ -67,6 +67,7 @@ proptest! {
                 period_ns: 13_000_000,
                 max_per_request: max_migrations,
             }),
+            ..FrontendConfig::default()
         };
         let report = simulate_cluster(&w, dispatch.build().as_mut(), &pool(shape, frontend));
 

@@ -112,8 +112,13 @@ fn percentiles_match_hand_computed_values() {
 
 #[test]
 fn percentiles_of_empty_and_single_value_sets() {
+    // The empty set is 0 at every rank — including both boundary
+    // percentiles, where an unguarded nearest-rank index would be out
+    // of bounds rather than NaN-like.
+    assert_eq!(percentile_ns(&[], 0.0), 0);
     assert_eq!(percentile_ns(&[], 50.0), 0);
     assert_eq!(percentile_ns(&[], 99.0), 0);
+    assert_eq!(percentile_ns(&[], 100.0), 0);
     for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
         assert_eq!(percentile_ns(&[7], p), 7, "p{p}");
     }

@@ -35,6 +35,32 @@ impl Request {
         let slack = self.deadline_ns() as i128 - now_ns as i128 - est_remaining_ns as i128;
         slack.clamp(i64::MIN as i128, i64::MAX as i128) as i64
     }
+
+    /// The same request demoted to a relaxed SLO class: its SLO
+    /// multiplied by `multiplier` (saturating at `u64::MAX`, so an
+    /// already deadline-free request stays deadline-free). Admission
+    /// control uses this for degraded admissions — serve the work, but
+    /// under a deadline it can actually hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is below 1 or not finite (a "relaxation"
+    /// must never tighten the deadline).
+    pub fn relax_slo(&self, multiplier: f64) -> Request {
+        assert!(
+            multiplier >= 1.0 && multiplier.is_finite(),
+            "SLO relaxation multiplier must be finite and >= 1"
+        );
+        let relaxed = self.slo_ns as f64 * multiplier;
+        Request {
+            slo_ns: if relaxed >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                relaxed.round() as u64
+            },
+            ..*self
+        }
+    }
 }
 
 #[cfg(test)]
@@ -74,6 +100,41 @@ mod tests {
             ..r
         };
         assert_eq!(relaxed.slack_ns(0, 0), i64::MAX);
+    }
+
+    #[test]
+    fn relax_slo_scales_and_saturates() {
+        let r = Request {
+            id: 0,
+            spec: SparseModelSpec::new(ModelId::Bert, SparsityPattern::Dense, 0.0),
+            sample_index: 0,
+            arrival_ns: 100,
+            slo_ns: 1_000,
+        };
+        assert_eq!(r.relax_slo(1.0).slo_ns, 1_000);
+        assert_eq!(r.relax_slo(4.0).slo_ns, 4_000);
+        // Identity fields survive the re-classing.
+        assert_eq!(r.relax_slo(4.0).id, r.id);
+        assert_eq!(r.relax_slo(4.0).arrival_ns, r.arrival_ns);
+        // A deadline-free request stays deadline-free.
+        let free = Request {
+            slo_ns: u64::MAX,
+            ..r
+        };
+        assert_eq!(free.relax_slo(2.0).slo_ns, u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and >= 1")]
+    fn relax_slo_rejects_tightening() {
+        let r = Request {
+            id: 0,
+            spec: SparseModelSpec::new(ModelId::Bert, SparsityPattern::Dense, 0.0),
+            sample_index: 0,
+            arrival_ns: 0,
+            slo_ns: 1_000,
+        };
+        let _ = r.relax_slo(0.5);
     }
 
     #[test]

@@ -16,8 +16,9 @@
 use serde::{Deserialize, Serialize};
 
 use dysta::cluster::{
-    simulate_cluster, ClusterBuilder, ClusterConfig, DispatchPolicy, FrontendConfig,
-    MigrationConfig, StealConfig,
+    simulate_cluster, simulate_cluster_with, ClusterBuilder, ClusterConfig, ClusterPolicy,
+    DispatchPolicy, FrontendConfig, InfeasibleEverywhere, MigrationConfig, SlackLoadShedding,
+    StealConfig,
 };
 use dysta::core::{DystaConfig, Policy};
 use dysta::workload::{Scenario, WorkloadBuilder};
@@ -187,6 +188,7 @@ fn golden_cluster_sweep_quick() {
             admit_interval_ns: 20_000_000,
             steal: Some(StealConfig::default()),
             migration: Some(MigrationConfig::default()),
+            ..FrontendConfig::default()
         })
         .build();
     let affinity = DispatchPolicy::SparsityAffinity;
@@ -221,6 +223,148 @@ fn golden_cluster_sweep_quick() {
 
     let json = serde_json::to_string(&cells).expect("cells serialize");
     check_golden("cluster_sweep.json", &json);
+}
+
+// --- fig_admission (quick mode) -------------------------------------------
+
+#[derive(Debug, Serialize, Deserialize, PartialEq)]
+struct AdmissionCell {
+    dispatch: String,
+    admission: String,
+    antt: f64,
+    violation_rate: f64,
+    /// Completions meeting the *original* SLO, summed over the seeds.
+    goodput: usize,
+    goodput_rate: f64,
+    completed: usize,
+    rejected: usize,
+    degraded: usize,
+}
+
+/// Pins the admission-control configuration and its acceptance
+/// criterion: on the fig14 2+2 capacity-heterogeneous pool at tight
+/// SLOs (FCFS node scheduling, where doomed head-of-queue work really
+/// blocks feasible work), `InfeasibleEverywhere` strictly reduces the
+/// violation rate among admitted requests with goodput no worse than
+/// admit-all, and `SlackLoadShedding` cuts violations further by
+/// re-classing thin-headroom admissions. Regenerate intentionally
+/// changed fixtures with `UPDATE_GOLDEN=1 cargo test --test
+/// golden_reports`.
+#[test]
+fn golden_fig_admission_quick() {
+    use dysta::cluster::balanced_mixed_serving_mix;
+
+    let scale = Scale::quick();
+    let admissions: [&str; 3] = ["admit-all", "infeasible-everywhere", "slack-load-shed"];
+    let mut cells = Vec::new();
+    for dispatch in [
+        DispatchPolicy::SparsityAffinity,
+        DispatchPolicy::EarliestDeadlineFirst,
+    ] {
+        for admission in admissions {
+            let mut antt = 0.0;
+            let mut viol = 0.0;
+            let mut goodput = 0usize;
+            let mut completed = 0usize;
+            let mut rejected = 0usize;
+            let mut degraded = 0usize;
+            let mut goodput_rate = 0.0;
+            for seed in 0..scale.seeds {
+                let w = dysta::workload::WorkloadBuilder::from_mix(balanced_mixed_serving_mix())
+                    .arrival_rate(45.0)
+                    .slo_multiplier(2.0)
+                    .num_requests(scale.requests)
+                    .samples_per_variant(scale.samples_per_variant)
+                    .seed(seed * 7919 + 13)
+                    .build();
+                let pool = ClusterBuilder::heterogeneous(2, 2, Policy::Fcfs)
+                    .node_capacity(1, 0.5)
+                    .node_capacity(3, 0.5)
+                    .build();
+                let mut policy = ClusterPolicy::from_dispatch(dispatch);
+                policy = match admission {
+                    "infeasible-everywhere" => {
+                        policy.with_admission(Box::new(InfeasibleEverywhere::new()))
+                    }
+                    "slack-load-shed" => policy.with_admission(Box::new(SlackLoadShedding::new())),
+                    _ => policy,
+                };
+                let report = simulate_cluster_with(&w, &mut policy, &pool);
+                antt += report.antt();
+                viol += report.violation_rate();
+                goodput += report.goodput();
+                goodput_rate += report.goodput_rate();
+                completed += report.completed_total();
+                rejected += report.rejected_total();
+                degraded += report.degraded_total();
+            }
+            let n = scale.seeds as f64;
+            cells.push(AdmissionCell {
+                dispatch: dispatch.name().to_string(),
+                admission: admission.to_string(),
+                antt: antt / n,
+                violation_rate: viol / n,
+                goodput,
+                goodput_rate: goodput_rate / n,
+                completed,
+                rejected,
+                degraded,
+            });
+        }
+    }
+
+    // Acceptance: for both dispatchers, rejecting doomed work strictly
+    // reduces the violation rate among admitted requests with goodput
+    // no worse than admit-all; load shedding cuts violations at least
+    // as far again via degraded re-classing. AdmitAll must be a true
+    // no-op control (nothing rejected, nothing degraded, everything
+    // completed).
+    let cell = |dispatch: &str, admission: &str| {
+        cells
+            .iter()
+            .find(|c| c.dispatch == dispatch && c.admission == admission)
+            .expect("cell exists")
+    };
+    for dispatch in ["affinity", "edf"] {
+        let all = cell(dispatch, "admit-all");
+        let reject = cell(dispatch, "infeasible-everywhere");
+        let shed = cell(dispatch, "slack-load-shed");
+        assert_eq!(all.rejected, 0);
+        assert_eq!(all.degraded, 0);
+        assert_eq!(
+            all.completed,
+            Scale::quick().requests * Scale::quick().seeds as usize
+        );
+        assert!(
+            reject.violation_rate < all.violation_rate,
+            "{dispatch}: reject viol {} vs admit-all {}",
+            reject.violation_rate,
+            all.violation_rate
+        );
+        assert!(
+            reject.goodput >= all.goodput,
+            "{dispatch}: reject goodput {} vs admit-all {}",
+            reject.goodput,
+            all.goodput
+        );
+        assert!(reject.rejected > 0, "{dispatch}: rejection must engage");
+        assert!(
+            shed.violation_rate <= reject.violation_rate,
+            "{dispatch}: shed viol {} vs reject {}",
+            shed.violation_rate,
+            reject.violation_rate
+        );
+        assert!(shed.degraded > 0, "{dispatch}: degrading must engage");
+        assert!(
+            shed.goodput >= all.goodput,
+            "{dispatch}: shed goodput {} vs admit-all {}",
+            shed.goodput,
+            all.goodput
+        );
+    }
+
+    let json = serde_json::to_string(&cells).expect("admission cells serialize");
+    check_golden("fig_admission.json", &json);
 }
 
 // --- fig14_slo_sweep (quick mode) -----------------------------------------
