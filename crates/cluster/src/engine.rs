@@ -13,6 +13,7 @@
 use std::collections::VecDeque;
 
 use dysta_core::{ModelInfoLut, SparseLatencyPredictor};
+use dysta_obs::{EventKind, NullTracer, Phase, TraceEvent, Tracer, NODE_FRONTEND, REQ_NONE};
 use dysta_sim::NodeEngine;
 use dysta_workload::{Request, Workload};
 
@@ -78,6 +79,7 @@ pub fn simulate_cluster(
         &BacklogGainSteal::new(),
         &BacklogThresholdMigration::new(),
         config,
+        NullTracer,
     )
 }
 
@@ -104,16 +106,70 @@ pub fn simulate_cluster_with(
         policy.steal.as_ref(),
         policy.migration.as_ref(),
         config,
+        NullTracer,
     )
 }
 
-fn run_cluster(
+/// [`simulate_cluster_with`] with observability: every node engine and
+/// the front-end report to `tracer` (pass `&RingTracer` to record) —
+/// arrivals, admission decisions, dispatches, execution segments,
+/// preemptions, steal/migration traffic, per-node slack re-projections
+/// at every rebalance tick, and completions.
+///
+/// With the same inputs the returned report is identical to
+/// [`simulate_cluster_with`]'s — tracing observes the run without
+/// perturbing it (pinned by tests).
+///
+/// # Panics
+///
+/// As [`simulate_cluster`].
+///
+/// # Examples
+///
+/// ```
+/// use dysta_cluster::{simulate_cluster_traced, ClusterConfig, ClusterPolicy};
+/// use dysta_cluster::{AcceleratorKind, DispatchPolicy};
+/// use dysta_core::Policy;
+/// use dysta_obs::RingTracer;
+/// use dysta_workload::{Scenario, WorkloadBuilder};
+///
+/// let w = WorkloadBuilder::new(Scenario::MultiCnn)
+///     .num_requests(20)
+///     .samples_per_variant(4)
+///     .seed(1)
+///     .build();
+/// let pool = ClusterConfig::homogeneous(2, AcceleratorKind::EyerissV2, Policy::Dysta);
+/// let tracer = RingTracer::new(1 << 14);
+/// let mut policy = ClusterPolicy::from_dispatch(DispatchPolicy::LeastLoaded);
+/// let report = simulate_cluster_traced(&w, &mut policy, &pool, &tracer);
+/// assert_eq!(report.completed_total(), 20);
+/// assert!(tracer.validate().is_ok());
+/// ```
+pub fn simulate_cluster_traced<T: Tracer + Copy>(
+    workload: &Workload,
+    policy: &mut ClusterPolicy,
+    config: &ClusterConfig,
+    tracer: T,
+) -> ClusterReport {
+    run_cluster(
+        workload,
+        policy.dispatcher.as_mut(),
+        policy.admission.as_ref(),
+        policy.steal.as_ref(),
+        policy.migration.as_ref(),
+        config,
+        tracer,
+    )
+}
+
+fn run_cluster<T: Tracer + Copy>(
     workload: &Workload,
     dispatcher: &mut dyn Dispatcher,
     admission_policy: &dyn AdmissionPolicy,
     steal_policy: &dyn StealPolicy,
     migration_policy: &dyn MigrationPolicy,
     config: &ClusterConfig,
+    tracer: T,
 ) -> ClusterReport {
     let requests = workload.requests();
     assert!(!requests.is_empty(), "workload must contain requests");
@@ -130,12 +186,27 @@ fn run_cluster(
     );
 
     let lut = ModelInfoLut::from_store(workload.store());
+    let lut_len = lut.len();
     let predictor = SparseLatencyPredictor::default();
-    let nodes: Vec<NodeEngine<'_>> = config
+    let nodes: Vec<NodeEngine<'_, Box<dyn dysta_core::Scheduler>, T>> = config
         .nodes
         .iter()
         .enumerate()
-        .map(|(id, nc)| NodeEngine::new(id, nc.policy.build_with(nc.dysta), nc.engine, lut.clone()))
+        .map(|(id, nc)| {
+            if tracer.enabled() {
+                let mut name = String::new();
+                use std::fmt::Write as _;
+                write!(name, "node{id} {:?}", nc.accelerator).expect("write to String");
+                tracer.name_node(id as u32, &name);
+            }
+            NodeEngine::with_tracer(
+                id,
+                nc.policy.build_with(nc.dysta),
+                nc.engine,
+                lut.clone(),
+                tracer,
+            )
+        })
         .collect();
 
     let mut frontend = Frontend {
@@ -161,6 +232,9 @@ fn run_cluster(
         migration_count: vec![0; requests.len()],
         steals: 0,
         migrations: 0,
+        tracer,
+        labels: vec![None; lut_len],
+        scratch: String::new(),
     };
     frontend.run();
     frontend.into_report()
@@ -175,7 +249,7 @@ const EV_DISPATCH: u8 = 1;
 const EV_MIGRATE: u8 = 2;
 const EV_STEAL: u8 = 3;
 
-struct Frontend<'w, 'c> {
+struct Frontend<'w, 'c, T> {
     workload: &'w Workload,
     requests: &'w [Request],
     config: &'c ClusterConfig,
@@ -185,7 +259,7 @@ struct Frontend<'w, 'c> {
     migration_policy: &'c dyn MigrationPolicy,
     lut: ModelInfoLut,
     predictor: SparseLatencyPredictor,
-    nodes: Vec<NodeEngine<'w>>,
+    nodes: Vec<NodeEngine<'w, Box<dyn dysta_core::Scheduler>, T>>,
     routed: Vec<usize>,
     rejected: Vec<usize>,
     degraded: Vec<usize>,
@@ -198,11 +272,55 @@ struct Frontend<'w, 'c> {
     migration_count: Vec<u32>,
     steals: u64,
     migrations: u64,
+    tracer: T,
+    /// Interned label id per model variant (lazy; index = variant rank).
+    labels: Vec<Option<u32>>,
+    /// Reusable label-formatting buffer (steady state allocates nothing).
+    scratch: String,
 }
 
-impl<'w> Frontend<'w, '_> {
+impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
+    /// Interns (once per variant) and returns the label id for a
+    /// request's model variant.
+    fn label_for(&mut self, request: &Request) -> u32 {
+        let variant = self
+            .lut
+            .variant_id(&request.spec)
+            .expect("request uses a profiled variant");
+        match self.labels[variant.index()] {
+            Some(id) => id,
+            None => {
+                use std::fmt::Write as _;
+                self.scratch.clear();
+                write!(self.scratch, "{}", request.spec).expect("write to String");
+                let id = self.tracer.intern(&self.scratch);
+                self.labels[variant.index()] = Some(id);
+                id
+            }
+        }
+    }
+
+    /// Records one per-node queue/backlog re-projection per rebalance
+    /// tick (the live signal admission and migration reason from).
+    fn record_slack_projections(&self, t: u64) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        for view in self.views() {
+            self.tracer.record(TraceEvent {
+                t_ns: t,
+                request: REQ_NONE,
+                node: view.id as u32,
+                kind: EventKind::SlackProjection,
+                a: view.queue_len as u64,
+                b: view.lut_backlog_ns as i64,
+            });
+        }
+    }
+
     fn run(&mut self) {
         let fe: FrontendConfig = self.config.frontend;
+        let requests_slice = self.requests;
         let mut next_arrival = 0usize;
         let mut queue: VecDeque<u64> = VecDeque::new();
         // Set when the admission timer is armed: oldest queued arrival
@@ -240,6 +358,18 @@ impl<'w> Frontend<'w, '_> {
                 EV_ARRIVAL => {
                     if queue.is_empty() && fe.admit_interval_ns > 0 {
                         timer_deadline = Some(t + fe.admit_interval_ns);
+                    }
+                    if self.tracer.enabled() {
+                        let request = &requests_slice[next_arrival];
+                        let label = self.label_for(request);
+                        self.tracer.record(TraceEvent {
+                            t_ns: t,
+                            request: request.id,
+                            node: NODE_FRONTEND,
+                            kind: EventKind::Arrival,
+                            a: u64::from(label),
+                            b: request.slo_ns.min(i64::MAX as u64) as i64,
+                        });
                     }
                     queue.push_back(self.requests[next_arrival].id);
                     next_arrival += 1;
@@ -287,14 +417,23 @@ impl<'w> Frontend<'w, '_> {
     /// run the pass, and return the tick's re-armed next deadline.
     fn rebalance_tick(&mut self, kind: u8, t: u64) -> u64 {
         self.sync_nodes(t);
+        // Front-end phase timing starts after the node sync, so node
+        // execution (its own pick/execute phases) is not double-counted.
+        let t0 = self.tracer.profiling().then(std::time::Instant::now);
+        self.record_slack_projections(t);
         let fe = self.config.frontend;
-        if kind == EV_MIGRATE {
+        let next = if kind == EV_MIGRATE {
             self.migration_pass(t);
             t + fe.migration.expect("tick implies config").period_ns
         } else {
             self.steal_pass(t);
             t + fe.steal.expect("tick implies config").period_ns
+        };
+        if let Some(t0) = t0 {
+            self.tracer
+                .phase_ns(Phase::Frontend, t0.elapsed().as_nanos() as u64);
         }
+        next
     }
 
     /// Advances every node up to sim-time `t` so front-end observations
@@ -396,10 +535,14 @@ impl<'w> Frontend<'w, '_> {
     /// the original SLO recorded for the report's goodput accounting.
     fn dispatch_batch(&mut self, queue: &mut VecDeque<u64>, t: u64) {
         self.sync_nodes(t);
+        // Front-end phase timing starts after the node sync, so node
+        // execution (its own pick/execute phases) is not double-counted.
+        let t0 = self.tracer.profiling().then(std::time::Instant::now);
         let requests = self.requests;
         let admission_cfg = self.config.frontend.admission;
         while let Some(id) = queue.pop_front() {
             let request = &requests[id as usize];
+            let wait_ns = t - request.arrival_ns;
             let views = self.views();
             let ctx = DispatchContext {
                 now_ns: t,
@@ -414,6 +557,16 @@ impl<'w> Frontend<'w, '_> {
                 self.check_target(would_serve);
                 self.rejected[would_serve] += 1;
                 self.rejected_ids.push(id);
+                if self.tracer.enabled() {
+                    self.tracer.record(TraceEvent {
+                        t_ns: t,
+                        request: id,
+                        node: NODE_FRONTEND,
+                        kind: EventKind::AdmitReject,
+                        a: wait_ns,
+                        b: 0,
+                    });
+                }
                 continue;
             }
             let request = if decision == AdmissionDecision::Degrade {
@@ -422,6 +575,24 @@ impl<'w> Frontend<'w, '_> {
             } else {
                 *request
             };
+            if self.tracer.enabled() {
+                let (kind, relaxed_slo) = if decision == AdmissionDecision::Degrade {
+                    (
+                        EventKind::AdmitDegrade,
+                        request.slo_ns.min(i64::MAX as u64) as i64,
+                    )
+                } else {
+                    (EventKind::Admit, 0)
+                };
+                self.tracer.record(TraceEvent {
+                    t_ns: t,
+                    request: id,
+                    node: NODE_FRONTEND,
+                    kind,
+                    a: wait_ns,
+                    b: relaxed_slo,
+                });
+            }
             let target = self.dispatcher.dispatch(&request, &ctx);
             self.check_target(target);
             if decision == AdmissionDecision::Degrade {
@@ -436,6 +607,26 @@ impl<'w> Frontend<'w, '_> {
             );
             self.routed[target] += 1;
             self.admission_wait_ns.push(t - request.arrival_ns);
+            if self.tracer.enabled() {
+                let deadline = request.arrival_ns.saturating_add(request.slo_ns);
+                let slack = if deadline == u64::MAX {
+                    i64::MAX // no deadline
+                } else {
+                    deadline as i64 - t as i64
+                };
+                self.tracer.record(TraceEvent {
+                    t_ns: t,
+                    request: id,
+                    node: target as u32,
+                    kind: EventKind::Dispatch,
+                    a: self.nodes[target].queue_len() as u64,
+                    b: slack,
+                });
+            }
+        }
+        if let Some(t0) = t0 {
+            self.tracer
+                .phase_ns(Phase::Frontend, t0.elapsed().as_nanos() as u64);
         }
     }
 
@@ -483,12 +674,32 @@ impl<'w> Frontend<'w, '_> {
                     continue;
                 }
                 let request = &requests[id as usize];
+                if self.tracer.enabled() {
+                    self.tracer.record(TraceEvent {
+                        t_ns: t,
+                        request: id,
+                        node: src as u32,
+                        kind: EventKind::MigrationOffer,
+                        a: u64::from(self.migration_count[id as usize]),
+                        b: 0,
+                    });
+                }
                 let target = self.dispatcher.peek(request, &ctx);
                 self.check_target(target);
                 if !self
                     .migration_policy
                     .accept(request, src, target, &ctx, &cfg)
                 {
+                    if self.tracer.enabled() {
+                        self.tracer.record(TraceEvent {
+                            t_ns: t,
+                            request: id,
+                            node: src as u32,
+                            kind: EventKind::MigrationReject,
+                            a: 0,
+                            b: 0,
+                        });
+                    }
                     continue;
                 }
                 // The move is real: charge the dispatcher's state from
@@ -512,6 +723,16 @@ impl<'w> Frontend<'w, '_> {
                 self.transfer_fetch_ns[target] += fetch_ns;
                 self.migration_count[id as usize] += 1;
                 self.migrations += 1;
+                if self.tracer.enabled() {
+                    self.tracer.record(TraceEvent {
+                        t_ns: t,
+                        request: id,
+                        node: src as u32,
+                        kind: EventKind::MigrationAccept,
+                        a: target as u64,
+                        b: fetch_ns as i64,
+                    });
+                }
                 views = self.views();
             }
         }
@@ -590,11 +811,24 @@ impl<'w> Frontend<'w, '_> {
             self.transferred_in[thief] += 1;
             self.transfer_fetch_ns[thief] += chosen.transfer_cost_ns;
             self.steals += 1;
+            if self.tracer.enabled() {
+                self.tracer.record(TraceEvent {
+                    t_ns: t,
+                    request: chosen.task_id,
+                    node: thief as u32,
+                    kind: EventKind::Steal,
+                    a: chosen.victim as u64,
+                    b: chosen.transfer_cost_ns as i64,
+                });
+            }
             views = self.views();
         }
     }
 
-    fn into_report(self) -> ClusterReport {
+    fn into_report(self) -> ClusterReport
+    where
+        T: Tracer,
+    {
         let Frontend {
             nodes,
             config,

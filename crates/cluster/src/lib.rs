@@ -156,7 +156,7 @@ pub use dispatch::{
     DispatchContext, DispatchPolicy, Dispatcher, EarliestDeadlineFirst, JoinShortestQueue,
     LeastLoaded, NodeView, RoundRobin, SparsityAffinity,
 };
-pub use engine::{simulate_cluster, simulate_cluster_with};
+pub use engine::{simulate_cluster, simulate_cluster_traced, simulate_cluster_with};
 pub use policy::{
     AdmissionDecision, AdmissionPolicy, AdmitAll, BacklogGainSteal, BacklogThresholdMigration,
     ClusterPolicy, InfeasibleEverywhere, MigrationPolicy, SlackLoadShedding, StealCandidate,

@@ -101,6 +101,14 @@ pub struct ServingStats {
 impl ServingStats {
     /// Mean admission-queue wait in nanoseconds (0 when no waits were
     /// recorded).
+    ///
+    /// **Population: admitted requests only.** Rejected requests never
+    /// dispatch and contribute no wait sample, so under a shedding
+    /// admission policy this mean describes the survivors, not the
+    /// offered stream. Scale by
+    /// `admitted_total / offered_total` (see
+    /// [`ClusterReport::offered_total`]) if an offered-population view
+    /// is needed.
     pub fn mean_admission_wait_ns(&self) -> f64 {
         if self.admission_wait_ns.is_empty() {
             return 0.0;
@@ -109,6 +117,9 @@ impl ServingStats {
     }
 
     /// Nearest-rank percentile of the admission-queue wait.
+    ///
+    /// **Population: admitted requests only** — same caveat as
+    /// [`ServingStats::mean_admission_wait_ns`].
     ///
     /// # Panics
     ///
@@ -176,6 +187,12 @@ impl ClusterReport {
     /// Nearest-rank percentile of per-request turnaround across every
     /// node.
     ///
+    /// **Population: completed requests only.** Rejected requests never
+    /// ran and have no turnaround; under a shedding admission policy
+    /// the tail reported here is conditioned on admission (compare
+    /// against [`ClusterReport::offered_total`] to see how much of the
+    /// stream it covers).
+    ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 100]`.
@@ -189,6 +206,9 @@ impl ClusterReport {
 
     /// The p50/p90/p99 turnaround triple (one collection + sort for all
     /// three ranks).
+    ///
+    /// **Population: completed requests only** — same caveat as
+    /// [`ClusterReport::turnaround_percentile_ns`].
     pub fn latency_percentiles(&self) -> LatencyPercentiles {
         let mut turnarounds: Vec<u64> = self
             .completed()
@@ -245,6 +265,16 @@ impl ClusterReport {
         self.nodes.iter().map(|n| n.routed).sum()
     }
 
+    /// Every request the front-end saw: admitted (full-class plus
+    /// degraded) plus rejected. This is the denominator population for
+    /// offered-stream rates such as [`ClusterReport::goodput_rate`];
+    /// the latency summaries ([`ClusterReport::turnaround_percentile_ns`],
+    /// [`ServingStats::admission_wait_percentile_ns`]) cover only the
+    /// admitted subset.
+    pub fn offered_total(&self) -> usize {
+        self.admitted_total() + self.rejected_total()
+    }
+
     /// Cluster ANTT: the mean normalized turnaround over every request
     /// served anywhere in the pool (0 when nothing completed).
     pub fn antt(&self) -> f64 {
@@ -290,11 +320,11 @@ impl ClusterReport {
             .count()
     }
 
-    /// Goodput as a fraction of the requests *offered* to the pool —
-    /// admitted plus rejected — so shedding work can never inflate it
-    /// (0 when nothing was offered).
+    /// Goodput as a fraction of the requests *offered* to the pool
+    /// ([`ClusterReport::offered_total`]) — so shedding work can never
+    /// inflate it (0 when nothing was offered).
     pub fn goodput_rate(&self) -> f64 {
-        let offered = self.admitted_total() + self.rejected_total();
+        let offered = self.offered_total();
         if offered == 0 {
             return 0.0;
         }
@@ -464,6 +494,7 @@ mod tests {
         assert_eq!(r.completed_total(), 0);
         assert_eq!(r.admitted_total(), 0);
         assert_eq!(r.rejected_total(), 5);
+        assert_eq!(r.offered_total(), 5);
         assert_eq!(r.load_imbalance(), 0.0);
         assert!(r.load_imbalance().is_finite());
         assert_eq!(r.antt(), 0.0);
@@ -503,6 +534,7 @@ mod tests {
         // inflate the rate.
         let mut shed = r.clone();
         shed.nodes[0].rejected = 2;
+        assert_eq!(shed.offered_total(), 4);
         assert!((shed.goodput_rate() - 0.25).abs() < 1e-12);
     }
 

@@ -16,6 +16,8 @@
 //! * [`cluster`] — multi-accelerator pools behind pluggable dispatch
 //!   policies.
 //! * [`hw`] — hardware scheduler model and FPGA resource costs.
+//! * [`obs`] — sim-time tracing ([`obs::RingTracer`]), Perfetto export,
+//!   and live metrics for the engine stack.
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@ pub use dysta_cluster as cluster;
 pub use dysta_core as core;
 pub use dysta_hw as hw;
 pub use dysta_models as models;
+pub use dysta_obs as obs;
 pub use dysta_sim as sim;
 pub use dysta_sparsity as sparsity;
 pub use dysta_trace as trace;

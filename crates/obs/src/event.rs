@@ -1,0 +1,187 @@
+//! The structured trace-event vocabulary.
+//!
+//! Every event is a fixed-size `Copy` record stamped with *simulated*
+//! time, so recording one is a handful of word moves — no formatting, no
+//! allocation, no wall-clock reads on the hot path. Free-form data
+//! (model-variant names, node names) is interned once through
+//! [`crate::Tracer::intern`] and referenced by id.
+
+/// Pseudo-node id for events emitted by the cluster front-end rather
+/// than an accelerator node (arrival, admission decisions).
+pub const NODE_FRONTEND: u32 = u32::MAX;
+
+/// Sentinel request id for events not tied to a single request
+/// (per-node slack re-projections).
+pub const REQ_NONE: u64 = u64::MAX;
+
+/// What happened. The payload fields `a`/`b` of [`TraceEvent`] are
+/// overloaded per kind; each variant documents its convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A request entered the system. `a` = interned label id of the
+    /// model variant, `b` = the request's SLO budget in ns.
+    Arrival = 0,
+    /// Admission control accepted the request as-is. `a` = admission
+    /// wait in ns (batching delay between arrival and the decision).
+    Admit = 1,
+    /// Admission control rejected the request outright. `a` = admission
+    /// wait in ns.
+    AdmitReject = 2,
+    /// Admission control admitted the request at a degraded
+    /// (relaxed) SLO. `a` = admission wait in ns, `b` = the relaxed SLO
+    /// budget in ns.
+    AdmitDegrade = 3,
+    /// The request was placed on a node's queue. `node` = target node,
+    /// `a` = the node's queue length after dispatch, `b` = slack at
+    /// dispatch (deadline − now; negative = already doomed).
+    Dispatch = 4,
+    /// A maximal contiguous run of quanta one request executed on a
+    /// node. `t_ns` = start, `a` = end in ns, `b` = layers executed.
+    /// One segment spans every back-to-back quantum of the same
+    /// request, so segment count ≈ context-switch count, not layer
+    /// count.
+    Segment = 5,
+    /// Execution switched to a different request than the one that ran
+    /// last (the engine paid the context-switch penalty). `request` =
+    /// the incoming request, `a` = the outgoing request's id, `b` = the
+    /// switch overhead in ns.
+    Preemption = 6,
+    /// A work-stealing transfer. `node` = the thief, `request` = the
+    /// stolen request, `a` = the victim node, `b` = the weight/activation
+    /// re-fetch cost in ns charged to the thief.
+    Steal = 7,
+    /// A migration pass offered this request to the pool. `node` = the
+    /// overloaded source node, `a` = how many times the request has
+    /// already migrated (the per-request budget the engine enforces).
+    MigrationOffer = 8,
+    /// A migration offer was accepted. `node` = the source node, `a` =
+    /// the destination node, `b` = the re-fetch cost in ns.
+    MigrationAccept = 9,
+    /// A migration offer found no taker. `node` = the source node.
+    MigrationReject = 10,
+    /// A per-node slack re-projection at a front-end decision point.
+    /// `request` = [`REQ_NONE`], `a` = the node's queue length, `b` =
+    /// the node's estimated backlog in ns.
+    SlackProjection = 11,
+    /// A request finished. `a` = 1 if its SLO was violated else 0,
+    /// `b` = completion slack (deadline − completion; negative =
+    /// violated by that much).
+    Completion = 12,
+}
+
+impl EventKind {
+    /// Number of kinds (size for per-kind counter arrays).
+    pub const COUNT: usize = 13;
+
+    /// Every kind, in discriminant order.
+    pub const ALL: [EventKind; EventKind::COUNT] = [
+        EventKind::Arrival,
+        EventKind::Admit,
+        EventKind::AdmitReject,
+        EventKind::AdmitDegrade,
+        EventKind::Dispatch,
+        EventKind::Segment,
+        EventKind::Preemption,
+        EventKind::Steal,
+        EventKind::MigrationOffer,
+        EventKind::MigrationAccept,
+        EventKind::MigrationReject,
+        EventKind::SlackProjection,
+        EventKind::Completion,
+    ];
+
+    /// Stable lower-snake name (used in exports and metric keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Arrival => "arrival",
+            EventKind::Admit => "admit",
+            EventKind::AdmitReject => "admit_reject",
+            EventKind::AdmitDegrade => "admit_degrade",
+            EventKind::Dispatch => "dispatch",
+            EventKind::Segment => "segment",
+            EventKind::Preemption => "preemption",
+            EventKind::Steal => "steal",
+            EventKind::MigrationOffer => "migration_offer",
+            EventKind::MigrationAccept => "migration_accept",
+            EventKind::MigrationReject => "migration_reject",
+            EventKind::SlackProjection => "slack_projection",
+            EventKind::Completion => "completion",
+        }
+    }
+
+    /// True for kinds that represent the request actually executing on
+    /// an accelerator (used by well-formedness validation: rejected
+    /// requests must have none of these).
+    pub fn is_execution(self) -> bool {
+        matches!(
+            self,
+            EventKind::Segment | EventKind::Preemption | EventKind::Completion
+        )
+    }
+}
+
+/// One structured, sim-time-stamped observation.
+///
+/// `a` and `b` are per-kind payloads (see [`EventKind`]); `b` is signed
+/// because several kinds carry slack, which goes negative exactly when
+/// it matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event in ns (for [`EventKind::Segment`]:
+    /// the segment start).
+    pub t_ns: u64,
+    /// The request the event concerns, or [`REQ_NONE`].
+    pub request: u64,
+    /// The node the event happened on, or [`NODE_FRONTEND`].
+    pub node: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// First per-kind payload word.
+    pub a: u64,
+    /// Second per-kind payload word (signed: often slack).
+    pub b: i64,
+}
+
+impl TraceEvent {
+    /// A placeholder event (ring-buffer fill value; never exported).
+    pub const EMPTY: TraceEvent = TraceEvent {
+        t_ns: 0,
+        request: REQ_NONE,
+        node: NODE_FRONTEND,
+        kind: EventKind::Arrival,
+        a: 0,
+        b: 0,
+    };
+}
+
+/// Wall-clock phases the engines attribute profiling time to (see
+/// [`crate::Tracer::phase_ns`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Phase {
+    /// Scheduler `pick_next` calls.
+    Pick = 0,
+    /// Quantum execution (layer replay + bookkeeping).
+    Execute = 1,
+    /// Cluster front-end work (admission, dispatch, steal/migration
+    /// passes).
+    Frontend = 2,
+}
+
+impl Phase {
+    /// Number of phases (size for accumulator arrays).
+    pub const COUNT: usize = 3;
+
+    /// Every phase, in discriminant order.
+    pub const ALL: [Phase; Phase::COUNT] = [Phase::Pick, Phase::Execute, Phase::Frontend];
+
+    /// Stable lower-snake name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Pick => "pick",
+            Phase::Execute => "execute",
+            Phase::Frontend => "frontend",
+        }
+    }
+}

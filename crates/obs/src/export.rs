@@ -1,0 +1,567 @@
+//! Exporters: Perfetto/Chrome-trace JSON and the compact per-request
+//! timeline summary the tests (and the CI smoke check) consume.
+//!
+//! Everything here is offline post-processing over the event slice a
+//! [`RingTracer`] hands out — allocation is fine, determinism is not
+//! optional: identical runs must serialize byte-identically (pinned by
+//! the golden fixture and the determinism test).
+
+use std::collections::BTreeMap;
+
+use serde::Value;
+
+use crate::event::{EventKind, TraceEvent, NODE_FRONTEND, REQ_NONE};
+use crate::tracer::RingTracer;
+
+/// One request's life, folded out of the event stream.
+///
+/// `Option` fields are `None` when the corresponding event is absent —
+/// either because it never happened (a rejected request has no
+/// dispatch) or because the ring overwrote it; validation assumes the
+/// ring was large enough to hold the whole run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RequestTimeline {
+    /// Request id.
+    pub id: u64,
+    /// Interned model-variant label id (from the arrival event).
+    pub label: Option<u32>,
+    /// Arrival time.
+    pub arrival_ns: Option<u64>,
+    /// SLO budget (from the arrival event).
+    pub slo_ns: Option<i64>,
+    /// Admission decision time (admit or degrade).
+    pub admitted_ns: Option<u64>,
+    /// True when admission control rejected the request.
+    pub rejected: bool,
+    /// True when admission control relaxed the request's SLO.
+    pub degraded: bool,
+    /// Front-end dispatch time (first placement on a node).
+    pub dispatch_ns: Option<u64>,
+    /// Slack at dispatch (deadline − dispatch time).
+    pub dispatch_slack_ns: Option<i64>,
+    /// The node that completed (or last executed) the request.
+    pub node: Option<u32>,
+    /// Start of the first execution segment.
+    pub first_exec_ns: Option<u64>,
+    /// Total time spent executing, summed over segments.
+    pub executed_ns: u64,
+    /// Layers executed, summed over segments.
+    pub layers: u64,
+    /// Number of contiguous execution segments.
+    pub segments: u32,
+    /// Times this request was switched *in* paying the penalty.
+    pub preemptions: u32,
+    /// Times this request moved between nodes (steal or migration).
+    pub transfers: u32,
+    /// Completion time.
+    pub completion_ns: Option<u64>,
+    /// True when the request finished past its deadline.
+    pub violated: bool,
+    /// Completion slack (deadline − completion; negative = violated).
+    pub completion_slack_ns: Option<i64>,
+}
+
+/// Folds an event stream into per-request timelines, sorted by request
+/// id. Events not tied to a request ([`REQ_NONE`]) are skipped.
+pub fn timelines(events: &[TraceEvent]) -> Vec<RequestTimeline> {
+    let mut map: BTreeMap<u64, RequestTimeline> = BTreeMap::new();
+    for e in events {
+        if e.request == REQ_NONE {
+            continue;
+        }
+        let t = map.entry(e.request).or_insert_with(|| RequestTimeline {
+            id: e.request,
+            ..RequestTimeline::default()
+        });
+        match e.kind {
+            EventKind::Arrival => {
+                t.arrival_ns = Some(e.t_ns);
+                t.label = Some(e.a as u32);
+                t.slo_ns = Some(e.b);
+            }
+            EventKind::Admit => t.admitted_ns = Some(e.t_ns),
+            EventKind::AdmitReject => t.rejected = true,
+            EventKind::AdmitDegrade => {
+                t.admitted_ns = Some(e.t_ns);
+                t.degraded = true;
+            }
+            EventKind::Dispatch => {
+                if t.dispatch_ns.is_none() {
+                    t.dispatch_ns = Some(e.t_ns);
+                    t.dispatch_slack_ns = Some(e.b);
+                }
+                t.node = Some(e.node);
+            }
+            EventKind::Segment => {
+                if t.first_exec_ns.is_none() {
+                    t.first_exec_ns = Some(e.t_ns);
+                }
+                t.executed_ns += e.a.saturating_sub(e.t_ns);
+                t.layers += e.b.max(0) as u64;
+                t.segments += 1;
+                t.node = Some(e.node);
+            }
+            EventKind::Preemption => t.preemptions += 1,
+            EventKind::Steal | EventKind::MigrationAccept => {
+                t.transfers += 1;
+            }
+            EventKind::MigrationOffer | EventKind::MigrationReject => {}
+            EventKind::SlackProjection => {}
+            EventKind::Completion => {
+                t.completion_ns = Some(e.t_ns);
+                t.violated = e.a == 1;
+                t.completion_slack_ns = Some(e.b);
+                t.node = Some(e.node);
+            }
+        }
+    }
+    map.into_values().collect()
+}
+
+/// Checks that every request's event sequence is well-formed:
+/// arrival ≤ dispatch ≤ first execution ≤ completion, rejected requests
+/// never execute, and per-node execution segments never overlap.
+///
+/// Assumes a complete trace (ring capacity ≥ events recorded); a
+/// truncated stream can produce spurious orphans.
+///
+/// # Errors
+///
+/// Returns the first malformation found, described for humans.
+pub fn validate(events: &[TraceEvent]) -> Result<(), String> {
+    for t in timelines(events) {
+        let id = t.id;
+        if t.rejected {
+            if t.segments > 0 || t.completion_ns.is_some() || t.dispatch_ns.is_some() {
+                return Err(format!("rejected request {id} has execution events"));
+            }
+            continue;
+        }
+        if let (Some(arr), Some(disp)) = (t.arrival_ns, t.dispatch_ns) {
+            if arr > disp {
+                return Err(format!(
+                    "request {id}: dispatch {disp} before arrival {arr}"
+                ));
+            }
+        }
+        if let (Some(disp), Some(exec)) = (t.dispatch_ns, t.first_exec_ns) {
+            if disp > exec {
+                return Err(format!(
+                    "request {id}: first quantum {exec} before dispatch {disp}"
+                ));
+            }
+        }
+        if let (Some(exec), Some(done)) = (t.first_exec_ns, t.completion_ns) {
+            if exec > done {
+                return Err(format!(
+                    "request {id}: completion {done} before first quantum {exec}"
+                ));
+            }
+        }
+        if t.completion_ns.is_some() && t.first_exec_ns.is_none() {
+            return Err(format!("request {id} completed without executing"));
+        }
+    }
+    // Execution segments on one node must not overlap.
+    let mut per_node: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
+    for e in events {
+        if e.kind == EventKind::Segment {
+            per_node.entry(e.node).or_default().push((e.t_ns, e.a));
+        }
+    }
+    for (node, mut segs) in per_node {
+        segs.sort_unstable();
+        for w in segs.windows(2) {
+            if w[0].1 > w[1].0 {
+                return Err(format!(
+                    "node {node}: overlapping segments [{}, {}) and [{}, {})",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Chrome-trace `tid` for a node id: the front-end pseudo-node is
+/// thread 0, accelerator node `n` is thread `n + 1`.
+fn tid(node: u32) -> u64 {
+    if node == NODE_FRONTEND {
+        0
+    } else {
+        u64::from(node) + 1
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Sim-time ns → Chrome-trace µs timestamp.
+fn us(t_ns: u64) -> Value {
+    Value::Float(t_ns as f64 / 1000.0)
+}
+
+fn event_base(e: &TraceEvent, name: String) -> Vec<(&'static str, Value)> {
+    vec![
+        ("pid", Value::UInt(1)),
+        ("tid", Value::UInt(tid(e.node))),
+        ("ts", us(e.t_ns)),
+        ("name", Value::Str(name)),
+    ]
+}
+
+fn instant(e: &TraceEvent, name: String, args: Vec<(&str, Value)>) -> Value {
+    let mut fields = vec![("ph", Value::Str("i".into()))];
+    fields.extend(event_base(e, name));
+    fields.push(("s", Value::Str("t".into())));
+    if !args.is_empty() {
+        fields.push(("args", obj(args)));
+    }
+    obj(fields)
+}
+
+/// Renders `events` as a Perfetto-loadable Chrome trace: one track
+/// (thread) per node plus a front-end track, one `X` slice per
+/// execution segment, instants for control-plane events, one flow
+/// (`s`/`f`) per completed request connecting dispatch to completion,
+/// and counter tracks for queue depth / backlog. Deterministic:
+/// identical inputs produce identical bytes.
+///
+/// `labels` is the interned label table (arrival `a` payloads index
+/// it); `node_names` maps node ids to display names.
+pub fn perfetto_json(
+    events: &[TraceEvent],
+    labels: &[String],
+    node_names: &[(u32, String)],
+) -> String {
+    // Request id → label string, resolved from arrival events.
+    let mut req_label: BTreeMap<u64, &str> = BTreeMap::new();
+    for e in events {
+        if e.kind == EventKind::Arrival {
+            if let Some(label) = labels.get(e.a as usize) {
+                req_label.insert(e.request, label.as_str());
+            }
+        }
+    }
+    let slice_name = |req: u64| match req_label.get(&req) {
+        Some(label) => format!("r{req} {label}"),
+        None => format!("r{req}"),
+    };
+
+    let mut out: Vec<Value> = Vec::new();
+    // Track metadata first: the front-end, then every named node.
+    out.push(obj(vec![
+        ("ph", Value::Str("M".into())),
+        ("pid", Value::UInt(1)),
+        ("tid", Value::UInt(0)),
+        ("name", Value::Str("thread_name".into())),
+        ("args", obj(vec![("name", Value::Str("frontend".into()))])),
+    ]));
+    for (node, name) in node_names {
+        out.push(obj(vec![
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::UInt(1)),
+            ("tid", Value::UInt(tid(*node))),
+            ("name", Value::Str("thread_name".into())),
+            ("args", obj(vec![("name", Value::Str(name.clone()))])),
+        ]));
+    }
+
+    for e in events {
+        match e.kind {
+            EventKind::Arrival => {
+                out.push(instant(
+                    e,
+                    format!("arrival {}", slice_name(e.request)),
+                    vec![("slo_ns", Value::Int(e.b))],
+                ));
+            }
+            EventKind::Admit => {
+                out.push(instant(
+                    e,
+                    format!("admit r{}", e.request),
+                    vec![("wait_ns", Value::UInt(e.a))],
+                ));
+            }
+            EventKind::AdmitReject => {
+                out.push(instant(
+                    e,
+                    format!("reject r{}", e.request),
+                    vec![("wait_ns", Value::UInt(e.a))],
+                ));
+            }
+            EventKind::AdmitDegrade => {
+                out.push(instant(
+                    e,
+                    format!("degrade r{}", e.request),
+                    vec![
+                        ("wait_ns", Value::UInt(e.a)),
+                        ("relaxed_slo_ns", Value::Int(e.b)),
+                    ],
+                ));
+            }
+            EventKind::Dispatch => {
+                out.push(instant(
+                    e,
+                    format!("dispatch r{}", e.request),
+                    vec![
+                        ("queue_depth", Value::UInt(e.a)),
+                        ("slack_ns", Value::Int(e.b)),
+                    ],
+                ));
+                // Flow start: dispatch → completion arrow.
+                let mut fields = vec![("ph", Value::Str("s".into()))];
+                fields.extend(event_base(e, slice_name(e.request)));
+                fields.push(("cat", Value::Str("request".into())));
+                fields.push(("id", Value::UInt(e.request)));
+                out.push(obj(fields));
+                out.push(obj(vec![
+                    ("ph", Value::Str("C".into())),
+                    ("pid", Value::UInt(1)),
+                    ("ts", us(e.t_ns)),
+                    ("name", Value::Str(format!("queue_depth node{}", e.node))),
+                    ("args", obj(vec![("depth", Value::UInt(e.a))])),
+                ]));
+            }
+            EventKind::Segment => {
+                let mut fields = vec![("ph", Value::Str("X".into()))];
+                fields.extend(event_base(e, slice_name(e.request)));
+                fields.push((
+                    "dur",
+                    Value::Float(e.a.saturating_sub(e.t_ns) as f64 / 1000.0),
+                ));
+                fields.push(("args", obj(vec![("layers", Value::Int(e.b))])));
+                out.push(obj(fields));
+            }
+            EventKind::Preemption => {
+                out.push(instant(
+                    e,
+                    format!("preempt r{} -> r{}", e.a, e.request),
+                    vec![("overhead_ns", Value::Int(e.b))],
+                ));
+            }
+            EventKind::Steal => {
+                out.push(instant(
+                    e,
+                    format!("steal r{}", e.request),
+                    vec![
+                        ("victim_node", Value::UInt(e.a)),
+                        ("fetch_ns", Value::Int(e.b)),
+                    ],
+                ));
+            }
+            EventKind::MigrationOffer => {
+                out.push(instant(
+                    e,
+                    format!("offer r{}", e.request),
+                    vec![("slack_ns", Value::UInt(e.a))],
+                ));
+            }
+            EventKind::MigrationAccept => {
+                out.push(instant(
+                    e,
+                    format!("migrate r{}", e.request),
+                    vec![("to_node", Value::UInt(e.a)), ("fetch_ns", Value::Int(e.b))],
+                ));
+            }
+            EventKind::MigrationReject => {
+                out.push(instant(e, format!("keep r{}", e.request), vec![]));
+            }
+            EventKind::SlackProjection => {
+                out.push(obj(vec![
+                    ("ph", Value::Str("C".into())),
+                    ("pid", Value::UInt(1)),
+                    ("ts", us(e.t_ns)),
+                    ("name", Value::Str(format!("queue_depth node{}", e.node))),
+                    ("args", obj(vec![("depth", Value::UInt(e.a))])),
+                ]));
+                out.push(obj(vec![
+                    ("ph", Value::Str("C".into())),
+                    ("pid", Value::UInt(1)),
+                    ("ts", us(e.t_ns)),
+                    ("name", Value::Str(format!("backlog_ms node{}", e.node))),
+                    ("args", obj(vec![("ms", Value::Float(e.b as f64 / 1e6))])),
+                ]));
+            }
+            EventKind::Completion => {
+                out.push(instant(
+                    e,
+                    format!("complete r{}", e.request),
+                    vec![
+                        ("violated", Value::Bool(e.a == 1)),
+                        ("slack_ns", Value::Int(e.b)),
+                    ],
+                ));
+                // Flow finish.
+                let mut fields = vec![("ph", Value::Str("f".into()))];
+                fields.extend(event_base(e, slice_name(e.request)));
+                fields.push(("cat", Value::Str("request".into())));
+                fields.push(("id", Value::UInt(e.request)));
+                fields.push(("bp", Value::Str("e".into())));
+                out.push(obj(fields));
+            }
+        }
+    }
+
+    let doc = obj(vec![
+        ("displayTimeUnit", Value::Str("ns".into())),
+        ("traceEvents", Value::Array(out)),
+    ]);
+    serde_json::to_string(&doc).expect("trace document serializes")
+}
+
+impl RingTracer {
+    /// Renders everything currently held as a Perfetto-loadable Chrome
+    /// trace (see [`perfetto_json`]).
+    pub fn perfetto_json(&self) -> String {
+        perfetto_json(&self.events(), &self.labels(), &self.node_names())
+    }
+
+    /// Folds the held events into per-request timelines (see
+    /// [`timelines`]).
+    pub fn timelines(&self) -> Vec<RequestTimeline> {
+        timelines(&self.events())
+    }
+
+    /// Validates the held events' well-formedness (see [`validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformation found.
+    pub fn validate(&self) -> Result<(), String> {
+        validate(&self.events())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(t_ns: u64, request: u64, node: u32, kind: EventKind, a: u64, b: i64) -> TraceEvent {
+        TraceEvent {
+            t_ns,
+            request,
+            node,
+            kind,
+            a,
+            b,
+        }
+    }
+
+    fn well_formed_run() -> Vec<TraceEvent> {
+        vec![
+            e(0, 7, NODE_FRONTEND, EventKind::Arrival, 0, 1_000_000),
+            e(100, 7, NODE_FRONTEND, EventKind::Admit, 100, 0),
+            e(100, 7, 0, EventKind::Dispatch, 1, 999_900),
+            e(200, 7, 0, EventKind::Segment, 700, 3),
+            e(700, 8, 0, EventKind::Preemption, 7, 20),
+            e(720, 8, 0, EventKind::Segment, 900, 2),
+            e(900, 7, 0, EventKind::Segment, 1_000, 1),
+            e(1_000, 7, 0, EventKind::Completion, 0, 999_000),
+            e(50, 9, NODE_FRONTEND, EventKind::Arrival, 1, 500),
+            e(150, 9, NODE_FRONTEND, EventKind::AdmitReject, 100, 0),
+        ]
+    }
+
+    #[test]
+    fn timelines_fold_the_request_lifecycle() {
+        let tl = timelines(&well_formed_run());
+        assert_eq!(tl.len(), 3);
+        let r7 = &tl[0];
+        assert_eq!(r7.id, 7);
+        assert_eq!(r7.arrival_ns, Some(0));
+        assert_eq!(r7.dispatch_ns, Some(100));
+        assert_eq!(r7.first_exec_ns, Some(200));
+        assert_eq!(r7.completion_ns, Some(1_000));
+        assert_eq!(r7.segments, 2);
+        assert_eq!(r7.layers, 4);
+        assert_eq!(r7.executed_ns, 600);
+        assert!(!r7.violated);
+        assert!(!r7.rejected);
+        let r9 = &tl[2];
+        assert!(r9.rejected);
+        assert_eq!(r9.segments, 0);
+        assert_eq!(r9.completion_ns, None);
+    }
+
+    #[test]
+    fn validation_accepts_a_well_formed_run() {
+        assert_eq!(validate(&well_formed_run()), Ok(()));
+    }
+
+    #[test]
+    fn validation_rejects_execution_after_rejection() {
+        let mut events = well_formed_run();
+        events.push(e(2_000, 9, 0, EventKind::Segment, 2_100, 1));
+        let err = validate(&events).unwrap_err();
+        assert!(err.contains("rejected request 9"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_dispatch_before_arrival() {
+        let events = vec![
+            e(500, 1, NODE_FRONTEND, EventKind::Arrival, 0, 0),
+            e(400, 1, 0, EventKind::Dispatch, 1, 0),
+        ];
+        let err = validate(&events).unwrap_err();
+        assert!(err.contains("before arrival"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_overlapping_segments_on_one_node() {
+        let events = vec![
+            e(0, 1, 0, EventKind::Segment, 100, 1),
+            e(50, 2, 0, EventKind::Segment, 150, 1),
+        ];
+        let err = validate(&events).unwrap_err();
+        assert!(err.contains("overlapping"), "{err}");
+    }
+
+    #[test]
+    fn perfetto_export_is_deterministic_and_parses() {
+        let events = well_formed_run();
+        let labels = vec!["resnet50@eyeriss".to_string(), "bert@sanger".to_string()];
+        let names = vec![(0u32, "node0 EyerissV2".to_string())];
+        let one = perfetto_json(&events, &labels, &names);
+        let two = perfetto_json(&events, &labels, &names);
+        assert_eq!(one, two);
+        let doc: Value = serde_json::from_str(&one).expect("valid JSON");
+        let trace_events = doc.field("traceEvents").expect("traceEvents");
+        let Value::Array(items) = trace_events else {
+            panic!("traceEvents must be an array");
+        };
+        // 2 metadata + at least one entry per input event.
+        assert!(items.len() >= events.len() + 2, "{}", items.len());
+        // Slices carry the interned label.
+        assert!(one.contains("r7 resnet50@eyeriss"));
+        // Exactly one X slice per Segment event — the rejected request
+        // contributes none.
+        assert_eq!(one.matches("\"ph\":\"X\"").count(), 3);
+    }
+
+    #[test]
+    fn ring_tracer_convenience_exports_match_free_functions() {
+        use crate::tracer::Tracer;
+        let tracer = RingTracer::new(64);
+        let label = tracer.intern("resnet50");
+        tracer.name_node(0, "node0");
+        for mut ev in well_formed_run() {
+            if ev.kind == EventKind::Arrival {
+                ev.a = u64::from(label);
+            }
+            tracer.record(ev);
+        }
+        assert_eq!(tracer.validate(), Ok(()));
+        assert_eq!(tracer.timelines().len(), 3);
+        assert_eq!(
+            tracer.perfetto_json(),
+            perfetto_json(&tracer.events(), &tracer.labels(), &tracer.node_names())
+        );
+    }
+}

@@ -1,0 +1,385 @@
+//! Live counters, gauges, and log-bucketed histograms.
+//!
+//! The registry is the mid-run surface a serving daemon would poll:
+//! every instrument can be read ([`MetricsRegistry::snapshot`]) while
+//! the simulation is still running. Instruments are keyed by name the
+//! first time they are touched; after that first touch, updating one is
+//! a map lookup plus an integer add — no allocation, so the registry is
+//! safe to drive from the tracer hot path at event granularity.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `u64` samples with power-of-two buckets: bucket `i`
+/// counts samples whose bit length is `i` (i.e. values in
+/// `[2^(i-1), 2^i)`), which gives ~2x relative error over the full 64-bit
+/// range in 65 fixed slots — no configuration, no allocation per sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[(u64::BITS - value.leading_zeros()) as usize] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank percentile (`q` in [0, 1]), reported as the upper
+    /// bound of the bucket holding that rank — an overestimate by at
+    /// most 2x, consistent with the bucket resolution. Returns 0 when
+    /// empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 {
+                    0
+                } else {
+                    // Upper bound of bucket i is 2^i - 1, capped at max.
+                    ((1u128 << i) - 1).min(self.max as u128) as u64
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Freezes the histogram into its serializable summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+            mean: self.mean(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+        }
+    }
+}
+
+/// Serializable summary of one [`LogHistogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Median (bucket upper bound; ≤ 2x overestimate).
+    pub p50: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+}
+
+/// Pre-resolved handle to one counter (see
+/// [`MetricsRegistry::counter_id`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Pre-resolved handle to one gauge family (see
+/// [`MetricsRegistry::gauge_id`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Pre-resolved handle to one histogram (see
+/// [`MetricsRegistry::histogram_id`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A snapshot-able registry of named instruments.
+///
+/// Interior-mutable (all methods take `&self`) so a single registry can
+/// be shared by every node engine plus the front-end of a co-simulated
+/// cluster. Gauges are *families* indexed by node id, so per-node
+/// values need no per-node key strings (building one per update would
+/// allocate on the hot path).
+///
+/// Instruments live in dense vectors; names resolve to indices once
+/// (`*_id` methods) so event-granularity updaters pay an index plus an
+/// integer add — no string lookup per sample. The by-name update
+/// methods re-resolve on each call and are fine for occasional use.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counter_ids: RefCell<BTreeMap<String, usize>>,
+    counters: RefCell<Vec<u64>>,
+    gauge_ids: RefCell<BTreeMap<String, usize>>,
+    gauges: RefCell<Vec<Vec<f64>>>,
+    histogram_ids: RefCell<BTreeMap<String, usize>>,
+    histograms: RefCell<Vec<LogHistogram>>,
+}
+
+/// Resolves `name` in an id map, appending a default-valued slot to
+/// `store` on first touch.
+fn intern<T: Default>(
+    ids: &RefCell<BTreeMap<String, usize>>,
+    store: &RefCell<Vec<T>>,
+    name: &str,
+) -> usize {
+    let mut ids = ids.borrow_mut();
+    match ids.get(name) {
+        Some(&idx) => idx,
+        None => {
+            let mut store = store.borrow_mut();
+            let idx = store.len();
+            store.push(T::default());
+            ids.insert(name.to_owned(), idx);
+            idx
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Resolves (registering on first touch) the counter `name` to a
+    /// handle for [`MetricsRegistry::add_id`]. A registered instrument
+    /// appears in snapshots even before its first update.
+    pub fn counter_id(&self, name: &str) -> CounterId {
+        CounterId(intern(&self.counter_ids, &self.counters, name))
+    }
+
+    /// Resolves (registering on first touch) the gauge family `name` to
+    /// a handle for [`MetricsRegistry::set_gauge_id`].
+    pub fn gauge_id(&self, name: &str) -> GaugeId {
+        GaugeId(intern(&self.gauge_ids, &self.gauges, name))
+    }
+
+    /// Resolves (registering on first touch) the histogram `name` to a
+    /// handle for [`MetricsRegistry::observe_id`].
+    pub fn histogram_id(&self, name: &str) -> HistogramId {
+        HistogramId(intern(&self.histogram_ids, &self.histograms, name))
+    }
+
+    /// Adds `delta` to the counter behind `id`. Never allocates.
+    pub fn add_id(&self, id: CounterId, delta: u64) {
+        self.counters.borrow_mut()[id.0] += delta;
+    }
+
+    /// Sets slot `index` of the gauge family behind `id` (growing the
+    /// family with zeros as needed). Allocates only on a new largest
+    /// index.
+    pub fn set_gauge_id(&self, id: GaugeId, index: usize, value: f64) {
+        let mut gauges = self.gauges.borrow_mut();
+        let family = &mut gauges[id.0];
+        if family.len() <= index {
+            family.resize(index + 1, 0.0);
+        }
+        family[index] = value;
+    }
+
+    /// Records one sample in the histogram behind `id`. Never
+    /// allocates.
+    pub fn observe_id(&self, id: HistogramId, value: u64) {
+        self.histograms.borrow_mut()[id.0].observe(value);
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at 0 first if
+    /// needed. Allocates only on first touch of a name.
+    pub fn add(&self, name: &str, delta: u64) {
+        let id = self.counter_id(name);
+        self.add_id(id, delta);
+    }
+
+    /// Sets slot `index` of the gauge family `name` (growing the family
+    /// with zeros as needed). Allocates only on first touch of a name
+    /// or a new largest index.
+    pub fn set_gauge(&self, name: &str, index: usize, value: f64) {
+        let id = self.gauge_id(name);
+        self.set_gauge_id(id, index, value);
+    }
+
+    /// Records one sample in the histogram `name`. Allocates only on
+    /// first touch of a name.
+    pub fn observe(&self, name: &str, value: u64) {
+        let id = self.histogram_id(name);
+        self.observe_id(id, value);
+    }
+
+    /// Reads one counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.counter_ids.borrow().get(name) {
+            Some(&idx) => self.counters.borrow()[idx],
+            None => 0,
+        }
+    }
+
+    /// Reads one gauge slot (`None` when never set).
+    pub fn gauge(&self, name: &str, index: usize) -> Option<f64> {
+        let idx = *self.gauge_ids.borrow().get(name)?;
+        self.gauges.borrow()[idx].get(index).copied()
+    }
+
+    /// Freezes every instrument into a serializable snapshot. Safe to
+    /// call mid-run; the registry keeps accumulating afterwards.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self.counters.borrow();
+        let gauges = self.gauges.borrow();
+        let histograms = self.histograms.borrow();
+        MetricsSnapshot {
+            counters: self
+                .counter_ids
+                .borrow()
+                .iter()
+                .map(|(k, &i)| (k.clone(), counters[i]))
+                .collect(),
+            gauges: self
+                .gauge_ids
+                .borrow()
+                .iter()
+                .map(|(k, &i)| (k.clone(), gauges[i].clone()))
+                .collect(),
+            histograms: self
+                .histogram_ids
+                .borrow()
+                .iter()
+                .map(|(k, &i)| (k.clone(), histograms[i].snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen, serializable view of a [`MetricsRegistry`] at one instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge families by name (index = node id).
+    pub gauges: BTreeMap<String, Vec<f64>>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_bracket_samples() {
+        let mut h = LogHistogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.max(), 1000);
+        // Nearest-rank p50 of 1..=1000 is 500, in bucket [256, 512);
+        // the reported upper bound is 511.
+        assert_eq!(h.percentile(0.50), 511);
+        // p99 rank is 990 → bucket [512, 1024), capped at max = 1000.
+        assert_eq!(h.percentile(0.99), 1000);
+        assert!(h.percentile(1.0) >= h.percentile(0.5));
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_extremes() {
+        let mut h = LogHistogram::default();
+        h.observe(0);
+        assert_eq!(h.percentile(0.5), 0);
+        h.observe(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LogHistogram::default();
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.max, s.p99), (0, 0, 0));
+    }
+
+    #[test]
+    fn registry_instruments_accumulate_and_snapshot() {
+        let m = MetricsRegistry::new();
+        m.add("requests", 2);
+        m.add("requests", 3);
+        m.set_gauge("queue_depth", 2, 7.0);
+        m.set_gauge("queue_depth", 0, 1.0);
+        m.observe("wait_ns", 1_000);
+        m.observe("wait_ns", 2_000);
+        assert_eq!(m.counter("requests"), 5);
+        assert_eq!(m.counter("untouched"), 0);
+        assert_eq!(m.gauge("queue_depth", 2), Some(7.0));
+        assert_eq!(m.gauge("queue_depth", 1), Some(0.0));
+        assert_eq!(m.gauge("missing", 0), None);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["requests"], 5);
+        assert_eq!(snap.gauges["queue_depth"], vec![1.0, 0.0, 7.0]);
+        assert_eq!(snap.histograms["wait_ns"].count, 2);
+        // Snapshot is a freeze-frame: later updates don't back-propagate.
+        m.add("requests", 1);
+        assert_eq!(snap.counters["requests"], 5);
+    }
+
+    #[test]
+    fn snapshot_serializes_deterministically() {
+        let m = MetricsRegistry::new();
+        m.add("b", 1);
+        m.add("a", 2);
+        m.observe("h", 42);
+        let one = serde_json::to_string(&m.snapshot()).unwrap();
+        let two = serde_json::to_string(&m.snapshot()).unwrap();
+        assert_eq!(one, two);
+        let back: MetricsSnapshot = serde_json::from_str(&one).unwrap();
+        assert_eq!(back, m.snapshot());
+    }
+}

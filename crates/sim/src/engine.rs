@@ -1,6 +1,8 @@
 //! The event loop.
 
 use dysta_core::{ModelInfoLut, Scheduler};
+use dysta_obs::{EventKind, TraceEvent, Tracer, NODE_FRONTEND};
+use dysta_trace::SparseModelSpec;
 use dysta_workload::Workload;
 
 use crate::node::NodeEngine;
@@ -55,6 +57,76 @@ pub fn simulate(
     let lut = ModelInfoLut::from_store(workload.store());
     let mut node: NodeEngine<'_, &mut dyn Scheduler> = NodeEngine::new(0, scheduler, *config, lut);
     for req in requests {
+        node.enqueue(req, workload.trace_for(req));
+    }
+    node.run_to_completion();
+    node.into_report()
+}
+
+/// [`simulate`] with observability: the single node reports to
+/// `tracer` (pass `&RingTracer` to record), emitting an arrival and a
+/// dispatch event per request up front plus execution segments,
+/// preemptions, and completions as the run unfolds.
+///
+/// With the same workload, scheduler, and config, the returned report
+/// is identical to [`simulate`]'s — tracing observes the run without
+/// perturbing it (pinned by tests).
+///
+/// # Panics
+///
+/// Panics if the workload is empty.
+pub fn simulate_traced<T: Tracer>(
+    workload: &Workload,
+    scheduler: &mut dyn Scheduler,
+    config: &EngineConfig,
+    tracer: T,
+) -> SimReport {
+    let requests = workload.requests();
+    assert!(!requests.is_empty(), "workload must contain requests");
+    let lut = ModelInfoLut::from_store(workload.store());
+    tracer.name_node(0, "node0");
+    // Intern one label per model variant; the per-request loop then
+    // reuses ids (and one scratch string) instead of re-formatting.
+    // Keyed by spec equality (a linear scan over a handful of variants)
+    // rather than `variant_id` — enqueue already pays that binary
+    // search, and a disabled tracer skips this block outright, so the
+    // NullTracer path does exactly the work `simulate` does.
+    let mut labels: Vec<(SparseModelSpec, u32)> = Vec::new();
+    let mut scratch = String::new();
+    let mut node: NodeEngine<'_, &mut dyn Scheduler, &T> =
+        NodeEngine::with_tracer(0, scheduler, *config, lut, &tracer);
+    for req in requests {
+        if tracer.enabled() {
+            let label = match labels.iter().find(|(spec, _)| *spec == req.spec) {
+                Some(&(_, id)) => id,
+                None => {
+                    use std::fmt::Write as _;
+                    scratch.clear();
+                    write!(scratch, "{}", req.spec).expect("write to String");
+                    let id = tracer.intern(&scratch);
+                    labels.push((req.spec, id));
+                    id
+                }
+            };
+            tracer.record(TraceEvent {
+                t_ns: req.arrival_ns,
+                request: req.id,
+                node: NODE_FRONTEND,
+                kind: EventKind::Arrival,
+                a: u64::from(label),
+                b: req.slo_ns as i64,
+            });
+            // Single-node serving has no front-end: requests land on
+            // the node the instant they arrive.
+            tracer.record(TraceEvent {
+                t_ns: req.arrival_ns,
+                request: req.id,
+                node: 0,
+                kind: EventKind::Dispatch,
+                a: 0,
+                b: req.slo_ns as i64,
+            });
+        }
         node.enqueue(req, workload.trace_for(req));
     }
     node.run_to_completion();

@@ -38,7 +38,7 @@ pub mod metrics;
 mod node;
 mod report;
 
-pub use engine::{simulate, EngineConfig};
+pub use engine::{simulate, simulate_traced, EngineConfig};
 pub use node::{NodeEngine, TransferableTask};
 pub use report::{
     percentile_ns, percentile_ns_sorted, CompletedRequest, Metrics, SimReport, TimelineSegment,

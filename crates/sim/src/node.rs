@@ -21,6 +21,7 @@
 use std::collections::VecDeque;
 
 use dysta_core::{ModelInfoLut, MonitoredLayer, Scheduler, TaskQueue, TaskState};
+use dysta_obs::{EventKind, NullTracer, Phase, TraceEvent, Tracer};
 use dysta_trace::SampleTrace;
 use dysta_workload::Request;
 
@@ -56,12 +57,35 @@ impl TransferableTask<'_> {
     }
 }
 
+/// An execution run of one task still accumulating back-to-back
+/// quanta; closed (recorded as one [`EventKind::Segment`] event) when
+/// execution switches away or the task completes. Coalescing keeps
+/// traced runs at one event per context switch instead of one per
+/// layer, and the open segment stores only its *start* — the end time
+/// is whatever the clock reads at close, and the layer count is the
+/// task's `next_layer` delta — so extending a segment costs nothing
+/// per quantum. Sound because a same-task *idle* gap cannot occur: an
+/// active task stays runnable until it finishes, and the only mid-run
+/// clock jump is a transfer's `fetch_ns` ([`NodeEngine::accept_transfer`]),
+/// which the running segment absorbs — the node is busy fetching then,
+/// not idle.
+struct OpenSegment {
+    /// Index into the task arena (stable: completions `swap_remove`
+    /// from `active`, never from `tasks`).
+    task_idx: usize,
+    start_ns: u64,
+    /// The task's `next_layer` when the segment opened.
+    start_layer: usize,
+}
+
 /// A single simulated accelerator node: scheduler, task queues, local
 /// clock, and completion records.
 ///
 /// Generic over the scheduler storage so the single-node wrapper can
 /// borrow (`&mut dyn Scheduler`) while a cluster owns its schedulers
-/// (`Box<dyn Scheduler>`, the default).
+/// (`Box<dyn Scheduler>`, the default), and over the [`Tracer`] so the
+/// default untraced engine ([`NullTracer`]) monomorphizes every
+/// observability hook away.
 ///
 /// # Examples
 ///
@@ -83,11 +107,15 @@ impl TransferableTask<'_> {
 /// node.run_to_completion();
 /// assert_eq!(node.into_report().completed().len(), 10);
 /// ```
-pub struct NodeEngine<'w, S = Box<dyn Scheduler>> {
+pub struct NodeEngine<'w, S = Box<dyn Scheduler>, T = NullTracer> {
     id: usize,
     scheduler: S,
     config: EngineConfig,
     lut: ModelInfoLut,
+    tracer: T,
+    /// Tracing only: the in-progress execution segment (see
+    /// [`OpenSegment`]). Stays `None` under a disabled tracer.
+    open_seg: Option<OpenSegment>,
     /// Enqueued-but-not-admitted requests, in arrival order.
     pending: VecDeque<PendingTask<'w>>,
     /// All admitted tasks (completed ones stay in place; `active` holds
@@ -108,19 +136,40 @@ pub struct NodeEngine<'w, S = Box<dyn Scheduler>> {
     completed: Vec<CompletedRequest>,
 }
 
-impl<'w, S: Scheduler> NodeEngine<'w, S> {
-    /// Creates an idle node.
+impl<'w, S: Scheduler> NodeEngine<'w, S, NullTracer> {
+    /// Creates an idle, untraced node.
     ///
     /// # Panics
     ///
     /// Panics if the config requests zero layers per block.
     pub fn new(id: usize, scheduler: S, config: EngineConfig, lut: ModelInfoLut) -> Self {
+        NodeEngine::with_tracer(id, scheduler, config, lut, NullTracer)
+    }
+}
+
+impl<'w, S: Scheduler, T: Tracer> NodeEngine<'w, S, T> {
+    /// Creates an idle node reporting to `tracer`. The tracer is held
+    /// by value; a pool of nodes shares one recorder by passing
+    /// `&RingTracer` (every `&T` where `T: Tracer` is itself a tracer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config requests zero layers per block.
+    pub fn with_tracer(
+        id: usize,
+        scheduler: S,
+        config: EngineConfig,
+        lut: ModelInfoLut,
+        tracer: T,
+    ) -> Self {
         assert!(config.layers_per_block > 0, "block must contain layers");
         NodeEngine {
             id,
             scheduler,
             config,
             lut,
+            tracer,
+            open_seg: None,
             pending: VecDeque::new(),
             tasks: Vec::new(),
             traces: Vec::new(),
@@ -170,6 +219,11 @@ impl<'w, S: Scheduler> NodeEngine<'w, S> {
     /// The node's LUT (profiled per-variant statistics).
     pub fn lut(&self) -> &ModelInfoLut {
         &self.lut
+    }
+
+    /// The node's tracer.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
     }
 
     /// Iterates over every unfinished request on the node — admitted
@@ -413,18 +467,52 @@ impl<'w, S: Scheduler> NodeEngine<'w, S> {
         let queue = TaskQueue::indexed(&self.tasks, &self.active);
         debug_assert!(!queue.is_empty(), "execute_quantum needs a runnable task");
         self.invocations += 1;
+        let profiling = self.tracer.profiling();
+        let pick_t0 = profiling.then(std::time::Instant::now);
         let pick = self.scheduler.pick_next(queue, &self.lut, self.now_ns);
+        if let Some(t0) = pick_t0 {
+            self.tracer
+                .phase_ns(Phase::Pick, t0.elapsed().as_nanos() as u64);
+        }
         assert!(
             pick < self.active.len(),
             "scheduler returned out-of-range index"
         );
         let task_idx = self.active[pick];
+        let exec_t0 = profiling.then(std::time::Instant::now);
 
         // Pay the context switch when execution moves between requests.
         let switching = self.last_ran.is_some() && self.last_ran != Some(self.tasks[task_idx].id);
         if switching {
             self.preemptions += 1;
+            if self.tracer.enabled() {
+                // The outgoing task's segment ends here, before the
+                // switch overhead is paid.
+                self.flush_segment();
+                self.tracer.record(TraceEvent {
+                    t_ns: self.now_ns,
+                    request: self.tasks[task_idx].id,
+                    node: self.id as u32,
+                    kind: EventKind::Preemption,
+                    a: self.last_ran.expect("switching implies a previous task"),
+                    b: self.config.preemption_overhead_ns as i64,
+                });
+            }
             self.now_ns += self.config.preemption_overhead_ns;
+            if self.tracer.enabled() {
+                // The incoming task's segment starts once the switch
+                // overhead is paid.
+                self.open_segment(task_idx);
+            }
+        } else if self.last_ran.is_none() && self.tracer.enabled() {
+            // Very first quantum of the run. Every other segment opens
+            // in the switching arm above: a task completion leaves
+            // `last_ran` pointing at the finished task, so the next
+            // quantum (necessarily a different task) counts as a
+            // switch. Extending an open segment is therefore free —
+            // steady-state quanta skip both arms — and the close reads
+            // the clock and the task's layer counter directly.
+            self.open_segment(task_idx);
         }
         self.last_ran = Some(self.tasks[task_idx].id);
 
@@ -470,9 +558,30 @@ impl<'w, S: Scheduler> NodeEngine<'w, S> {
         self.scheduler
             .on_layer_complete(&self.tasks[task_idx], &self.lut, self.now_ns);
 
+        if let Some(t0) = exec_t0 {
+            self.tracer
+                .phase_ns(Phase::Execute, t0.elapsed().as_nanos() as u64);
+        }
+
         if self.tasks[task_idx].finished() {
+            self.scheduler
+                .on_task_complete(&self.tasks[task_idx], self.now_ns);
+            if self.tracer.enabled() {
+                // The finished task's segment is the open one; close it
+                // so its completion event never precedes its last work.
+                self.flush_segment();
+                let task = &self.tasks[task_idx];
+                let deadline_ns = task.arrival_ns + task.slo_ns;
+                self.tracer.record(TraceEvent {
+                    t_ns: self.now_ns,
+                    request: task.id,
+                    node: self.id as u32,
+                    kind: EventKind::Completion,
+                    a: u64::from(self.now_ns > deadline_ns),
+                    b: deadline_ns as i64 - self.now_ns as i64,
+                });
+            }
             let task = &self.tasks[task_idx];
-            self.scheduler.on_task_complete(task, self.now_ns);
             self.completed.push(CompletedRequest {
                 id: task.id,
                 spec: task.spec,
@@ -490,13 +599,47 @@ impl<'w, S: Scheduler> NodeEngine<'w, S> {
         }
     }
 
+    /// Starts a segment for `task_idx` at the current clock. The caller
+    /// guarantees no segment is open (the previous one was flushed at
+    /// the switch or completion that made this open necessary).
+    fn open_segment(&mut self, task_idx: usize) {
+        debug_assert!(self.open_seg.is_none(), "segment already open");
+        self.open_seg = Some(OpenSegment {
+            task_idx,
+            start_ns: self.now_ns,
+            start_layer: self.tasks[task_idx].next_layer,
+        });
+    }
+
+    /// Records and clears the open execution segment, ending it at the
+    /// current clock. The layer count is the task's `next_layer` delta
+    /// since the segment opened, so extending a segment costs nothing
+    /// per quantum — all bookkeeping happens here, at the close.
+    fn flush_segment(&mut self) {
+        if let Some(seg) = self.open_seg.take() {
+            let task = &self.tasks[seg.task_idx];
+            let event = TraceEvent {
+                t_ns: seg.start_ns,
+                request: task.id,
+                node: self.id as u32,
+                kind: EventKind::Segment,
+                a: self.now_ns,
+                b: (task.next_layer - seg.start_layer) as i64,
+            };
+            self.tracer.record(event);
+        }
+    }
+
     /// Finishes the node, returning its completion report.
     ///
     /// # Panics
     ///
     /// Panics if unfinished work remains.
-    pub fn into_report(self) -> SimReport {
+    pub fn into_report(mut self) -> SimReport {
         assert!(self.is_drained(), "node {} still has queued work", self.id);
+        // A drained node closed every segment at task completion, but
+        // flush defensively so no recorded work can be lost.
+        self.flush_segment();
         let mut completed = self.completed;
         completed.sort_by_key(|c| c.id);
         SimReport::with_timeline(completed, self.preemptions, self.invocations, self.timeline)

@@ -1,0 +1,161 @@
+//! Pins the "no per-event heap allocation" property of the tracing hot
+//! path: recording into a [`NullTracer`] is free, recording into a
+//! warmed-up [`RingTracer`] is allocation-free even across ring
+//! wraparound, and a fully traced engine run allocates exactly as much
+//! as an untraced one.
+//!
+//! Same counting-global-allocator pattern as `crates/core/tests/
+//! alloc_free.rs`: a thread-local counter measures the exact region
+//! under test, immune to parallel test threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use dysta_core::{ModelInfoLut, Policy};
+use dysta_obs::{EventKind, NullTracer, RingTracer, TraceEvent, Tracer};
+use dysta_sim::{EngineConfig, NodeEngine};
+use dysta_workload::{Scenario, Workload, WorkloadBuilder};
+
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Heap allocations performed by `f` on this thread.
+fn allocations_in(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.with(Cell::get);
+    f();
+    ALLOCATIONS.with(Cell::get) - before
+}
+
+fn event(kind: EventKind, t_ns: u64) -> TraceEvent {
+    TraceEvent {
+        t_ns,
+        request: t_ns % 7,
+        node: (t_ns % 3) as u32,
+        kind,
+        a: t_ns,
+        b: t_ns as i64 - 500,
+    }
+}
+
+#[test]
+fn null_tracer_record_never_allocates() {
+    let tracer = NullTracer;
+    let allocs = allocations_in(|| {
+        for i in 0..10_000u64 {
+            tracer.record(event(EventKind::Segment, i));
+            tracer.phase_ns(dysta_obs::Phase::Pick, i);
+        }
+    });
+    assert_eq!(allocs, 0, "NullTracer is supposed to be free");
+}
+
+#[test]
+fn warm_ring_tracer_record_never_allocates_even_across_wraparound() {
+    // Small ring so 10k events wrap it ~39 times.
+    let tracer = RingTracer::new(256);
+    // Warm the live instruments: each metric key and gauge slot the
+    // record() match can touch is created once, then reused.
+    for kind in EventKind::ALL {
+        for node in 0..3u64 {
+            let mut e = event(kind, node);
+            e.node = node as u32;
+            tracer.record(e);
+        }
+    }
+    let allocs = allocations_in(|| {
+        for i in 0..10_000u64 {
+            let kind = EventKind::ALL[(i % EventKind::ALL.len() as u64) as usize];
+            tracer.record(event(kind, i));
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state RingTracer::record allocated (ring wraparound or metrics map)"
+    );
+    assert!(tracer.dropped() > 0, "test must actually exercise overflow");
+}
+
+fn alloc_workload() -> Workload {
+    WorkloadBuilder::new(Scenario::MultiCnn)
+        .num_requests(30)
+        .samples_per_variant(4)
+        .seed(42)
+        .build()
+}
+
+/// Runs the engine over `w` against `tracer` and reports the heap
+/// allocations of the *whole* run (engine construction + enqueue +
+/// execution). Arrival events are recorded directly (no label
+/// interning) so the traced and untraced runs do byte-for-byte the same
+/// non-tracer work.
+fn engine_run_allocs<T: Tracer + Copy>(w: &Workload, tracer: T) -> u64 {
+    allocations_in(|| {
+        let lut = ModelInfoLut::from_store(w.store());
+        let mut sched = Policy::Dysta.build();
+        let mut node: NodeEngine<'_, &mut dyn dysta_core::Scheduler, T> =
+            NodeEngine::with_tracer(0, sched.as_mut(), EngineConfig::default(), lut, tracer);
+        for req in w.requests() {
+            tracer.record(TraceEvent {
+                t_ns: req.arrival_ns,
+                request: req.id,
+                node: 0,
+                kind: EventKind::Dispatch,
+                a: 0,
+                b: req.slo_ns as i64,
+            });
+            node.enqueue(req, w.trace_for(req));
+        }
+        node.run_to_completion();
+        let report = node.into_report();
+        assert_eq!(report.completed().len(), 30);
+    })
+}
+
+#[test]
+fn traced_engine_run_allocates_exactly_like_untraced() {
+    let w = alloc_workload();
+    // Warm-up run: sizes the ring tracer's metric keys and gauge slots
+    // (and the allocator's own warm state for the untraced side).
+    let tracer = RingTracer::new(1 << 15);
+    let _ = engine_run_allocs(&w, NullTracer);
+    let _ = engine_run_allocs(&w, &tracer);
+    tracer.clear();
+
+    let untraced = engine_run_allocs(&w, NullTracer);
+    let traced = engine_run_allocs(&w, &tracer);
+    assert_eq!(
+        traced, untraced,
+        "a steady-state traced run must not allocate beyond the untraced baseline"
+    );
+    assert!(
+        tracer.kind_count(EventKind::Completion) > 0,
+        "the traced run must actually record"
+    );
+}

@@ -335,6 +335,22 @@ impl<T: Serialize> Serialize for &T {
     }
 }
 
+// `Value` round-trips through itself, so callers can hand-assemble
+// JSON documents whose shape is not a fixed struct (heterogeneous
+// trace-event arrays, for instance) and still use the ordinary
+// `serde_json::to_string` / `from_str` entry points.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +378,16 @@ mod tests {
             m
         );
         assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn value_roundtrips_through_itself() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::UInt(1)),
+            ("b".to_string(), Value::Array(vec![Value::Null])),
+        ]);
+        assert_eq!(v.to_value(), v);
+        assert_eq!(Value::from_value(&v).unwrap(), v);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use dysta::core::Policy;
 use dysta::models::ModelId;
-use dysta::sim::{simulate, EngineConfig};
+use dysta::obs::RingTracer;
+use dysta::sim::{simulate, simulate_traced, EngineConfig};
 use dysta::sparsity::SparsityPattern;
 use dysta::trace::{SparseModelSpec, TraceGenerator};
 use dysta::workload::{Scenario, WorkloadBuilder};
@@ -33,6 +34,37 @@ fn simulations_are_reproducible_for_every_policy() {
         let b = simulate(&w, policy.build().as_mut(), &EngineConfig::default());
         assert_eq!(a.completed(), b.completed(), "{policy}");
         assert_eq!(a.preemptions(), b.preemptions(), "{policy}");
+    }
+}
+
+#[test]
+fn traced_runs_match_untraced_and_export_byte_identically() {
+    let w = WorkloadBuilder::new(Scenario::MultiCnn)
+        .num_requests(50)
+        .samples_per_variant(8)
+        .seed(17)
+        .build();
+    for policy in Policy::ALL {
+        // Tracing observes without perturbing: the traced report equals
+        // the untraced one for every shipped policy.
+        let plain = simulate(&w, policy.build().as_mut(), &EngineConfig::default());
+        let run = || {
+            let tracer = RingTracer::new(1 << 16);
+            let report = simulate_traced(
+                &w,
+                policy.build().as_mut(),
+                &EngineConfig::default(),
+                &tracer,
+            );
+            tracer.validate().expect("well-formed event stream");
+            (report, tracer.perfetto_json())
+        };
+        let (r1, json1) = run();
+        let (r2, json2) = run();
+        assert_eq!(plain.completed(), r1.completed(), "{policy}");
+        assert_eq!(r1.completed(), r2.completed(), "{policy}");
+        // The export itself is a pure function of the run.
+        assert_eq!(json1, json2, "{policy}: trace export not deterministic");
     }
 }
 

@@ -225,6 +225,48 @@ fn golden_cluster_sweep_quick() {
     check_golden("cluster_sweep.json", &json);
 }
 
+// --- trace_export ---------------------------------------------------------
+
+/// Pins the Perfetto trace export byte-for-byte on a small serving
+/// scenario that exercises the full event vocabulary: batched
+/// admission, steals, migrations, preemptive execution, completions.
+/// Any change to the event stream *or* the exporter shows up as a
+/// fixture diff; regenerate intentionally changed fixtures with
+/// `UPDATE_GOLDEN=1 cargo test --test golden_reports`.
+#[test]
+fn golden_trace_export() {
+    use dysta::cluster::simulate_cluster_traced;
+    use dysta::obs::RingTracer;
+
+    let w = WorkloadBuilder::new(Scenario::MultiCnn)
+        .arrival_rate(9.0)
+        .num_requests(12)
+        .samples_per_variant(4)
+        .seed(23)
+        .build();
+    let pool = ClusterBuilder::heterogeneous(1, 1, Policy::Dysta)
+        .frontend(FrontendConfig {
+            admit_batch: 3,
+            admit_interval_ns: 25_000_000,
+            steal: Some(StealConfig::default()),
+            migration: Some(MigrationConfig::default()),
+            ..FrontendConfig::default()
+        })
+        .build();
+    let mut policy = ClusterPolicy::from_dispatch(DispatchPolicy::SparsityAffinity);
+    let tracer = RingTracer::new(1 << 14);
+    let report = simulate_cluster_traced(&w, &mut policy, &pool, &tracer);
+    assert_eq!(report.completed_total(), 12);
+    assert_eq!(tracer.dropped(), 0, "fixture scenario must fit the ring");
+    tracer.validate().expect("well-formed event stream");
+
+    let json = tracer.perfetto_json();
+    // The export must survive a JSON round-trip (what ui.perfetto.dev
+    // and the CI smoke check will do to it).
+    serde_json::from_str::<serde::Value>(&json).expect("export parses");
+    check_golden("trace_export.json", &json);
+}
+
 // --- fig_admission (quick mode) -------------------------------------------
 
 #[derive(Debug, Serialize, Deserialize, PartialEq)]
