@@ -9,16 +9,18 @@
 //!
 //! A serving-front-end section sweeps work stealing and request
 //! migration on the pool shape affinity routing stresses most
-//! (CNN-only traffic on a heterogeneous installation), and an
+//! (CNN-only traffic on a heterogeneous installation), an
 //! admission-control section compares admit-all against the
 //! reject/degrade policies on the capacity-heterogeneous pool at tight
-//! SLOs.
+//! SLOs, and a fault-injection section crashes a node mid-stream to
+//! compare salvage-and-redispatch recovery against letting the work
+//! die with the node.
 
 use dysta::cluster::{
     balanced_mixed_serving_mix, simulate_cluster, simulate_cluster_with, AcceleratorKind,
     AdmissionPolicy, AdmitAll, ClusterBuilder, ClusterConfig, ClusterPolicy, DispatchPolicy,
-    FrontendConfig, InfeasibleEverywhere, MigrationConfig, SlackLoadShedding, StealConfig,
-    TransferCostConfig,
+    FaultConfig, FaultSchedule, FrontendConfig, InfeasibleEverywhere, MigrationConfig,
+    RecoveryConfig, SlackLoadShedding, StealConfig, TransferCostConfig,
 };
 use dysta::core::Policy;
 use dysta::workload::{Scenario, WorkloadBuilder};
@@ -164,6 +166,7 @@ fn main() {
 
     serving_frontend_sweep(&scale);
     admission_sweep(&scale);
+    faults_sweep(&scale);
 }
 
 /// The serving front-end on a heterogeneous pool: CNN-only traffic
@@ -262,6 +265,109 @@ fn serving_frontend_sweep(scale: &Scale) {
             migrations as f64 / n,
             fetch_ms / n,
         );
+    }
+}
+
+/// Fault injection on the `fig_faults` schedule: a transient crash of
+/// node 0 mid-stream plus a brown-out window on node 2, served by the
+/// mixed-traffic workload on the capacity-heterogeneous pool. The
+/// recovery rows are the golden cells: salvage-and-redispatch with
+/// queue-time reneging must strictly beat letting crashed work die
+/// with the node on both goodput and violation rate. Covered by the
+/// CI smoke run.
+fn faults_sweep(scale: &Scale) {
+    println!(
+        "\n=== fault injection / transient crash + brownout on capacity-het 2+2 pool (slo x2) ==="
+    );
+    println!(
+        "{:<10} {:<16} {:>8} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9} {:>11}",
+        "dispatch",
+        "recovery",
+        "ANTT",
+        "viol %",
+        "goodput",
+        "failed",
+        "reneged",
+        "salvaged",
+        "retries",
+        "lost ms"
+    );
+    let schedule = FaultSchedule::new()
+        .transient_crash(0, 1_500_000_000, 2_500_000_000)
+        .brownout(2, 800_000_000, 2_000_000_000, 0.5);
+    let recoveries: [(&str, RecoveryConfig); 2] = [
+        (
+            "salvage+renege",
+            RecoveryConfig {
+                salvage: true,
+                max_retries: 2,
+                reneging: true,
+            },
+        ),
+        (
+            "none",
+            RecoveryConfig {
+                salvage: false,
+                max_retries: 0,
+                reneging: false,
+            },
+        ),
+    ];
+    for dispatch in [
+        DispatchPolicy::SparsityAffinity,
+        DispatchPolicy::EarliestDeadlineFirst,
+    ] {
+        for (name, recovery) in &recoveries {
+            let mut antt = 0.0;
+            let mut viol = 0.0;
+            let mut goodput = 0usize;
+            let mut failed = 0usize;
+            let mut reneged = 0usize;
+            let mut salvaged = 0u64;
+            let mut retries = 0u64;
+            let mut lost_ms = 0.0;
+            for seed in 0..scale.seeds {
+                let workload = WorkloadBuilder::from_mix(balanced_mixed_serving_mix())
+                    .arrival_rate(45.0)
+                    .slo_multiplier(2.0)
+                    .num_requests(scale.requests)
+                    .samples_per_variant(scale.samples_per_variant)
+                    .seed(seed * 7919 + 13)
+                    .build();
+                let pool = ClusterBuilder::heterogeneous(2, 2, Policy::Fcfs)
+                    .node_capacity(1, 0.5)
+                    .node_capacity(3, 0.5)
+                    .frontend(FrontendConfig::serving())
+                    .faults(FaultConfig {
+                        schedule: schedule.clone(),
+                        recovery: *recovery,
+                    })
+                    .build();
+                let report = simulate_cluster(&workload, dispatch.build().as_mut(), &pool);
+                antt += report.antt();
+                viol += report.violation_rate();
+                goodput += report.goodput();
+                failed += report.failed_total();
+                reneged += report.reneged_total();
+                salvaged += report.recovery().salvaged;
+                retries += report.recovery().retries;
+                lost_ms += report.recovery().lost_busy_ns as f64 / 1e6;
+            }
+            let n = scale.seeds as f64;
+            println!(
+                "{:<10} {:<16} {:>8.3} {:>8.1}% {:>9.1} {:>8.1} {:>8.1} {:>9.1} {:>9.1} {:>11.1}",
+                dispatch.name(),
+                name,
+                antt / n,
+                viol / n * 100.0,
+                goodput as f64 / n,
+                failed as f64 / n,
+                reneged as f64 / n,
+                salvaged as f64 / n,
+                retries as f64 / n,
+                lost_ms / n,
+            );
+        }
     }
 }
 

@@ -60,6 +60,11 @@ struct BenchRecord {
     /// batch dispatch) over EDF routing on the capacity-heterogeneous
     /// pool. `None` in records from before admission control existed.
     cluster_admission_ms: Option<f64>,
+    /// Wall time of a fault-injected serving run: a transient crash and
+    /// a brown-out window on the admission-cell pool with salvage,
+    /// retry, and reneging all armed — the recovery machinery's full
+    /// hot path. `None` in records from before fault injection existed.
+    cluster_faults_ms: Option<f64>,
     /// Tracing overhead on the fastest engine path (the worst case for
     /// relative cost): the same run untraced, under a `NullTracer`
     /// (must compile away), and under a recording `RingTracer`. `None`
@@ -100,6 +105,7 @@ impl serde::Deserialize for BenchRecord {
             cluster_serving_ms: optional("cluster_serving_ms")?,
             cluster_edf_ms: optional("cluster_edf_ms")?,
             cluster_admission_ms: optional("cluster_admission_ms")?,
+            cluster_faults_ms: optional("cluster_faults_ms")?,
             trace_overhead: match value.field("trace_overhead") {
                 Ok(v) => serde::Deserialize::from_value(v)?,
                 Err(_) => None,
@@ -354,6 +360,52 @@ fn measure_cluster_admission() -> f64 {
     secs * 1e3
 }
 
+fn measure_cluster_faults() -> f64 {
+    // The recovery machinery's hot path: a transient crash (salvage +
+    // redispatch of everything queued on the dead node, then the
+    // rejoin) plus a brown-out window, with queue-time reneging armed
+    // so the migration pass re-projects slack every tick — on the same
+    // capacity-heterogeneous pool and workload as the admission cell
+    // so the wall times are directly comparable.
+    use dysta::cluster::{FaultConfig, FaultSchedule, RecoveryConfig};
+    let workload = WorkloadBuilder::new(Scenario::MultiCnn)
+        .arrival_rate(12.0)
+        .slo_multiplier(5.0)
+        .num_requests(200)
+        .samples_per_variant(16)
+        .seed(13)
+        .build();
+    let faults = FaultConfig {
+        schedule: FaultSchedule::new()
+            .transient_crash(0, 1_500_000_000, 2_500_000_000)
+            .brownout(2, 800_000_000, 2_000_000_000, 0.5),
+        recovery: RecoveryConfig {
+            salvage: true,
+            max_retries: 2,
+            reneging: true,
+        },
+    };
+    let secs = median_secs(3, || {
+        let pool = ClusterBuilder::heterogeneous(2, 2, Policy::Dysta)
+            .node_capacity(1, 0.5)
+            .node_capacity(3, 0.5)
+            .frontend(FrontendConfig::serving_costed())
+            .transfer_cost(TransferCostConfig::default_costed())
+            .faults(faults.clone())
+            .build();
+        std::hint::black_box(simulate_cluster(
+            &workload,
+            DispatchPolicy::EarliestDeadlineFirst.build().as_mut(),
+            &pool,
+        ));
+    });
+    println!(
+        "cluster_faults (2+2 nodes, crash+brownout, salvage+renege, 200 reqs): {:.1} ms",
+        secs * 1e3
+    );
+    secs * 1e3
+}
+
 fn measure_trace_overhead() -> TraceOverheadCell {
     use dysta::obs::{NullTracer, RingTracer};
     use dysta::sim::simulate_traced;
@@ -465,6 +517,7 @@ fn main() {
     let cluster_serving_ms = measure_cluster_serving();
     let cluster_edf_ms = measure_cluster_edf();
     let cluster_admission_ms = measure_cluster_admission();
+    let cluster_faults_ms = measure_cluster_faults();
     let trace_overhead = measure_trace_overhead();
 
     let record = BenchRecord {
@@ -475,6 +528,7 @@ fn main() {
         cluster_serving_ms: Some(cluster_serving_ms),
         cluster_edf_ms: Some(cluster_edf_ms),
         cluster_admission_ms: Some(cluster_admission_ms),
+        cluster_faults_ms: Some(cluster_faults_ms),
         trace_overhead: Some(trace_overhead),
     };
 

@@ -479,6 +479,10 @@ pub struct ClusterConfig {
     /// The weight/activation re-fetch cost charged per steal or
     /// migration. Defaults to [`TransferCostConfig::FREE`].
     pub transfer_cost: TransferCostConfig,
+    /// Deterministic fault injection and recovery behavior. Defaults to
+    /// an empty schedule with salvage-and-redispatch enabled — inert
+    /// until faults are actually scheduled or reneging is switched on.
+    pub faults: crate::faults::FaultConfig,
 }
 
 impl ClusterConfig {
@@ -539,6 +543,9 @@ impl ClusterConfig {
         }
         self.frontend.validate();
         self.transfer_cost.validate();
+        if let Err(msg) = self.faults.validate(self.nodes.len()) {
+            panic!("{msg}");
+        }
     }
 }
 
@@ -568,6 +575,7 @@ pub struct ClusterBuilder {
     nodes: Vec<NodeConfig>,
     frontend: FrontendConfig,
     transfer_cost: TransferCostConfig,
+    faults: crate::faults::FaultConfig,
 }
 
 impl ClusterBuilder {
@@ -603,6 +611,7 @@ impl ClusterBuilder {
             nodes,
             frontend: FrontendConfig::default(),
             transfer_cost: TransferCostConfig::FREE,
+            faults: crate::faults::FaultConfig::default(),
         }
     }
 
@@ -652,6 +661,12 @@ impl ClusterBuilder {
         self
     }
 
+    /// Replaces the fault-injection/recovery configuration.
+    pub fn faults(mut self, faults: crate::faults::FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Validates every knob and produces the config.
     ///
     /// # Panics
@@ -663,6 +678,7 @@ impl ClusterBuilder {
             nodes: self.nodes,
             frontend: self.frontend,
             transfer_cost: self.transfer_cost,
+            faults: self.faults,
         };
         config.validate();
         config
@@ -809,6 +825,17 @@ mod tests {
     fn overclocked_capacity_rejected() {
         let _ = ClusterBuilder::homogeneous(2, AcceleratorKind::EyerissV2, Policy::Fcfs)
             .node_capacity(1, 1.5)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fault_schedule_against_missing_node_rejected() {
+        let _ = ClusterBuilder::homogeneous(2, AcceleratorKind::EyerissV2, Policy::Fcfs)
+            .faults(crate::faults::FaultConfig {
+                schedule: crate::faults::FaultSchedule::new().crash(5, 1_000),
+                ..crate::faults::FaultConfig::default()
+            })
             .build();
     }
 

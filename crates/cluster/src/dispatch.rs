@@ -87,6 +87,12 @@ pub struct NodeView {
     pub transfer_cost_ns: u64,
     /// Service time the node has executed so far.
     pub busy_ns: u64,
+    /// Liveness as injected by the pool's [`crate::FaultSchedule`]:
+    /// `Up` in a fault-free run, `Down` while crashed (accepts no
+    /// work), `Degraded` during a brown-out window (carrying the
+    /// *effective* capacity — configured capacity times the brown-out
+    /// factor — which [`NodeView::service_scale`] prices with).
+    pub health: crate::NodeHealth,
 }
 
 impl NodeView {
@@ -94,12 +100,17 @@ impl NodeView {
     /// the same formula the engine charges through
     /// [`crate::NodeConfig::effective_scale`] (one shared definition,
     /// so the dispatcher's cost model cannot desync from what requests
-    /// actually pay).
+    /// actually pay). During a brown-out the health's reduced effective
+    /// capacity is what gets charged.
     pub fn service_scale(&self, family: ModelFamily) -> f64 {
+        let capacity = match self.health {
+            crate::NodeHealth::Degraded { capacity } => capacity,
+            _ => self.capacity,
+        };
         crate::config::effective_scale(
             self.accelerator.serves(family),
             self.mismatch_slowdown,
-            self.capacity,
+            capacity,
         )
     }
 }
@@ -205,12 +216,20 @@ impl Dispatcher for RoundRobin {
     }
 
     fn peek(&self, _request: &Request, ctx: &DispatchContext<'_>) -> usize {
-        self.next % ctx.nodes.len()
+        // Scan forward from the cursor for the first live node; on an
+        // all-healthy pool this is the cursor itself (the historical
+        // behavior, bit-exact). With every node down the cursor's pick
+        // stands and the engine records the failure.
+        let start = self.next % ctx.nodes.len();
+        (0..ctx.nodes.len())
+            .map(|k| (start + k) % ctx.nodes.len())
+            .find(|&i| ctx.nodes[i].health.accepts_work())
+            .unwrap_or(start)
     }
 
     fn dispatch(&mut self, request: &Request, ctx: &DispatchContext<'_>) -> usize {
         let pick = self.peek(request, ctx);
-        self.next = (self.next + 1) % ctx.nodes.len();
+        self.next = (pick + 1) % ctx.nodes.len();
         pick
     }
 }
@@ -234,13 +253,16 @@ impl Dispatcher for JoinShortestQueue {
     }
 
     fn peek(&self, _request: &Request, ctx: &DispatchContext<'_>) -> usize {
+        let by_lut_backlog = |a: &&NodeView, b: &&NodeView| {
+            a.lut_backlog_ns
+                .total_cmp(&b.lut_backlog_ns)
+                .then(a.id.cmp(&b.id))
+        };
         ctx.nodes
             .iter()
-            .min_by(|a, b| {
-                a.lut_backlog_ns
-                    .total_cmp(&b.lut_backlog_ns)
-                    .then(a.id.cmp(&b.id))
-            })
+            .filter(|n| n.health.accepts_work())
+            .min_by(by_lut_backlog)
+            .or_else(|| ctx.nodes.iter().min_by(by_lut_backlog))
             .map(|n| n.id)
             .expect("cluster engine never passes an empty pool")
     }
@@ -268,7 +290,9 @@ impl Dispatcher for LeastLoaded {
     fn peek(&self, _request: &Request, ctx: &DispatchContext<'_>) -> usize {
         ctx.nodes
             .iter()
+            .filter(|n| n.health.accepts_work())
             .min_by(|a, b| by_predicted_backlog(a, b))
+            .or_else(|| ctx.nodes.iter().min_by(|a, b| by_predicted_backlog(a, b)))
             .map(|n| n.id)
             .expect("cluster engine never passes an empty pool")
     }
@@ -296,10 +320,18 @@ impl Dispatcher for SparsityAffinity {
 
     fn peek(&self, request: &Request, ctx: &DispatchContext<'_>) -> usize {
         let family = request.spec.model.family();
+        let live = |n: &&NodeView| n.health.accepts_work();
         ctx.nodes
             .iter()
             .filter(|n| n.accelerator.serves(family))
+            .filter(live)
             .min_by(|a, b| by_predicted_backlog(a, b))
+            .or_else(|| {
+                ctx.nodes
+                    .iter()
+                    .filter(live)
+                    .min_by(|a, b| by_predicted_backlog(a, b))
+            })
             .or_else(|| ctx.nodes.iter().min_by(|a, b| by_predicted_backlog(a, b)))
             .map(|n| n.id)
             .expect("cluster engine never passes an empty pool")
@@ -379,9 +411,12 @@ impl Dispatcher for EarliestDeadlineFirst {
 
     fn peek(&self, request: &Request, ctx: &DispatchContext<'_>) -> usize {
         let family = request.spec.model.family();
-        let feasible =
-            |n: &&NodeView| EarliestDeadlineFirst::projected_slack_ns(request, n, ctx) >= 0;
-        // Stage 1: feasible native nodes, balanced exactly like
+        let live = |n: &&NodeView| n.health.accepts_work();
+        let feasible = |n: &&NodeView| {
+            n.health.accepts_work()
+                && EarliestDeadlineFirst::projected_slack_ns(request, n, ctx) >= 0
+        };
+        // Stage 1: live, feasible native nodes, balanced exactly like
         // SparsityAffinity balances.
         if let Some(node) = ctx
             .nodes
@@ -392,8 +427,8 @@ impl Dispatcher for EarliestDeadlineFirst {
         {
             return node.id;
         }
-        // Stage 2: deadline pressure — spill to a feasible node of any
-        // family.
+        // Stage 2: deadline pressure — spill to a live, feasible node of
+        // any family.
         if let Some(node) = ctx
             .nodes
             .iter()
@@ -402,11 +437,19 @@ impl Dispatcher for EarliestDeadlineFirst {
         {
             return node.id;
         }
-        // Stage 3: the deadline is lost everywhere — affinity's pick.
+        // Stage 3: the deadline is lost everywhere — affinity's pick
+        // among whatever is still alive.
         ctx.nodes
             .iter()
             .filter(|n| n.accelerator.serves(family))
+            .filter(live)
             .min_by(|a, b| by_predicted_backlog(a, b))
+            .or_else(|| {
+                ctx.nodes
+                    .iter()
+                    .filter(live)
+                    .min_by(|a, b| by_predicted_backlog(a, b))
+            })
             .or_else(|| ctx.nodes.iter().min_by(|a, b| by_predicted_backlog(a, b)))
             .map(|n| n.id)
             .expect("cluster engine never passes an empty pool")
@@ -505,6 +548,7 @@ mod tests {
             total_slack_ns: 0.0,
             transfer_cost_ns: 0,
             busy_ns: 0,
+            health: crate::NodeHealth::Up,
         }
     }
 
@@ -646,6 +690,42 @@ mod tests {
             EarliestDeadlineFirst::new().dispatch(&doomed, &ctx2),
             SparsityAffinity::new().dispatch(&doomed, &ctx2)
         );
+    }
+
+    #[test]
+    fn every_dispatcher_skips_down_nodes() {
+        let mut views = [
+            view(0, AcceleratorKind::EyerissV2, 0.0, 0.0),
+            view(1, AcceleratorKind::EyerissV2, 5.0, 5.0),
+            view(2, AcceleratorKind::Sanger, 9.0, 9.0),
+        ];
+        // The otherwise-best node (0: native, empty) is down.
+        views[0].health = crate::NodeHealth::Down { until_ns: None };
+        let lut = ModelInfoLut::default();
+        let ctx = ctx(&views, &lut);
+        let req = cnn_request();
+        for policy in DispatchPolicy::ALL {
+            let mut d = policy.build();
+            assert_ne!(d.dispatch(&req, &ctx), 0, "{policy} routed to a down node");
+        }
+        // Round-robin resumes its cycle once the node recovers.
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.dispatch(&req, &ctx), 1);
+        assert_eq!(rr.dispatch(&req, &ctx), 2);
+        assert_eq!(
+            rr.dispatch(&req, &ctx),
+            1,
+            "cursor wraps past the down node"
+        );
+    }
+
+    #[test]
+    fn degraded_health_prices_into_service_scale() {
+        let mut n = view(0, AcceleratorKind::EyerissV2, 0.0, 0.0);
+        n.health = crate::NodeHealth::Degraded { capacity: 0.5 };
+        assert_eq!(n.service_scale(ModelFamily::Cnn), 2.0);
+        // The configured capacity field is untouched by a brown-out.
+        assert_eq!(n.capacity, 1.0);
     }
 
     #[test]

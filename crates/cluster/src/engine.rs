@@ -13,14 +13,16 @@
 use std::collections::VecDeque;
 
 use dysta_core::{ModelInfoLut, SparseLatencyPredictor};
+use dysta_models::ModelFamily;
 use dysta_obs::{EventKind, NullTracer, Phase, TraceEvent, Tracer, NODE_FRONTEND, REQ_NONE};
 use dysta_sim::NodeEngine;
 use dysta_workload::{Request, Workload};
 
-use crate::dispatch::{DispatchContext, Dispatcher, NodeView};
+use crate::dispatch::{DispatchContext, Dispatcher, EarliestDeadlineFirst, NodeView};
+use crate::faults::{FaultKind, FaultSchedule, NodeHealth, RecoveryStats};
 use crate::policy::{
     AdmissionDecision, AdmissionPolicy, AdmitAll, BacklogGainSteal, BacklogThresholdMigration,
-    ClusterPolicy, MigrationPolicy, StealCandidate, StealPolicy,
+    ClusterPolicy, InfeasibleEverywhere, MigrationPolicy, StealCandidate, StealPolicy,
 };
 use crate::report::{ClusterReport, NodeReport, ServingStats};
 use crate::{ClusterConfig, FrontendConfig};
@@ -232,6 +234,13 @@ fn run_cluster<T: Tracer + Copy>(
         migration_count: vec![0; requests.len()],
         steals: 0,
         migrations: 0,
+        health: vec![HealthState::default(); config.nodes.len()],
+        fault_timeline: expand_schedule(&config.faults.schedule),
+        next_fault: 0,
+        retry_count: vec![0; requests.len()],
+        failed: vec![0; config.nodes.len()],
+        reneged: vec![0; config.nodes.len()],
+        recovery: RecoveryStats::default(),
         tracer,
         labels: vec![None; lut_len],
         scratch: String::new(),
@@ -241,13 +250,128 @@ fn run_cluster<T: Tracer + Copy>(
 }
 
 /// Event kinds, in processing priority at equal timestamps: arrivals
-/// join the admission queue before the queue flushes, dispatch happens
-/// before rebalancing, and migration (which needs backlogged *and*
-/// underloaded nodes) runs before stealing (which needs idle ones).
+/// join the admission queue before the queue flushes, fault actions
+/// land before the queue flushes (a batch dispatched at crash time must
+/// see the post-crash pool), dispatch happens before rebalancing, and
+/// migration (which needs backlogged *and* underloaded nodes) runs
+/// before stealing (which needs idle ones).
 const EV_ARRIVAL: u8 = 0;
-const EV_DISPATCH: u8 = 1;
-const EV_MIGRATE: u8 = 2;
-const EV_STEAL: u8 = 3;
+const EV_FAULT: u8 = 1;
+const EV_DISPATCH: u8 = 2;
+const EV_MIGRATE: u8 = 3;
+const EV_STEAL: u8 = 4;
+
+/// One applied-at-`t` fault action. A [`FaultSchedule`] entry expands
+/// into explicit start/end actions so window closings and transient
+/// recoveries replay through the event loop like any other deadline.
+#[derive(Debug, Clone, Copy)]
+enum FaultAction {
+    Down {
+        node: usize,
+        until_ns: Option<u64>,
+    },
+    Up {
+        node: usize,
+    },
+    BrownoutStart {
+        node: usize,
+        factor: f64,
+        until_ns: u64,
+    },
+    BrownoutEnd {
+        node: usize,
+    },
+    StallStart {
+        node: usize,
+        factor: f64,
+        until_ns: u64,
+    },
+    StallEnd {
+        node: usize,
+    },
+}
+
+/// Expands a validated schedule into a time-sorted action timeline.
+/// The sort is stable, so same-instant actions apply in schedule-entry
+/// order.
+fn expand_schedule(schedule: &FaultSchedule) -> Vec<(u64, FaultAction)> {
+    let mut timeline = Vec::new();
+    for ev in &schedule.events {
+        let node = ev.node;
+        match ev.kind {
+            FaultKind::Crash => timeline.push((
+                ev.at_ns,
+                FaultAction::Down {
+                    node,
+                    until_ns: None,
+                },
+            )),
+            FaultKind::TransientCrash { down_until_ns } => {
+                let until_ns = Some(down_until_ns);
+                timeline.push((ev.at_ns, FaultAction::Down { node, until_ns }));
+                timeline.push((down_until_ns, FaultAction::Up { node }));
+            }
+            FaultKind::Brownout {
+                until_ns,
+                capacity_factor,
+            } => {
+                let factor = capacity_factor;
+                timeline.push((
+                    ev.at_ns,
+                    FaultAction::BrownoutStart {
+                        node,
+                        factor,
+                        until_ns,
+                    },
+                ));
+                timeline.push((until_ns, FaultAction::BrownoutEnd { node }));
+            }
+            FaultKind::TransferStall { until_ns, factor } => {
+                timeline.push((
+                    ev.at_ns,
+                    FaultAction::StallStart {
+                        node,
+                        factor,
+                        until_ns,
+                    },
+                ));
+                timeline.push((until_ns, FaultAction::StallEnd { node }));
+            }
+        }
+    }
+    timeline.sort_by_key(|&(t, _)| t);
+    timeline
+}
+
+/// The front-end's live fault state for one node. Window ends carry
+/// the closing instant so an end action from an *earlier* overlapping
+/// window cannot clear a later one (and an expired transient recovery
+/// cannot revive a node a permanent crash took down in the meantime).
+#[derive(Debug, Clone, Copy, Default)]
+struct HealthState {
+    down: bool,
+    down_until_ns: Option<u64>,
+    brownout: Option<(f64, u64)>,
+    stall: Option<(f64, u64)>,
+}
+
+impl HealthState {
+    /// The [`NodeHealth`] policies see, given the node's configured
+    /// capacity: a brown-out discounts capacity, a crash dominates.
+    fn as_node_health(&self, configured_capacity: f64) -> NodeHealth {
+        if self.down {
+            NodeHealth::Down {
+                until_ns: self.down_until_ns,
+            }
+        } else if let Some((factor, _)) = self.brownout {
+            NodeHealth::Degraded {
+                capacity: configured_capacity * factor,
+            }
+        } else {
+            NodeHealth::Up
+        }
+    }
+}
 
 struct Frontend<'w, 'c, T> {
     workload: &'w Workload,
@@ -272,6 +396,21 @@ struct Frontend<'w, 'c, T> {
     migration_count: Vec<u32>,
     steals: u64,
     migrations: u64,
+    /// Live fault state per node, updated by [`Frontend::fault_tick`].
+    health: Vec<HealthState>,
+    /// The expanded, time-sorted fault action timeline.
+    fault_timeline: Vec<(u64, FaultAction)>,
+    /// Cursor into `fault_timeline`: the first unapplied action.
+    next_fault: usize,
+    /// Crash-salvage retries applied per request (indexed by id),
+    /// bounded by [`crate::RecoveryConfig::max_retries`].
+    retry_count: Vec<u32>,
+    /// Per-node crash-failure counters ([`NodeReport::failed`]).
+    failed: Vec<usize>,
+    /// Per-node renege counters ([`NodeReport::reneged`]).
+    reneged: Vec<usize>,
+    /// The run's recovery accounting ([`ServingStats::recovery`]).
+    recovery: RecoveryStats,
     tracer: T,
     /// Interned label id per model variant (lazy; index = variant rank).
     labels: Vec<Option<u32>>,
@@ -345,6 +484,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
 
             let (t, kind) = [
                 arrival.map(|t| (t, EV_ARRIVAL)),
+                self.next_fault_deadline().map(|t| (t, EV_FAULT)),
                 deadline.map(|t| (t, EV_DISPATCH)),
                 next_migration.map(|t| (t, EV_MIGRATE)),
                 next_steal.map(|t| (t, EV_STEAL)),
@@ -378,6 +518,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                         timer_deadline = None;
                     }
                 }
+                EV_FAULT => self.fault_tick(t),
                 EV_DISPATCH => {
                     self.dispatch_batch(&mut queue, t);
                     timer_deadline = None;
@@ -390,22 +531,38 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
 
         // Phase 2: every request is placed; keep rebalancing at the tick
         // cadence until the pool drains (idle nodes may still steal the
-        // tail of a backlogged peer's queue).
-        if fe.steal.is_some() || fe.migration.is_some() {
-            while self.nodes.iter().any(|n| !n.is_drained()) {
-                let (t, kind) = [
-                    next_migration.map(|t| (t, EV_MIGRATE)),
-                    next_steal.map(|t| (t, EV_STEAL)),
-                ]
-                .into_iter()
-                .flatten()
-                .min()
-                .expect("phase 2 only runs with a tick configured");
-                if kind == EV_MIGRATE {
-                    next_migration = Some(self.rebalance_tick(EV_MIGRATE, t));
+        // tail of a backlogged peer's queue), and replay any fault
+        // actions that outlive the arrival stream — crashes still
+        // salvage, windows still close, transient nodes still recover.
+        loop {
+            let ticking = (fe.steal.is_some() || fe.migration.is_some())
+                && self.nodes.iter().any(|n| !n.is_drained());
+            let fault = self.next_fault_deadline();
+            if fault.is_none() && !ticking {
+                break;
+            }
+            let (t, kind) = [
+                fault.map(|t| (t, EV_FAULT)),
+                if ticking {
+                    next_migration.map(|t| (t, EV_MIGRATE))
                 } else {
-                    next_steal = Some(self.rebalance_tick(EV_STEAL, t));
-                }
+                    None
+                },
+                if ticking {
+                    next_steal.map(|t| (t, EV_STEAL))
+                } else {
+                    None
+                },
+            ]
+            .into_iter()
+            .flatten()
+            .min()
+            .expect("a pending fault action or an armed tick exists");
+            match kind {
+                EV_FAULT => self.fault_tick(t),
+                EV_MIGRATE => next_migration = Some(self.rebalance_tick(EV_MIGRATE, t)),
+                EV_STEAL => next_steal = Some(self.rebalance_tick(EV_STEAL, t)),
+                _ => unreachable!(),
             }
         }
         for node in &mut self.nodes {
@@ -441,6 +598,237 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
     fn sync_nodes(&mut self, t: u64) {
         for node in &mut self.nodes {
             node.run_until(t);
+        }
+    }
+
+    /// The instant of the first unapplied fault action (`None` once the
+    /// schedule — empty or not — is fully replayed).
+    fn next_fault_deadline(&self) -> Option<u64> {
+        self.fault_timeline.get(self.next_fault).map(|&(t, _)| t)
+    }
+
+    /// Applies every fault action scheduled at sim-time `t`: crashes
+    /// (with salvage-and-redispatch), transient recoveries, and
+    /// brown-out / transfer-stall window edges. Nodes are synced first
+    /// so a crash sees exactly the queue a real failure would strand.
+    fn fault_tick(&mut self, t: u64) {
+        self.sync_nodes(t);
+        let t0 = self.tracer.profiling().then(std::time::Instant::now);
+        while let Some(&(at, action)) = self.fault_timeline.get(self.next_fault) {
+            if at != t {
+                break;
+            }
+            self.next_fault += 1;
+            self.apply_fault_action(t, action);
+        }
+        if let Some(t0) = t0 {
+            self.tracer
+                .phase_ns(Phase::Frontend, t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    fn apply_fault_action(&mut self, t: u64, action: FaultAction) {
+        match action {
+            FaultAction::Down { node, until_ns } => self.crash_node(t, node, until_ns),
+            FaultAction::Up { node } => {
+                // Only the recovery matching the *current* down window
+                // may revive the node: a permanent crash (or a longer
+                // transient one) taken in the meantime wins.
+                let hs = &mut self.health[node];
+                if hs.down && hs.down_until_ns == Some(t) {
+                    hs.down = false;
+                    hs.down_until_ns = None;
+                    if self.tracer.enabled() {
+                        self.tracer.record(TraceEvent {
+                            t_ns: t,
+                            request: REQ_NONE,
+                            node: node as u32,
+                            kind: EventKind::NodeUp,
+                            a: 0,
+                            b: 0,
+                        });
+                    }
+                }
+            }
+            FaultAction::BrownoutStart {
+                node,
+                factor,
+                until_ns,
+            } => {
+                self.health[node].brownout = Some((factor, until_ns));
+                self.record_window_edge(t, node, factor, until_ns);
+            }
+            FaultAction::BrownoutEnd { node } => {
+                if self.health[node].brownout.map(|(_, u)| u) == Some(t) {
+                    self.health[node].brownout = None;
+                    self.record_window_edge(t, node, 1.0, 0);
+                }
+            }
+            FaultAction::StallStart {
+                node,
+                factor,
+                until_ns,
+            } => {
+                self.health[node].stall = Some((factor, until_ns));
+                self.record_window_edge(t, node, factor, until_ns);
+            }
+            FaultAction::StallEnd { node } => {
+                if self.health[node].stall.map(|(_, u)| u) == Some(t) {
+                    self.health[node].stall = None;
+                    self.record_window_edge(t, node, 1.0, 0);
+                }
+            }
+        }
+    }
+
+    /// One [`EventKind::Brownout`] edge: factor in parts-per-million
+    /// (1 000 000 = nominal, also the closing edge), window end in `b`.
+    fn record_window_edge(&self, t: u64, node: usize, factor: f64, until_ns: u64) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        self.tracer.record(TraceEvent {
+            t_ns: t,
+            request: REQ_NONE,
+            node: node as u32,
+            kind: EventKind::Brownout,
+            a: (factor * 1e6).round() as u64,
+            b: until_ns as i64,
+        });
+    }
+
+    /// Takes `crashed` down at sim-time `t` and salvages its stranded
+    /// queue: every request still on the node (queued or mid-run) is
+    /// pulled off and re-dispatched to a live peer as a from-scratch
+    /// retry — executed work on the dead node is lost
+    /// ([`RecoveryStats::lost_busy_ns`]), an in-flight request restarts
+    /// from layer 0 elsewhere. A request out of retry budget (or with
+    /// salvage disabled, or with no live node left) is recorded as
+    /// *failed* — never silently dropped.
+    fn crash_node(&mut self, t: u64, crashed: usize, until_ns: Option<u64>) {
+        let hs = &mut self.health[crashed];
+        hs.down = true;
+        hs.down_until_ns = until_ns;
+        self.recovery.crashes += 1;
+        let salvaged = self.nodes[crashed].crash_salvage();
+        self.recovery.lost_busy_ns += salvaged.iter().map(|&(_, lost)| lost).sum::<u64>();
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent {
+                t_ns: t,
+                request: REQ_NONE,
+                node: crashed as u32,
+                kind: EventKind::NodeDown,
+                a: salvaged.len() as u64,
+                b: until_ns.map_or(-1, |u| u.min(i64::MAX as u64) as i64),
+            });
+        }
+        let recovery_cfg = self.config.faults.recovery;
+        for (transfer, lost_ns) in salvaged {
+            let id = transfer.task().id;
+            self.recovery.salvaged += 1;
+            if self.tracer.enabled() {
+                self.tracer.record(TraceEvent {
+                    t_ns: t,
+                    request: id,
+                    node: crashed as u32,
+                    kind: EventKind::Salvage,
+                    a: u64::from(self.retry_count[id as usize]),
+                    b: lost_ns as i64,
+                });
+            }
+            if !recovery_cfg.salvage || self.retry_count[id as usize] >= recovery_cfg.max_retries {
+                self.fail_request(t, id, crashed);
+                continue;
+            }
+            // Routing consults the id-indexed original request; the
+            // salvaged task keeps the deadline class it was admitted
+            // under (relaxed, if admission degraded it).
+            let request = self.requests[id as usize];
+            let views = self.views();
+            let ctx = DispatchContext {
+                now_ns: t,
+                nodes: &views,
+                lut: &self.lut,
+                transfer_cost: &self.config.transfer_cost,
+                reoffer_src: None,
+            };
+            let target = self.dispatcher.dispatch(&request, &ctx);
+            self.check_target(target);
+            if !views[target].health.accepts_work() {
+                // Every node is down: nothing can host the retry.
+                self.fail_request(t, id, crashed);
+                continue;
+            }
+            let fetch_ns =
+                self.stalled_fetch(crashed, target, ctx.request_transfer_cost_ns(&request));
+            let scale = self.dispatch_scale(target, request.spec.model.family());
+            self.nodes[target].accept_transfer(transfer, scale, t, fetch_ns);
+            self.transferred_out[crashed] += 1;
+            self.transferred_in[target] += 1;
+            self.transfer_fetch_ns[target] += fetch_ns;
+            self.retry_count[id as usize] += 1;
+            self.recovery.retries += 1;
+            if self.tracer.enabled() {
+                self.tracer.record(TraceEvent {
+                    t_ns: t,
+                    request: id,
+                    node: target as u32,
+                    kind: EventKind::Retry,
+                    a: crashed as u64,
+                    b: fetch_ns as i64,
+                });
+            }
+        }
+    }
+
+    /// Records an unsalvageable request against `node`: it stays in the
+    /// admitted population ([`NodeReport::routed`]) but never completes,
+    /// so conservation closes through [`NodeReport::failed`].
+    fn fail_request(&mut self, t: u64, id: u64, node: usize) {
+        self.failed[node] += 1;
+        self.recovery.failed += 1;
+        self.recovery.failed_ids.push(id);
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent {
+                t_ns: t,
+                request: id,
+                node: node as u32,
+                kind: EventKind::Failed,
+                a: u64::from(self.retry_count[id as usize]),
+                b: 0,
+            });
+        }
+    }
+
+    /// The service scale `family` pays when dispatched to `target`
+    /// *right now*: the configured [`crate::NodeConfig::effective_scale`]
+    /// with capacity discounted by any open brown-out window (bit-exact
+    /// with the plain config scale when none is). Work already queued
+    /// keeps the scale it was enqueued with — a brown-out prices
+    /// dispatches made during the window, it does not re-time the queue.
+    fn dispatch_scale(&self, target: usize, family: ModelFamily) -> f64 {
+        let nc = &self.config.nodes[target];
+        match self.health[target].brownout {
+            Some((factor, _)) => crate::config::effective_scale(
+                nc.accelerator.serves(family),
+                nc.mismatch_slowdown,
+                nc.capacity * factor,
+            ),
+            None => nc.effective_scale(family),
+        }
+    }
+
+    /// `fetch_ns` inflated by any transfer-stall window covering either
+    /// endpoint — the slower side bounds the transfer, so overlapping
+    /// stalls take the larger factor. Identity when no window is open.
+    fn stalled_fetch(&self, src: usize, dst: usize, fetch_ns: u64) -> u64 {
+        let factor = |i: usize| self.health[i].stall.map(|(f, _)| f);
+        match (factor(src), factor(dst)) {
+            (None, None) => fetch_ns,
+            (a, b) => {
+                let f = a.unwrap_or(1.0).max(b.unwrap_or(1.0));
+                (fetch_ns as f64 * f).round() as u64
+            }
         }
     }
 
@@ -502,6 +890,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                     total_slack_ns,
                     transfer_cost_ns,
                     busy_ns: node.busy_ns(),
+                    health: self.health[node.id()].as_node_health(nc.capacity),
                 }
             })
             .collect()
@@ -598,7 +987,17 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
             if decision == AdmissionDecision::Degrade {
                 self.degraded[target] += 1;
             }
-            let scale = self.config.nodes[target].effective_scale(request.spec.model.family());
+            if !views[target].health.accepts_work() {
+                // Dispatchers only pick a down node when the whole pool
+                // is down: the request is admitted (it counts against
+                // `routed`) but has nowhere to run — fail it at the
+                // door instead of queueing on a dead engine.
+                self.routed[target] += 1;
+                self.admission_wait_ns.push(t - request.arrival_ns);
+                self.fail_request(t, id, target);
+                continue;
+            }
+            let scale = self.dispatch_scale(target, request.spec.model.family());
             self.nodes[target].enqueue_scaled_at(
                 &request,
                 self.workload.trace_for(&request),
@@ -640,6 +1039,12 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
     /// nothing cannot perturb how subsequent arrivals are routed. An
     /// applied move pays the transfer cost on the receiving node.
     fn migration_pass(&mut self, t: u64) {
+        if self.config.faults.recovery.reneging {
+            // Doomed work leaves the queue before the rebalance tries
+            // to move it: reneging runs at the migration cadence (no
+            // migration tick configured means no reneging sweep).
+            self.renege_pass(t);
+        }
         let cfg = self.config.frontend.migration.expect("pass implies config");
         let n = self.nodes.len();
         let requests = self.requests;
@@ -711,9 +1116,9 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                     "dispatcher `{}` peek/dispatch disagree on one snapshot",
                     self.dispatcher.name()
                 );
-                let fetch_ns = ctx.request_transfer_cost_ns(request);
-                let dst_scale =
-                    self.config.nodes[target].effective_scale(request.spec.model.family());
+                let fetch_ns =
+                    self.stalled_fetch(src, target, ctx.request_transfer_cost_ns(request));
+                let dst_scale = self.dispatch_scale(target, request.spec.model.family());
                 let transfer = self.nodes[src]
                     .take_unstarted(id)
                     .expect("candidate is queued and unstarted");
@@ -738,11 +1143,66 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
         }
     }
 
+    /// Queue-time reneging: drops queued, never-started requests whose
+    /// deadline the projected-slack estimate says is already lost on
+    /// *every* live node — its own queue included (the re-offer rule:
+    /// the source's backlog already contains it). Serving such a
+    /// request could only burn capacity requests with live deadlines
+    /// still need. A reneged request stays in the admitted population
+    /// and closes conservation through [`NodeReport::reneged`]; a
+    /// deadline-free request is never infeasible and never reneges.
+    fn renege_pass(&mut self, t: u64) {
+        let n = self.nodes.len();
+        let requests = self.requests;
+        let mut views = self.views();
+        for src in 0..n {
+            // Candidates in arrival order, frozen before any removal;
+            // the queued task's SLO is carried along so a degraded
+            // admission is judged against its relaxed class.
+            let mut candidates: Vec<(u64, u64, u64)> = self.nodes[src]
+                .unstarted_tasks()
+                .map(|(task, _)| (task.arrival_ns, task.id, task.slo_ns))
+                .collect();
+            candidates.sort_unstable();
+            for (arrival_ns, id, slo_ns) in candidates {
+                let mut request = requests[id as usize];
+                request.slo_ns = slo_ns;
+                let ctx = DispatchContext {
+                    now_ns: t,
+                    nodes: &views,
+                    lut: &self.lut,
+                    transfer_cost: &self.config.transfer_cost,
+                    reoffer_src: Some(src),
+                };
+                if !InfeasibleEverywhere::infeasible_everywhere(&request, &ctx) {
+                    continue;
+                }
+                let slack = EarliestDeadlineFirst::projected_slack_ns(&request, &views[src], &ctx);
+                self.nodes[src]
+                    .take_unstarted(id)
+                    .expect("candidate is queued and unstarted");
+                self.reneged[src] += 1;
+                self.recovery.reneged += 1;
+                self.recovery.reneged_ids.push(id);
+                if self.tracer.enabled() {
+                    self.tracer.record(TraceEvent {
+                        t_ns: t,
+                        request: id,
+                        node: src as u32,
+                        kind: EventKind::Renege,
+                        a: t.saturating_sub(arrival_ns),
+                        b: slack,
+                    });
+                }
+                views = self.views();
+            }
+        }
+    }
+
     /// Every queued, never-started request on every peer of `thief`,
     /// priced for that thief (service estimates on both sides plus the
     /// transfer cost).
     fn steal_candidates(&self, thief: usize) -> Vec<StealCandidate> {
-        let thief_cfg = &self.config.nodes[thief];
         let mut candidates = Vec::new();
         for (victim, node) in self.nodes.iter().enumerate() {
             if victim == thief {
@@ -751,7 +1211,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
             for (task, victim_scale) in node.unstarted_tasks() {
                 let info = self.lut.info(task.variant);
                 let est_ns = info.avg_latency_ns();
-                let thief_scale = thief_cfg.effective_scale(task.spec.model.family());
+                let thief_scale = self.dispatch_scale(thief, task.spec.model.family());
                 candidates.push(StealCandidate {
                     victim,
                     task_id: task.id,
@@ -763,7 +1223,11 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                     transfer_cost_ns: if self.config.transfer_cost.is_free() {
                         0
                     } else {
-                        self.config.transfer_cost.estimate_ns(est_ns)
+                        self.stalled_fetch(
+                            victim,
+                            thief,
+                            self.config.transfer_cost.estimate_ns(est_ns),
+                        )
                     },
                 });
             }
@@ -781,7 +1245,10 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
         // an applied transfer invalidates them.
         let mut views = self.views();
         for thief in 0..n {
-            if !self.nodes[thief].is_drained() {
+            // A down node is drained (salvage emptied it) and would
+            // otherwise look like the perfect thief: skip it at the
+            // engine level too, whatever the policy says.
+            if self.health[thief].down || !self.nodes[thief].is_drained() {
                 continue;
             }
             let candidates = self.steal_candidates(thief);
@@ -802,7 +1269,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
             );
             let chosen = candidates[pick];
             let family = self.requests[chosen.task_id as usize].spec.model.family();
-            let scale = self.config.nodes[thief].effective_scale(family);
+            let scale = self.dispatch_scale(thief, family);
             let transfer = self.nodes[chosen.victim]
                 .take_unstarted(chosen.task_id)
                 .expect("chosen candidate is queued and unstarted");
@@ -844,6 +1311,9 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
             migration_count,
             steals,
             migrations,
+            failed,
+            reneged,
+            recovery,
             ..
         } = self;
         let serving = ServingStats {
@@ -854,6 +1324,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
             admission_wait_ns,
             rejected_ids,
             degraded_slo_ns,
+            recovery,
         };
         ClusterReport::with_serving(
             nodes
@@ -869,6 +1340,8 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                     transferred_in: transferred_in[i],
                     transferred_out: transferred_out[i],
                     transfer_fetch_ns: transfer_fetch_ns[i],
+                    failed: failed[i],
+                    reneged: reneged[i],
                     busy_ns: node.busy_ns(),
                     report: node.into_report(),
                 })

@@ -69,6 +69,23 @@
 //! [`ClusterConfig::heterogeneous`] / [`ClusterConfig::from_nodes`])
 //! are unchanged.
 //!
+//! # Fault injection & recovery
+//!
+//! [`ClusterConfig`] also carries a [`FaultConfig`]: a deterministic,
+//! sim-clock-keyed [`FaultSchedule`] (permanent/transient crashes,
+//! brown-out capacity windows, transfer-stall windows) replayed by the
+//! event loop exactly like its migrate/steal ticks, plus a
+//! [`RecoveryConfig`] governing what the front-end does about it —
+//! salvage-and-redispatch of never-started work off crashed nodes with
+//! a bounded per-request retry budget, and optional queue-time
+//! reneging. Every [`NodeView`] exposes a [`NodeHealth`] so all four
+//! policy traits skip or discount sick nodes, and
+//! [`ServingStats::recovery`] ([`RecoveryStats`]) accounts for every
+//! crashed, salvaged, retried, reneged and failed request: conservation
+//! becomes admitted == completed + failed + reneged, exactly once. An
+//! empty schedule is a guaranteed no-op (bit-exact with a fault-free
+//! build).
+//!
 //! [`ClusterReport`] aggregates per-node [`dysta_sim::SimReport`]s into
 //! cluster-wide ANTT / SLO-violation / throughput plus per-node
 //! utilization, violations and completion slack, transfer-cost
@@ -144,6 +161,7 @@
 mod config;
 mod dispatch;
 mod engine;
+mod faults;
 mod policy;
 mod report;
 
@@ -157,6 +175,9 @@ pub use dispatch::{
     LeastLoaded, NodeView, RoundRobin, SparsityAffinity,
 };
 pub use engine::{simulate_cluster, simulate_cluster_traced, simulate_cluster_with};
+pub use faults::{
+    FaultConfig, FaultEvent, FaultKind, FaultSchedule, NodeHealth, RecoveryConfig, RecoveryStats,
+};
 pub use policy::{
     AdmissionDecision, AdmissionPolicy, AdmitAll, BacklogGainSteal, BacklogThresholdMigration,
     ClusterPolicy, InfeasibleEverywhere, MigrationPolicy, SlackLoadShedding, StealCandidate,

@@ -98,6 +98,12 @@ impl StealPolicy for BacklogGainSteal {
         ctx: &DispatchContext<'_>,
         cfg: &StealConfig,
     ) -> Option<usize> {
+        // A down node must not pull work onto itself (it is drained by
+        // the crash salvage, so it would otherwise look like a perfect
+        // thief).
+        if !ctx.nodes[thief].health.accepts_work() {
+            return None;
+        }
         let mean = ctx.mean_lut_backlog_ns();
         if mean <= 0.0 {
             return None;
@@ -218,7 +224,7 @@ impl MigrationPolicy for BacklogThresholdMigration {
         ctx: &DispatchContext<'_>,
         _cfg: &MigrationConfig,
     ) -> bool {
-        if target == src {
+        if target == src || !ctx.nodes[target].health.accepts_work() {
             return false;
         }
         let cost = ctx.request_transfer_cost_ns(request) as f64;
@@ -314,11 +320,14 @@ impl InfeasibleEverywhere {
         InfeasibleEverywhere
     }
 
-    /// True when no node in the snapshot can hold the request's
-    /// deadline under the projected-slack estimate.
+    /// True when no *live* node in the snapshot can hold the request's
+    /// deadline under the projected-slack estimate (a down node cannot
+    /// save a deadline; with the whole pool down, everything is
+    /// infeasible).
     pub fn infeasible_everywhere(request: &Request, ctx: &DispatchContext<'_>) -> bool {
         ctx.nodes
             .iter()
+            .filter(|n| n.health.accepts_work())
             .all(|n| crate::EarliestDeadlineFirst::projected_slack_ns(request, n, ctx) < 0)
     }
 }
@@ -372,12 +381,16 @@ impl AdmissionPolicy for SlackLoadShedding {
         ctx: &DispatchContext<'_>,
         cfg: &crate::AdmissionConfig,
     ) -> AdmissionDecision {
-        let best = ctx
+        let Some(best) = ctx
             .nodes
             .iter()
+            .filter(|n| n.health.accepts_work())
             .map(|n| crate::EarliestDeadlineFirst::projected_slack_ns(request, n, ctx))
             .max()
-            .expect("cluster engine never passes an empty pool");
+        else {
+            // The whole pool is down: nothing can be served.
+            return AdmissionDecision::Reject;
+        };
         if best < 0 {
             return AdmissionDecision::Reject;
         }
@@ -474,6 +487,7 @@ mod tests {
             total_slack_ns: 0.0,
             transfer_cost_ns: 0,
             busy_ns: 0,
+            health: crate::NodeHealth::Up,
         }
     }
 
@@ -671,6 +685,57 @@ mod tests {
         assert_eq!(
             policy.decide(&free, &none_ctx, &greedy),
             AdmissionDecision::Admit
+        );
+    }
+
+    #[test]
+    fn health_gates_every_policy_kind() {
+        let lut = ModelInfoLut::default();
+        let cfg = crate::AdmissionConfig::default();
+        let mcfg = MigrationConfig::default();
+        let scfg = StealConfig {
+            min_imbalance: 1.0,
+            ..StealConfig::default()
+        };
+        // Node 1 is the obviously-best target for everything — but down.
+        let mut views = [view(0, 100.0), view(1, 0.0)];
+        views[1].health = crate::NodeHealth::Down { until_ns: None };
+        let ctx = DispatchContext {
+            now_ns: 0,
+            nodes: &views,
+            lut: &lut,
+            transfer_cost: &TransferCostConfig::FREE,
+            reoffer_src: None,
+        };
+        // Migration never lands on a down node.
+        let req = admission_request(0, u64::MAX);
+        assert!(!BacklogThresholdMigration::new().accept(&req, 0, 1, &ctx, &mcfg));
+        // A down thief steals nothing.
+        let candidates = [candidate(0, 1, 5.0, 0)];
+        assert_eq!(
+            BacklogGainSteal::new().choose(1, &candidates, &ctx, &scfg),
+            None
+        );
+        // Admission ignores the down node's (empty) headroom: with only
+        // the overcommitted node alive, a tight deadline is infeasible.
+        let tight = admission_request(0, 50);
+        assert!(InfeasibleEverywhere::infeasible_everywhere(&tight, &ctx));
+        assert_eq!(
+            SlackLoadShedding::new().decide(&tight, &ctx, &cfg),
+            AdmissionDecision::Reject
+        );
+        // With the whole pool down everything is rejected, even
+        // deadline-free work.
+        let mut all_down = views;
+        all_down[0].health = crate::NodeHealth::Down { until_ns: Some(9) };
+        let ctx_down = DispatchContext {
+            nodes: &all_down,
+            ..ctx
+        };
+        assert!(InfeasibleEverywhere::infeasible_everywhere(&req, &ctx_down));
+        assert_eq!(
+            SlackLoadShedding::new().decide(&req, &ctx_down, &cfg),
+            AdmissionDecision::Reject
         );
     }
 

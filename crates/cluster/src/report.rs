@@ -13,11 +13,12 @@ pub struct NodeReport {
     pub accelerator: AcceleratorKind,
     /// *Admitted* requests initially dispatched to the node by the
     /// admission front-end (full-class and degraded; never rejected
-    /// ones). Stealing and migration move requests after initial
-    /// dispatch, so per node `routed + transferred_in - transferred_out`
-    /// equals the requests it completed; summed across the pool `routed`
-    /// alone equals the number of admitted requests (the workload size
-    /// minus every rejection).
+    /// ones). Stealing, migration, and crash salvage move requests after
+    /// initial dispatch, so per node `routed + transferred_in -
+    /// transferred_out - failed - reneged` equals the requests it
+    /// completed; summed across the pool `routed` alone equals the
+    /// number of admitted requests (the workload size minus every
+    /// rejection).
     pub routed: usize,
     /// Requests the admission policy rejected whose dispatcher pick —
     /// the node that *would* have served them, read through the
@@ -35,6 +36,16 @@ pub struct NodeReport {
     /// Weight/activation re-fetch time this node paid for incoming
     /// transfers (ns) — part of `busy_ns`, zero under free transfers.
     pub transfer_fetch_ns: u64,
+    /// Admitted requests that *failed* on this node: they were queued or
+    /// running here when the node crashed and could not be salvaged
+    /// (recovery disabled, retry budget exhausted, or no live node to
+    /// re-dispatch to). Zero under an empty [`crate::FaultSchedule`].
+    pub failed: usize,
+    /// Admitted requests that *reneged* from this node's queue: dropped
+    /// by the front-end before starting because their re-projected slack
+    /// had gone negative on every live node. Zero unless
+    /// [`crate::RecoveryConfig::reneging`] is enabled.
+    pub reneged: usize,
     /// Service time the node executed (ns), including
     /// `transfer_fetch_ns`.
     pub busy_ns: u64,
@@ -96,6 +107,11 @@ pub struct ServingStats {
     /// pool under the relaxed deadline; [`ClusterReport::goodput`]
     /// judges its completion against the original recorded here.
     pub degraded_slo_ns: Vec<(u64, u64)>,
+    /// What fault injection and recovery did during the run: crashes
+    /// seen, requests salvaged off dead nodes, retries applied, reneged
+    /// and failed requests, and the executed work lost to crashes. All
+    /// zero under an empty [`crate::FaultSchedule`] with reneging off.
+    pub recovery: crate::RecoveryStats,
 }
 
 impl ServingStats {
@@ -258,11 +274,40 @@ impl ClusterReport {
     /// Requests the front-end admitted into the pool — full-class plus
     /// degraded, i.e. the sum of the per-node `routed` counters. The
     /// serving conservation invariant is stated over these: per node
-    /// `routed + transferred_in − transferred_out == completed`, and
-    /// summed across the pool `admitted_total == completed_total` once
-    /// the pool drains.
+    /// `routed + transferred_in − transferred_out − failed − reneged
+    /// == completed`, and summed across the pool `admitted_total ==
+    /// completed_total + failed_total + reneged_total` once the pool
+    /// drains — every admitted request is accounted exactly once, even
+    /// under crashes. With an empty [`crate::FaultSchedule`] and
+    /// reneging off the last two terms are zero and this collapses to
+    /// the fault-free `admitted_total == completed_total`.
     pub fn admitted_total(&self) -> usize {
         self.nodes.iter().map(|n| n.routed).sum()
+    }
+
+    /// Admitted requests lost to node crashes (sum of the per-node
+    /// [`NodeReport::failed`] counters; 0 under an empty
+    /// [`crate::FaultSchedule`]). A failed request counts in
+    /// [`ClusterReport::admitted_total`] and
+    /// [`ClusterReport::offered_total`] but never completes, so it
+    /// weighs down [`ClusterReport::goodput_rate`] automatically.
+    pub fn failed_total(&self) -> usize {
+        self.nodes.iter().map(|n| n.failed).sum()
+    }
+
+    /// Admitted requests dropped from a queue by reneging (sum of the
+    /// per-node [`NodeReport::reneged`] counters; 0 unless
+    /// [`crate::RecoveryConfig::reneging`] is on). Like failures they
+    /// stay in the offered/admitted populations without completing.
+    pub fn reneged_total(&self) -> usize {
+        self.nodes.iter().map(|n| n.reneged).sum()
+    }
+
+    /// The run's fault-injection and recovery accounting
+    /// ([`crate::RecoveryStats`]) — shorthand for
+    /// `self.serving().recovery`.
+    pub fn recovery(&self) -> &crate::RecoveryStats {
+        &self.serving.recovery
     }
 
     /// Every request the front-end saw: admitted (full-class plus
@@ -442,6 +487,8 @@ mod tests {
             transferred_in: 0,
             transferred_out: 0,
             transfer_fetch_ns: 0,
+            failed: 0,
+            reneged: 0,
             busy_ns,
             report: SimReport::new(completed, 0, 0),
         }
@@ -617,6 +664,43 @@ mod tests {
         assert!((slack[0] - 5.0).abs() < 1e-12);
         assert!((slack[1] + 10.0).abs() < 1e-12);
         assert_eq!(r.total_transfer_cost_ns(), 7);
+    }
+
+    #[test]
+    fn failed_and_reneged_totals_restate_conservation() {
+        // Node 0 admitted 3: completed 1, failed 1, reneged 1. The pool
+        // totals balance (admitted == completed + failed + reneged) and
+        // the goodput denominator keeps the lost requests.
+        let mut n0 = node(0, vec![completion(0, 0, 10, 5)], 10);
+        n0.routed = 3;
+        n0.failed = 1;
+        n0.reneged = 1;
+        let serving = ServingStats {
+            recovery: crate::RecoveryStats {
+                crashes: 1,
+                salvaged: 1,
+                failed: 1,
+                reneged: 1,
+                lost_busy_ns: 42,
+                failed_ids: vec![1],
+                reneged_ids: vec![2],
+                ..crate::RecoveryStats::default()
+            },
+            ..ServingStats::default()
+        };
+        let r = ClusterReport::with_serving(vec![n0], serving);
+        assert_eq!(r.admitted_total(), 3);
+        assert_eq!(r.failed_total(), 1);
+        assert_eq!(r.reneged_total(), 1);
+        assert_eq!(
+            r.admitted_total(),
+            r.completed_total() + r.failed_total() + r.reneged_total()
+        );
+        assert_eq!(r.offered_total(), 3);
+        assert!((r.goodput_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.recovery().crashes, 1);
+        assert_eq!(r.recovery().lost_busy_ns, 42);
+        assert_eq!(r.recovery().failed_ids, vec![1]);
     }
 
     #[test]

@@ -68,11 +68,44 @@ pub enum EventKind {
     /// `b` = completion slack (deadline − completion; negative =
     /// violated by that much).
     Completion = 12,
+    /// A node crashed (fault injection). `node` = the crashed node,
+    /// `request` = [`REQ_NONE`], `a` = how many queued/in-flight
+    /// requests were salvaged off the node, `b` = the scheduled
+    /// recovery time in ns for a transient crash, or −1 for a
+    /// permanent one.
+    NodeDown = 13,
+    /// A transiently-crashed node came back up. `node` = the
+    /// recovered node, `request` = [`REQ_NONE`].
+    NodeUp = 14,
+    /// A brown-out or transfer-stall window toggled on a node.
+    /// `request` = [`REQ_NONE`], `a` = the effective factor in parts
+    /// per million (capacity multiplier for brown-outs, fetch-cost
+    /// multiplier for stalls; 1_000_000 = back to nominal), `b` = the
+    /// window end in ns (0 when the window is closing).
+    Brownout = 15,
+    /// A request was pulled off a crashed node for re-dispatch.
+    /// `node` = the crashed node, `a` = the request's retry count so
+    /// far, `b` = executed work lost on the dead node in ns.
+    Salvage = 16,
+    /// A salvaged request landed on a new node. `node` = the new
+    /// target, `a` = the crashed node it came from, `b` = the
+    /// re-fetch cost in ns charged to the target.
+    Retry = 17,
+    /// A queued request reneged: its re-projected slack went negative
+    /// before it ever started, so the front-end dropped it. `node` =
+    /// the node it was queued on, `a` = time spent queued in ns,
+    /// `b` = the (negative) projected slack at the drop.
+    Renege = 18,
+    /// A request failed permanently: out of retry budget or no live
+    /// node to run it. `node` = the node it died on (or
+    /// [`NODE_FRONTEND`] when it never landed anywhere), `a` = its
+    /// retry count.
+    Failed = 19,
 }
 
 impl EventKind {
     /// Number of kinds (size for per-kind counter arrays).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 20;
 
     /// Every kind, in discriminant order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -89,6 +122,13 @@ impl EventKind {
         EventKind::MigrationReject,
         EventKind::SlackProjection,
         EventKind::Completion,
+        EventKind::NodeDown,
+        EventKind::NodeUp,
+        EventKind::Brownout,
+        EventKind::Salvage,
+        EventKind::Retry,
+        EventKind::Renege,
+        EventKind::Failed,
     ];
 
     /// Stable lower-snake name (used in exports and metric keys).
@@ -107,6 +147,13 @@ impl EventKind {
             EventKind::MigrationReject => "migration_reject",
             EventKind::SlackProjection => "slack_projection",
             EventKind::Completion => "completion",
+            EventKind::NodeDown => "node_down",
+            EventKind::NodeUp => "node_up",
+            EventKind::Brownout => "brownout",
+            EventKind::Salvage => "salvage",
+            EventKind::Retry => "retry",
+            EventKind::Renege => "renege",
+            EventKind::Failed => "failed",
         }
     }
 

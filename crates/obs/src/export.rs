@@ -59,6 +59,16 @@ pub struct RequestTimeline {
     pub violated: bool,
     /// Completion slack (deadline − completion; negative = violated).
     pub completion_slack_ns: Option<i64>,
+    /// Times this request was salvaged off a crashed node.
+    pub salvages: u32,
+    /// Times a salvage landed the request on a new node.
+    pub retries: u32,
+    /// True when the request reneged from a queue (projected slack went
+    /// negative before it ever started).
+    pub reneged: bool,
+    /// True when the request failed permanently (out of retry budget or
+    /// no live node to take it).
+    pub failed: bool,
 }
 
 /// Folds an event stream into per-request timelines, sorted by request
@@ -113,6 +123,17 @@ pub fn timelines(events: &[TraceEvent]) -> Vec<RequestTimeline> {
                 t.completion_slack_ns = Some(e.b);
                 t.node = Some(e.node);
             }
+            // Node-scoped fault events carry REQ_NONE and never reach
+            // here; the arms exist for exhaustiveness.
+            EventKind::NodeDown | EventKind::NodeUp | EventKind::Brownout => {}
+            EventKind::Salvage => t.salvages += 1,
+            EventKind::Retry => {
+                t.retries += 1;
+                t.transfers += 1;
+                t.node = Some(e.node);
+            }
+            EventKind::Renege => t.reneged = true,
+            EventKind::Failed => t.failed = true,
         }
     }
     map.into_values().collect()
@@ -160,6 +181,54 @@ pub fn validate(events: &[TraceEvent]) -> Result<(), String> {
         }
         if t.completion_ns.is_some() && t.first_exec_ns.is_none() {
             return Err(format!("request {id} completed without executing"));
+        }
+        if t.reneged && t.completion_ns.is_some() {
+            return Err(format!("reneged request {id} completed anyway"));
+        }
+        if t.failed && t.completion_ns.is_some() {
+            return Err(format!("failed request {id} completed anyway"));
+        }
+    }
+    // Fault-window discipline, checked in stream order: work must never
+    // be placed on a node while it is down, and salvage only happens
+    // off a node that actually crashed.
+    let mut down: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    for e in events {
+        match e.kind {
+            EventKind::NodeDown => {
+                down.insert(e.node);
+            }
+            EventKind::NodeUp => {
+                down.remove(&e.node);
+            }
+            EventKind::Dispatch if down.contains(&e.node) => {
+                return Err(format!(
+                    "request {} dispatched to down node {}",
+                    e.request, e.node
+                ));
+            }
+            EventKind::Steal if down.contains(&e.node) => {
+                return Err(format!("down node {} stole request {}", e.node, e.request));
+            }
+            EventKind::MigrationAccept if down.contains(&(e.a as u32)) => {
+                return Err(format!(
+                    "request {} migrated to down node {}",
+                    e.request, e.a
+                ));
+            }
+            EventKind::Retry if down.contains(&e.node) => {
+                return Err(format!(
+                    "request {} retried onto down node {}",
+                    e.request, e.node
+                ));
+            }
+            EventKind::Salvage if !down.contains(&e.node) => {
+                return Err(format!(
+                    "request {} salvaged from node {} which is not down",
+                    e.request, e.node
+                ));
+            }
+            _ => {}
         }
     }
     // Execution segments on one node must not overlap.
@@ -220,6 +289,21 @@ fn instant(e: &TraceEvent, name: String, args: Vec<(&str, Value)>) -> Value {
     let mut fields = vec![("ph", Value::Str("i".into()))];
     fields.extend(event_base(e, name));
     fields.push(("s", Value::Str("t".into())));
+    if !args.is_empty() {
+        fields.push(("args", obj(args)));
+    }
+    obj(fields)
+}
+
+/// An instant with an explicit Chrome-trace color (`cname`), used to
+/// make fault/recovery events pop on the track: crashes and permanent
+/// failures red ("terrible"), degradation yellow ("bad"), recoveries
+/// green ("good").
+fn instant_colored(e: &TraceEvent, name: String, cname: &str, args: Vec<(&str, Value)>) -> Value {
+    let mut fields = vec![("ph", Value::Str("i".into()))];
+    fields.extend(event_base(e, name));
+    fields.push(("s", Value::Str("t".into())));
+    fields.push(("cname", Value::Str(cname.into())));
     if !args.is_empty() {
         fields.push(("args", obj(args)));
     }
@@ -406,6 +490,77 @@ pub fn perfetto_json(
                 fields.push(("bp", Value::Str("e".into())));
                 out.push(obj(fields));
             }
+            EventKind::NodeDown => {
+                out.push(instant_colored(
+                    e,
+                    format!("node_down n{}", e.node),
+                    "terrible",
+                    vec![
+                        ("salvaged", Value::UInt(e.a)),
+                        ("down_until_ns", Value::Int(e.b)),
+                    ],
+                ));
+            }
+            EventKind::NodeUp => {
+                out.push(instant_colored(
+                    e,
+                    format!("node_up n{}", e.node),
+                    "good",
+                    vec![],
+                ));
+            }
+            EventKind::Brownout => {
+                out.push(instant_colored(
+                    e,
+                    format!("brownout n{}", e.node),
+                    "bad",
+                    vec![
+                        ("factor_ppm", Value::UInt(e.a)),
+                        ("until_ns", Value::Int(e.b)),
+                    ],
+                ));
+            }
+            EventKind::Salvage => {
+                out.push(instant_colored(
+                    e,
+                    format!("salvage r{}", e.request),
+                    "bad",
+                    vec![
+                        ("retry_count", Value::UInt(e.a)),
+                        ("lost_exec_ns", Value::Int(e.b)),
+                    ],
+                ));
+            }
+            EventKind::Retry => {
+                out.push(instant_colored(
+                    e,
+                    format!("retry r{}", e.request),
+                    "good",
+                    vec![
+                        ("from_node", Value::UInt(e.a)),
+                        ("fetch_ns", Value::Int(e.b)),
+                    ],
+                ));
+            }
+            EventKind::Renege => {
+                out.push(instant_colored(
+                    e,
+                    format!("renege r{}", e.request),
+                    "bad",
+                    vec![
+                        ("queued_ns", Value::UInt(e.a)),
+                        ("slack_ns", Value::Int(e.b)),
+                    ],
+                ));
+            }
+            EventKind::Failed => {
+                out.push(instant_colored(
+                    e,
+                    format!("failed r{}", e.request),
+                    "terrible",
+                    vec![("retry_count", Value::UInt(e.a))],
+                ));
+            }
         }
     }
 
@@ -511,6 +666,45 @@ mod tests {
         ];
         let err = validate(&events).unwrap_err();
         assert!(err.contains("before arrival"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_dispatch_to_a_down_node() {
+        let events = vec![
+            e(0, 1, NODE_FRONTEND, EventKind::Arrival, 0, 1_000),
+            e(10, REQ_NONE, 0, EventKind::NodeDown, 0, -1),
+            e(20, 1, 0, EventKind::Dispatch, 1, 900),
+        ];
+        let err = validate(&events).unwrap_err();
+        assert!(err.contains("down node 0"), "{err}");
+    }
+
+    #[test]
+    fn validation_requires_salvage_to_follow_node_down() {
+        let events = vec![e(10, 1, 0, EventKind::Salvage, 0, 0)];
+        let err = validate(&events).unwrap_err();
+        assert!(err.contains("not down"), "{err}");
+    }
+
+    #[test]
+    fn validation_accepts_dispatch_after_recovery() {
+        let events = vec![
+            e(0, 1, NODE_FRONTEND, EventKind::Arrival, 0, 10_000),
+            e(10, REQ_NONE, 0, EventKind::NodeDown, 0, 50),
+            e(50, REQ_NONE, 0, EventKind::NodeUp, 0, 0),
+            e(60, 1, 0, EventKind::Dispatch, 1, 9_000),
+            e(70, 1, 0, EventKind::Segment, 90, 1),
+            e(90, 1, 0, EventKind::Completion, 0, 100),
+        ];
+        assert_eq!(validate(&events), Ok(()));
+    }
+
+    #[test]
+    fn validation_rejects_completion_after_renege() {
+        let mut events = well_formed_run();
+        events.push(e(950, 7, 0, EventKind::Renege, 900, -5));
+        let err = validate(&events).unwrap_err();
+        assert!(err.contains("reneged request 7"), "{err}");
     }
 
     #[test]

@@ -317,6 +317,66 @@ impl<'w, S: Scheduler, T: Tracer> NodeEngine<'w, S, T> {
         self.active.push(self.tasks.len() - 1);
     }
 
+    /// Crashes the node: every unfinished request — queued, pending,
+    /// *and in-flight* — is withdrawn for re-dispatch elsewhere, and the
+    /// node is left drained. Returns the withdrawn requests in
+    /// `(arrival, id)` order, each paired with the executed work the
+    /// crash destroyed on this node (0 for never-started requests).
+    ///
+    /// A started request is rebuilt from scratch — it will restart from
+    /// layer 0 wherever it lands, with a fresh sparsity monitor — so
+    /// the returned tasks all satisfy [`NodeEngine::accept_transfer`]'s
+    /// unstarted precondition. The node's `busy_ns` keeps the destroyed
+    /// work (the accelerator really was occupied); callers account the
+    /// returned per-task losses separately. The open trace segment is
+    /// flushed first, so executed quanta stay visible in the trace.
+    pub fn crash_salvage(&mut self) -> Vec<(TransferableTask<'w>, u64)> {
+        self.flush_segment();
+        let mut salvaged: Vec<(TransferableTask<'w>, u64)> = Vec::new();
+        let active = std::mem::take(&mut self.active);
+        for idx in active {
+            let task = self.tasks[idx].clone();
+            let lost_ns = task.executed_ns;
+            self.scheduler.on_task_removed(&task, self.now_ns);
+            let task = if task.started() {
+                // Restart from layer 0: fresh monitor state, no executed
+                // layers. `accept_transfer` recomputes the remaining
+                // time under the new node's scale.
+                TaskState::arrived(
+                    task.id,
+                    task.spec,
+                    task.variant,
+                    task.arrival_ns,
+                    task.slo_ns,
+                    self.traces[idx].num_layers(),
+                )
+            } else {
+                task
+            };
+            salvaged.push((
+                TransferableTask {
+                    task,
+                    trace: self.traces[idx],
+                },
+                lost_ns,
+            ));
+        }
+        // Pending arrivals were never shown to the scheduler, so there
+        // is nothing to notify; they salvage with zero loss.
+        for p in self.pending.drain(..) {
+            salvaged.push((
+                TransferableTask {
+                    task: p.task,
+                    trace: p.trace,
+                },
+                0,
+            ));
+        }
+        self.last_ran = None;
+        salvaged.sort_by_key(|(t, _)| (t.task.arrival_ns, t.task.id));
+        salvaged
+    }
+
     /// Queues `request` on the node at its native service time.
     ///
     /// # Panics
@@ -838,6 +898,75 @@ mod tests {
         assert_eq!(dst_report.completed()[0].arrival_ns, arrival);
         assert_eq!(src_report.completed().len(), 29);
         assert!(src_report.completed().iter().all(|c| c.id != victim));
+    }
+
+    #[test]
+    fn crash_salvage_drains_the_node_and_resets_started_work() {
+        let w = tiny(14);
+        let mut node = engine_for(&w, Policy::Fcfs);
+        let barrier = w.requests()[12].arrival_ns;
+        node.run_until(barrier);
+        let busy_before = node.busy_ns();
+        let in_flight: Vec<u64> = node
+            .queued_tasks()
+            .filter(|(t, _)| t.started())
+            .map(|(t, _)| t.id)
+            .collect();
+        let queued = node.queue_len() + node.completed_count();
+        let salvaged = node.crash_salvage();
+        // Everything unfinished came out, in (arrival, id) order, reset
+        // to unstarted.
+        assert_eq!(salvaged.len() + node.completed_count(), queued);
+        assert!(node.is_drained());
+        assert_eq!(node.busy_ns(), busy_before, "busy time is not erased");
+        for w in salvaged.windows(2) {
+            assert!(
+                (w[0].0.task().arrival_ns, w[0].0.task().id)
+                    <= (w[1].0.task().arrival_ns, w[1].0.task().id)
+            );
+        }
+        for (t, lost_ns) in &salvaged {
+            assert!(!t.task().started());
+            assert_eq!(t.task().executed_ns, 0);
+            if in_flight.contains(&t.task().id) {
+                assert!(*lost_ns > 0, "in-flight work reports its loss");
+            } else {
+                assert_eq!(*lost_ns, 0);
+            }
+        }
+        // A crashed-then-drained node still produces a report for what
+        // it did finish.
+        let report = node.into_report();
+        assert!(report.completed().len() + salvaged.len() == queued);
+    }
+
+    #[test]
+    fn salvaged_tasks_redispatch_and_complete_elsewhere() {
+        let w = tiny(15);
+        let lut = ModelInfoLut::from_store(w.store());
+        let mut src = engine_for(&w, Policy::Sjf);
+        let mut dst: NodeEngine =
+            NodeEngine::new(1, Policy::Sjf.build(), EngineConfig::default(), lut);
+        let crash_ns = w.requests()[10].arrival_ns;
+        src.run_until(crash_ns);
+        let done_on_src = src.completed_count();
+        let salvaged = src.crash_salvage();
+        assert!(!salvaged.is_empty());
+        let moved = salvaged.len();
+        for (t, _) in salvaged {
+            dst.accept_transfer(t, 1.0, crash_ns, 0);
+        }
+        dst.run_to_completion();
+        let dst_report = dst.into_report();
+        // Exactly-once across the crash: src's completions plus the
+        // re-homed ones cover the workload with no duplicates.
+        assert_eq!(dst_report.completed().len(), moved);
+        assert_eq!(done_on_src + moved, 30);
+        let src_ids: Vec<u64> = src.into_report().completed().iter().map(|c| c.id).collect();
+        assert!(dst_report
+            .completed()
+            .iter()
+            .all(|c| !src_ids.contains(&c.id)));
     }
 
     #[test]

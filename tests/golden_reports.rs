@@ -409,6 +409,171 @@ fn golden_fig_admission_quick() {
     check_golden("fig_admission.json", &json);
 }
 
+// --- fig_faults (quick mode) ----------------------------------------------
+
+#[derive(Debug, Serialize, Deserialize, PartialEq)]
+struct FaultCell {
+    dispatch: String,
+    recovery: String,
+    antt: f64,
+    violation_rate: f64,
+    /// Completions meeting the *original* SLO, summed over the seeds.
+    goodput: usize,
+    goodput_rate: f64,
+    completed: usize,
+    failed: usize,
+    reneged: usize,
+    salvaged: usize,
+    retries: usize,
+    lost_busy_ms: f64,
+}
+
+/// Pins the fault-injection configuration and its acceptance criterion:
+/// on the fig_admission pool (2+2 capacity-heterogeneous, FCFS node
+/// scheduling) under the serving front-end, with one mid-stream
+/// transient crash and one brown-out window, salvage-and-redispatch
+/// plus reneging strictly improves goodput and loses strictly fewer
+/// requests than a recovery-disabled pool facing the same schedule.
+/// Regenerate intentionally changed fixtures with `UPDATE_GOLDEN=1
+/// cargo test --test golden_reports`.
+#[test]
+fn golden_fig_faults_quick() {
+    use dysta::cluster::{balanced_mixed_serving_mix, FaultConfig, FaultSchedule, RecoveryConfig};
+
+    let scale = Scale::quick();
+    // The arrival stream spans ~2.2 s at rate 45 and overdrives the
+    // pool, so queues deepen over the run: crashing the full-speed
+    // Eyeriss node at 1.5 s strands a real backlog (healing after
+    // the stream ends), and the brown-out halves the full-speed Sanger
+    // node over the back half of the stream.
+    let schedule = FaultSchedule::new()
+        .transient_crash(0, 1_500_000_000, 2_500_000_000)
+        .brownout(2, 800_000_000, 2_000_000_000, 0.5);
+    let recoveries: [(&str, RecoveryConfig); 2] = [
+        (
+            "salvage+renege",
+            RecoveryConfig {
+                salvage: true,
+                max_retries: 2,
+                reneging: true,
+            },
+        ),
+        (
+            "none",
+            RecoveryConfig {
+                salvage: false,
+                max_retries: 0,
+                reneging: false,
+            },
+        ),
+    ];
+    let mut cells = Vec::new();
+    for dispatch in [
+        DispatchPolicy::SparsityAffinity,
+        DispatchPolicy::EarliestDeadlineFirst,
+    ] {
+        for (recovery_name, recovery) in recoveries {
+            let mut antt = 0.0;
+            let mut viol = 0.0;
+            let mut goodput = 0usize;
+            let mut goodput_rate = 0.0;
+            let mut completed = 0usize;
+            let mut failed = 0usize;
+            let mut reneged = 0usize;
+            let mut salvaged = 0usize;
+            let mut retries = 0usize;
+            let mut lost_busy_ns = 0u64;
+            for seed in 0..scale.seeds {
+                let w = dysta::workload::WorkloadBuilder::from_mix(balanced_mixed_serving_mix())
+                    .arrival_rate(45.0)
+                    .slo_multiplier(2.0)
+                    .num_requests(scale.requests)
+                    .samples_per_variant(scale.samples_per_variant)
+                    .seed(seed * 7919 + 13)
+                    .build();
+                let pool = ClusterBuilder::heterogeneous(2, 2, Policy::Fcfs)
+                    .node_capacity(1, 0.5)
+                    .node_capacity(3, 0.5)
+                    .frontend(FrontendConfig::serving())
+                    .faults(FaultConfig {
+                        schedule: schedule.clone(),
+                        recovery,
+                    })
+                    .build();
+                let mut policy = ClusterPolicy::from_dispatch(dispatch);
+                let report = simulate_cluster_with(&w, &mut policy, &pool);
+                assert_eq!(
+                    report.admitted_total(),
+                    report.completed_total() + report.failed_total() + report.reneged_total(),
+                    "conservation must close under faults"
+                );
+                antt += report.antt();
+                viol += report.violation_rate();
+                goodput += report.goodput();
+                goodput_rate += report.goodput_rate();
+                completed += report.completed_total();
+                failed += report.failed_total();
+                reneged += report.reneged_total();
+                salvaged += report.recovery().salvaged as usize;
+                retries += report.recovery().retries as usize;
+                lost_busy_ns += report.recovery().lost_busy_ns;
+            }
+            let n = scale.seeds as f64;
+            cells.push(FaultCell {
+                dispatch: dispatch.name().to_string(),
+                recovery: recovery_name.to_string(),
+                antt: antt / n,
+                violation_rate: viol / n,
+                goodput,
+                goodput_rate: goodput_rate / n,
+                completed,
+                failed,
+                reneged,
+                salvaged,
+                retries,
+                lost_busy_ms: lost_busy_ns as f64 / 1e6,
+            });
+        }
+    }
+
+    // Acceptance: for both dispatchers, recovery strictly improves
+    // goodput over letting the crash take its queue down, and the
+    // crash must really strand work in both configurations.
+    let cell = |dispatch: &str, recovery: &str| {
+        cells
+            .iter()
+            .find(|c| c.dispatch == dispatch && c.recovery == recovery)
+            .expect("cell exists")
+    };
+    for dispatch in ["affinity", "edf"] {
+        let on = cell(dispatch, "salvage+renege");
+        let off = cell(dispatch, "none");
+        assert!(on.salvaged > 0, "{dispatch}: crash must strand work");
+        assert!(off.failed > 0, "{dispatch}: no-recovery must lose work");
+        assert!(
+            on.failed < off.failed,
+            "{dispatch}: recovery failed {} vs none {}",
+            on.failed,
+            off.failed
+        );
+        assert!(
+            on.goodput > off.goodput,
+            "{dispatch}: recovery goodput {} vs none {}",
+            on.goodput,
+            off.goodput
+        );
+        assert!(
+            on.goodput_rate > off.goodput_rate,
+            "{dispatch}: recovery goodput_rate {} vs none {}",
+            on.goodput_rate,
+            off.goodput_rate
+        );
+    }
+
+    let json = serde_json::to_string(&cells).expect("fault cells serialize");
+    check_golden("fig_faults.json", &json);
+}
+
 // --- fig14_slo_sweep (quick mode) -----------------------------------------
 
 #[derive(Debug, Serialize, Deserialize, PartialEq)]
