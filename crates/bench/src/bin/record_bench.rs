@@ -17,7 +17,7 @@ use dysta::cluster::{
     simulate_cluster, AcceleratorKind, ClusterBuilder, ClusterConfig, DispatchPolicy,
     FrontendConfig, MigrationConfig, StealConfig, TransferCostConfig,
 };
-use dysta::core::{ModelInfoLut, Policy, TaskQueue, TaskState};
+use dysta::core::{ModelInfoLut, Policy, QueuePositions, TaskQueue, TaskState};
 use dysta::sim::{simulate, EngineConfig};
 use dysta::workload::{Scenario, Workload, WorkloadBuilder};
 use dysta_bench::mid_execution_tasks;
@@ -70,6 +70,20 @@ struct BenchRecord {
     /// (must compile away), and under a recording `RingTracer`. `None`
     /// in records from before the observability layer existed.
     trace_overhead: Option<TraceOverheadCell>,
+    /// Wall time of 20 000 indexed (hooked-queue) Dysta picks at
+    /// q=256 — the sub-linear pick path the schedulers take when
+    /// served by a node engine that maintains position hooks. The
+    /// dense fold equivalent is the `picks` cell (dysta, queue_len
+    /// 256): `ns_per_pick * 20_000 / 1e6` ms against this number is
+    /// the recorded speedup. `None` in records from before the
+    /// indexed pick structures existed.
+    pick_indexed_ms: Option<f64>,
+    /// Wall time of the serving cell's workload (200 requests,
+    /// batching + steal + migration armed) on a 1000-node pool where
+    /// ~99% of nodes never see work — the event-queue core's
+    /// idle-nodes-cost-nothing claim, measured. `None` in records
+    /// from before the event-driven cluster loop existed.
+    cluster_eventq_ms: Option<f64>,
 }
 
 /// The tracing-overhead measurement cell.
@@ -110,6 +124,8 @@ impl serde::Deserialize for BenchRecord {
                 Ok(v) => serde::Deserialize::from_value(v)?,
                 Err(_) => None,
             },
+            pick_indexed_ms: optional("pick_indexed_ms")?,
+            cluster_eventq_ms: optional("cluster_eventq_ms")?,
         })
     }
 }
@@ -232,6 +248,116 @@ fn time_picks(policy: Policy, tasks: &[TaskState], lut: &ModelInfoLut) -> f64 {
         }
         iters *= 4;
     }
+}
+
+/// Mean ns per indexed (hooked-queue) `pick_next`, plus the recorded
+/// wall-ms cell for 20 000 such picks. The hooked view is what a node
+/// engine that maintains `QueuePositions` in lockstep serves — the
+/// schedulers' sub-linear heap paths activate only on it, so this is
+/// the indexed counterpart of `time_picks`'s dense-fold number.
+fn measure_picks_indexed() -> f64 {
+    let queue_len = 256usize;
+    let (tasks, lut) = mid_execution_tasks(queue_len);
+    let active: Vec<usize> = (0..tasks.len()).collect();
+    let mut positions = QueuePositions::default();
+    for (pos, t) in tasks.iter().enumerate() {
+        positions.insert(t.id, pos);
+    }
+    // Pick at a clock past every arrival: the engine's clock is
+    // monotone across hooks, and the clock-dependent index structures
+    // (feasibility lapse migration) rely on that — picking at a
+    // regressed clock would measure their rebuild-on-regression
+    // fallback instead of the steady-state path. The dense `picks`
+    // cell's cost is clock-independent, so the two stay comparable.
+    let now_ns = tasks
+        .iter()
+        .map(|t| t.arrival_ns)
+        .max()
+        .unwrap_or(0)
+        .max(1_000_000);
+    let mut dysta_ns = 0.0;
+    for policy in [
+        Policy::Fcfs,
+        Policy::Sjf,
+        Policy::Prema,
+        Policy::Planaria,
+        Policy::Sdrm3,
+        Policy::Dysta,
+        Policy::Oracle,
+    ] {
+        let mut sched = policy.build();
+        for t in &tasks {
+            sched.on_arrival(t, &lut, t.arrival_ns);
+        }
+        for _ in 0..1_000 {
+            std::hint::black_box(sched.pick_next(
+                std::hint::black_box(TaskQueue::hooked(&tasks, &active, &positions)),
+                &lut,
+                now_ns,
+            ));
+        }
+        let mut iters = 1_000u64;
+        let ns = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(sched.pick_next(
+                    std::hint::black_box(TaskQueue::hooked(&tasks, &active, &positions)),
+                    &lut,
+                    now_ns,
+                ));
+            }
+            let elapsed = t.elapsed();
+            if elapsed.as_millis() >= 50 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters *= 4;
+        };
+        if policy == Policy::Dysta {
+            dysta_ns = ns;
+        }
+        println!(
+            "pick-indexed q={queue_len:<4} {:<13} {ns:>10.1} ns",
+            policy.name()
+        );
+    }
+    dysta_ns * 20_000.0 / 1e6
+}
+
+fn measure_cluster_eventq() -> f64 {
+    // The serving cell's traffic on a 1000-node pool: 200 requests
+    // land on a handful of nodes while the rest stay idle forever.
+    // Under the old per-tick scan loop every steal/migration tick
+    // walked all 1000 nodes; the event-queue core with its live-set
+    // only visits nodes that actually hold work, so this cell tracks
+    // the idle-nodes-cost-nothing claim directly.
+    let workload = WorkloadBuilder::new(Scenario::MultiCnn)
+        .arrival_rate(12.0)
+        .num_requests(200)
+        .samples_per_variant(16)
+        .seed(13)
+        .build();
+    let frontend = FrontendConfig {
+        admit_batch: 4,
+        admit_interval_ns: 20_000_000,
+        steal: Some(StealConfig::default()),
+        migration: Some(MigrationConfig::default()),
+        ..FrontendConfig::default()
+    };
+    let secs = median_secs(3, || {
+        let pool = ClusterBuilder::heterogeneous(500, 500, Policy::Dysta)
+            .frontend(frontend)
+            .build();
+        std::hint::black_box(simulate_cluster(
+            &workload,
+            DispatchPolicy::SparsityAffinity.build().as_mut(),
+            &pool,
+        ));
+    });
+    println!(
+        "cluster_eventq (1000 nodes mostly idle, batch+steal+migrate, 200 reqs): {:.1} ms",
+        secs * 1e3
+    );
+    secs * 1e3
 }
 
 fn measure_cluster_sweep() -> f64 {
@@ -513,11 +639,13 @@ fn main() {
     let mut picks = Vec::new();
     measure_engine(&mut engine);
     measure_picks(&mut picks);
+    let pick_indexed_ms = measure_picks_indexed();
     let cluster_sweep_ms = measure_cluster_sweep();
     let cluster_serving_ms = measure_cluster_serving();
     let cluster_edf_ms = measure_cluster_edf();
     let cluster_admission_ms = measure_cluster_admission();
     let cluster_faults_ms = measure_cluster_faults();
+    let cluster_eventq_ms = measure_cluster_eventq();
     let trace_overhead = measure_trace_overhead();
 
     let record = BenchRecord {
@@ -530,6 +658,8 @@ fn main() {
         cluster_admission_ms: Some(cluster_admission_ms),
         cluster_faults_ms: Some(cluster_faults_ms),
         trace_overhead: Some(trace_overhead),
+        pick_indexed_ms: Some(pick_indexed_ms),
+        cluster_eventq_ms: Some(cluster_eventq_ms),
     };
 
     // A malformed history file must abort, not be silently replaced —

@@ -208,7 +208,7 @@ impl TransferCostConfig {
     /// isolated latency is `avg_isolated_ns`
     /// ([`dysta_core::ModelInfo::avg_latency_ns`]).
     pub fn estimate_ns(&self, avg_isolated_ns: f64) -> u64 {
-        self.base_ns + (self.compute_fraction * avg_isolated_ns).round() as u64
+        self.base_ns + dysta_core::round_ns(self.compute_fraction * avg_isolated_ns)
     }
 
     fn validate(&self) {

@@ -399,7 +399,7 @@ impl EarliestDeadlineFirst {
         // The queue ahead is estimated with the sparsity predictor, the
         // inbound request with its LUT average (it has no monitored
         // stream yet).
-        let wait = (node.predicted_backlog_ns + own).round().max(0.0) as u64;
+        let wait = dysta_core::round_ns(node.predicted_backlog_ns + own);
         request.slack_ns(start, wait)
     }
 }

@@ -10,9 +10,10 @@
 //! [`crate::TransferCostConfig`] on every applied move. All decision
 //! logic lives behind the policy traits.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
-use dysta_core::{ModelInfoLut, SparseLatencyPredictor};
+use dysta_core::{scale_ns, ModelInfoLut, SparseLatencyPredictor};
 use dysta_models::ModelFamily;
 use dysta_obs::{EventKind, NullTracer, Phase, TraceEvent, Tracer, NODE_FRONTEND, REQ_NONE};
 use dysta_sim::NodeEngine;
@@ -241,6 +242,9 @@ fn run_cluster<T: Tracer + Copy>(
         failed: vec![0; config.nodes.len()],
         reneged: vec![0; config.nodes.len()],
         recovery: RecoveryStats::default(),
+        live: Vec::new(),
+        view_cache: Vec::new(),
+        view_epoch: vec![u64::MAX; config.nodes.len()],
         tracer,
         labels: vec![None; lut_len],
         scratch: String::new(),
@@ -260,6 +264,63 @@ const EV_FAULT: u8 = 1;
 const EV_DISPATCH: u8 = 2;
 const EV_MIGRATE: u8 = 3;
 const EV_STEAL: u8 = 4;
+
+/// Number of distinct event kinds (one armed deadline slot each).
+const EV_KINDS: usize = 5;
+
+/// The front-end's pending deadlines as a lazily-invalidated binary
+/// min-heap over `(t, kind, seq)`.
+///
+/// At most one deadline per kind is *armed* at a time; re-arming a
+/// kind at a new instant pushes a fresh entry and orphans the old one
+/// (discarded when it surfaces — its sequence number no longer
+/// matches). Because each kind contributes exactly one valid entry,
+/// the heap minimum over `(t, kind)` is identical to the historical
+/// five-way array minimum — same timestamp, same kind-priority
+/// tie-break — so event order (and therefore every report and trace)
+/// is bit-exact with the scan it replaces. Arming an unchanged
+/// deadline is a no-op, so steady-state iterations touch the heap
+/// only for the kinds whose deadline actually moved.
+#[derive(Default)]
+struct EventQueue {
+    heap: BinaryHeap<Reverse<(u64, u8, u64)>>,
+    /// `(t, seq)` of the armed entry per kind; `None` = disarmed.
+    armed: [Option<(u64, u64)>; EV_KINDS],
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Arms `kind` at `t` (disarms it when `t` is `None`). Unchanged
+    /// deadlines are no-ops.
+    fn arm(&mut self, kind: u8, t: Option<u64>) {
+        let slot = &mut self.armed[kind as usize];
+        match t {
+            None => *slot = None,
+            Some(t) => {
+                if slot.map(|(at, _)| at) == Some(t) {
+                    return;
+                }
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                *slot = Some((t, seq));
+                self.heap.push(Reverse((t, kind, seq)));
+            }
+        }
+    }
+
+    /// Pops the earliest armed `(t, kind)` (kind-priority tie-break at
+    /// equal instants), disarming it. `None` when nothing is armed.
+    fn pop(&mut self) -> Option<(u64, u8)> {
+        while let Some(&Reverse((t, kind, seq))) = self.heap.peek() {
+            self.heap.pop();
+            if self.armed[kind as usize] == Some((t, seq)) {
+                self.armed[kind as usize] = None;
+                return Some((t, kind));
+            }
+        }
+        None
+    }
+}
 
 /// One applied-at-`t` fault action. A [`FaultSchedule`] entry expands
 /// into explicit start/end actions so window closings and transient
@@ -411,6 +472,21 @@ struct Frontend<'w, 'c, T> {
     reneged: Vec<usize>,
     /// The run's recovery accounting ([`ServingStats::recovery`]).
     recovery: RecoveryStats,
+    /// Ids of nodes not known to be drained, ascending. A conservative
+    /// superset of the truly-busy nodes: entries join when the
+    /// front-end hands a node work and leave when [`Frontend::sync_nodes`]
+    /// observes them drained. Every per-tick pass walks this set
+    /// instead of all N nodes — a drained node's `run_until` is a
+    /// no-op and a drained node holds nothing to migrate or steal, so
+    /// idle nodes cost nothing.
+    live: Vec<usize>,
+    /// Cached per-node dispatch views, refreshed lazily by
+    /// [`Frontend::refresh_views`]. Empty until the first refresh.
+    view_cache: Vec<NodeView>,
+    /// The [`NodeEngine::mutation_epoch`] each cached view was computed
+    /// at. `u64::MAX` forces a rebuild — fault edits use it, because
+    /// node health lives on the front-end, outside the node's epoch.
+    view_epoch: Vec<u64>,
     tracer: T,
     /// Interned label id per model variant (lazy; index = variant rank).
     labels: Vec<Option<u32>>,
@@ -441,11 +517,11 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
 
     /// Records one per-node queue/backlog re-projection per rebalance
     /// tick (the live signal admission and migration reason from).
-    fn record_slack_projections(&self, t: u64) {
+    fn record_slack_projections(&self, views: &[NodeView], t: u64) {
         if !self.tracer.enabled() {
             return;
         }
-        for view in self.views() {
+        for view in views {
             self.tracer.record(TraceEvent {
                 t_ns: t,
                 request: REQ_NONE,
@@ -467,6 +543,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
         let mut timer_deadline: Option<u64> = None;
         let mut next_migration = fe.migration.map(|m| m.period_ns);
         let mut next_steal = fe.steal.map(|s| s.period_ns);
+        let mut events = EventQueue::default();
 
         // Phase 1: drain the arrival stream through the admission queue,
         // interleaving steal/migration ticks at their configured cadence.
@@ -482,17 +559,14 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                 timer_deadline
             };
 
-            let (t, kind) = [
-                arrival.map(|t| (t, EV_ARRIVAL)),
-                self.next_fault_deadline().map(|t| (t, EV_FAULT)),
-                deadline.map(|t| (t, EV_DISPATCH)),
-                next_migration.map(|t| (t, EV_MIGRATE)),
-                next_steal.map(|t| (t, EV_STEAL)),
-            ]
-            .into_iter()
-            .flatten()
-            .min()
-            .expect("an arrival or a flush deadline always exists");
+            events.arm(EV_ARRIVAL, arrival);
+            events.arm(EV_FAULT, self.next_fault_deadline());
+            events.arm(EV_DISPATCH, deadline);
+            events.arm(EV_MIGRATE, next_migration);
+            events.arm(EV_STEAL, next_steal);
+            let (t, kind) = events
+                .pop()
+                .expect("an arrival or a flush deadline always exists");
 
             match kind {
                 EV_ARRIVAL => {
@@ -534,30 +608,21 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
         // tail of a backlogged peer's queue), and replay any fault
         // actions that outlive the arrival stream — crashes still
         // salvage, windows still close, transient nodes still recover.
+        events.arm(EV_ARRIVAL, None);
+        events.arm(EV_DISPATCH, None);
         loop {
-            let ticking = (fe.steal.is_some() || fe.migration.is_some())
-                && self.nodes.iter().any(|n| !n.is_drained());
+            self.prune_live();
+            let ticking = (fe.steal.is_some() || fe.migration.is_some()) && !self.live.is_empty();
             let fault = self.next_fault_deadline();
             if fault.is_none() && !ticking {
                 break;
             }
-            let (t, kind) = [
-                fault.map(|t| (t, EV_FAULT)),
-                if ticking {
-                    next_migration.map(|t| (t, EV_MIGRATE))
-                } else {
-                    None
-                },
-                if ticking {
-                    next_steal.map(|t| (t, EV_STEAL))
-                } else {
-                    None
-                },
-            ]
-            .into_iter()
-            .flatten()
-            .min()
-            .expect("a pending fault action or an armed tick exists");
+            events.arm(EV_FAULT, fault);
+            events.arm(EV_MIGRATE, if ticking { next_migration } else { None });
+            events.arm(EV_STEAL, if ticking { next_steal } else { None });
+            let (t, kind) = events
+                .pop()
+                .expect("a pending fault action or an armed tick exists");
             match kind {
                 EV_FAULT => self.fault_tick(t),
                 EV_MIGRATE => next_migration = Some(self.rebalance_tick(EV_MIGRATE, t)),
@@ -577,15 +642,18 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
         // Front-end phase timing starts after the node sync, so node
         // execution (its own pick/execute phases) is not double-counted.
         let t0 = self.tracer.profiling().then(std::time::Instant::now);
-        self.record_slack_projections(t);
+        let mut views = std::mem::take(&mut self.view_cache);
+        self.refresh_views(&mut views);
+        self.record_slack_projections(&views, t);
         let fe = self.config.frontend;
         let next = if kind == EV_MIGRATE {
-            self.migration_pass(t);
+            self.migration_pass(t, &mut views);
             t + fe.migration.expect("tick implies config").period_ns
         } else {
-            self.steal_pass(t);
+            self.steal_pass(t, &mut views);
             t + fe.steal.expect("tick implies config").period_ns
         };
+        self.view_cache = views;
         if let Some(t0) = t0 {
             self.tracer
                 .phase_ns(Phase::Frontend, t0.elapsed().as_nanos() as u64);
@@ -593,12 +661,49 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
         next
     }
 
-    /// Advances every node up to sim-time `t` so front-end observations
-    /// are causal.
+    /// Advances every node that may hold work up to sim-time `t` so
+    /// front-end observations are causal. Drained nodes are skipped —
+    /// their `run_until` is a no-op that leaves the clock untouched
+    /// (the dispatch seam re-floors a stale idle clock at the decision
+    /// instant), so the skip is bit-exact — and observed-drained nodes
+    /// are pruned from the live set on the way out.
     fn sync_nodes(&mut self, t: u64) {
-        for node in &mut self.nodes {
-            node.run_until(t);
+        for &id in &self.live {
+            self.nodes[id].run_until(t);
         }
+        self.prune_live();
+    }
+
+    /// Drops every now-drained node from the live set, restoring the
+    /// invariant `live == {nodes with unfinished work}` (between
+    /// front-end actions the set is a conservative superset).
+    fn prune_live(&mut self) {
+        let nodes = &self.nodes;
+        self.live.retain(|&id| !nodes[id].is_drained());
+    }
+
+    /// Marks `node` as holding work (idempotent; keeps `live` sorted).
+    fn mark_live(&mut self, node: usize) {
+        if let Err(i) = self.live.binary_search(&node) {
+            self.live.insert(i, node);
+        }
+    }
+
+    /// The smallest live node id strictly greater than `prev` (`None`
+    /// starts from the beginning). Robust to insertions and removals
+    /// between calls — the per-source rebalance loops use it as a
+    /// cursor so a node handed work mid-pass is still visited when the
+    /// ascending sweep reaches its id, exactly as the historical
+    /// `0..n` scan did.
+    fn next_live_after(&self, prev: Option<usize>) -> Option<usize> {
+        let i = match prev {
+            None => 0,
+            Some(p) => match self.live.binary_search(&p) {
+                Ok(i) => i + 1,
+                Err(i) => i,
+            },
+        };
+        self.live.get(i).copied()
     }
 
     /// The instant of the first unapplied fault action (`None` once the
@@ -628,6 +733,20 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
     }
 
     fn apply_fault_action(&mut self, t: u64, action: FaultAction) {
+        // Health lives on the front-end, outside the node engine's
+        // mutation epoch: force the touched node's cached view stale
+        // so the next refresh re-reads its health (even for the
+        // conditional window-end edges — a spurious recompute is
+        // value-identical, a missed one is not).
+        let touched = match action {
+            FaultAction::Down { node, .. }
+            | FaultAction::Up { node }
+            | FaultAction::BrownoutStart { node, .. }
+            | FaultAction::BrownoutEnd { node }
+            | FaultAction::StallStart { node, .. }
+            | FaultAction::StallEnd { node } => node,
+        };
+        self.view_epoch[touched] = u64::MAX;
         match action {
             FaultAction::Down { node, until_ns } => self.crash_node(t, node, until_ns),
             FaultAction::Up { node } => {
@@ -723,6 +842,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
             });
         }
         let recovery_cfg = self.config.faults.recovery;
+        let mut views = std::mem::take(&mut self.view_cache);
         for (transfer, lost_ns) in salvaged {
             let id = transfer.task().id;
             self.recovery.salvaged += 1;
@@ -744,7 +864,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
             // salvaged task keeps the deadline class it was admitted
             // under (relaxed, if admission degraded it).
             let request = self.requests[id as usize];
-            let views = self.views();
+            self.refresh_views(&mut views);
             let ctx = DispatchContext {
                 now_ns: t,
                 nodes: &views,
@@ -763,6 +883,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                 self.stalled_fetch(crashed, target, ctx.request_transfer_cost_ns(&request));
             let scale = self.dispatch_scale(target, request.spec.model.family());
             self.nodes[target].accept_transfer(transfer, scale, t, fetch_ns);
+            self.mark_live(target);
             self.transferred_out[crashed] += 1;
             self.transferred_in[target] += 1;
             self.transfer_fetch_ns[target] += fetch_ns;
@@ -779,6 +900,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                 });
             }
         }
+        self.view_cache = views;
     }
 
     /// Records an unsalvageable request against `node`: it stays in the
@@ -825,75 +947,92 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
         let factor = |i: usize| self.health[i].stall.map(|(f, _)| f);
         match (factor(src), factor(dst)) {
             (None, None) => fetch_ns,
-            (a, b) => {
-                let f = a.unwrap_or(1.0).max(b.unwrap_or(1.0));
-                (fetch_ns as f64 * f).round() as u64
-            }
+            (a, b) => scale_ns(fetch_ns, a.unwrap_or(1.0).max(b.unwrap_or(1.0))),
         }
     }
 
-    /// One causal snapshot of every node, in node-id order — the
-    /// [`NodeView`] slice every policy decision reads. One pass over
-    /// each node's queue computes the backlog estimates (in the same
-    /// summation order as always, so estimates are bit-stable), the
-    /// deadline summaries, and the mean transfer-cost signal.
-    fn views(&self) -> Vec<NodeView> {
+    /// One causal snapshot of node `i` — computed exactly as the
+    /// historical full-pool pass did (same summation order over the
+    /// node's queue, so estimates are bit-stable), reading nothing but
+    /// this node's state, its config, and its front-end health.
+    fn view_of(&self, i: usize) -> NodeView {
         let free_transfers = self.config.transfer_cost.is_free();
-        self.nodes
-            .iter()
-            .zip(&self.config.nodes)
-            .map(|(node, nc)| {
-                let mut lut_backlog_ns = 0.0;
-                let mut predicted_backlog_ns = 0.0;
-                let mut earliest_deadline_ns = u64::MAX;
-                let mut total_slack_ns = 0.0;
-                let mut cost_sum_ns = 0.0;
-                let mut movable = 0usize;
-                for (task, scale) in node.queued_tasks() {
-                    let info = self.lut.info(task.variant);
-                    let lut_remaining = info.avg_remaining_ns(task.next_layer) * scale;
-                    lut_backlog_ns += lut_remaining;
-                    predicted_backlog_ns += self.predictor.remaining_ns(task, info) * scale;
-                    // A saturated deadline means "no deadline": such a
-                    // request must not enter the SLO-pressure summaries
-                    // — folding the u64::MAX sentinel into the slack
-                    // sum would swamp every real deadline with ~1.8e19
-                    // of phantom headroom.
-                    let deadline = task.arrival_ns.saturating_add(task.slo_ns);
-                    if deadline < u64::MAX {
-                        earliest_deadline_ns = earliest_deadline_ns.min(deadline);
-                        total_slack_ns += deadline as f64 - node.now_ns() as f64 - lut_remaining;
-                    }
-                    // Only unstarted requests can ever move, so only
-                    // they enter the node's price signal.
-                    if !free_transfers && !task.started() {
-                        cost_sum_ns +=
-                            self.config.transfer_cost.estimate_ns(info.avg_latency_ns()) as f64;
-                        movable += 1;
-                    }
-                }
-                let transfer_cost_ns = if movable == 0 {
-                    0
-                } else {
-                    (cost_sum_ns / movable as f64).round() as u64
-                };
-                NodeView {
-                    id: node.id(),
-                    accelerator: nc.accelerator,
-                    capacity: nc.capacity,
-                    mismatch_slowdown: nc.mismatch_slowdown,
-                    now_ns: node.now_ns(),
-                    queue_len: node.queue_len(),
-                    lut_backlog_ns,
-                    predicted_backlog_ns,
-                    earliest_deadline_ns,
-                    total_slack_ns,
-                    transfer_cost_ns,
-                    busy_ns: node.busy_ns(),
-                    health: self.health[node.id()].as_node_health(nc.capacity),
-                }
-            })
-            .collect()
+        let node = &self.nodes[i];
+        let nc = &self.config.nodes[i];
+        let mut lut_backlog_ns = 0.0;
+        let mut predicted_backlog_ns = 0.0;
+        let mut earliest_deadline_ns = u64::MAX;
+        let mut total_slack_ns = 0.0;
+        let mut cost_sum_ns = 0.0;
+        let mut movable = 0usize;
+        for (task, scale) in node.queued_tasks() {
+            let info = self.lut.info(task.variant);
+            let lut_remaining = info.avg_remaining_ns(task.next_layer) * scale;
+            lut_backlog_ns += lut_remaining;
+            predicted_backlog_ns += self.predictor.remaining_ns(task, info) * scale;
+            // A saturated deadline means "no deadline": such a
+            // request must not enter the SLO-pressure summaries
+            // — folding the u64::MAX sentinel into the slack
+            // sum would swamp every real deadline with ~1.8e19
+            // of phantom headroom.
+            let deadline = task.arrival_ns.saturating_add(task.slo_ns);
+            if deadline < u64::MAX {
+                earliest_deadline_ns = earliest_deadline_ns.min(deadline);
+                total_slack_ns += deadline as f64 - node.now_ns() as f64 - lut_remaining;
+            }
+            // Only unstarted requests can ever move, so only
+            // they enter the node's price signal.
+            if !free_transfers && !task.started() {
+                cost_sum_ns += self.config.transfer_cost.estimate_ns(info.avg_latency_ns()) as f64;
+                movable += 1;
+            }
+        }
+        let transfer_cost_ns = if movable == 0 {
+            0
+        } else {
+            (cost_sum_ns / movable as f64).round() as u64
+        };
+        NodeView {
+            id: node.id(),
+            accelerator: nc.accelerator,
+            capacity: nc.capacity,
+            mismatch_slowdown: nc.mismatch_slowdown,
+            now_ns: node.now_ns(),
+            queue_len: node.queue_len(),
+            lut_backlog_ns,
+            predicted_backlog_ns,
+            earliest_deadline_ns,
+            total_slack_ns,
+            transfer_cost_ns,
+            busy_ns: node.busy_ns(),
+            health: self.health[i].as_node_health(nc.capacity),
+        }
+    }
+
+    /// Brings `views` up to the current causal snapshot, recomputing
+    /// only the nodes whose [`NodeEngine::mutation_epoch`] moved (or
+    /// whose cached epoch was force-staled by a fault edit) since the
+    /// cached view was taken. Because [`Frontend::view_of`] is a pure
+    /// function of exactly the state the epoch covers, the refreshed
+    /// slice is value-identical to a from-scratch build of every node
+    /// — pinned by the golden fixtures.
+    fn refresh_views(&mut self, views: &mut Vec<NodeView>) {
+        if views.len() != self.nodes.len() {
+            // First use (the cache starts empty): build everything.
+            views.clear();
+            views.extend((0..self.nodes.len()).map(|i| self.view_of(i)));
+            for (i, slot) in self.view_epoch.iter_mut().enumerate() {
+                *slot = self.nodes[i].mutation_epoch();
+            }
+            return;
+        }
+        for (i, view) in views.iter_mut().enumerate() {
+            let epoch = self.nodes[i].mutation_epoch();
+            if self.view_epoch[i] != epoch {
+                *view = self.view_of(i);
+                self.view_epoch[i] = epoch;
+            }
+        }
     }
 
     /// Panics when the dispatcher returned an out-of-range node index.
@@ -929,10 +1068,11 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
         let t0 = self.tracer.profiling().then(std::time::Instant::now);
         let requests = self.requests;
         let admission_cfg = self.config.frontend.admission;
+        let mut views = std::mem::take(&mut self.view_cache);
         while let Some(id) = queue.pop_front() {
             let request = &requests[id as usize];
             let wait_ns = t - request.arrival_ns;
-            let views = self.views();
+            self.refresh_views(&mut views);
             let ctx = DispatchContext {
                 now_ns: t,
                 nodes: &views,
@@ -1004,6 +1144,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                 scale,
                 t,
             );
+            self.mark_live(target);
             self.routed[target] += 1;
             self.admission_wait_ns.push(t - request.arrival_ns);
             if self.tracer.enabled() {
@@ -1023,6 +1164,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                 });
             }
         }
+        self.view_cache = views;
         if let Some(t0) = t0 {
             self.tracer
                 .phase_ns(Phase::Frontend, t0.elapsed().as_nanos() as u64);
@@ -1038,22 +1180,25 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
     /// an applied move charges stateful policies, so a pass that moves
     /// nothing cannot perturb how subsequent arrivals are routed. An
     /// applied move pays the transfer cost on the receiving node.
-    fn migration_pass(&mut self, t: u64) {
+    fn migration_pass(&mut self, t: u64, views: &mut Vec<NodeView>) {
         if self.config.faults.recovery.reneging {
             // Doomed work leaves the queue before the rebalance tries
             // to move it: reneging runs at the migration cadence (no
             // migration tick configured means no reneging sweep).
-            self.renege_pass(t);
+            self.renege_pass(t, views);
         }
         let cfg = self.config.frontend.migration.expect("pass implies config");
-        let n = self.nodes.len();
         let requests = self.requests;
-        // One snapshot serves the whole pass: it stays valid across
-        // rejected candidates and across source nodes (peek and the
-        // policy checks are read-only); only an applied move refreshes
-        // it.
-        let mut views = self.views();
-        for src in 0..n {
+        // The shared snapshot serves the whole pass: it stays valid
+        // across rejected candidates and across source nodes (peek and
+        // the policy checks are read-only); only an applied move
+        // refreshes it. Only live nodes can hold unstarted work, so
+        // the ascending id cursor walks the live set — a node handed
+        // work mid-pass is visited when the sweep reaches its id,
+        // exactly as the historical all-nodes scan did.
+        let mut cursor: Option<usize> = None;
+        while let Some(src) = self.next_live_after(cursor) {
+            cursor = Some(src);
             // Candidates in arrival order (the active list's order is
             // arbitrary), frozen before any movement from this node.
             let mut candidates: Vec<(u64, u64)> = self.nodes[src]
@@ -1064,7 +1209,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
             for (_, id) in candidates {
                 let ctx = DispatchContext {
                     now_ns: t,
-                    nodes: &views,
+                    nodes: views,
                     lut: &self.lut,
                     transfer_cost: &self.config.transfer_cost,
                     // The candidate is already queued on `src`, whose
@@ -1123,6 +1268,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                     .take_unstarted(id)
                     .expect("candidate is queued and unstarted");
                 self.nodes[target].accept_transfer(transfer, dst_scale, t, fetch_ns);
+                self.mark_live(target);
                 self.transferred_out[src] += 1;
                 self.transferred_in[target] += 1;
                 self.transfer_fetch_ns[target] += fetch_ns;
@@ -1138,7 +1284,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                         b: fetch_ns as i64,
                     });
                 }
-                views = self.views();
+                self.refresh_views(views);
             }
         }
     }
@@ -1151,11 +1297,13 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
     /// still need. A reneged request stays in the admitted population
     /// and closes conservation through [`NodeReport::reneged`]; a
     /// deadline-free request is never infeasible and never reneges.
-    fn renege_pass(&mut self, t: u64) {
-        let n = self.nodes.len();
+    fn renege_pass(&mut self, t: u64, views: &mut Vec<NodeView>) {
         let requests = self.requests;
-        let mut views = self.views();
-        for src in 0..n {
+        // Only live nodes can hold unstarted work; the id cursor is
+        // robust to the removals the pass itself applies.
+        let mut cursor: Option<usize> = None;
+        while let Some(src) = self.next_live_after(cursor) {
+            cursor = Some(src);
             // Candidates in arrival order, frozen before any removal;
             // the queued task's SLO is carried along so a degraded
             // admission is judged against its relaxed class.
@@ -1169,7 +1317,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                 request.slo_ns = slo_ns;
                 let ctx = DispatchContext {
                     now_ns: t,
-                    nodes: &views,
+                    nodes: views,
                     lut: &self.lut,
                     transfer_cost: &self.config.transfer_cost,
                     reoffer_src: Some(src),
@@ -1194,20 +1342,33 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                         b: slack,
                     });
                 }
-                views = self.views();
+                self.refresh_views(views);
             }
         }
     }
 
-    /// Every queued, never-started request on every peer of `thief`,
-    /// priced for that thief (service estimates on both sides plus the
-    /// transfer cost).
-    fn steal_candidates(&self, thief: usize) -> Vec<StealCandidate> {
+    /// The ids (ascending) of nodes currently holding stealable —
+    /// queued, never-started — work. Only live nodes can qualify, so
+    /// the scan never touches a drained node.
+    fn stealable_victims(&self) -> Vec<usize> {
+        self.live
+            .iter()
+            .copied()
+            .filter(|&v| self.nodes[v].unstarted_tasks().next().is_some())
+            .collect()
+    }
+
+    /// Every queued, never-started request on the given peers of
+    /// `thief`, priced for that thief (service estimates on both sides
+    /// plus the transfer cost). `victims` is ascending, so candidate
+    /// order matches the historical all-nodes scan.
+    fn steal_candidates(&self, thief: usize, victims: &[usize]) -> Vec<StealCandidate> {
         let mut candidates = Vec::new();
-        for (victim, node) in self.nodes.iter().enumerate() {
+        for &victim in victims {
             if victim == thief {
                 continue;
             }
+            let node = &self.nodes[victim];
             for (task, victim_scale) in node.unstarted_tasks() {
                 let info = self.lut.info(task.variant);
                 let est_ns = info.avg_latency_ns();
@@ -1238,12 +1399,22 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
     /// The steal pass: each idle (fully drained) node asks the
     /// [`StealPolicy`] to pick from the pool's stealable requests; an
     /// applied steal pays the transfer cost on the thief.
-    fn steal_pass(&mut self, t: u64) {
+    fn steal_pass(&mut self, t: u64, views: &mut Vec<NodeView>) {
         let cfg = self.config.frontend.steal.expect("pass implies config");
         let n = self.nodes.len();
+        // No stealable work anywhere means no thief can act: skip the
+        // whole pass. ([`StealPolicy::choose`] is a read-only `&self`
+        // call, so not consulting it over an empty candidate list is
+        // unobservable.) With work present, each candidate scan walks
+        // only the victim list instead of every node — this is what
+        // turns the historical drained-thieves × all-victims O(N²)
+        // sweep into O(thieves × stealable).
+        let mut victims = self.stealable_victims();
+        if victims.is_empty() {
+            return;
+        }
         // Snapshots stay valid across thieves that steal nothing; only
         // an applied transfer invalidates them.
-        let mut views = self.views();
         for thief in 0..n {
             // A down node is drained (salvage emptied it) and would
             // otherwise look like the perfect thief: skip it at the
@@ -1251,10 +1422,10 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
             if self.health[thief].down || !self.nodes[thief].is_drained() {
                 continue;
             }
-            let candidates = self.steal_candidates(thief);
+            let candidates = self.steal_candidates(thief, &victims);
             let ctx = DispatchContext {
                 now_ns: t,
-                nodes: &views,
+                nodes: views,
                 lut: &self.lut,
                 transfer_cost: &self.config.transfer_cost,
                 reoffer_src: None,
@@ -1274,6 +1445,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                 .take_unstarted(chosen.task_id)
                 .expect("chosen candidate is queued and unstarted");
             self.nodes[thief].accept_transfer(transfer, scale, t, chosen.transfer_cost_ns);
+            self.mark_live(thief);
             self.transferred_out[chosen.victim] += 1;
             self.transferred_in[thief] += 1;
             self.transfer_fetch_ns[thief] += chosen.transfer_cost_ns;
@@ -1288,7 +1460,8 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                     b: chosen.transfer_cost_ns as i64,
                 });
             }
-            views = self.views();
+            self.refresh_views(views);
+            victims = self.stealable_victims();
         }
     }
 

@@ -167,8 +167,15 @@ impl FaultSchedule {
     ///
     /// Returns a description of the first invalid event: node index out
     /// of range, a recovery/window end not after the fault time, a
-    /// brown-out factor outside `(0, 1]`, or a non-finite / sub-unity
-    /// stall factor.
+    /// brown-out factor outside `(0, 1]`, a non-finite / sub-unity
+    /// stall factor, or two same-kind windows overlapping on one node.
+    /// The engine keeps exactly one open brown-out and one open stall
+    /// per node, so a second overlapping window would silently
+    /// overwrite the first's factor and orphan its closing edge —
+    /// ill-defined semantics the schedule must reject up front.
+    /// Half-open `[at_ns, until_ns)` windows that merely touch
+    /// (`a.until == b.at`) do not overlap, and windows of different
+    /// kinds may freely coincide.
     pub fn validate(&self, num_nodes: usize) -> Result<(), String> {
         for (i, ev) in self.events.iter().enumerate() {
             if ev.node >= num_nodes {
@@ -219,6 +226,36 @@ impl FaultSchedule {
                         ));
                     }
                 }
+            }
+        }
+        // Same-kind windows must not overlap on one node (the engine
+        // tracks one open window of each kind per node). Half-open
+        // windows: touching is fine, overlap is not.
+        let mut windows: Vec<(usize, u8, u64, u64)> = self
+            .events
+            .iter()
+            .filter_map(|ev| match ev.kind {
+                FaultKind::Brownout { until_ns, .. } => Some((ev.node, 0u8, ev.at_ns, until_ns)),
+                FaultKind::TransferStall { until_ns, .. } => {
+                    Some((ev.node, 1u8, ev.at_ns, until_ns))
+                }
+                FaultKind::Crash | FaultKind::TransientCrash { .. } => None,
+            })
+            .collect();
+        windows.sort_unstable();
+        for pair in windows.windows(2) {
+            let (node, tag, start, end) = pair[0];
+            let (node2, tag2, start2, _) = pair[1];
+            if node == node2 && tag == tag2 && start2 < end {
+                let kind = if tag == 0 {
+                    "brown-out"
+                } else {
+                    "transfer-stall"
+                };
+                return Err(format!(
+                    "overlapping {kind} windows on node {node}: \
+                     [{start}, {end}) and a second starting at {start2}"
+                ));
             }
         }
         Ok(())
@@ -341,6 +378,49 @@ mod tests {
         assert!(factor.validate(1).unwrap_err().contains("(0, 1]"));
         let stall = FaultSchedule::new().transfer_stall(0, 0, 10, 0.5);
         assert!(stall.validate(1).unwrap_err().contains(">= 1"));
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_brownout_windows() {
+        // The engine holds one open brown-out per node: a second window
+        // opening inside the first would overwrite its factor and
+        // orphan its closing edge.
+        let s = FaultSchedule::new()
+            .brownout(0, 100, 1_000, 0.5)
+            .brownout(0, 500, 2_000, 0.25);
+        let err = s.validate(1).unwrap_err();
+        assert!(err.contains("overlapping brown-out"), "got: {err}");
+        // Builder order does not matter — overlap is detected on the
+        // sorted windows.
+        let s = FaultSchedule::new()
+            .brownout(0, 500, 2_000, 0.25)
+            .brownout(0, 100, 1_000, 0.5);
+        assert!(s.validate(1).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_stall_windows() {
+        let s = FaultSchedule::new()
+            .transfer_stall(2, 0, 60, 4.0)
+            .transfer_stall(2, 59, 120, 2.0);
+        let err = s.validate(3).unwrap_err();
+        assert!(err.contains("overlapping transfer-stall"), "got: {err}");
+        assert!(err.contains("node 2"), "got: {err}");
+    }
+
+    #[test]
+    fn validate_allows_touching_and_cross_kind_windows() {
+        // Half-open windows: [0, 100) then [100, 200) merely touch.
+        let touching = FaultSchedule::new()
+            .brownout(0, 0, 100, 0.5)
+            .brownout(0, 100, 200, 0.25);
+        assert!(touching.validate(1).is_ok());
+        // Different kinds (or different nodes) may overlap freely.
+        let cross = FaultSchedule::new()
+            .brownout(0, 0, 1_000, 0.5)
+            .transfer_stall(0, 500, 2_000, 4.0)
+            .brownout(1, 0, 1_000, 0.5);
+        assert!(cross.validate(2).is_ok());
     }
 
     #[test]

@@ -530,6 +530,24 @@ mod tests {
     }
 
     #[test]
+    fn zero_span_window_yields_zero_throughput_not_inf() {
+        // A run can complete work over a zero-width observation window
+        // (every completion at its own arrival instant — e.g. one
+        // zero-layer request, or all completions at one timestamp).
+        // `completions / 0 s` must pin to 0.0, never +inf or NaN,
+        // matching the empty-run convention above.
+        let r = ClusterReport::new(vec![
+            node(0, vec![completion(0, 5, 5, 10)], 0),
+            node(1, vec![completion(1, 5, 5, 10)], 0),
+        ]);
+        assert_eq!(r.span_ns(), 0);
+        assert_eq!(r.completed_total(), 2);
+        assert_eq!(r.throughput_inf_s(), 0.0);
+        assert!(r.throughput_inf_s().is_finite());
+        assert!(r.metrics().throughput_inf_s.is_finite());
+    }
+
+    #[test]
     fn empty_traffic_run_yields_neutral_metrics() {
         // An admission policy may reject every request: the all-idle
         // report is legal and every metric is neutral — in particular

@@ -37,9 +37,11 @@
 
 mod baselines;
 mod dysta_sched;
+mod indexed;
 mod lut;
 mod policy;
 mod predictor;
+mod rounding;
 mod scheduler;
 mod task;
 
@@ -48,7 +50,8 @@ pub use dysta_sched::{DystaConfig, DystaScheduler, DystaStaticScheduler, OracleS
 pub use lut::{ModelInfo, ModelInfoLut};
 pub use policy::Policy;
 pub use predictor::{CoeffStrategy, SparseLatencyPredictor};
-pub use scheduler::{pick_max_score, pick_min_score, Scheduler, TaskQueue};
+pub use rounding::{round_ns, scale_ns};
+pub use scheduler::{pick_max_score, pick_min_score, QueuePositions, Scheduler, TaskQueue};
 pub use task::{MonitoredLayer, SparsitySummary, TaskState};
 
 // The interned variant handle travels with `TaskState`, so re-export it

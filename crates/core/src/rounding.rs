@@ -1,0 +1,81 @@
+//! Shared float→integer nanosecond rounding.
+//!
+//! Several seams convert float nanosecond quantities onto the engines'
+//! integer clocks: service-time scaling on a node, transfer fetch
+//! costs, stall-window inflation, predicted-backlog projections. They
+//! must all round the same way — two call sites disagreeing by 1 ns is
+//! enough to desynchronise a costed transfer from the capacity scaling
+//! that priced it. These two helpers are that single definition.
+
+/// Scales a nanosecond quantity by a service/stall factor (≥ 0),
+/// rounding half-away-from-zero. Exact for the native factor 1.0: the
+/// hot path skips the float round-trip entirely, so an unscaled
+/// latency is returned bit-for-bit.
+#[inline]
+pub fn scale_ns(ns: u64, scale: f64) -> u64 {
+    if scale == 1.0 {
+        ns
+    } else {
+        (ns as f64 * scale).round() as u64
+    }
+}
+
+/// Rounds a float nanosecond quantity to the integer clock:
+/// half-away-from-zero, with negative values (and NaN) clamped to 0
+/// and values beyond `u64::MAX` saturated by the float→int cast.
+#[inline]
+pub fn round_ns(ns: f64) -> u64 {
+    ns.round().max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_identity_is_exact_at_one() {
+        for ns in [0u64, 1, 3, 999_999_999_999, u64::MAX] {
+            assert_eq!(scale_ns(ns, 1.0), ns);
+        }
+    }
+
+    #[test]
+    fn scale_rounds_half_away_from_zero() {
+        // 3 * 0.5 = 1.5 -> 2 (away from zero, not banker's rounding).
+        assert_eq!(scale_ns(3, 0.5), 2);
+        assert_eq!(scale_ns(5, 0.5), 3);
+        assert_eq!(scale_ns(1, 2.5), 3);
+        assert_eq!(scale_ns(10, 1.25), 13);
+        assert_eq!(scale_ns(0, 7.5), 0);
+    }
+
+    #[test]
+    fn scale_saturates_on_overflow() {
+        assert_eq!(scale_ns(u64::MAX, 2.0), u64::MAX);
+    }
+
+    #[test]
+    fn round_boundaries() {
+        assert_eq!(round_ns(0.0), 0);
+        assert_eq!(round_ns(0.49999), 0);
+        assert_eq!(round_ns(0.5), 1);
+        assert_eq!(round_ns(1.5), 2);
+        assert_eq!(round_ns(2.5), 3);
+        assert_eq!(round_ns(1e9 + 0.5), 1_000_000_001);
+    }
+
+    #[test]
+    fn round_clamps_negatives_and_nan() {
+        assert_eq!(round_ns(-0.4), 0);
+        assert_eq!(round_ns(-0.0), 0);
+        assert_eq!(round_ns(-5.0e9), 0);
+        assert_eq!(round_ns(f64::NAN), 0);
+        assert_eq!(round_ns(f64::NEG_INFINITY), 0);
+    }
+
+    #[test]
+    fn round_saturates_on_overflow() {
+        assert_eq!(round_ns(f64::INFINITY), u64::MAX);
+        assert_eq!(round_ns(2.0e19 * 2.0), u64::MAX);
+    }
+}

@@ -20,7 +20,9 @@
 
 use std::collections::VecDeque;
 
-use dysta_core::{ModelInfoLut, MonitoredLayer, Scheduler, TaskQueue, TaskState};
+use dysta_core::{
+    scale_ns, ModelInfoLut, MonitoredLayer, QueuePositions, Scheduler, TaskQueue, TaskState,
+};
 use dysta_obs::{EventKind, NullTracer, Phase, TraceEvent, Tracer};
 use dysta_trace::SampleTrace;
 use dysta_workload::Request;
@@ -127,6 +129,14 @@ pub struct NodeEngine<'w, S = Box<dyn Scheduler>, T = NullTracer> {
     /// arbitrary (completion removal is `swap_remove`); schedulers must
     /// not read meaning into queue positions, only into task fields.
     active: Vec<usize>,
+    /// id → position in `active`, maintained in lockstep so the
+    /// scheduler's indexed pick path can resolve a winning id without a
+    /// scan ([`TaskQueue::hooked`]), and so withdrawals are O(log n).
+    positions: QueuePositions,
+    /// Bumped on every externally observable mutation (clock movement,
+    /// queue change, executed work); a cluster front-end caches its
+    /// per-node dispatch views against this.
+    mutation_epoch: u64,
     now_ns: u64,
     last_ran: Option<u64>,
     preemptions: u64,
@@ -175,6 +185,8 @@ impl<'w, S: Scheduler, T: Tracer> NodeEngine<'w, S, T> {
             traces: Vec::new(),
             scales: Vec::new(),
             active: Vec::new(),
+            positions: QueuePositions::new(),
+            mutation_epoch: 0,
             now_ns: 0,
             last_ran: None,
             preemptions: 0,
@@ -193,6 +205,15 @@ impl<'w, S: Scheduler, T: Tracer> NodeEngine<'w, S, T> {
     /// The node's local clock in nanoseconds.
     pub fn now_ns(&self) -> u64 {
         self.now_ns
+    }
+
+    /// A counter bumped on every externally observable mutation of the
+    /// node (clock movement, queue change, executed work). Two equal
+    /// readings bracket a window in which any dispatch view of the node
+    /// is still valid — the cluster front-end uses this to skip
+    /// rebuilding views of untouched nodes.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutation_epoch
     }
 
     /// Total service time executed so far (excludes switch overhead and
@@ -263,20 +284,32 @@ impl<'w, S: Scheduler, T: Tracer> NodeEngine<'w, S, T> {
     /// the scheduler is notified via
     /// [`dysta_core::Scheduler::on_task_removed`].
     pub fn take_unstarted(&mut self, id: u64) -> Option<TransferableTask<'w>> {
-        let pos = self.active.iter().position(|&i| self.tasks[i].id == id)?;
+        let pos = self.positions.get(id)?;
         let idx = self.active[pos];
+        debug_assert_eq!(self.tasks[idx].id, id, "positions out of sync");
         if self.tasks[idx].started() {
             return None;
         }
         // The arena slot stays behind (like completed tasks); only the
         // live index is dropped, so `swap_remove` keeps removal O(1).
-        self.active.swap_remove(pos);
+        self.remove_active(pos);
+        self.mutation_epoch += 1;
         let task = self.tasks[idx].clone();
         self.scheduler.on_task_removed(&task, self.now_ns);
         Some(TransferableTask {
             task,
             trace: self.traces[idx],
         })
+    }
+
+    /// Drops `active[pos]`, keeping the id → position map in lockstep
+    /// with the `swap_remove` (the old last entry moves into `pos`).
+    fn remove_active(&mut self, pos: usize) {
+        let idx = self.active.swap_remove(pos);
+        self.positions.remove(self.tasks[idx].id);
+        if pos < self.active.len() {
+            self.positions.set(self.tasks[self.active[pos]].id, pos);
+        }
     }
 
     /// Admits a request withdrawn from a peer node at transfer time
@@ -310,7 +343,9 @@ impl<'w, S: Scheduler, T: Tracer> NodeEngine<'w, S, T> {
         task.true_remaining_ns = scale_ns(trace.isolated_latency_ns(), scale);
         self.now_ns = self.now_ns.max(at_ns) + fetch_ns;
         self.busy_ns += fetch_ns;
+        self.mutation_epoch += 1;
         self.scheduler.on_arrival(&task, &self.lut, self.now_ns);
+        self.positions.insert(task.id, self.active.len());
         self.tasks.push(task);
         self.traces.push(trace);
         self.scales.push(scale);
@@ -332,8 +367,10 @@ impl<'w, S: Scheduler, T: Tracer> NodeEngine<'w, S, T> {
     /// flushed first, so executed quanta stay visible in the trace.
     pub fn crash_salvage(&mut self) -> Vec<(TransferableTask<'w>, u64)> {
         self.flush_segment();
+        self.mutation_epoch += 1;
         let mut salvaged: Vec<(TransferableTask<'w>, u64)> = Vec::new();
         let active = std::mem::take(&mut self.active);
+        self.positions.clear();
         for idx in active {
             let task = self.tasks[idx].clone();
             let lost_ns = task.executed_ns;
@@ -411,6 +448,7 @@ impl<'w, S: Scheduler, T: Tracer> NodeEngine<'w, S, T> {
         );
         self.enqueue_scaled(request, trace, scale);
         self.now_ns = self.now_ns.max(at_ns);
+        self.mutation_epoch += 1;
     }
 
     /// Queues `request` with a service-time multiplier (≥ 1), modelling
@@ -450,6 +488,7 @@ impl<'w, S: Scheduler, T: Tracer> NodeEngine<'w, S, T> {
             )
         };
         self.pending.push_back(PendingTask { task, trace, scale });
+        self.mutation_epoch += 1;
     }
 
     /// Admits every queued arrival whose time has come, in arrival
@@ -461,6 +500,7 @@ impl<'w, S: Scheduler, T: Tracer> NodeEngine<'w, S, T> {
             }
             let PendingTask { task, trace, scale } = self.pending.pop_front().expect("non-empty");
             self.scheduler.on_arrival(&task, &self.lut, task.arrival_ns);
+            self.positions.insert(task.id, self.active.len());
             self.tasks.push(task);
             self.traces.push(trace);
             self.scales.push(scale);
@@ -478,6 +518,7 @@ impl<'w, S: Scheduler, T: Tracer> NodeEngine<'w, S, T> {
                 return false;
             };
             self.now_ns = self.now_ns.max(arrival);
+            self.mutation_epoch += 1;
             self.admit_due();
         }
         self.execute_quantum();
@@ -501,6 +542,7 @@ impl<'w, S: Scheduler, T: Tracer> NodeEngine<'w, S, T> {
                     return;
                 }
                 self.now_ns = self.now_ns.max(arrival);
+                self.mutation_epoch += 1;
             } else {
                 return;
             }
@@ -524,7 +566,11 @@ impl<'w, S: Scheduler, T: Tracer> NodeEngine<'w, S, T> {
     fn execute_quantum(&mut self) {
         // The scheduler reads the task arena through the live indices
         // directly — no per-quantum `Vec<&TaskState>` materialisation.
-        let queue = TaskQueue::indexed(&self.tasks, &self.active);
+        // The hooked constructor certifies that every queued task's
+        // lifecycle has gone through the scheduler hooks (this engine's
+        // invariant), unlocking the sub-linear indexed pick paths.
+        self.mutation_epoch += 1;
+        let queue = TaskQueue::hooked(&self.tasks, &self.active, &self.positions);
         debug_assert!(!queue.is_empty(), "execute_quantum needs a runnable task");
         self.invocations += 1;
         let profiling = self.tracer.profiling();
@@ -655,7 +701,7 @@ impl<'w, S: Scheduler, T: Tracer> NodeEngine<'w, S, T> {
             // scheduler decides from task fields with id tie-breaks, so
             // decisions are order-independent (pinned by the determinism
             // regression tests in `engine.rs`).
-            self.active.swap_remove(pick);
+            self.remove_active(pick);
         }
     }
 
@@ -703,15 +749,6 @@ impl<'w, S: Scheduler, T: Tracer> NodeEngine<'w, S, T> {
         let mut completed = self.completed;
         completed.sort_by_key(|c| c.id);
         SimReport::with_timeline(completed, self.preemptions, self.invocations, self.timeline)
-    }
-}
-
-/// Scales a nanosecond quantity, exact for the native scale 1.0.
-fn scale_ns(ns: u64, scale: f64) -> u64 {
-    if scale == 1.0 {
-        ns
-    } else {
-        (ns as f64 * scale).round() as u64
     }
 }
 
