@@ -84,6 +84,29 @@ struct BenchRecord {
     /// idle-nodes-cost-nothing claim, measured. `None` in records
     /// from before the event-driven cluster loop existed.
     cluster_eventq_ms: Option<f64>,
+    /// The open-loop workload generator's hot paths: streaming a
+    /// million-request arrival process, and serving a streamed slice
+    /// on a busy 64-node pool with the front-end holding only live
+    /// state. `None` in records from before streaming generation
+    /// existed.
+    workload_stream: Option<WorkloadStreamCell>,
+}
+
+/// The streaming-workload measurement cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WorkloadStreamCell {
+    /// Wall time to stream-generate 1 000 000 requests (two-phase
+    /// steady -> flash-crowd profile; the trace store is built outside
+    /// the timed region, so this is pure request generation).
+    generate_1m_ms: f64,
+    /// Requests generated per second in that run.
+    generate_per_sec: f64,
+    /// Wall time of a 10 000-request streamed serving slice on a busy
+    /// 64-node pool (~80% of aggregate capacity, EDF dispatch).
+    serve_64node_ms: f64,
+    /// The front-end's in-flight high-water mark during that slice —
+    /// the O(pool-backlog)-not-O(trace) memory claim, recorded.
+    serve_peak_live: usize,
 }
 
 /// The tracing-overhead measurement cell.
@@ -126,6 +149,10 @@ impl serde::Deserialize for BenchRecord {
             },
             pick_indexed_ms: optional("pick_indexed_ms")?,
             cluster_eventq_ms: optional("cluster_eventq_ms")?,
+            workload_stream: match value.field("workload_stream") {
+                Ok(v) => serde::Deserialize::from_value(v)?,
+                Err(_) => None,
+            },
         })
     }
 }
@@ -532,6 +559,87 @@ fn measure_cluster_faults() -> f64 {
     secs * 1e3
 }
 
+fn measure_workload_stream() -> WorkloadStreamCell {
+    use dysta::cluster::simulate_cluster_stream;
+    use dysta::workload::{ArrivalProcess, PhaseSpec, Popularity, SloModel, StreamSpec};
+
+    // Generation: a million requests through a two-phase profile
+    // (steady, then a flash crowd with Zipfian popularity) — every
+    // process and popularity branch of the per-request hot loop. The
+    // trace store is built once outside the timed region; the timed
+    // closure is pure streaming generation.
+    let spec = StreamSpec {
+        phases: vec![
+            PhaseSpec::steady(0, 2_000.0, Scenario::MultiCnn.mix(), SloModel::Fixed(10.0)),
+            PhaseSpec {
+                start_ns: 100_000_000_000,
+                process: ArrivalProcess::FlashCrowd {
+                    base_rate: 2_000.0,
+                    peak_rate: 20_000.0,
+                    start_s: 10.0,
+                    duration_s: 20.0,
+                },
+                mix: Scenario::MultiCnn.mix(),
+                popularity: Popularity::Zipfian { exponent: 1.0 },
+                slo: SloModel::Fixed(10.0),
+            },
+        ],
+        num_requests: 1_000_000,
+        samples_per_variant: 16,
+        seed: 13,
+    };
+    let store = spec.build_store();
+    let secs = median_secs(3, || {
+        let mut count = 0u64;
+        for request in spec.source(&store) {
+            std::hint::black_box(&request);
+            count += 1;
+        }
+        assert_eq!(count, 1_000_000);
+    });
+    let generate_1m_ms = secs * 1e3;
+    let generate_per_sec = 1_000_000.0 / secs;
+    println!("workload_stream generate (1M requests, 2 phases): {generate_1m_ms:.1} ms ({generate_per_sec:.0} req/s)");
+
+    // Serving: a 10k-request streamed slice on a busy 64-node pool at
+    // ~80% of aggregate capacity, so every node works the whole run
+    // while the backlog stays bounded. The recorded peak-live cell is
+    // the memory claim: in-flight state tracks the pool's backlog
+    // (hundreds), not the trace length (tens of thousands).
+    let serve_spec = StreamSpec::steady_poisson(Scenario::MultiCnn, 150.0, 10.0)
+        .num_requests(10_000)
+        .samples_per_variant(16)
+        .seed(13);
+    let serve_store = serve_spec.build_store();
+    let pool = ClusterConfig::homogeneous(64, AcceleratorKind::EyerissV2, Policy::Dysta);
+    let mut peak_live = 0usize;
+    let secs = median_secs(3, || {
+        let report = simulate_cluster_stream(
+            serve_spec.source(&serve_store),
+            DispatchPolicy::EarliestDeadlineFirst.build().as_mut(),
+            &pool,
+        );
+        assert_eq!(report.completed_total(), 10_000);
+        peak_live = report.serving().peak_live_requests;
+    });
+    assert!(
+        peak_live < 2_500,
+        "front-end live state must stay O(pool backlog), not O(trace): \
+         peak {peak_live} on a 10k-request stream"
+    );
+    let serve_64node_ms = secs * 1e3;
+    println!(
+        "workload_stream serve (64 nodes, 10k streamed reqs): {serve_64node_ms:.1} ms \
+         (peak live {peak_live})"
+    );
+    WorkloadStreamCell {
+        generate_1m_ms,
+        generate_per_sec,
+        serve_64node_ms,
+        serve_peak_live: peak_live,
+    }
+}
+
 fn measure_trace_overhead() -> TraceOverheadCell {
     use dysta::obs::{NullTracer, RingTracer};
     use dysta::sim::simulate_traced;
@@ -646,6 +754,7 @@ fn main() {
     let cluster_admission_ms = measure_cluster_admission();
     let cluster_faults_ms = measure_cluster_faults();
     let cluster_eventq_ms = measure_cluster_eventq();
+    let workload_stream = measure_workload_stream();
     let trace_overhead = measure_trace_overhead();
 
     let record = BenchRecord {
@@ -660,6 +769,7 @@ fn main() {
         trace_overhead: Some(trace_overhead),
         pick_indexed_ms: Some(pick_indexed_ms),
         cluster_eventq_ms: Some(cluster_eventq_ms),
+        workload_stream: Some(workload_stream),
     };
 
     // A malformed history file must abort, not be silently replaced —

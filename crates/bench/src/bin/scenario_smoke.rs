@@ -1,0 +1,68 @@
+//! CI smoke for the shipped scenario files: every `scenarios/*.json`
+//! must parse through the validating loader and actually serve — a
+//! bounded streamed prefix is run through a small cluster so a file
+//! that validates but generates garbage (or a loader/generator drift)
+//! fails the pipeline instead of the first user who tries the example.
+//!
+//! Usage: `scenario_smoke [scenarios-dir]` (default `scenarios/`).
+
+use dysta::cluster::{simulate_cluster_stream, ClusterConfig, DispatchPolicy};
+use dysta::core::Policy;
+use dysta::workload::{load_scenario, RequestSource, StreamSpec};
+
+/// Cap on the streamed prefix per file: enough to cross the shipped
+/// phase boundaries' first seconds without burning CI minutes on the
+/// files' full million-request-scale runs.
+const MAX_REQUESTS: u64 = 1_000;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "scenarios".to_string());
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read scenario dir {dir}: {e}"))
+        .map(|entry| entry.expect("readable directory entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no scenario files found under {dir}");
+
+    for path in &files {
+        let spec = load_scenario(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // Serve a bounded prefix: same phases, mix, and trace
+        // resolution, capped request count.
+        let capped = StreamSpec {
+            num_requests: spec.num_requests.min(MAX_REQUESTS),
+            ..spec
+        };
+        let store = capped.build_store();
+        let mut source = capped.source(&store);
+        let first_arrival = source.peek_arrival_ns().expect("stream is non-empty");
+        let pool = ClusterConfig::heterogeneous(2, 2, Policy::Dysta);
+        let report = simulate_cluster_stream(
+            source,
+            DispatchPolicy::SparsityAffinity.build().as_mut(),
+            &pool,
+        );
+        assert_eq!(
+            report.completed_total() as u64,
+            capped.num_requests,
+            "{}: every streamed request must complete on the open pool",
+            path.display()
+        );
+        println!(
+            "ok {:<28} {} phases, {} requests streamed (first arrival {:.3} s), \
+             p99 {:.2} ms, peak live {}",
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
+            capped.phases.len(),
+            capped.num_requests,
+            first_arrival as f64 / 1e9,
+            report.turnaround_percentile_ns(0.99) as f64 / 1e6,
+            report.serving().peak_live_requests,
+        );
+    }
+    println!(
+        "{} scenario files parsed, validated, and served",
+        files.len()
+    );
+}

@@ -11,13 +11,13 @@
 //! logic lives behind the policy traits.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use dysta_core::{scale_ns, ModelInfoLut, SparseLatencyPredictor};
 use dysta_models::ModelFamily;
 use dysta_obs::{EventKind, NullTracer, Phase, TraceEvent, Tracer, NODE_FRONTEND, REQ_NONE};
 use dysta_sim::NodeEngine;
-use dysta_workload::{Request, Workload};
+use dysta_workload::{Request, RequestSource, Workload, WorkloadSource};
 
 use crate::dispatch::{DispatchContext, Dispatcher, EarliestDeadlineFirst, NodeView};
 use crate::faults::{FaultKind, FaultSchedule, NodeHealth, RecoveryStats};
@@ -180,15 +180,120 @@ fn run_cluster<T: Tracer + Copy>(
     // checked once here, so hand-assembled configs cannot reach the
     // engine unvalidated.
     config.validate();
-    // The front-end indexes requests by id for re-dispatch; a workload
-    // assembled with non-dense ids would silently mis-account waits and
-    // migrations, so this is a hard precondition (O(n), once per run).
+    // A streaming source owns its id minting (the RequestSource
+    // contract), but a hand-assembled workload slice does not — reject
+    // non-dense ids here so a workload built with gaps or duplicates
+    // cannot silently mis-account waits and migrations (O(n), once).
     assert!(
         requests.iter().enumerate().all(|(i, r)| r.id == i as u64),
         "cluster front-end requires dense request ids 0..len"
     );
+    run_cluster_source(
+        WorkloadSource::new(workload),
+        dispatcher,
+        admission_policy,
+        steal_policy,
+        migration_policy,
+        config,
+        tracer,
+    )
+}
 
-    let lut = ModelInfoLut::from_store(workload.store());
+/// [`simulate_cluster`] over any [`RequestSource`]: the workload
+/// arrives as a stream instead of a materialized slice, so an
+/// open-loop [`dysta_workload::ArrivalSource`] can drive
+/// million-request runs while the front-end holds only live state
+/// (admission queue + in-flight bookkeeping — see
+/// [`ServingStats::peak_live_requests`]).
+///
+/// Over a [`WorkloadSource`] this is exactly [`simulate_cluster`]
+/// (bit-pinned by the golden fixtures, which now run through this
+/// path).
+///
+/// # Panics
+///
+/// Panics if the stream is empty, any config knob is out of range, or
+/// the dispatcher returns an out-of-range node index.
+///
+/// # Examples
+///
+/// ```
+/// use dysta_cluster::{simulate_cluster_stream, AcceleratorKind, ClusterConfig, DispatchPolicy};
+/// use dysta_core::Policy;
+/// use dysta_workload::{Scenario, StreamSpec};
+///
+/// let spec = StreamSpec::steady_poisson(Scenario::MultiCnn, 3.0, 10.0)
+///     .num_requests(40)
+///     .samples_per_variant(4)
+///     .seed(1);
+/// let store = spec.build_store();
+/// let pool = ClusterConfig::homogeneous(4, AcceleratorKind::EyerissV2, Policy::Dysta);
+/// let report = simulate_cluster_stream(
+///     spec.source(&store),
+///     DispatchPolicy::JoinShortestQueue.build().as_mut(),
+///     &pool,
+/// );
+/// assert_eq!(report.completed_total(), 40);
+/// ```
+pub fn simulate_cluster_stream<'w, S: RequestSource<'w>>(
+    source: S,
+    dispatcher: &mut dyn Dispatcher,
+    config: &ClusterConfig,
+) -> ClusterReport {
+    run_cluster_source(
+        source,
+        dispatcher,
+        &AdmitAll::new(),
+        &BacklogGainSteal::new(),
+        &BacklogThresholdMigration::new(),
+        config,
+        NullTracer,
+    )
+}
+
+/// [`simulate_cluster_with`] over any [`RequestSource`] — the full
+/// policy bundle against a streaming workload.
+///
+/// # Panics
+///
+/// As [`simulate_cluster_stream`].
+pub fn simulate_cluster_stream_with<'w, S: RequestSource<'w>>(
+    source: S,
+    policy: &mut ClusterPolicy,
+    config: &ClusterConfig,
+) -> ClusterReport {
+    run_cluster_source(
+        source,
+        policy.dispatcher.as_mut(),
+        policy.admission.as_ref(),
+        policy.steal.as_ref(),
+        policy.migration.as_ref(),
+        config,
+        NullTracer,
+    )
+}
+
+fn run_cluster_source<'w, S, T>(
+    mut source: S,
+    dispatcher: &mut dyn Dispatcher,
+    admission_policy: &dyn AdmissionPolicy,
+    steal_policy: &dyn StealPolicy,
+    migration_policy: &dyn MigrationPolicy,
+    config: &ClusterConfig,
+    tracer: T,
+) -> ClusterReport
+where
+    S: RequestSource<'w>,
+    T: Tracer + Copy,
+{
+    assert!(
+        source.peek_arrival_ns().is_some(),
+        "workload must contain requests"
+    );
+    config.validate();
+    let len_hint = source.len_hint();
+
+    let lut = ModelInfoLut::from_store(source.store());
     let lut_len = lut.len();
     let predictor = SparseLatencyPredictor::default();
     let nodes: Vec<NodeEngine<'_, Box<dyn dysta_core::Scheduler>, T>> = config
@@ -213,8 +318,7 @@ fn run_cluster<T: Tracer + Copy>(
         .collect();
 
     let mut frontend = Frontend {
-        workload,
-        requests,
+        source,
         config,
         dispatcher,
         admission_policy,
@@ -229,16 +333,19 @@ fn run_cluster<T: Tracer + Copy>(
         transferred_in: vec![0; config.nodes.len()],
         transferred_out: vec![0; config.nodes.len()],
         transfer_fetch_ns: vec![0; config.nodes.len()],
-        admission_wait_ns: Vec::with_capacity(requests.len()),
+        admission_wait_ns: Vec::with_capacity(len_hint),
         rejected_ids: Vec::new(),
         degraded_slo_ns: Vec::new(),
-        migration_count: vec![0; requests.len()],
+        live_requests: HashMap::new(),
+        peak_live: 0,
+        max_migrations: 0,
+        last_arrival_ns: 0,
+        completed_seen: vec![0; config.nodes.len()],
         steals: 0,
         migrations: 0,
         health: vec![HealthState::default(); config.nodes.len()],
         fault_timeline: expand_schedule(&config.faults.schedule),
         next_fault: 0,
-        retry_count: vec![0; requests.len()],
         failed: vec![0; config.nodes.len()],
         reneged: vec![0; config.nodes.len()],
         recovery: RecoveryStats::default(),
@@ -434,9 +541,24 @@ impl HealthState {
     }
 }
 
-struct Frontend<'w, 'c, T> {
-    workload: &'w Workload,
-    requests: &'w [Request],
+/// One admitted request's front-end bookkeeping, kept only while the
+/// request is in flight (inserted at admission, removed when its
+/// completion is observed — or immediately on failure/renege). The
+/// stored request is the *original* admitted class: salvage, migration,
+/// and steal re-dispatch consult it exactly as the historical
+/// id-indexed slice did, with degradation applied only at the node.
+struct LiveEntry {
+    request: Request,
+    /// Rebalance moves applied so far (bounded by
+    /// [`crate::MigrationConfig::max_per_request`]).
+    migrations: u32,
+    /// Crash-salvage retries applied so far (bounded by
+    /// [`crate::RecoveryConfig::max_retries`]).
+    retries: u32,
+}
+
+struct Frontend<'w, 'c, S, T> {
+    source: S,
     config: &'c ClusterConfig,
     dispatcher: &'c mut dyn Dispatcher,
     admission_policy: &'c dyn AdmissionPolicy,
@@ -454,7 +576,21 @@ struct Frontend<'w, 'c, T> {
     admission_wait_ns: Vec<u64>,
     rejected_ids: Vec<u64>,
     degraded_slo_ns: Vec<(u64, u64)>,
-    migration_count: Vec<u32>,
+    /// In-flight requests keyed by id: admitted but not yet observed
+    /// complete. This is the only per-request state the front-end holds,
+    /// so memory tracks the pool's backlog, not the trace length.
+    live_requests: HashMap<u64, LiveEntry>,
+    /// High-water mark of `live_requests` ([`ServingStats::peak_live_requests`]).
+    peak_live: usize,
+    /// Running max of per-request migration counts
+    /// ([`ServingStats::max_migrations_single_request`]).
+    max_migrations: u32,
+    /// Newest arrival timestamp handed out by the source; once the
+    /// stream is exhausted this is the tail-flush deadline.
+    last_arrival_ns: u64,
+    /// Per-node cursor into [`NodeEngine::completed_since`]: completions
+    /// already evicted from `live_requests`.
+    completed_seen: Vec<usize>,
     steals: u64,
     migrations: u64,
     /// Live fault state per node, updated by [`Frontend::fault_tick`].
@@ -463,9 +599,6 @@ struct Frontend<'w, 'c, T> {
     fault_timeline: Vec<(u64, FaultAction)>,
     /// Cursor into `fault_timeline`: the first unapplied action.
     next_fault: usize,
-    /// Crash-salvage retries applied per request (indexed by id),
-    /// bounded by [`crate::RecoveryConfig::max_retries`].
-    retry_count: Vec<u32>,
     /// Per-node crash-failure counters ([`NodeReport::failed`]).
     failed: Vec<usize>,
     /// Per-node renege counters ([`NodeReport::reneged`]).
@@ -494,7 +627,17 @@ struct Frontend<'w, 'c, T> {
     scratch: String,
 }
 
-impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
+impl<'w, S: RequestSource<'w>, T: Tracer + Copy> Frontend<'w, '_, S, T> {
+    /// The original (pre-degrade) admitted request for a live id.
+    /// `Request` is `Copy`, so this hands out an owned value and leaves
+    /// `self` free for further mutation.
+    fn live_request(&self, id: u64) -> Request {
+        self.live_requests
+            .get(&id)
+            .expect("request is live")
+            .request
+    }
+
     /// Interns (once per variant) and returns the label id for a
     /// request's model variant.
     fn label_for(&mut self, request: &Request) -> u32 {
@@ -535,9 +678,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
 
     fn run(&mut self) {
         let fe: FrontendConfig = self.config.frontend;
-        let requests_slice = self.requests;
-        let mut next_arrival = 0usize;
-        let mut queue: VecDeque<u64> = VecDeque::new();
+        let mut queue: VecDeque<Request> = VecDeque::new();
         // Set when the admission timer is armed: oldest queued arrival
         // plus the admission interval.
         let mut timer_deadline: Option<u64> = None;
@@ -547,14 +688,17 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
 
         // Phase 1: drain the arrival stream through the admission queue,
         // interleaving steal/migration ticks at their configured cadence.
-        while next_arrival < self.requests.len() || !queue.is_empty() {
-            let arrival = self.requests.get(next_arrival).map(|r| r.arrival_ns);
+        loop {
+            let arrival = self.source.peek_arrival_ns();
+            if arrival.is_none() && queue.is_empty() {
+                break;
+            }
             let deadline = if queue.is_empty() {
                 None
             } else if arrival.is_none() && timer_deadline.is_none() {
                 // No more arrivals can ever fill the batch: flush the
                 // remainder at its newest (= the stream's last) arrival.
-                Some(self.requests[self.requests.len() - 1].arrival_ns)
+                Some(self.last_arrival_ns)
             } else {
                 timer_deadline
             };
@@ -570,12 +714,19 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
 
             match kind {
                 EV_ARRIVAL => {
+                    let request = self
+                        .source
+                        .next_request()
+                        .expect("peeked arrival has a request");
+                    debug_assert!(
+                        request.arrival_ns >= self.last_arrival_ns,
+                        "request sources must yield monotone arrivals"
+                    );
                     if queue.is_empty() && fe.admit_interval_ns > 0 {
                         timer_deadline = Some(t + fe.admit_interval_ns);
                     }
                     if self.tracer.enabled() {
-                        let request = &requests_slice[next_arrival];
-                        let label = self.label_for(request);
+                        let label = self.label_for(&request);
                         self.tracer.record(TraceEvent {
                             t_ns: t,
                             request: request.id,
@@ -585,8 +736,8 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                             b: request.slo_ns.min(i64::MAX as u64) as i64,
                         });
                     }
-                    queue.push_back(self.requests[next_arrival].id);
-                    next_arrival += 1;
+                    self.last_arrival_ns = request.arrival_ns;
+                    queue.push_back(request);
                     if queue.len() >= fe.admit_batch {
                         self.dispatch_batch(&mut queue, t);
                         timer_deadline = None;
@@ -676,8 +827,22 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
 
     /// Drops every now-drained node from the live set, restoring the
     /// invariant `live == {nodes with unfinished work}` (between
-    /// front-end actions the set is a conservative superset).
+    /// front-end actions the set is a conservative superset), and
+    /// evicts every newly observed completion from the live-request
+    /// table. Eviction runs on each node sync, so the table tracks the
+    /// pool's in-flight backlog rather than the trace length — the
+    /// memory contract streaming sources rely on.
     fn prune_live(&mut self) {
+        for &node_id in &self.live {
+            let node = &self.nodes[node_id];
+            let seen = self.completed_seen[node_id];
+            if node.completed_count() > seen {
+                for completed in node.completed_since(seen) {
+                    self.live_requests.remove(&completed.id);
+                }
+                self.completed_seen[node_id] = node.completed_count();
+            }
+        }
         let nodes = &self.nodes;
         self.live.retain(|&id| !nodes[id].is_drained());
     }
@@ -852,18 +1017,19 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                     request: id,
                     node: crashed as u32,
                     kind: EventKind::Salvage,
-                    a: u64::from(self.retry_count[id as usize]),
+                    a: u64::from(self.live_requests[&id].retries),
                     b: lost_ns as i64,
                 });
             }
-            if !recovery_cfg.salvage || self.retry_count[id as usize] >= recovery_cfg.max_retries {
+            if !recovery_cfg.salvage || self.live_requests[&id].retries >= recovery_cfg.max_retries
+            {
                 self.fail_request(t, id, crashed);
                 continue;
             }
-            // Routing consults the id-indexed original request; the
+            // Routing consults the live table's original request; the
             // salvaged task keeps the deadline class it was admitted
             // under (relaxed, if admission degraded it).
-            let request = self.requests[id as usize];
+            let request = self.live_request(id);
             self.refresh_views(&mut views);
             let ctx = DispatchContext {
                 now_ns: t,
@@ -887,7 +1053,10 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
             self.transferred_out[crashed] += 1;
             self.transferred_in[target] += 1;
             self.transfer_fetch_ns[target] += fetch_ns;
-            self.retry_count[id as usize] += 1;
+            self.live_requests
+                .get_mut(&id)
+                .expect("request is live")
+                .retries += 1;
             self.recovery.retries += 1;
             if self.tracer.enabled() {
                 self.tracer.record(TraceEvent {
@@ -907,6 +1076,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
     /// admitted population ([`NodeReport::routed`]) but never completes,
     /// so conservation closes through [`NodeReport::failed`].
     fn fail_request(&mut self, t: u64, id: u64, node: usize) {
+        let entry = self.live_requests.remove(&id);
         self.failed[node] += 1;
         self.recovery.failed += 1;
         self.recovery.failed_ids.push(id);
@@ -916,7 +1086,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                 request: id,
                 node: node as u32,
                 kind: EventKind::Failed,
-                a: u64::from(self.retry_count[id as usize]),
+                a: u64::from(entry.map_or(0, |e| e.retries)),
                 b: 0,
             });
         }
@@ -1061,17 +1231,16 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
     /// to the node that would have served it and dropped. A degraded
     /// request is re-classed to its relaxed SLO before routing, with
     /// the original SLO recorded for the report's goodput accounting.
-    fn dispatch_batch(&mut self, queue: &mut VecDeque<u64>, t: u64) {
+    fn dispatch_batch(&mut self, queue: &mut VecDeque<Request>, t: u64) {
         self.sync_nodes(t);
         // Front-end phase timing starts after the node sync, so node
         // execution (its own pick/execute phases) is not double-counted.
         let t0 = self.tracer.profiling().then(std::time::Instant::now);
-        let requests = self.requests;
         let admission_cfg = self.config.frontend.admission;
         let mut views = std::mem::take(&mut self.view_cache);
-        while let Some(id) = queue.pop_front() {
-            let request = &requests[id as usize];
-            let wait_ns = t - request.arrival_ns;
+        while let Some(original) = queue.pop_front() {
+            let id = original.id;
+            let wait_ns = t - original.arrival_ns;
             self.refresh_views(&mut views);
             let ctx = DispatchContext {
                 now_ns: t,
@@ -1080,9 +1249,11 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                 transfer_cost: &self.config.transfer_cost,
                 reoffer_src: None,
             };
-            let decision = self.admission_policy.decide(request, &ctx, &admission_cfg);
+            let decision = self
+                .admission_policy
+                .decide(&original, &ctx, &admission_cfg);
             if decision == AdmissionDecision::Reject {
-                let would_serve = self.dispatcher.peek(request, &ctx);
+                let would_serve = self.dispatcher.peek(&original, &ctx);
                 self.check_target(would_serve);
                 self.rejected[would_serve] += 1;
                 self.rejected_ids.push(id);
@@ -1098,11 +1269,26 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                 }
                 continue;
             }
+            // Track the admitted request while it is in flight (inlined
+            // rather than a `&mut self` helper so the `ctx` borrows of
+            // `lut`/`config` stay field-disjoint). Sources mint unique
+            // ids and completed/failed ids are never re-admitted, so
+            // the insert never displaces an entry.
+            let prev = self.live_requests.insert(
+                id,
+                LiveEntry {
+                    request: original,
+                    migrations: 0,
+                    retries: 0,
+                },
+            );
+            debug_assert!(prev.is_none(), "request id admitted twice");
+            self.peak_live = self.peak_live.max(self.live_requests.len());
             let request = if decision == AdmissionDecision::Degrade {
-                self.degraded_slo_ns.push((id, request.slo_ns));
-                request.relax_slo(admission_cfg.degrade_slo_multiplier)
+                self.degraded_slo_ns.push((id, original.slo_ns));
+                original.relax_slo(admission_cfg.degrade_slo_multiplier)
             } else {
-                *request
+                original
             };
             if self.tracer.enabled() {
                 let (kind, relaxed_slo) = if decision == AdmissionDecision::Degrade {
@@ -1138,12 +1324,8 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                 continue;
             }
             let scale = self.dispatch_scale(target, request.spec.model.family());
-            self.nodes[target].enqueue_scaled_at(
-                &request,
-                self.workload.trace_for(&request),
-                scale,
-                t,
-            );
+            let trace = self.source.trace_for(&request);
+            self.nodes[target].enqueue_scaled_at(&request, trace, scale, t);
             self.mark_live(target);
             self.routed[target] += 1;
             self.admission_wait_ns.push(t - request.arrival_ns);
@@ -1188,7 +1370,6 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
             self.renege_pass(t, views);
         }
         let cfg = self.config.frontend.migration.expect("pass implies config");
-        let requests = self.requests;
         // The shared snapshot serves the whole pass: it stays valid
         // across rejected candidates and across source nodes (peek and
         // the policy checks are read-only); only an applied move
@@ -1220,25 +1401,26 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                 if !self.migration_policy.should_rebalance(src, &ctx, &cfg) {
                     break; // src is no longer behind.
                 }
-                if self.migration_count[id as usize] >= cfg.max_per_request {
+                let migrations_so_far = self.live_requests[&id].migrations;
+                if migrations_so_far >= cfg.max_per_request {
                     continue;
                 }
-                let request = &requests[id as usize];
+                let request = self.live_request(id);
                 if self.tracer.enabled() {
                     self.tracer.record(TraceEvent {
                         t_ns: t,
                         request: id,
                         node: src as u32,
                         kind: EventKind::MigrationOffer,
-                        a: u64::from(self.migration_count[id as usize]),
+                        a: u64::from(migrations_so_far),
                         b: 0,
                     });
                 }
-                let target = self.dispatcher.peek(request, &ctx);
+                let target = self.dispatcher.peek(&request, &ctx);
                 self.check_target(target);
                 if !self
                     .migration_policy
-                    .accept(request, src, target, &ctx, &cfg)
+                    .accept(&request, src, target, &ctx, &cfg)
                 {
                     if self.tracer.enabled() {
                         self.tracer.record(TraceEvent {
@@ -1254,7 +1436,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                 }
                 // The move is real: charge the dispatcher's state from
                 // the same snapshot the decision was made on.
-                let charged = self.dispatcher.dispatch(request, &ctx);
+                let charged = self.dispatcher.dispatch(&request, &ctx);
                 assert_eq!(
                     charged,
                     target,
@@ -1262,7 +1444,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                     self.dispatcher.name()
                 );
                 let fetch_ns =
-                    self.stalled_fetch(src, target, ctx.request_transfer_cost_ns(request));
+                    self.stalled_fetch(src, target, ctx.request_transfer_cost_ns(&request));
                 let dst_scale = self.dispatch_scale(target, request.spec.model.family());
                 let transfer = self.nodes[src]
                     .take_unstarted(id)
@@ -1272,7 +1454,12 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                 self.transferred_out[src] += 1;
                 self.transferred_in[target] += 1;
                 self.transfer_fetch_ns[target] += fetch_ns;
-                self.migration_count[id as usize] += 1;
+                let m = {
+                    let entry = self.live_requests.get_mut(&id).expect("request is live");
+                    entry.migrations += 1;
+                    entry.migrations
+                };
+                self.max_migrations = self.max_migrations.max(m);
                 self.migrations += 1;
                 if self.tracer.enabled() {
                     self.tracer.record(TraceEvent {
@@ -1298,7 +1485,6 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
     /// and closes conservation through [`NodeReport::reneged`]; a
     /// deadline-free request is never infeasible and never reneges.
     fn renege_pass(&mut self, t: u64, views: &mut Vec<NodeView>) {
-        let requests = self.requests;
         // Only live nodes can hold unstarted work; the id cursor is
         // robust to the removals the pass itself applies.
         let mut cursor: Option<usize> = None;
@@ -1313,7 +1499,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                 .collect();
             candidates.sort_unstable();
             for (arrival_ns, id, slo_ns) in candidates {
-                let mut request = requests[id as usize];
+                let mut request = self.live_request(id);
                 request.slo_ns = slo_ns;
                 let ctx = DispatchContext {
                     now_ns: t,
@@ -1329,6 +1515,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                 self.nodes[src]
                     .take_unstarted(id)
                     .expect("candidate is queued and unstarted");
+                self.live_requests.remove(&id);
                 self.reneged[src] += 1;
                 self.recovery.reneged += 1;
                 self.recovery.reneged_ids.push(id);
@@ -1439,7 +1626,7 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
                 self.steal_policy.name()
             );
             let chosen = candidates[pick];
-            let family = self.requests[chosen.task_id as usize].spec.model.family();
+            let family = self.live_request(chosen.task_id).spec.model.family();
             let scale = self.dispatch_scale(thief, family);
             let transfer = self.nodes[chosen.victim]
                 .take_unstarted(chosen.task_id)
@@ -1481,7 +1668,8 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
             admission_wait_ns,
             rejected_ids,
             degraded_slo_ns,
-            migration_count,
+            max_migrations,
+            peak_live,
             steals,
             migrations,
             failed,
@@ -1492,12 +1680,13 @@ impl<'w, T: Tracer + Copy> Frontend<'w, '_, T> {
         let serving = ServingStats {
             steals,
             migrations,
-            max_migrations_single_request: migration_count.iter().copied().max().unwrap_or(0),
+            max_migrations_single_request: max_migrations,
             transfer_cost_ns: transfer_fetch_ns.iter().sum(),
             admission_wait_ns,
             rejected_ids,
             degraded_slo_ns,
             recovery,
+            peak_live_requests: peak_live,
         };
         ClusterReport::with_serving(
             nodes

@@ -174,7 +174,10 @@ pub use dispatch::{
     DispatchContext, DispatchPolicy, Dispatcher, EarliestDeadlineFirst, JoinShortestQueue,
     LeastLoaded, NodeView, RoundRobin, SparsityAffinity,
 };
-pub use engine::{simulate_cluster, simulate_cluster_traced, simulate_cluster_with};
+pub use engine::{
+    simulate_cluster, simulate_cluster_stream, simulate_cluster_stream_with,
+    simulate_cluster_traced, simulate_cluster_with,
+};
 pub use faults::{
     FaultConfig, FaultEvent, FaultKind, FaultSchedule, NodeHealth, RecoveryConfig, RecoveryStats,
 };

@@ -112,6 +112,12 @@ pub struct ServingStats {
     /// and failed requests, and the executed work lost to crashes. All
     /// zero under an empty [`crate::FaultSchedule`] with reneging off.
     pub recovery: crate::RecoveryStats,
+    /// High-water mark of the front-end's live-request table: requests
+    /// admitted but not yet observed retired (completed, failed, or
+    /// reneged). Bounded by the pool's in-flight backlog — not by the
+    /// trace length — which is what lets a streaming source drive
+    /// million-request runs in O(pool) memory.
+    pub peak_live_requests: usize,
 }
 
 impl ServingStats {

@@ -227,6 +227,19 @@ impl<'w, S: Scheduler, T: Tracer> NodeEngine<'w, S, T> {
         self.completed.len()
     }
 
+    /// The completion records appended since `cursor` (a previous
+    /// [`NodeEngine::completed_count`] reading), in completion order.
+    /// A cluster front-end uses this to retire its live-request
+    /// bookkeeping incrementally, so its working set tracks the pool's
+    /// backlog instead of the whole trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cursor` exceeds the current completion count.
+    pub fn completed_since(&self, cursor: usize) -> &[CompletedRequest] {
+        &self.completed[cursor..]
+    }
+
     /// Number of admitted-or-queued unfinished requests.
     pub fn queue_len(&self) -> usize {
         self.active.len() + self.pending.len()

@@ -33,7 +33,13 @@
 mod builder;
 mod request;
 mod scenario;
+mod scenario_file;
+mod source;
+mod stream;
 
 pub use builder::{Workload, WorkloadBuilder};
 pub use request::Request;
 pub use scenario::Scenario;
+pub use scenario_file::{load_scenario, parse_scenario, ScenarioError};
+pub use source::{RequestSource, WorkloadSource};
+pub use stream::{ArrivalProcess, ArrivalSource, PhaseSpec, Popularity, SloModel, StreamSpec};

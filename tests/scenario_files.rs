@@ -1,0 +1,70 @@
+//! Every scenario file shipped under `scenarios/` must load, validate,
+//! and actually generate: a malformed or drifted example would
+//! otherwise only fail for the first user who tries it. Each file is
+//! parsed through the public loader, streamed for a bounded prefix,
+//! and checked for the source contract (dense ids, monotone arrivals,
+//! resolvable traces).
+
+use std::path::PathBuf;
+
+use dysta::workload::{load_scenario, RequestSource};
+
+fn shipped_scenarios() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("scenarios/ exists at the repository root")
+        .map(|entry| entry.expect("readable directory entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn every_shipped_scenario_parses_and_streams() {
+    let files = shipped_scenarios();
+    assert!(
+        files.len() >= 5,
+        "expected the five shipped examples, found {files:?}"
+    );
+    for path in files {
+        let spec = load_scenario(&path)
+            .unwrap_or_else(|e| panic!("{} failed to load: {e}", path.display()));
+        let store = spec.build_store();
+        let mut source = spec.source(&store);
+
+        // Stream a bounded prefix (the files describe long runs) and
+        // hold the source to its contract.
+        let mut prev_arrival = 0u64;
+        for expected_id in 0..1000.min(spec.num_requests) {
+            let peeked = source.peek_arrival_ns();
+            let request = source
+                .next_request()
+                .unwrap_or_else(|| panic!("{} ran dry early", path.display()));
+            assert_eq!(peeked, Some(request.arrival_ns), "{}", path.display());
+            assert_eq!(request.id, expected_id, "{}", path.display());
+            assert!(request.arrival_ns >= prev_arrival, "{}", path.display());
+            prev_arrival = request.arrival_ns;
+            // Panics if the spec is missing from the store.
+            let trace = source.trace_for(&request);
+            assert!(trace.num_layers() > 0, "{}", path.display());
+        }
+    }
+}
+
+#[test]
+fn shipped_scenarios_reload_identically() {
+    // Loading a file twice must produce the same spec (the loader has
+    // no hidden state), and the spec must re-validate after the parse.
+    for path in shipped_scenarios() {
+        let first = load_scenario(&path).expect("shipped scenario loads");
+        let second = load_scenario(&path).expect("shipped scenario loads");
+        assert_eq!(
+            format!("{first:?}"),
+            format!("{second:?}"),
+            "{} loads are not identical",
+            path.display()
+        );
+        first.validate().expect("shipped scenario validates");
+    }
+}
