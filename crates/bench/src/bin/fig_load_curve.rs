@@ -79,12 +79,28 @@ fn stream_spec(shape: &str, load: f64, scale: Scale, seed: u64) -> StreamSpec {
 }
 
 /// The `fig_admission` pool: 2+2 heterogeneous, FCFS node scheduling,
-/// one node per family at half capacity.
-fn pool() -> ClusterConfig {
+/// one node per family at half capacity. `threads` drives the sharded
+/// advance loop (bit-exact at any count).
+fn pool(threads: usize) -> ClusterConfig {
     ClusterBuilder::heterogeneous(2, 2, Policy::Fcfs)
         .node_capacity(1, 0.5)
         .node_capacity(3, 0.5)
+        .threads(threads)
         .build()
+}
+
+/// Parses `--threads N` from the command line (1 when absent).
+fn threads_arg() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            return args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--threads requires a positive integer argument");
+                std::process::exit(2);
+            });
+        }
+    }
+    1
 }
 
 struct Cell {
@@ -95,7 +111,7 @@ struct Cell {
     peak_live: usize,
 }
 
-fn run_cell(shape: &str, load: f64, shed: bool, scale: Scale) -> Cell {
+fn run_cell(shape: &str, load: f64, shed: bool, scale: Scale, threads: usize) -> Cell {
     let mut goodput_rate = 0.0;
     let mut p99_ns = 0u64;
     let mut rejected = 0usize;
@@ -109,7 +125,7 @@ fn run_cell(shape: &str, load: f64, shed: bool, scale: Scale) -> Cell {
             policy = policy.with_admission(Box::new(SlackLoadShedding::new()));
         }
         let report: ClusterReport =
-            simulate_cluster_stream_with(spec.source(&store), &mut policy, &pool());
+            simulate_cluster_stream_with(spec.source(&store), &mut policy, &pool(threads));
         goodput_rate += report.goodput_rate();
         p99_ns += report.turnaround_percentile_ns(0.99);
         rejected += report.rejected_total();
@@ -132,6 +148,10 @@ fn main() {
         "goodput and p99 turnaround vs offered load, admit-all vs load shedding",
     );
     let scale = Scale::from_env();
+    let threads = threads_arg();
+    if threads > 1 {
+        println!("sharded advance on {threads} worker threads (bit-exact with 1)\n");
+    }
     for shape in ["flash-crowd", "phase-change"] {
         println!("--- {shape} (EDF dispatch, SLO x{SLO_MULTIPLIER}) ---");
         println!(
@@ -143,8 +163,8 @@ fn main() {
             "", "admit-all", "admit-all", "shed", "shed", "shed", "shed", "live"
         );
         for load in LOAD_FACTORS {
-            let all = run_cell(shape, load, false, scale);
-            let shed = run_cell(shape, load, true, scale);
+            let all = run_cell(shape, load, false, scale, threads);
+            let shed = run_cell(shape, load, true, scale, threads);
             println!(
                 "{:>5}x {:>10.3} {:>12.2} {:>10.3} {:>12.2} {:>9} {:>9} {:>9}",
                 load,

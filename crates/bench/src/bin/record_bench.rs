@@ -90,6 +90,22 @@ struct BenchRecord {
     /// state. `None` in records from before streaming generation
     /// existed.
     workload_stream: Option<WorkloadStreamCell>,
+    /// Wall time of the fleet sweep grid (seed × policy × scenario,
+    /// 40 cells) run sequentially (1 thread). `None` in records from
+    /// before the parallel execution stack existed.
+    fleet_sweep_seq_ms: Option<f64>,
+    /// The same grid fanned over an 8-worker pool. The
+    /// `fleet_sweep_seq_ms / fleet_sweep_ms` ratio is the recorded
+    /// sweep speedup — ≥3× on a machine with ≥8 cores; on a
+    /// single-core container the two are within noise (see
+    /// EXPERIMENTS.md's scaling table for the caveat).
+    fleet_sweep_ms: Option<f64>,
+    /// Wall time of one busy serving run (16-node pool, overdriven
+    /// traffic, steal+migrate armed) with the sequential advance loop.
+    cluster_par_seq_ms: Option<f64>,
+    /// The same run with the sharded advance on 8 worker threads
+    /// (bit-exact reports; only the wall clock may differ).
+    cluster_par_ms: Option<f64>,
 }
 
 /// The streaming-workload measurement cell.
@@ -153,6 +169,10 @@ impl serde::Deserialize for BenchRecord {
                 Ok(v) => serde::Deserialize::from_value(v)?,
                 Err(_) => None,
             },
+            fleet_sweep_seq_ms: optional("fleet_sweep_seq_ms")?,
+            fleet_sweep_ms: optional("fleet_sweep_ms")?,
+            cluster_par_seq_ms: optional("cluster_par_seq_ms")?,
+            cluster_par_ms: optional("cluster_par_ms")?,
         })
     }
 }
@@ -559,6 +579,84 @@ fn measure_cluster_faults() -> f64 {
     secs * 1e3
 }
 
+fn measure_fleet_sweep() -> (f64, f64) {
+    // The fleet sweep grid at the quick experiment scale: 2 seeds x 5
+    // dispatchers x 2 scenarios = 20 cells of 100 requests each, the
+    // same grid `fleet_sweep` runs under DYSTA_QUICK=1. Timed once
+    // sequentially and once fanned over 8 workers — the ratio is the
+    // recorded sweep speedup. Rows are byte-identical either way, so
+    // only the wall clock distinguishes the two cells.
+    use dysta::cluster::{SweepGrid, SweepScenario};
+    let grid = SweepGrid::new(ClusterConfig::heterogeneous(2, 2, Policy::Dysta))
+        .seeds((0..2).map(|s| s * 7919 + 13).collect())
+        .policies(DispatchPolicy::ALL.to_vec())
+        .scenarios(vec![
+            SweepScenario::new("multi_attnn", Scenario::MultiAttNn, 30.0),
+            SweepScenario::new("multi_cnn", Scenario::MultiCnn, 3.0),
+        ])
+        .slo_multipliers(vec![10.0])
+        .requests(100)
+        .samples_per_variant(16);
+    let seq = median_secs(3, || {
+        std::hint::black_box(grid.run(1));
+    });
+    let par = median_secs(3, || {
+        std::hint::black_box(grid.run(8));
+    });
+    println!(
+        "fleet_sweep (20 cells x 100 reqs): seq {:.1} ms, 8 threads {:.1} ms ({:.2}x)",
+        seq * 1e3,
+        par * 1e3,
+        seq / par,
+    );
+    (seq * 1e3, par * 1e3)
+}
+
+fn measure_cluster_par() -> (f64, f64) {
+    // The sharded advance loop on one busy serving run: the
+    // `cluster_serving` cell's traffic on a 16-node pool (8+8
+    // heterogeneous, batch + steal + migrate) so several nodes hold
+    // work between front-end events and the parallel advance has
+    // something to shard. Reports are bit-exact at any thread count;
+    // the seq/par pair records what the sharding costs or buys on this
+    // machine.
+    let workload = WorkloadBuilder::new(Scenario::MultiCnn)
+        .arrival_rate(24.0)
+        .num_requests(400)
+        .samples_per_variant(16)
+        .seed(13)
+        .build();
+    let frontend = FrontendConfig {
+        admit_batch: 4,
+        admit_interval_ns: 20_000_000,
+        steal: Some(StealConfig::default()),
+        migration: Some(MigrationConfig::default()),
+        ..FrontendConfig::default()
+    };
+    let run = |threads: usize| {
+        median_secs(3, || {
+            let pool = ClusterBuilder::heterogeneous(8, 8, Policy::Dysta)
+                .frontend(frontend)
+                .threads(threads)
+                .build();
+            std::hint::black_box(simulate_cluster(
+                &workload,
+                DispatchPolicy::SparsityAffinity.build().as_mut(),
+                &pool,
+            ));
+        })
+    };
+    let seq = run(1);
+    let par = run(8);
+    println!(
+        "cluster_par (8+8 nodes, batch+steal+migrate, 400 reqs): seq {:.1} ms, 8 threads {:.1} ms ({:.2}x)",
+        seq * 1e3,
+        par * 1e3,
+        seq / par,
+    );
+    (seq * 1e3, par * 1e3)
+}
+
 fn measure_workload_stream() -> WorkloadStreamCell {
     use dysta::cluster::simulate_cluster_stream;
     use dysta::workload::{ArrivalProcess, PhaseSpec, Popularity, SloModel, StreamSpec};
@@ -756,6 +854,8 @@ fn main() {
     let cluster_eventq_ms = measure_cluster_eventq();
     let workload_stream = measure_workload_stream();
     let trace_overhead = measure_trace_overhead();
+    let (fleet_sweep_seq_ms, fleet_sweep_ms) = measure_fleet_sweep();
+    let (cluster_par_seq_ms, cluster_par_ms) = measure_cluster_par();
 
     let record = BenchRecord {
         label: label.clone(),
@@ -770,6 +870,10 @@ fn main() {
         pick_indexed_ms: Some(pick_indexed_ms),
         cluster_eventq_ms: Some(cluster_eventq_ms),
         workload_stream: Some(workload_stream),
+        fleet_sweep_seq_ms: Some(fleet_sweep_seq_ms),
+        fleet_sweep_ms: Some(fleet_sweep_ms),
+        cluster_par_seq_ms: Some(cluster_par_seq_ms),
+        cluster_par_ms: Some(cluster_par_ms),
     };
 
     // A malformed history file must abort, not be silently replaced —

@@ -164,11 +164,12 @@ mod engine;
 mod faults;
 mod policy;
 mod report;
+mod sweep;
 
 pub use config::{
     balanced_mixed_serving_mix, AcceleratorKind, AdmissionConfig, ClusterBuilder, ClusterConfig,
     FrontendConfig, MigrationConfig, NodeConfig, StealConfig, TransferCostConfig,
-    DEFAULT_MISMATCH_SLOWDOWN,
+    DEFAULT_MISMATCH_SLOWDOWN, MAX_THREADS,
 };
 pub use dispatch::{
     DispatchContext, DispatchPolicy, Dispatcher, EarliestDeadlineFirst, JoinShortestQueue,
@@ -176,7 +177,7 @@ pub use dispatch::{
 };
 pub use engine::{
     simulate_cluster, simulate_cluster_stream, simulate_cluster_stream_with,
-    simulate_cluster_traced, simulate_cluster_with,
+    simulate_cluster_traced, simulate_cluster_with, ClusterNode, ClusterTracer,
 };
 pub use faults::{
     FaultConfig, FaultEvent, FaultKind, FaultSchedule, NodeHealth, RecoveryConfig, RecoveryStats,
@@ -187,3 +188,4 @@ pub use policy::{
     StealPolicy,
 };
 pub use report::{ClusterReport, LatencyPercentiles, NodeReport, ServingStats};
+pub use sweep::{SweepGrid, SweepRow, SweepScenario};

@@ -1,0 +1,324 @@
+//! Fleet-scale sweep grids: seed × policy × scenario × SLO cells fanned
+//! over a [`ThreadPool`], results in grid order.
+//!
+//! Every experiment figure in the paper reduces to a grid of
+//! independent cluster runs — the same pool replayed across seeds,
+//! dispatch policies, traffic scenarios, and SLO tightness. Each cell
+//! is one [`crate::simulate_cluster_stream`] run sharing nothing with
+//! its neighbours, so the grid is the natural parallel axis: cells run
+//! on pool workers, and [`ThreadPool::map`] collects results by
+//! submission index, so the output `Vec<SweepRow>` — and therefore
+//! [`SweepGrid::rows_to_json`] — is byte-identical regardless of the
+//! worker count.
+//!
+//! Cells force their *internal* thread knob to 1: with the grid
+//! saturating the pool, a nested per-cell advance pool would only
+//! oversubscribe the machine, and the sequential loop is the bit-exact
+//! reference anyway.
+//!
+//! # Examples
+//!
+//! ```
+//! use dysta_cluster::{ClusterConfig, DispatchPolicy, SweepGrid, SweepScenario};
+//! use dysta_core::Policy;
+//! use dysta_workload::Scenario;
+//!
+//! let grid = SweepGrid::new(ClusterConfig::heterogeneous(1, 1, Policy::Dysta))
+//!     .seeds(vec![1, 2])
+//!     .policies(vec![DispatchPolicy::JoinShortestQueue, DispatchPolicy::LeastLoaded])
+//!     .scenarios(vec![SweepScenario::new("attnn", Scenario::MultiAttNn, 20.0)])
+//!     .slo_multipliers(vec![10.0])
+//!     .requests(30)
+//!     .samples_per_variant(4);
+//! assert_eq!(grid.cell_count(), 4);
+//! let sequential = grid.run(1);
+//! let parallel = grid.run(4);
+//! assert_eq!(
+//!     SweepGrid::rows_to_json(&sequential),
+//!     SweepGrid::rows_to_json(&parallel)
+//! );
+//! ```
+
+use serde::{Deserialize, Serialize};
+use threadpool::ThreadPool;
+
+use dysta_workload::{Scenario, StreamSpec};
+
+use crate::{simulate_cluster_stream, ClusterConfig, DispatchPolicy};
+
+/// One entry of the grid's scenario axis: a traffic scenario with its
+/// arrival rate and the stable name the result rows carry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepScenario {
+    /// Stable name reported in [`SweepRow::scenario`].
+    pub name: &'static str,
+    /// The traffic mix.
+    pub scenario: Scenario,
+    /// Poisson arrival rate in requests per second.
+    pub rate: f64,
+}
+
+impl SweepScenario {
+    /// A named scenario axis entry.
+    pub fn new(name: &'static str, scenario: Scenario, rate: f64) -> Self {
+        SweepScenario {
+            name,
+            scenario,
+            rate,
+        }
+    }
+}
+
+/// One grid cell's aggregated report — the stable row format the
+/// `fleet_sweep` binary emits and the CI sweep-smoke step diffs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// [`SweepScenario::name`] of the cell's scenario.
+    pub scenario: String,
+    /// [`DispatchPolicy::name`] of the cell's dispatcher.
+    pub policy: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Poisson arrival rate in requests per second.
+    pub rate: f64,
+    /// SLO multiplier the stream was generated with.
+    pub slo_multiplier: f64,
+    /// Average normalized turnaround time.
+    pub antt: f64,
+    /// Fraction of completions past their SLO.
+    pub violation_rate: f64,
+    /// Fraction of offered requests completed within their original SLO.
+    pub goodput_rate: f64,
+    /// Completed inferences per second over the run's span.
+    pub throughput_inf_s: f64,
+    /// Requests completed.
+    pub completed: u64,
+}
+
+/// A seed × policy × scenario × SLO sweep over one cluster
+/// configuration, run cell-per-worker on a [`ThreadPool`].
+///
+/// Cell order is canonical — seeds outermost, then policies, then
+/// scenarios, then SLO multipliers — and [`SweepGrid::run`] returns
+/// rows in exactly that order whatever the thread count.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// The pool every cell replays (its thread knob is overridden to 1
+    /// per cell — the grid is the parallel axis).
+    pub config: ClusterConfig,
+    /// Workload seeds (outermost axis).
+    pub seeds: Vec<u64>,
+    /// Dispatch policies.
+    pub policies: Vec<DispatchPolicy>,
+    /// Traffic scenarios with arrival rates.
+    pub scenarios: Vec<SweepScenario>,
+    /// SLO multipliers (innermost axis).
+    pub slo_multipliers: Vec<f64>,
+    /// Requests per cell.
+    pub requests: u64,
+    /// Trace samples per model variant.
+    pub samples_per_variant: u64,
+}
+
+impl SweepGrid {
+    /// A grid over `config` with empty axes and the quick-mode sizing
+    /// (100 requests, 4 samples per variant); chain the axis setters.
+    pub fn new(config: ClusterConfig) -> Self {
+        SweepGrid {
+            config,
+            seeds: Vec::new(),
+            policies: Vec::new(),
+            scenarios: Vec::new(),
+            slo_multipliers: Vec::new(),
+            requests: 100,
+            samples_per_variant: 4,
+        }
+    }
+
+    /// Replaces the seed axis.
+    pub fn seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Replaces the policy axis.
+    pub fn policies(mut self, policies: Vec<DispatchPolicy>) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// Replaces the scenario axis.
+    pub fn scenarios(mut self, scenarios: Vec<SweepScenario>) -> Self {
+        self.scenarios = scenarios;
+        self
+    }
+
+    /// Replaces the SLO-multiplier axis.
+    pub fn slo_multipliers(mut self, slo_multipliers: Vec<f64>) -> Self {
+        self.slo_multipliers = slo_multipliers;
+        self
+    }
+
+    /// Sets the per-cell request count.
+    pub fn requests(mut self, requests: u64) -> Self {
+        self.requests = requests;
+        self
+    }
+
+    /// Sets the per-cell trace samples per variant.
+    pub fn samples_per_variant(mut self, samples: u64) -> Self {
+        self.samples_per_variant = samples;
+        self
+    }
+
+    /// Number of cells the grid will run.
+    pub fn cell_count(&self) -> usize {
+        self.seeds.len() * self.policies.len() * self.scenarios.len() * self.slo_multipliers.len()
+    }
+
+    /// The cells in canonical grid order.
+    fn cells(&self) -> Vec<(u64, DispatchPolicy, SweepScenario, f64)> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for &seed in &self.seeds {
+            for &policy in &self.policies {
+                for &scenario in &self.scenarios {
+                    for &slo in &self.slo_multipliers {
+                        cells.push((seed, policy, scenario, slo));
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Runs one cell: an independent streaming cluster run.
+    fn run_cell(&self, seed: u64, policy: DispatchPolicy, sc: SweepScenario, slo: f64) -> SweepRow {
+        let spec = StreamSpec::steady_poisson(sc.scenario, sc.rate, slo)
+            .num_requests(self.requests)
+            .samples_per_variant(self.samples_per_variant)
+            .seed(seed);
+        let store = spec.build_store();
+        // The grid owns the parallelism; the cell's own advance loop
+        // stays sequential (also the bit-exact reference path).
+        let mut config = self.config.clone();
+        config.threads = Some(1);
+        let report = simulate_cluster_stream(spec.source(&store), policy.build().as_mut(), &config);
+        SweepRow {
+            scenario: sc.name.to_string(),
+            policy: policy.name().to_string(),
+            seed,
+            rate: sc.rate,
+            slo_multiplier: slo,
+            antt: report.antt(),
+            violation_rate: report.violation_rate(),
+            goodput_rate: report.goodput_rate(),
+            throughput_inf_s: report.throughput_inf_s(),
+            completed: report.completed_total() as u64,
+        }
+    }
+
+    /// Runs every cell on a pool of `threads` workers and returns the
+    /// rows in canonical grid order.
+    ///
+    /// Each cell is a self-contained run (own trace store, own node
+    /// engines); [`ThreadPool::map`] writes results into
+    /// submission-indexed slots, so the returned rows — values and
+    /// order — are identical for any `threads >= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is empty.
+    pub fn run(&self, threads: usize) -> Vec<SweepRow> {
+        assert!(self.cell_count() > 0, "sweep grid needs non-empty axes");
+        let pool = ThreadPool::new(threads);
+        pool.map(self.cells(), |(seed, policy, scenario, slo)| {
+            self.run_cell(seed, policy, scenario, slo)
+        })
+    }
+
+    /// Serializes rows to the stable JSON document the CI sweep-smoke
+    /// step compares across thread counts (one array, newline
+    /// terminated).
+    pub fn rows_to_json(rows: &[SweepRow]) -> String {
+        let mut json = serde_json::to_string(&rows.to_vec()).expect("sweep rows serialize");
+        json.push('\n');
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AcceleratorKind;
+    use dysta_core::Policy;
+
+    fn quick_grid() -> SweepGrid {
+        SweepGrid::new(ClusterConfig::homogeneous(
+            2,
+            AcceleratorKind::Sanger,
+            Policy::Fcfs,
+        ))
+        .seeds(vec![1, 2])
+        .policies(vec![
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::JoinShortestQueue,
+        ])
+        .scenarios(vec![SweepScenario::new(
+            "attnn",
+            Scenario::MultiAttNn,
+            20.0,
+        )])
+        .slo_multipliers(vec![10.0, 20.0])
+        .requests(20)
+        .samples_per_variant(2)
+    }
+
+    #[test]
+    fn rows_follow_canonical_grid_order() {
+        let grid = quick_grid();
+        assert_eq!(grid.cell_count(), 8);
+        let rows = grid.run(1);
+        assert_eq!(rows.len(), 8);
+        // seeds outermost, SLO innermost.
+        assert_eq!((rows[0].seed, rows[0].slo_multiplier), (1, 10.0));
+        assert_eq!((rows[1].seed, rows[1].slo_multiplier), (1, 20.0));
+        assert_eq!(rows[0].policy, "round-robin");
+        assert_eq!(rows[2].policy, "jsq");
+        assert_eq!(rows[4].seed, 2);
+        assert!(rows.iter().all(|r| r.completed == 20));
+    }
+
+    #[test]
+    fn parallel_rows_are_byte_identical_to_sequential() {
+        let grid = quick_grid();
+        let seq = grid.run(1);
+        for threads in [2, 4, 8] {
+            let par = grid.run(threads);
+            assert_eq!(
+                SweepGrid::rows_to_json(&seq),
+                SweepGrid::rows_to_json(&par),
+                "{threads}-thread sweep diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn rows_round_trip_through_json() {
+        let grid = quick_grid().seeds(vec![1]).slo_multipliers(vec![10.0]);
+        let rows = grid.run(2);
+        let json = SweepGrid::rows_to_json(&rows);
+        let back: Vec<SweepRow> = serde_json::from_str(json.trim_end()).expect("parse rows");
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty axes")]
+    fn empty_axis_rejected() {
+        let grid = SweepGrid::new(ClusterConfig::homogeneous(
+            1,
+            AcceleratorKind::Sanger,
+            Policy::Fcfs,
+        ));
+        let _ = grid.run(1);
+    }
+}

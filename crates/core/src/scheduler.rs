@@ -216,7 +216,12 @@ impl<'a> TaskQueue<'a> {
 /// let sched = Fcfs::new();
 /// assert_eq!(sched.name(), "fcfs");
 /// ```
-pub trait Scheduler {
+///
+/// The `Send` supertrait lets the cluster engine advance node engines
+/// (each owning a `Box<dyn Scheduler>`) on pool worker threads during
+/// its sharded advance phase; schedulers are node-local state, never
+/// shared, so plain `Send` (no `Sync`) suffices.
+pub trait Scheduler: Send {
     /// Stable lower-case policy name (used in experiment tables).
     fn name(&self) -> &str;
 

@@ -1,0 +1,432 @@
+//! Minimal rayon-core-style scoped thread pool. Local shim: this build
+//! environment has no registry access, so the small slice of a
+//! work-distribution API the workspace uses is provided here.
+//!
+//! Design (a hand-rolled subset of rayon-core's):
+//!
+//! * **Fixed workers.** [`ThreadPool::new(n)`](ThreadPool::new) spawns
+//!   `n - 1` background workers over one shared FIFO injector; the
+//!   calling thread is the `n`-th executor — it helps drain the queue
+//!   while it waits inside [`ThreadPool::scope`], so `n` is the total
+//!   number of threads doing work and `new(1)` degenerates to plain
+//!   sequential execution on the caller (no background threads at all).
+//! * **Scoped spawns.** [`Scope::spawn`] accepts non-`'static` closures
+//!   borrowing from the caller's stack; [`ThreadPool::scope`] does not
+//!   return until every spawned job has completed, which is what makes
+//!   the borrow sound (the same contract as `std::thread::scope`).
+//! * **Deterministic results.** [`ThreadPool::map`] writes each result
+//!   into a slot addressed by submission index, so the output order is
+//!   the input order regardless of worker count or interleaving —
+//!   the property the cluster sweep's bit-exact reports ride on.
+//! * **Panic propagation.** A panicking job never kills a worker; the
+//!   first payload is captured and re-raised on the calling thread
+//!   when its scope closes, like `std::thread::scope`.
+//!
+//! Scopes are single-producer: `Scope` is deliberately `!Sync`, so jobs
+//! cannot capture the scope and spawn nested work from worker threads.
+//! All spawning happens on the scope-owning thread, which is what lets
+//! the caller-helps drain loop wait on the completion latch without a
+//! lost-wakeup hazard once the spawning closure has returned.
+//!
+//! This is the only workspace crate allowed to contain `unsafe` for
+//! concurrency: the single unsafe site erases a spawned job's `'scope`
+//! lifetime to `'static` so it can sit in the shared queue, and the
+//! scope latch restores the guarantee by blocking until the job is done.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A queued unit of work. Jobs are wrapped by [`Scope::spawn`] to catch
+/// panics and notify the scope latch, so executing one never unwinds
+/// into the worker loop.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The shared FIFO all executors (workers and helping callers) pull
+/// from.
+struct Injector {
+    state: Mutex<InjectorState>,
+    /// Signalled on every push and on shutdown.
+    work: Condvar,
+}
+
+struct InjectorState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl Injector {
+    fn push(&self, job: Job) {
+        let mut state = self.state.lock().expect("injector lock");
+        state.queue.push_back(job);
+        drop(state);
+        self.work.notify_one();
+    }
+
+    /// Pops without blocking (the caller-helps path).
+    fn try_pop(&self) -> Option<Job> {
+        self.state.lock().expect("injector lock").queue.pop_front()
+    }
+}
+
+/// Completion tracking for one scope: a pending-job counter plus the
+/// first captured panic payload.
+#[derive(Default)]
+struct Latch {
+    state: Mutex<LatchState>,
+    /// Signalled when `pending` reaches zero.
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct LatchState {
+    pending: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn add_job(&self) {
+        self.state.lock().expect("latch lock").pending += 1;
+    }
+
+    /// Marks one job complete, keeping the first panic payload.
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut state = self.state.lock().expect("latch lock");
+        state.pending -= 1;
+        if state.panic.is_none() {
+            state.panic = panic;
+        }
+        let done = state.pending == 0;
+        drop(state);
+        if done {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.lock().expect("latch lock").pending == 0
+    }
+
+    /// Blocks until every job spawned on this latch has completed.
+    fn wait_done(&self) {
+        let mut state = self.state.lock().expect("latch lock");
+        while state.pending > 0 {
+            state = self.done.wait(state).expect("latch wait");
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.state.lock().expect("latch lock").panic.take()
+    }
+}
+
+fn worker_loop(injector: &Injector) {
+    loop {
+        let job = {
+            let mut state = injector.state.lock().expect("injector lock");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break Some(job);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = injector.work.wait(state).expect("injector wait");
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+/// A fixed-size scoped thread pool.
+///
+/// # Examples
+///
+/// ```
+/// let pool = threadpool::ThreadPool::new(4);
+/// let doubled = pool.map((0..100).collect::<Vec<u64>>(), |x| x * 2);
+/// assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+/// ```
+pub struct ThreadPool {
+    injector: Arc<Injector>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` total executors: `threads - 1`
+    /// background workers plus the calling thread, which participates
+    /// while it waits inside [`ThreadPool::scope`] / [`ThreadPool::map`]
+    /// / [`ThreadPool::join`]. `new(0)` is clamped to `new(1)` (a pool
+    /// with no background threads — everything runs on the caller).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let injector = Arc::new(Injector {
+            state: Mutex::new(InjectorState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+        let workers = (0..threads - 1)
+            .map(|i| {
+                let injector = Arc::clone(&injector);
+                std::thread::Builder::new()
+                    .name(format!("dysta-pool-{i}"))
+                    .spawn(move || worker_loop(&injector))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            injector,
+            workers,
+            threads,
+        }
+    }
+
+    /// Total executor count (workers plus the helping caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`] on which non-`'static` jobs can be
+    /// spawned, then blocks — helping drain the queue — until every
+    /// spawned job has completed. If any job panicked, the first payload
+    /// is re-raised here after all jobs have finished.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let latch = Arc::new(Latch::default());
+        let scope = Scope {
+            pool: self,
+            latch: Arc::clone(&latch),
+            _env: PhantomData,
+            _not_sync: PhantomData,
+        };
+        let result = f(&scope);
+        // Caller helps: execute queued jobs until this scope's latch
+        // opens. Once `f` has returned no new jobs can join this scope
+        // (spawning is confined to the scope-owning thread), so an
+        // empty queue means the stragglers are running on workers and
+        // waiting on the latch is free of lost wakeups.
+        loop {
+            if latch.is_done() {
+                break;
+            }
+            match self.injector.try_pop() {
+                Some(job) => job(),
+                None => latch.wait_done(),
+            }
+        }
+        if let Some(payload) = latch.take_panic() {
+            panic::resume_unwind(payload);
+        }
+        result
+    }
+
+    /// Applies `f` to every item in parallel and returns the results in
+    /// submission (= input) order, whatever the worker count or
+    /// scheduling interleaving: each result is written into a slot
+    /// addressed by its item's index.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        self.scope(|scope| {
+            for (i, item) in items.into_iter().enumerate() {
+                let slot = &slots[i];
+                let f = &f;
+                scope.spawn(move || {
+                    *slot.lock().expect("result slot lock") = Some(f(item));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot lock")
+                    .expect("every map job ran")
+            })
+            .collect()
+    }
+
+    /// Runs `a` on the pool and `b` on the calling thread, returning
+    /// both results. (The rayon `join` shape; here `b` always runs
+    /// inline, and the caller helps drain once `b` is done.)
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB,
+        RA: Send,
+    {
+        let mut ra = None;
+        let rb = self.scope(|scope| {
+            let slot = &mut ra;
+            scope.spawn(move || {
+                *slot = Some(a());
+            });
+            b()
+        });
+        (ra.expect("join job ran"), rb)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.injector.state.lock().expect("injector lock").shutdown = true;
+        self.injector.work.notify_all();
+        for worker in self.workers.drain(..) {
+            // A worker that panicked outside a job (impossible for
+            // spawned jobs, which are catch-wrapped) would surface
+            // here; don't double-panic while unwinding.
+            let _ = worker.join();
+        }
+    }
+}
+
+/// A spawn handle tied to one [`ThreadPool::scope`] call. Jobs spawned
+/// here may borrow anything that outlives the scope (`'env`); the scope
+/// call does not return until they all complete.
+///
+/// `Scope` is `!Sync` by design: all spawning happens on the
+/// scope-owning thread (no nested spawns from workers).
+pub struct Scope<'scope, 'env: 'scope> {
+    pool: &'scope ThreadPool,
+    latch: Arc<Latch>,
+    /// Invariance over both lifetimes (the `std::thread::scope` trick):
+    /// keeps borrowed data from being shortened behind the scope's back.
+    _env: PhantomData<&'scope mut &'env ()>,
+    _not_sync: PhantomData<*const ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Queues `f` for execution on the pool. The closure may borrow
+    /// from the environment (`'scope`); [`ThreadPool::scope`] blocks
+    /// until it has run. A panic inside `f` is captured and re-raised
+    /// when the scope closes.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.latch.add_job();
+        let latch = Arc::clone(&self.latch);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(f));
+            latch.complete(result.err());
+        });
+        // SAFETY: the job may borrow `'scope` data, but `scope()` does
+        // not return before `latch` has counted this job complete, so
+        // every borrow in `f` is live for as long as the job can run.
+        // The erased box is never used after that point (it is consumed
+        // exactly once by whichever executor pops it).
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.pool.injector.push(job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_input_order_at_every_width() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(pool.map(items.clone(), |x| x * 3 + 1), expect);
+        }
+    }
+
+    #[test]
+    fn scope_jobs_borrow_disjoint_slots() {
+        let pool = ThreadPool::new(4);
+        let mut slots = vec![0usize; 64];
+        pool.scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move || *slot = i + 1);
+            }
+        });
+        assert!(slots.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_scopes() {
+        let pool = ThreadPool::new(3);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..10 {
+            pool.scope(|s| {
+                for _ in 0..17 {
+                    s.spawn(|| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 170);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPool::new(2);
+        let (a, b) = pool.join(|| 6 * 7, || "inline");
+        assert_eq!((a, b), (42, "inline"));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_jobs_in_submission_order() {
+        let pool = ThreadPool::new(1);
+        let order = Mutex::new(Vec::new());
+        pool.scope(|s| {
+            for i in 0..20 {
+                let order = &order;
+                s.spawn(move || order.lock().unwrap().push(i));
+            }
+        });
+        assert_eq!(*order.lock().unwrap(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_job_propagates_after_all_jobs_finish() {
+        let pool = ThreadPool::new(4);
+        let completed = AtomicUsize::new(0);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for i in 0..32 {
+                    let completed = &completed;
+                    s.spawn(move || {
+                        if i == 7 {
+                            panic!("job 7 exploded");
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "scope must re-raise the job panic");
+        assert_eq!(completed.load(Ordering::Relaxed), 31);
+        // The pool survives a panicked scope.
+        assert_eq!(pool.map(vec![1, 2, 3], |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn many_more_jobs_than_workers_all_complete() {
+        let pool = ThreadPool::new(2);
+        let total: u64 = pool.map((0..10_000u64).collect(), |x| x).iter().sum();
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+}

@@ -98,6 +98,125 @@ fn golden_table05_end2end_quick() {
     check_golden("table05_end2end.json", &json);
 }
 
+// --- fig12_tradeoff (quick mode) ------------------------------------------
+
+/// One point of the fig12 ANTT / SLO-violation trade-off plane.
+#[derive(Debug, Serialize, Deserialize, PartialEq)]
+struct TradeoffRow {
+    scenario: String,
+    rate: f64,
+    policy: String,
+    antt: f64,
+    violation_rate: f64,
+}
+
+/// The `fig12_tradeoff` binary's experiment grid (both scenarios at
+/// both arrival rates, full Table 5 policy set, SLO ×10) pinned at
+/// quick scale. Regenerate with
+/// `UPDATE_GOLDEN=1 cargo test --test golden_reports`.
+#[test]
+fn golden_fig12_tradeoff_quick() {
+    let scale = Scale::quick();
+    let mut rows = Vec::new();
+    for (name, scenario, rates) in [
+        ("multi_attnn", Scenario::MultiAttNn, [30.0, 40.0]),
+        ("multi_cnn", Scenario::MultiCnn, [3.0, 4.0]),
+    ] {
+        for rate in rates {
+            for row in compare_policies(
+                scenario,
+                rate,
+                10.0,
+                scale,
+                &Policy::TABLE5,
+                DystaConfig::default(),
+            ) {
+                rows.push(TradeoffRow {
+                    scenario: name.to_string(),
+                    rate,
+                    policy: row.policy.name().to_string(),
+                    antt: row.metrics.antt,
+                    violation_rate: row.metrics.violation_rate,
+                });
+            }
+        }
+    }
+
+    // Acceptance: the binary's headline — Dysta sits on the Pareto
+    // frontier of every plane (no policy beats it on both axes).
+    for (scenario, rate) in [
+        ("multi_attnn", 30.0),
+        ("multi_attnn", 40.0),
+        ("multi_cnn", 3.0),
+        ("multi_cnn", 4.0),
+    ] {
+        let plane: Vec<&TradeoffRow> = rows
+            .iter()
+            .filter(|r| r.scenario == scenario && r.rate == rate)
+            .collect();
+        let dysta = plane
+            .iter()
+            .find(|r| r.policy == Policy::Dysta.name())
+            .expect("dysta in set");
+        for row in &plane {
+            assert!(
+                row.antt >= dysta.antt - 1e-9 || row.violation_rate >= dysta.violation_rate - 1e-9,
+                "{scenario}@{rate}: {} dominates Dysta on both axes",
+                row.policy
+            );
+        }
+    }
+
+    let json = serde_json::to_string(&rows).expect("rows serialize");
+    check_golden("fig12_tradeoff.json", &json);
+}
+
+// --- fig13_breakdown (quick mode) -----------------------------------------
+
+/// One variant of the fig13 optimization breakdown.
+#[derive(Debug, Serialize, Deserialize, PartialEq)]
+struct BreakdownRow {
+    scenario: String,
+    policy: String,
+    antt: f64,
+    violation_rate: f64,
+}
+
+/// The `fig13_breakdown` binary's experiment (PREMA vs static-only
+/// Dysta vs full Dysta at the paper's operating points, SLO ×10)
+/// pinned at quick scale. Regenerate with
+/// `UPDATE_GOLDEN=1 cargo test --test golden_reports`.
+#[test]
+fn golden_fig13_breakdown_quick() {
+    let scale = Scale::quick();
+    let set = [Policy::Prema, Policy::DystaStatic, Policy::Dysta];
+    let mut rows = Vec::new();
+    for (name, scenario, rate) in [
+        ("multi_attnn", Scenario::MultiAttNn, 30.0),
+        ("multi_cnn", Scenario::MultiCnn, 3.0),
+    ] {
+        let plane = compare_policies(scenario, rate, 10.0, scale, &set, DystaConfig::default());
+        // Acceptance: the binary's headline — full Dysta improves ANTT
+        // over PREMA (the breakdown's total gain is positive).
+        assert!(
+            plane[2].metrics.antt <= plane[0].metrics.antt,
+            "{name}: full Dysta ANTT {} worse than PREMA {}",
+            plane[2].metrics.antt,
+            plane[0].metrics.antt
+        );
+        for row in plane {
+            rows.push(BreakdownRow {
+                scenario: name.to_string(),
+                policy: row.policy.name().to_string(),
+                antt: row.metrics.antt,
+                violation_rate: row.metrics.violation_rate,
+            });
+        }
+    }
+    let json = serde_json::to_string(&rows).expect("rows serialize");
+    check_golden("fig13_breakdown.json", &json);
+}
+
 // --- cluster_sweep + serving front-end (quick mode) -----------------------
 
 #[derive(Debug, Serialize, Deserialize, PartialEq)]
