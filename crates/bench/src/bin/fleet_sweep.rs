@@ -8,7 +8,9 @@
 //! shrinks the grid the same way it shrinks every other experiment
 //! binary.
 
-use dysta::cluster::{ClusterConfig, DispatchPolicy, SweepGrid, SweepRow, SweepScenario};
+use dysta::cluster::{
+    ClusterConfig, DispatchPolicy, SweepGrid, SweepRow, SweepScenario, MAX_THREADS,
+};
 use dysta::core::Policy;
 use dysta::workload::Scenario;
 use dysta_bench::{banner, Scale};
@@ -21,10 +23,16 @@ fn args() -> (usize, Option<std::path::PathBuf>) {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => {
-                threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--threads requires a positive integer argument");
-                    std::process::exit(2);
-                })
+                // Same bound the ClusterBuilder knob validates, so both
+                // entry points reject 0 / oversized counts identically.
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| (1..=MAX_THREADS).contains(n))
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads requires an integer in 1..={MAX_THREADS}");
+                        std::process::exit(2);
+                    })
             }
             "--json" => {
                 json = Some(

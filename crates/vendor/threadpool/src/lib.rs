@@ -20,7 +20,10 @@
 //!   the property the cluster sweep's bit-exact reports ride on.
 //! * **Panic propagation.** A panicking job never kills a worker; the
 //!   first payload is captured and re-raised on the calling thread
-//!   when its scope closes, like `std::thread::scope`.
+//!   when its scope closes, like `std::thread::scope`. A panic in the
+//!   scope closure itself is caught the same way: the scope still
+//!   waits for every job spawned before the panic (they may borrow the
+//!   unwinding stack), then re-raises the closure's payload.
 //!
 //! Scopes are single-producer: `Scope` is deliberately `!Sync`, so jobs
 //! cannot capture the scope and spawn nested work from worker threads.
@@ -198,7 +201,11 @@ impl ThreadPool {
     /// Runs `f` with a [`Scope`] on which non-`'static` jobs can be
     /// spawned, then blocks — helping drain the queue — until every
     /// spawned job has completed. If any job panicked, the first payload
-    /// is re-raised here after all jobs have finished.
+    /// is re-raised here after all jobs have finished. If `f` itself
+    /// panics, the scope still waits for every job it already spawned
+    /// (they may borrow the caller's stack, which is about to unwind)
+    /// and then re-raises `f`'s payload — the `std::thread::scope`
+    /// contract.
     pub fn scope<'env, F, R>(&self, f: F) -> R
     where
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
@@ -210,12 +217,15 @@ impl ThreadPool {
             _env: PhantomData,
             _not_sync: PhantomData,
         };
-        let result = f(&scope);
+        // Catch a panic in the closure: already-spawned jobs borrow
+        // `'scope` data on this stack, so unwinding past the drain
+        // below while they can still run would be a use-after-free.
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
         // Caller helps: execute queued jobs until this scope's latch
-        // opens. Once `f` has returned no new jobs can join this scope
-        // (spawning is confined to the scope-owning thread), so an
-        // empty queue means the stragglers are running on workers and
-        // waiting on the latch is free of lost wakeups.
+        // opens. Once `f` has returned (or unwound) no new jobs can
+        // join this scope (spawning is confined to the scope-owning
+        // thread), so an empty queue means the stragglers are running
+        // on workers and waiting on the latch is free of lost wakeups.
         loop {
             if latch.is_done() {
                 break;
@@ -225,6 +235,12 @@ impl ThreadPool {
                 None => latch.wait_done(),
             }
         }
+        let result = match result {
+            Ok(result) => result,
+            // The closure's own panic takes precedence over any job
+            // panic (which is dropped with the latch).
+            Err(payload) => panic::resume_unwind(payload),
+        };
         if let Some(payload) = latch.take_panic() {
             panic::resume_unwind(payload);
         }
@@ -326,8 +342,10 @@ impl<'scope, 'env> Scope<'scope, 'env> {
             latch.complete(result.err());
         });
         // SAFETY: the job may borrow `'scope` data, but `scope()` does
-        // not return before `latch` has counted this job complete, so
-        // every borrow in `f` is live for as long as the job can run.
+        // not return — not even by unwinding; the scope closure runs
+        // under catch_unwind and the drain/wait loop always executes —
+        // before `latch` has counted this job complete, so every borrow
+        // in `f` is live for as long as the job can run.
         // The erased box is never used after that point (it is consumed
         // exactly once by whichever executor pops it).
         let job: Job = unsafe {
@@ -421,6 +439,50 @@ mod tests {
         assert_eq!(completed.load(Ordering::Relaxed), 31);
         // The pool survives a panicked scope.
         assert_eq!(pool.map(vec![1, 2, 3], |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn panicking_scope_closure_waits_for_spawned_jobs() {
+        let pool = ThreadPool::new(4);
+        let mut slots = vec![0usize; 32];
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    s.spawn(move || {
+                        // Keep jobs in flight past the closure's panic so
+                        // the wait below is load-bearing, not vacuous.
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        *slot = i + 1;
+                    });
+                }
+                panic!("closure exploded after spawning");
+            });
+        }));
+        // The closure's payload is re-raised, but only after every
+        // spawned job — all borrowing this (unwinding) stack — has run.
+        assert!(result.is_err(), "scope must re-raise the closure panic");
+        assert!(slots.iter().enumerate().all(|(i, &v)| v == i + 1));
+        // The pool survives a panicked scope closure.
+        assert_eq!(pool.map(vec![1, 2, 3], |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn join_waits_for_pool_side_when_inline_side_panics() {
+        let pool = ThreadPool::new(2);
+        let a_done = AtomicUsize::new(0);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.join(
+                || {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    a_done.fetch_add(1, Ordering::SeqCst);
+                },
+                || panic!("inline side exploded"),
+            )
+        }));
+        // `a` borrows join's stack slot for its result; the panic in `b`
+        // must not unwind past that slot while `a` can still run.
+        assert!(result.is_err(), "join must re-raise the inline panic");
+        assert_eq!(a_done.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use dysta::cluster::{
     balanced_mixed_serving_mix, simulate_cluster, simulate_cluster_traced, AcceleratorKind,
-    ClusterBuilder, ClusterPolicy, DispatchPolicy,
+    ClusterBuilder, ClusterPolicy, DispatchPolicy, MAX_THREADS,
 };
 use dysta::core::Policy;
 use dysta::obs::RingTracer;
@@ -35,15 +35,20 @@ fn trace_path() -> Option<std::path::PathBuf> {
     None
 }
 
-/// Parses `--threads N` from the command line (1 when absent).
+/// Parses `--threads N` from the command line (1 when absent),
+/// rejecting counts outside the `ClusterBuilder` knob's bound.
 fn threads_arg() -> usize {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--threads" {
-            return args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                eprintln!("--threads requires a positive integer argument");
-                std::process::exit(2);
-            });
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|n| (1..=MAX_THREADS).contains(n))
+                .unwrap_or_else(|| {
+                    eprintln!("--threads requires an integer in 1..={MAX_THREADS}");
+                    std::process::exit(2);
+                });
         }
     }
     1
